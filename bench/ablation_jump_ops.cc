@@ -1,0 +1,90 @@
+// Micro-benchmarks for the jumping primitives of Definition 3.2 (d_t, f_t
+// via NextTopmost, l_t, r_t) and the O(1) label counts over the XMark index.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+LabelSet KeywordSet() {
+  LabelId kw = bench::XMarkEngine().document().alphabet().Find("keyword");
+  return LabelSet::Of({kw});
+}
+
+void BM_FirstBinaryDescendant(benchmark::State& state) {
+  const Engine& engine = bench::XMarkEngine();
+  const TreeIndex& index = engine.index();
+  LabelSet set = KeywordSet();
+  Random rng(1);
+  int32_t n = engine.document().num_nodes();
+  for (auto _ : state) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(index.FirstBinaryDescendant(node, set));
+  }
+}
+BENCHMARK(BM_FirstBinaryDescendant);
+
+void BM_TopmostEnumeration(benchmark::State& state) {
+  const Engine& engine = bench::XMarkEngine();
+  const TreeIndex& index = engine.index();
+  LabelSet set = KeywordSet();
+  NodeId root = engine.document().root();
+  for (auto _ : state) {
+    int64_t count = 0;
+    for (NodeId m = index.FirstBinaryDescendant(root, set); m != kNullNode;
+         m = index.NextTopmost(m, set, root)) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_TopmostEnumeration);
+
+void BM_LeftPathFirst(benchmark::State& state) {
+  const Engine& engine = bench::XMarkEngine();
+  const TreeIndex& index = engine.index();
+  LabelSet set = KeywordSet();
+  Random rng(2);
+  int32_t n = engine.document().num_nodes();
+  for (auto _ : state) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(index.LeftPathFirst(node, set));
+  }
+}
+BENCHMARK(BM_LeftPathFirst);
+
+void BM_RightPathFirst(benchmark::State& state) {
+  const Engine& engine = bench::XMarkEngine();
+  const TreeIndex& index = engine.index();
+  LabelSet set = KeywordSet();
+  Random rng(3);
+  int32_t n = engine.document().num_nodes();
+  for (auto _ : state) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(index.RightPathFirst(node, set));
+  }
+}
+BENCHMARK(BM_RightPathFirst);
+
+void BM_LabelCount(benchmark::State& state) {
+  const Engine& engine = bench::XMarkEngine();
+  LabelId kw = engine.document().alphabet().Find("keyword");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.index().Count(kw));
+  }
+}
+BENCHMARK(BM_LabelCount);
+
+}  // namespace
+}  // namespace xpwqo
+
+int main(int argc, char** argv) {
+  xpwqo::bench::PrintHeader("Ablation: jump primitive micro-benchmarks",
+                            xpwqo::bench::XMarkEngine());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

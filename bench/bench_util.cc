@@ -1,0 +1,57 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace xpwqo {
+namespace bench {
+namespace {
+
+double g_scale = 0;
+
+Engine BuildEngine() {
+  XMarkOptions opt;
+  opt.scale = XMarkScaleFromEnv(kDefaultScale);
+  g_scale = opt.scale;
+  return Engine::FromDocument(GenerateXMark(opt));
+}
+
+}  // namespace
+
+const Engine& XMarkEngine() {
+  static Engine* engine = new Engine(BuildEngine());
+  return *engine;
+}
+
+double XMarkScale() {
+  XMarkEngine();
+  return g_scale;
+}
+
+double BestOfMs(const std::function<void()>& fn, int repeats) {
+  double best = -1;
+  for (int i = 0; i < repeats; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void PrintHeader(const std::string& title, const Engine& engine) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "document: XMark-like, scale %.3g, %s nodes "
+      "(paper: 116MB, 5,673,051 nodes; set XPWQO_SCALE to change)\n\n",
+      XMarkScale(),
+      WithCommas(static_cast<uint64_t>(engine.document().num_nodes()))
+          .c_str());
+}
+
+}  // namespace bench
+}  // namespace xpwqo

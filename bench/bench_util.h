@@ -1,0 +1,38 @@
+// Shared setup for the benchmark binaries: the XMark document (scale
+// overridable via XPWQO_SCALE), timing helpers (best-of-5, like the paper's
+// Appendix D protocol), and table formatting.
+#ifndef XPWQO_BENCH_BENCH_UTIL_H_
+#define XPWQO_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+#include "xmark/workload.h"
+
+namespace xpwqo {
+namespace bench {
+
+/// Default scale for the benchmark document. The paper's document is
+/// 116 MB / 5,673,051 nodes (scale ~1.0); the default keeps a full bench
+/// sweep in seconds. Override with XPWQO_SCALE=1.0 for paper-sized runs.
+inline constexpr double kDefaultScale = 0.05;
+
+/// The shared XMark engine (built once per process).
+const Engine& XMarkEngine();
+
+/// The scale the shared engine was built with.
+double XMarkScale();
+
+/// Milliseconds for one invocation of `fn`, best of `repeats` runs.
+double BestOfMs(const std::function<void()>& fn, int repeats = 5);
+
+/// Prints "== <title> ==" plus a reproduction note.
+void PrintHeader(const std::string& title, const Engine& engine);
+
+}  // namespace bench
+}  // namespace xpwqo
+
+#endif  // XPWQO_BENCH_BENCH_UTIL_H_

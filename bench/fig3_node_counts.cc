@@ -1,0 +1,69 @@
+// Reproduces Figure 3: per query, (1) selected nodes, (2) nodes visited
+// with jumping, (3) nodes visited without jumping, (4) memoized
+// configurations, (5) selected/visited ratio. The paper's "# nodes" marker
+// (full traversal) appears when a run visits every node.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "util/strings.h"
+
+namespace xpwqo {
+namespace {
+
+std::string CountOrFull(int64_t visited, int64_t total) {
+  if (visited >= total) return "# nodes";
+  return WithCommas(static_cast<uint64_t>(visited));
+}
+
+int Main() {
+  const Engine& engine = bench::XMarkEngine();
+  bench::PrintHeader("Figure 3: selected and visited nodes (w and w/o "
+                     "jumping), memoized configurations",
+                     engine);
+  const int64_t total = engine.document().num_nodes();
+
+  std::printf("%-5s %12s %12s %12s %8s %8s\n", "query", "(1)selected",
+              "(2)w/jump", "(3)wo/jump", "(4)memo", "(5)ratio");
+  for (const WorkloadQuery& q : Figure2Workload()) {
+    QueryOptions opt_jump;
+    opt_jump.strategy = EvalStrategy::kOptimized;
+    auto jump = engine.Run(q.xpath, opt_jump);
+    if (!jump.ok()) {
+      std::printf("%-5s ERROR %s\n", q.id, jump.status().ToString().c_str());
+      continue;
+    }
+    QueryOptions opt_memo;
+    opt_memo.strategy = EvalStrategy::kMemoized;
+    auto memo = engine.Run(q.xpath, opt_memo);
+    if (!memo.ok()) continue;
+
+    int64_t selected = static_cast<int64_t>(jump->nodes.size());
+    int64_t with_jump = jump->stats.nodes_visited;
+    int64_t wo_jump = memo->stats.nodes_visited;
+    int64_t memo_entries =
+        jump->stats.memo_step_entries + jump->stats.memo_eval_entries;
+    double ratio =
+        with_jump == 0 ? 0.0 : 100.0 * static_cast<double>(selected) /
+                                   static_cast<double>(with_jump);
+    std::printf("%-5s %12s %12s %12s %8s %7.1f%%\n", q.id,
+                WithCommas(static_cast<uint64_t>(selected)).c_str(),
+                WithCommas(static_cast<uint64_t>(with_jump)).c_str(),
+                CountOrFull(wo_jump, total).c_str(),
+                WithCommas(static_cast<uint64_t>(memo_entries)).c_str(),
+                ratio);
+  }
+  std::printf("\n# nodes = %s (full traversal)\n",
+              WithCommas(static_cast<uint64_t>(total)).c_str());
+  std::printf(
+      "\npaper shape: realistic queries (Q01-Q09, except Q08) select >10%% "
+      "of visited;\nQ05 touches only relevant nodes; Q10-Q15 check "
+      "predicates with <=2 extra visits;\nmemo tables stay tiny (tens of "
+      "entries).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpwqo
+
+int main() { return xpwqo::Main(); }

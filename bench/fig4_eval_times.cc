@@ -1,0 +1,72 @@
+// Reproduces Figure 4: query answering time per query for the four
+// evaluator configurations (Naive / Jumping / Memo. / Opt.). Uses
+// google-benchmark; one series per (query, strategy) pair.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace xpwqo {
+namespace {
+
+void RunQuery(benchmark::State& state, const char* xpath,
+              EvalStrategy strategy) {
+  const Engine& engine = bench::XMarkEngine();
+  auto compiled = engine.Compile(xpath);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  QueryOptions options;
+  options.strategy = strategy;
+  int64_t selected = 0;
+  int64_t visited = 0;
+  for (auto _ : state) {
+    auto r = engine.Run(*compiled, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    selected = static_cast<int64_t>(r->nodes.size());
+    visited = r->stats.nodes_visited;
+    benchmark::DoNotOptimize(r->nodes.data());
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["visited"] = static_cast<double>(visited);
+}
+
+void RegisterAll() {
+  struct Config {
+    const char* name;
+    EvalStrategy strategy;
+  };
+  const Config configs[] = {
+      {"Naive", EvalStrategy::kNaive},
+      {"Jumping", EvalStrategy::kJumping},
+      {"Memo", EvalStrategy::kMemoized},
+      {"Opt", EvalStrategy::kOptimized},
+  };
+  for (const WorkloadQuery& q : Figure2Workload()) {
+    for (const Config& c : configs) {
+      std::string name = std::string(q.id) + "/" + c.name;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [xpath = q.xpath, strategy = c.strategy](benchmark::State& state) {
+            RunQuery(state, xpath, strategy);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpwqo
+
+int main(int argc, char** argv) {
+  xpwqo::bench::PrintHeader("Figure 4: impact of jumping and memoization",
+                            xpwqo::bench::XMarkEngine());
+  xpwqo::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

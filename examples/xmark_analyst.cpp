@@ -1,0 +1,54 @@
+// xmark_analyst: generate an XMark-like auction document and answer the
+// paper's benchmark workload over it, reporting per-query evaluation
+// statistics — a miniature of the experiments in Section 5.
+//
+//   $ ./examples/xmark_analyst [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "util/strings.h"
+#include "xmark/generator.h"
+#include "xmark/workload.h"
+
+int main(int argc, char** argv) {
+  xpwqo::XMarkOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  std::printf("generating XMark document at scale %.3g...\n", options.scale);
+  xpwqo::Engine engine =
+      xpwqo::Engine::FromDocument(xpwqo::GenerateXMark(options));
+  std::printf("%s nodes, %s labels\n\n",
+              xpwqo::WithCommas(engine.document().num_nodes()).c_str(),
+              xpwqo::WithCommas(engine.document().alphabet().size()).c_str());
+
+  std::printf("%-5s %10s %12s %10s  %s\n", "id", "results", "visited",
+              "sets", "query");
+  for (const auto& q : xpwqo::Figure2Workload()) {
+    auto r = engine.Run(q.xpath);
+    if (!r.ok()) {
+      std::printf("%-5s ERROR: %s\n", q.id, r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-5s %10zu %12lld %10lld  %s\n", q.id, r->nodes.size(),
+                static_cast<long long>(r->stats.nodes_visited),
+                static_cast<long long>(r->stats.interned_sets), q.xpath);
+  }
+
+  // A couple of ad-hoc analyst questions beyond the fixed workload.
+  std::printf("\nad-hoc questions:\n");
+  const char* adhoc[] = {
+      "/site/people/person[profile and not(homepage)]",
+      "//closed_auction[annotation/description/parlist]",
+      "//item[incategory][mailbox/mail]",
+      "//person[address/city]/name",
+  };
+  for (const char* q : adhoc) {
+    auto r = engine.Run(q);
+    if (!r.ok()) {
+      std::printf("  ERROR %s: %s\n", q, r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-55s -> %zu\n", q, r->nodes.size());
+  }
+  return 0;
+}

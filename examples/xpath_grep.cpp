@@ -1,0 +1,113 @@
+// xpath_grep: command-line XPath search over an XML file.
+//
+//   $ ./examples/xpath_grep '<query>' <file.xml> [--paths|--xml|--count]
+//                            [--strategy naive|jumping|memoized|optimized|
+//                                        hybrid|baseline] [--explain] [--stats]
+//
+// Prints matching nodes (as paths, serialized XML, or a count). --explain
+// dumps the compiled automaton and its jump classification; --stats reports
+// how much of the document the run touched.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "xml/serializer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xpath_grep '<query>' <file.xml> [--paths|--xml|--count]\n"
+      "                  [--strategy "
+      "naive|jumping|memoized|optimized|hybrid|baseline]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string query = argv[1];
+  std::string file = argv[2];
+  enum { kPaths, kXml, kCount } mode = kPaths;
+  bool explain = false;
+  bool stats = false;
+  xpwqo::QueryOptions options;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--paths")) {
+      mode = kPaths;
+    } else if (!std::strcmp(argv[i], "--xml")) {
+      mode = kXml;
+    } else if (!std::strcmp(argv[i], "--count")) {
+      mode = kCount;
+    } else if (!std::strcmp(argv[i], "--explain")) {
+      explain = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      stats = true;
+    } else if (!std::strcmp(argv[i], "--strategy") && i + 1 < argc) {
+      std::string s = argv[++i];
+      if (s == "naive") {
+        options.strategy = xpwqo::EvalStrategy::kNaive;
+      } else if (s == "jumping") {
+        options.strategy = xpwqo::EvalStrategy::kJumping;
+      } else if (s == "memoized") {
+        options.strategy = xpwqo::EvalStrategy::kMemoized;
+      } else if (s == "optimized") {
+        options.strategy = xpwqo::EvalStrategy::kOptimized;
+      } else if (s == "hybrid") {
+        options.strategy = xpwqo::EvalStrategy::kHybrid;
+      } else if (s == "baseline") {
+        options.strategy = xpwqo::EvalStrategy::kBaseline;
+      } else {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  auto engine = xpwqo::Engine::FromXmlFile(file);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (explain) {
+    auto text = xpwqo::ExplainQuery(*engine, query);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", text->c_str());
+  }
+  auto result = engine->Run(query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (stats) {
+    std::fprintf(stderr, "%s\n",
+                 xpwqo::FormatStats(result->stats,
+                                    engine->document().num_nodes())
+                     .c_str());
+  }
+  switch (mode) {
+    case kCount:
+      std::printf("%zu\n", result->nodes.size());
+      break;
+    case kPaths:
+      for (xpwqo::NodeId n : result->nodes) {
+        std::printf("%s\n", engine->document().PathTo(n).c_str());
+      }
+      break;
+    case kXml:
+      for (xpwqo::NodeId n : result->nodes) {
+        std::printf("%s\n",
+                    xpwqo::SerializeXml(engine->document(), {}, n).c_str());
+      }
+      break;
+  }
+  return 0;
+}

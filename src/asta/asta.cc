@@ -1,0 +1,88 @@
+#include "asta/asta.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace xpwqo {
+
+std::vector<StateId> StateMask::ToVector() const {
+  std::vector<StateId> out;
+  for (StateId q = 0; q < num_states_; ++q) {
+    if (Get(q)) out.push_back(q);
+  }
+  return out;
+}
+
+void Asta::AddTransition(StateId q, LabelSet labels, bool selecting,
+                         FormulaId formula) {
+  XPWQO_CHECK(q >= 0 && q < num_states_);
+  XPWQO_CHECK(!finalized_);
+  transitions_.push_back({q, std::move(labels), selecting, formula});
+}
+
+void Asta::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  by_state_.assign(num_states_, {});
+  for (size_t i = 0; i < transitions_.size(); ++i) {
+    by_state_[transitions_[i].from].push_back(static_cast<int32_t>(i));
+  }
+  // Marking closure: q is marking if some transition of q selects, or some
+  // transition formula of q mentions a marking state.
+  marking_.assign(num_states_, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const AstaTransition& t : transitions_) {
+      if (marking_[t.from]) continue;
+      bool marks = t.selecting;
+      if (!marks) {
+        std::vector<StateId> down;
+        formulas_.CollectDownStates(t.formula, 1, &down);
+        formulas_.CollectDownStates(t.formula, 2, &down);
+        for (StateId q : down) {
+          if (marking_[q]) {
+            marks = true;
+            break;
+          }
+        }
+      }
+      if (marks) {
+        marking_[t.from] = true;
+        changed = true;
+      }
+    }
+  }
+}
+
+StateMask Asta::TopMask() const {
+  StateMask mask(num_states_);
+  for (StateId q : tops_) mask.Set(q);
+  return mask;
+}
+
+std::vector<LabelId> Asta::MentionedLabels() const {
+  std::set<LabelId> labels;
+  for (const AstaTransition& t : transitions_) {
+    for (LabelId l : t.labels.Mentioned()) labels.insert(l);
+  }
+  return std::vector<LabelId>(labels.begin(), labels.end());
+}
+
+std::string Asta::ToString(const Alphabet& alphabet) const {
+  std::string out = "ASTA(states=" + std::to_string(num_states_) + ", T={";
+  for (size_t i = 0; i < tops_.size(); ++i) {
+    if (i) out += ",";
+    out += "q" + std::to_string(tops_[i]);
+  }
+  out += "})\n";
+  for (const AstaTransition& t : transitions_) {
+    out += "  q" + std::to_string(t.from) + ", " +
+           t.labels.ToString(alphabet) + (t.selecting ? " ⇒ " : " → ") +
+           formulas_.ToString(t.formula) + "\n";
+  }
+  return out;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,135 @@
+// Alternating selecting tree automata (Definition 4.1): the compilation
+// target for XPath. A transition is (q, L, τ, φ) with τ ∈ {→, ⇒} (⇒ selects
+// the current node when φ holds) and φ a Boolean formula over ↓1/↓2 moves.
+#ifndef XPWQO_ASTA_ASTA_H_
+#define XPWQO_ASTA_ASTA_H_
+
+#include <string>
+#include <vector>
+
+#include "asta/formula.h"
+#include "tree/label_set.h"
+
+namespace xpwqo {
+
+/// Dense dynamic bitset over automaton states. Automata compiled from
+/// realistic queries have well under 64 states, so the one-word case is
+/// stored inline (no heap traffic on the evaluator's hot path); larger
+/// automata spill to a vector.
+class StateMask {
+ public:
+  StateMask() = default;
+  explicit StateMask(int num_states) : num_states_(num_states) {
+    if (num_states > 64) {
+      overflow_.assign((num_states + 63) / 64 - 1, 0);
+    }
+  }
+
+  void Set(StateId q) {
+    if (q < 64) {
+      word0_ |= (1ULL << q);
+    } else {
+      overflow_[(q >> 6) - 1] |= (1ULL << (q & 63));
+    }
+  }
+  bool Get(StateId q) const {
+    if (q < 64) return (word0_ >> q) & 1;
+    return (overflow_[(q >> 6) - 1] >> (q & 63)) & 1;
+  }
+  bool Any() const {
+    if (word0_ != 0) return true;
+    for (uint64_t w : overflow_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+  int num_states() const { return num_states_; }
+
+  void UnionWith(const StateMask& other) {
+    word0_ |= other.word0_;
+    for (size_t i = 0; i < overflow_.size(); ++i) {
+      overflow_[i] |= other.overflow_[i];
+    }
+  }
+
+  std::vector<StateId> ToVector() const;
+
+  bool operator==(const StateMask& other) const {
+    return word0_ == other.word0_ && overflow_ == other.overflow_;
+  }
+  uint64_t Hash() const {
+    uint64_t h = (0xcbf29ce484222325ULL ^ word0_) * 0x100000001b3ULL;
+    for (uint64_t w : overflow_) h = (h ^ w) * 0x100000001b3ULL;
+    return h;
+  }
+
+ private:
+  uint64_t word0_ = 0;
+  std::vector<uint64_t> overflow_;
+  int num_states_ = 0;
+};
+
+struct AstaTransition {
+  StateId from;
+  LabelSet labels;
+  bool selecting;  // τ = ⇒
+  FormulaId formula;
+};
+
+/// An ASTA. Build states/transitions, then Finalize() before evaluation.
+class Asta {
+ public:
+  Asta() = default;
+
+  StateId AddState() { return num_states_++; }
+  int num_states() const { return num_states_; }
+
+  void AddTop(StateId q) { tops_.push_back(q); }
+  const std::vector<StateId>& tops() const { return tops_; }
+
+  void AddTransition(StateId q, LabelSet labels, bool selecting,
+                     FormulaId formula);
+
+  const std::vector<AstaTransition>& transitions() const {
+    return transitions_;
+  }
+  /// Indices into transitions() for state q (built by Finalize()).
+  const std::vector<int32_t>& TransitionsOf(StateId q) const {
+    return by_state_[q];
+  }
+
+  FormulaArena& formulas() { return formulas_; }
+  const FormulaArena& formulas() const { return formulas_; }
+
+  /// True if a selecting transition is reachable from q through down-moves;
+  /// such states' result lists may carry marks and must not be pruned by
+  /// information propagation. Built by Finalize().
+  bool IsMarking(StateId q) const { return marking_[q]; }
+
+  /// Builds the per-state index and the marking closure. Must be called
+  /// after construction and before evaluation; idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// The initial state-set mask {T}.
+  StateMask TopMask() const;
+
+  /// Labels mentioned anywhere (for diagnostics).
+  std::vector<LabelId> MentionedLabels() const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  int num_states_ = 0;
+  std::vector<StateId> tops_;
+  std::vector<AstaTransition> transitions_;
+  std::vector<std::vector<int32_t>> by_state_;
+  std::vector<bool> marking_;
+  FormulaArena formulas_;
+  bool finalized_ = false;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_ASTA_ASTA_H_

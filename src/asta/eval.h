@@ -1,0 +1,84 @@
+// ASTA evaluation (Algorithm 4.1) with the paper's optimizations as
+// independent switches, matching the four series of Figure 4:
+//   Naive Eval.   {jumping = false, memoize = false}
+//   Jumping Eval. {jumping = true,  memoize = false}
+//   Memo. Eval.   {jumping = false, memoize = true}
+//   Opt. Eval.    {jumping = true,  memoize = true}
+// plus information propagation (§4.4) as a further toggle (on by default;
+// bench/ablation_infoprop measures it).
+//
+// The evaluator is a bottom-up pass with top-down pre-processing (§4.3): the
+// recursion carries the determinized state-set r, restricting which states
+// the bottom-up result must report. It runs on an explicit stack — sibling
+// chains become right-spine recursion under the fcns encoding, so the call
+// stack would otherwise be O(max fan-out).
+#ifndef XPWQO_ASTA_EVAL_H_
+#define XPWQO_ASTA_EVAL_H_
+
+#include <vector>
+
+#include "asta/asta.h"
+#include "asta/result_set.h"
+#include "asta/tda.h"
+#include "index/tree_index.h"
+
+namespace xpwqo {
+
+struct AstaEvalOptions {
+  /// Jump to (the approximation of) relevant nodes via the label index.
+  bool jumping = true;
+  /// Memoize transition lookups and formula evaluations (§4.4).
+  bool memoize = true;
+  /// Evaluate formulas after the first child to prune the second child's
+  /// state set and enforce one-witness predicate semantics (§4.4).
+  bool info_propagation = true;
+};
+
+struct AstaEvalStats {
+  /// Nodes on which transitions were evaluated (Figure 3 lines (2)/(3)).
+  int64_t nodes_visited = 0;
+  /// Jumping moves performed (d_t / f_t / l_t / r_t uses).
+  int64_t jumps = 0;
+  /// Distinct entries in the (set,label) step table and the formula
+  /// evaluation table; their sum is the count of nodes that paid the |Q|
+  /// factor (Figure 3 line (4)).
+  int64_t memo_step_entries = 0;
+  int64_t memo_eval_entries = 0;
+  int64_t memo_hits = 0;
+  /// Distinct determinized state sets seen (size of the tda on-the-fly
+  /// construction).
+  int64_t interned_sets = 0;
+};
+
+struct AstaEvalResult {
+  /// Whether some top state accepted at the root (t ∈ L(A)).
+  bool accepted = false;
+  /// Selected nodes, document order, duplicate-free.
+  std::vector<NodeId> nodes;
+  AstaEvalStats stats;
+};
+
+/// Evaluates `asta` (finalized) over the document. `index` may be null when
+/// options.jumping is false. This is the pointer-backend entry point.
+AstaEvalResult EvalAsta(const Asta& asta, const Document& doc,
+                        const TreeIndex* index,
+                        const AstaEvalOptions& options = {});
+
+/// Evaluates over the *binary* subtree rooted at `start` (i.e. the preorder
+/// range [start, BinaryEnd(start))) with the automaton's top state-set. The
+/// hybrid strategy uses this to run a suffix query below a pivot node:
+/// passing doc.BinaryLeft(pivot) evaluates over the pivot's strict XML
+/// descendants.
+AstaEvalResult EvalAstaAt(const Asta& asta, const Document& doc,
+                          const TreeIndex* index, NodeId start,
+                          const AstaEvalOptions& options = {});
+
+/// Evaluation over the succinct topology backend (firstChild/nextSibling
+/// only, so jumping must be off). Demonstrates the paper's point that
+/// memoized alternating automata are fast even without jump indexes.
+AstaEvalResult EvalAstaSuccinct(const Asta& asta, const SuccinctTree& tree,
+                                const AstaEvalOptions& options = {});
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_ASTA_EVAL_H_

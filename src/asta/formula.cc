@@ -1,0 +1,124 @@
+#include "asta/formula.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+uint64_t HashNode(const FormulaNode& n) {
+  uint64_t h = static_cast<uint64_t>(n.kind);
+  h = h * 1000003 + static_cast<uint64_t>(n.lhs + 1);
+  h = h * 1000003 + static_cast<uint64_t>(n.rhs + 1);
+  h = h * 1000003 + static_cast<uint64_t>(n.state + 1);
+  return h;
+}
+
+bool SameNode(const FormulaNode& a, const FormulaNode& b) {
+  return a.kind == b.kind && a.lhs == b.lhs && a.rhs == b.rhs &&
+         a.state == b.state;
+}
+
+}  // namespace
+
+FormulaArena::FormulaArena() {
+  nodes_.push_back({FormulaKind::kTrue});
+  nodes_.push_back({FormulaKind::kFalse});
+}
+
+FormulaId FormulaArena::Intern(FormulaNode n) {
+  uint64_t h = HashNode(n);
+  for (FormulaId f : buckets_[h]) {
+    if (SameNode(nodes_[f], n)) return f;
+  }
+  FormulaId f = static_cast<FormulaId>(nodes_.size());
+  nodes_.push_back(n);
+  buckets_[h].push_back(f);
+  return f;
+}
+
+FormulaId FormulaArena::And(FormulaId a, FormulaId b) {
+  if (a == kTrueId) return b;
+  if (b == kTrueId) return a;
+  if (a == kFalseId || b == kFalseId) return kFalseId;
+  return Intern({FormulaKind::kAnd, a, b, kNoState});
+}
+
+FormulaId FormulaArena::Or(FormulaId a, FormulaId b) {
+  if (a == kFalseId) return b;
+  if (b == kFalseId) return a;
+  if (a == kTrueId || b == kTrueId) return kTrueId;
+  return Intern({FormulaKind::kOr, a, b, kNoState});
+}
+
+FormulaId FormulaArena::Not(FormulaId a) {
+  if (a == kTrueId) return kFalseId;
+  if (a == kFalseId) return kTrueId;
+  return Intern({FormulaKind::kNot, a, -1, kNoState});
+}
+
+FormulaId FormulaArena::Down(int child, StateId q) {
+  XPWQO_CHECK(child == 1 || child == 2);
+  return Intern({child == 1 ? FormulaKind::kDown1 : FormulaKind::kDown2, -1,
+                 -1, q});
+}
+
+FormulaId FormulaArena::AndAll(const std::vector<FormulaId>& fs) {
+  FormulaId out = kTrueId;
+  for (FormulaId f : fs) out = And(out, f);
+  return out;
+}
+
+FormulaId FormulaArena::OrAll(const std::vector<FormulaId>& fs) {
+  FormulaId out = kFalseId;
+  for (FormulaId f : fs) out = Or(out, f);
+  return out;
+}
+
+void FormulaArena::CollectDownStates(FormulaId f, int child,
+                                     std::vector<StateId>* out) const {
+  const FormulaNode& n = nodes_[f];
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      CollectDownStates(n.lhs, child, out);
+      CollectDownStates(n.rhs, child, out);
+      return;
+    case FormulaKind::kNot:
+      CollectDownStates(n.lhs, child, out);
+      return;
+    case FormulaKind::kDown1:
+      if (child == 1) out->push_back(n.state);
+      return;
+    case FormulaKind::kDown2:
+      if (child == 2) out->push_back(n.state);
+      return;
+  }
+}
+
+std::string FormulaArena::ToString(FormulaId f) const {
+  const FormulaNode& n = nodes_[f];
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+      return "⊤";
+    case FormulaKind::kFalse:
+      return "⊥";
+    case FormulaKind::kAnd:
+      return "(" + ToString(n.lhs) + " ∧ " + ToString(n.rhs) + ")";
+    case FormulaKind::kOr:
+      return "(" + ToString(n.lhs) + " ∨ " + ToString(n.rhs) + ")";
+    case FormulaKind::kNot:
+      return "¬" + ToString(n.lhs);
+    case FormulaKind::kDown1:
+      return "↓1 q" + std::to_string(n.state);
+    case FormulaKind::kDown2:
+      return "↓2 q" + std::to_string(n.state);
+  }
+  return "?";
+}
+
+}  // namespace xpwqo

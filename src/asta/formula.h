@@ -1,0 +1,144 @@
+// Boolean transition formulas of alternating selecting tree automata
+// (Definition 4.1):
+//   φ ::= ⊤ | ⊥ | φ ∨ φ | φ ∧ φ | ¬φ | ↓1 q | ↓2 q
+// Formulas are hash-consed into an arena; FormulaId is stable and cheap to
+// copy. Evaluation against child acceptance masks implements the inference
+// rules of Figure 7 (mark collection lives in the evaluator).
+#ifndef XPWQO_ASTA_FORMULA_H_
+#define XPWQO_ASTA_FORMULA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sta/sta.h"  // StateId
+
+namespace xpwqo {
+
+using FormulaId = int32_t;
+
+enum class FormulaKind : uint8_t {
+  kTrue,
+  kFalse,
+  kAnd,
+  kOr,
+  kNot,
+  kDown1,  // ↓1 q
+  kDown2,  // ↓2 q
+};
+
+/// Three-valued truth for information propagation (§4.4): the value of a
+/// formula when only the first child's results are known.
+enum class Truth3 : uint8_t { kFalse, kTrue, kUnknown };
+
+struct FormulaNode {
+  FormulaKind kind;
+  FormulaId lhs = -1;      // kAnd/kOr/kNot
+  FormulaId rhs = -1;      // kAnd/kOr
+  StateId state = kNoState;  // kDown1/kDown2
+};
+
+/// Arena of hash-consed formulas.
+class FormulaArena {
+ public:
+  FormulaArena();
+
+  FormulaId True() const { return kTrueId; }
+  FormulaId False() const { return kFalseId; }
+  FormulaId And(FormulaId a, FormulaId b);
+  FormulaId Or(FormulaId a, FormulaId b);
+  FormulaId Not(FormulaId a);
+  /// ↓1 q (child = 1) or ↓2 q (child = 2).
+  FormulaId Down(int child, StateId q);
+
+  /// Conjunction / disjunction over a list (⊤ / ⊥ for empty input).
+  FormulaId AndAll(const std::vector<FormulaId>& fs);
+  FormulaId OrAll(const std::vector<FormulaId>& fs);
+
+  const FormulaNode& node(FormulaId f) const { return nodes_[f]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// All states appearing under ↓`child` anywhere in f.
+  void CollectDownStates(FormulaId f, int child,
+                         std::vector<StateId>* out) const;
+
+  /// Truth under membership oracles for the children, per Figure 7 (truth
+  /// component only).
+  template <typename Dom1, typename Dom2>
+  bool Eval(FormulaId f, const Dom1& dom1, const Dom2& dom2) const {
+    const FormulaNode& n = nodes_[f];
+    switch (n.kind) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kAnd:
+        return Eval(n.lhs, dom1, dom2) && Eval(n.rhs, dom1, dom2);
+      case FormulaKind::kOr:
+        return Eval(n.lhs, dom1, dom2) || Eval(n.rhs, dom1, dom2);
+      case FormulaKind::kNot:
+        return !Eval(n.lhs, dom1, dom2);
+      case FormulaKind::kDown1:
+        return dom1(n.state);
+      case FormulaKind::kDown2:
+        return dom2(n.state);
+    }
+    return false;
+  }
+
+  /// Three-valued truth when only the first child is known: ↓1 q resolves
+  /// through dom1, ↓2 q is kUnknown.
+  template <typename Dom1>
+  Truth3 EvalAfterLeft(FormulaId f, const Dom1& dom1) const {
+    const FormulaNode& n = nodes_[f];
+    switch (n.kind) {
+      case FormulaKind::kTrue:
+        return Truth3::kTrue;
+      case FormulaKind::kFalse:
+        return Truth3::kFalse;
+      case FormulaKind::kAnd: {
+        Truth3 a = EvalAfterLeft(n.lhs, dom1);
+        if (a == Truth3::kFalse) return Truth3::kFalse;
+        Truth3 b = EvalAfterLeft(n.rhs, dom1);
+        if (b == Truth3::kFalse) return Truth3::kFalse;
+        if (a == Truth3::kTrue && b == Truth3::kTrue) return Truth3::kTrue;
+        return Truth3::kUnknown;
+      }
+      case FormulaKind::kOr: {
+        Truth3 a = EvalAfterLeft(n.lhs, dom1);
+        if (a == Truth3::kTrue) return Truth3::kTrue;
+        Truth3 b = EvalAfterLeft(n.rhs, dom1);
+        if (b == Truth3::kTrue) return Truth3::kTrue;
+        if (a == Truth3::kFalse && b == Truth3::kFalse) return Truth3::kFalse;
+        return Truth3::kUnknown;
+      }
+      case FormulaKind::kNot: {
+        Truth3 a = EvalAfterLeft(n.lhs, dom1);
+        if (a == Truth3::kUnknown) return Truth3::kUnknown;
+        return a == Truth3::kTrue ? Truth3::kFalse : Truth3::kTrue;
+      }
+      case FormulaKind::kDown1:
+        return dom1(n.state) ? Truth3::kTrue : Truth3::kFalse;
+      case FormulaKind::kDown2:
+        return Truth3::kUnknown;
+    }
+    return Truth3::kUnknown;
+  }
+
+  /// "↓1 q0 ∨ ↓2 q0", "¬(↓1 q2)", ...
+  std::string ToString(FormulaId f) const;
+
+ private:
+  FormulaId Intern(FormulaNode n);
+
+  static constexpr FormulaId kTrueId = 0;
+  static constexpr FormulaId kFalseId = 1;
+
+  std::vector<FormulaNode> nodes_;
+  std::unordered_map<uint64_t, std::vector<FormulaId>> buckets_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_ASTA_FORMULA_H_

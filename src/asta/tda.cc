@@ -1,0 +1,109 @@
+#include "asta/tda.h"
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+/// Matches φ against the pure self-loop shapes for state q.
+LoopKind LoopShape(const FormulaArena& formulas, FormulaId f, StateId q) {
+  const FormulaNode& n = formulas.node(f);
+  if (n.kind == FormulaKind::kDown1 && n.state == q) return LoopKind::kLeft;
+  if (n.kind == FormulaKind::kDown2 && n.state == q) return LoopKind::kRight;
+  if (n.kind == FormulaKind::kOr) {
+    const FormulaNode& a = formulas.node(n.lhs);
+    const FormulaNode& b = formulas.node(n.rhs);
+    bool d1d2 = a.kind == FormulaKind::kDown1 && a.state == q &&
+                b.kind == FormulaKind::kDown2 && b.state == q;
+    bool d2d1 = a.kind == FormulaKind::kDown2 && a.state == q &&
+                b.kind == FormulaKind::kDown1 && b.state == q;
+    if (d1d2 || d2d1) return LoopKind::kBoth;
+  }
+  return LoopKind::kNone;
+}
+
+}  // namespace
+
+TdaAnalysis::TdaAnalysis(const Asta& asta) : asta_(&asta) {
+  XPWQO_CHECK(asta.finalized());
+  const auto& transitions = asta.transitions();
+  down1_.resize(transitions.size());
+  down2_.resize(transitions.size());
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    asta.formulas().CollectDownStates(transitions[i].formula, 1, &down1_[i]);
+    asta.formulas().CollectDownStates(transitions[i].formula, 2, &down2_[i]);
+  }
+
+  states_.resize(asta.num_states());
+  for (StateId q = 0; q < asta.num_states(); ++q) {
+    StateLoopInfo& info = states_[q];
+    LabelSet loops[3] = {LabelSet::None(), LabelSet::None(),
+                         LabelSet::None()};  // kBoth, kLeft, kRight
+    LabelSet other = LabelSet::None();
+    for (int32_t t : asta.TransitionsOf(q)) {
+      const AstaTransition& tr = transitions[t];
+      LoopKind shape =
+          tr.selecting ? LoopKind::kNone
+                       : LoopShape(asta.formulas(), tr.formula, q);
+      switch (shape) {
+        case LoopKind::kBoth:
+          loops[0] = loops[0].Union(tr.labels);
+          break;
+        case LoopKind::kLeft:
+          loops[1] = loops[1].Union(tr.labels);
+          break;
+        case LoopKind::kRight:
+          loops[2] = loops[2].Union(tr.labels);
+          break;
+        case LoopKind::kNone:
+          other = other.Union(tr.labels);
+          break;
+      }
+    }
+    // The state's shape: the unique non-empty loop family, if any. Loop
+    // labels that also carry another transition are essential (the loop is
+    // not the *only* behaviour there).
+    int families = !loops[0].IsEmpty() + !loops[1].IsEmpty() +
+                   !loops[2].IsEmpty();
+    if (families != 1) {
+      info.kind = LoopKind::kNone;
+      info.essential = LabelSet::All();
+      info.covered = true;
+      continue;
+    }
+    LoopKind kind = !loops[0].IsEmpty()   ? LoopKind::kBoth
+                    : !loops[1].IsEmpty() ? LoopKind::kLeft
+                                          : LoopKind::kRight;
+    LabelSet pure_loop = loops[0].Union(loops[1]).Union(loops[2]).Minus(other);
+    info.kind = kind;
+    info.loop_labels = pure_loop;
+    info.essential = other;
+    info.covered = pure_loop.Union(other).IsAll();
+  }
+}
+
+JumpInfo TdaAnalysis::JumpFor(const StateMask& set) const {
+  JumpInfo out;
+  LoopKind kind = LoopKind::kNone;
+  LabelSet essential = LabelSet::None();
+  bool all_nonmarking = true;
+  for (StateId q = 0; q < set.num_states(); ++q) {
+    if (!set.Get(q)) continue;
+    const StateLoopInfo& info = states_[q];
+    all_nonmarking = all_nonmarking && !asta_->IsMarking(q);
+    if (info.kind == LoopKind::kNone || !info.covered) return out;
+    if (kind == LoopKind::kNone) {
+      kind = info.kind;
+    } else if (kind != info.kind) {
+      return out;  // mixed shapes: no jump
+    }
+    essential = essential.Union(info.essential);
+  }
+  if (kind == LoopKind::kNone || !essential.IsFinite()) return out;
+  out.kind = kind;
+  out.essential = essential;
+  out.all_nonmarking = all_nonmarking;
+  return out;
+}
+
+}  // namespace xpwqo

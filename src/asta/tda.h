@@ -1,0 +1,73 @@
+// The top-down approximation tda(A) of Definition 4.2, computed on the fly.
+//
+// Determinized "states" are sets S of ASTA states (interned by the
+// evaluator). This module provides the per-automaton syntactic analysis that
+// powers jumping: a state whose non-essential labels carry exactly one
+// non-selecting self-loop transition of one of the shapes
+//    ↓1 q ∨ ↓2 q   (recurse both sides: descendant-style states)
+//    ↓1 q          (left-path only)
+//    ↓2 q          (right-path / sibling-scan states, e.g. child steps)
+// lets the evaluator jump to the next essential label instead of stepping.
+// A set S can jump when all its members agree on the shape and the union of
+// their essential labels is finite — the paper's sound approximation of the
+// relevant nodes (§4.3). Anything non-conforming is conservatively treated
+// as "visit every node".
+#ifndef XPWQO_ASTA_TDA_H_
+#define XPWQO_ASTA_TDA_H_
+
+#include <vector>
+
+#include "asta/asta.h"
+
+namespace xpwqo {
+
+enum class LoopKind : uint8_t { kNone, kBoth, kLeft, kRight };
+
+/// Loop classification of one ASTA state.
+struct StateLoopInfo {
+  LoopKind kind = LoopKind::kNone;
+  /// Labels where the state's only behaviour is the self-loop.
+  LabelSet loop_labels = LabelSet::None();
+  /// Labels carrying any other applicable transition (or a selecting loop).
+  LabelSet essential = LabelSet::All();
+  /// loop_labels ∪ essential = Σ: on every label the state either loops or
+  /// is handled at a visited node. Required for skipping to be sound.
+  bool covered = false;
+};
+
+/// Jump decision for a determinized state set.
+struct JumpInfo {
+  LoopKind kind = LoopKind::kNone;  // kNone = step child by child
+  LabelSet essential = LabelSet::All();
+  /// True when no state of the set is marking: once every state has
+  /// accepted, enumerating further essential nodes cannot change the result
+  /// (existential one-witness semantics — this is what makes the paper's
+  /// Q10 touch two nodes instead of every keyword).
+  bool all_nonmarking = false;
+};
+
+/// Per-automaton analysis; cheap to build, immutable afterwards.
+class TdaAnalysis {
+ public:
+  explicit TdaAnalysis(const Asta& asta);
+
+  const StateLoopInfo& StateInfo(StateId q) const { return states_[q]; }
+
+  /// Jump classification for the set S (the evaluator caches this per
+  /// interned set when memoization is enabled).
+  JumpInfo JumpFor(const StateMask& set) const;
+
+  /// Down-states of transition `t`'s formula, precomputed.
+  const std::vector<StateId>& Down1(int32_t t) const { return down1_[t]; }
+  const std::vector<StateId>& Down2(int32_t t) const { return down2_[t]; }
+
+ private:
+  const Asta* asta_;
+  std::vector<StateLoopInfo> states_;
+  std::vector<std::vector<StateId>> down1_;
+  std::vector<std::vector<StateId>> down2_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_ASTA_TDA_H_

@@ -1,0 +1,252 @@
+#include "baseline/nodeset_eval.h"
+
+#include <algorithm>
+
+#include "xpath/parser.h"
+
+namespace xpwqo {
+namespace {
+
+/// Node sets are boolean vectors indexed by NodeId; steps are bulk passes.
+using NodeSet = std::vector<bool>;
+
+class BaselineEvaluator {
+ public:
+  BaselineEvaluator(const Document& doc, BaselineStats* stats)
+      : doc_(doc), stats_(stats) {}
+
+  StatusOr<std::vector<NodeId>> Eval(const Path& path) {
+    XPWQO_ASSIGN_OR_RETURN(NodeSet result, EvalFromRoot(path));
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+      if (result[n]) out.push_back(n);
+    }
+    return out;
+  }
+
+ private:
+  void Touch(int64_t n) {
+    if (stats_ != nullptr) stats_->nodes_touched += n;
+  }
+
+  bool Matches(const NodeTest& test, NodeId n) const {
+    switch (test.kind) {
+      case NodeTestKind::kName: {
+        LabelId id = doc_.alphabet().Find(test.name);
+        return id != kNoLabel && doc_.label(n) == id;
+      }
+      case NodeTestKind::kStar:
+        return doc_.kind(n) == NodeKind::kElement;
+      case NodeTestKind::kNode:
+        return true;
+      case NodeTestKind::kText:
+        return doc_.kind(n) == NodeKind::kText;
+    }
+    return false;
+  }
+
+  /// context -> axis::test(context), one bulk pass.
+  StatusOr<NodeSet> StepForward(const NodeSet& context, const Step& step) {
+    NodeSet out(doc_.num_nodes(), false);
+    switch (step.axis) {
+      case Axis::kChild:
+      case Axis::kAttribute:
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          if (!context[n]) continue;
+          for (NodeId c = doc_.first_child(n); c != kNullNode;
+               c = doc_.next_sibling(c)) {
+            Touch(1);
+            if (Matches(step.test, c)) out[c] = true;
+          }
+        }
+        break;
+      case Axis::kDescendant: {
+        // Union of subtree ranges, then one filtered scan.
+        NodeSet in_range(doc_.num_nodes(), false);
+        NodeId covered_until = 0;
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          if (!context[n]) continue;
+          NodeId from = std::max<NodeId>(n + 1, covered_until);
+          for (NodeId m = from; m < doc_.XmlEnd(n); ++m) in_range[m] = true;
+          covered_until = std::max(covered_until, doc_.XmlEnd(n));
+        }
+        for (NodeId m = 0; m < doc_.num_nodes(); ++m) {
+          if (!in_range[m]) continue;
+          Touch(1);
+          if (Matches(step.test, m)) out[m] = true;
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          if (!context[n]) continue;
+          for (NodeId s = doc_.next_sibling(n); s != kNullNode;
+               s = doc_.next_sibling(s)) {
+            Touch(1);
+            if (Matches(step.test, s)) out[s] = true;
+          }
+        }
+        break;
+    }
+    FilterPrincipalType(step.axis, &out);
+    XPWQO_RETURN_IF_ERROR(FilterPredicates(step, &out));
+    return out;
+  }
+
+  /// Attribute nodes are reachable only through the attribute axis (XPath
+  /// data model: attributes are not children/descendants/siblings).
+  void FilterPrincipalType(Axis axis, NodeSet* out) {
+    for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+      if (!(*out)[n]) continue;
+      bool is_attr = doc_.kind(n) == NodeKind::kAttribute;
+      if ((axis == Axis::kAttribute) != is_attr) (*out)[n] = false;
+    }
+  }
+
+  Status FilterPredicates(const Step& step, NodeSet* candidates) {
+    for (const auto& pred : step.predicates) {
+      XPWQO_ASSIGN_OR_RETURN(NodeSet sat, SatSet(*pred));
+      for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+        if ((*candidates)[n] && !sat[n]) (*candidates)[n] = false;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The set of context nodes from which `pred` holds.
+  StatusOr<NodeSet> SatSet(const PredExpr& pred) {
+    switch (pred.kind) {
+      case PredExpr::Kind::kAnd: {
+        XPWQO_ASSIGN_OR_RETURN(NodeSet a, SatSet(*pred.lhs));
+        XPWQO_ASSIGN_OR_RETURN(NodeSet b, SatSet(*pred.rhs));
+        for (size_t i = 0; i < a.size(); ++i) a[i] = a[i] && b[i];
+        return a;
+      }
+      case PredExpr::Kind::kOr: {
+        XPWQO_ASSIGN_OR_RETURN(NodeSet a, SatSet(*pred.lhs));
+        XPWQO_ASSIGN_OR_RETURN(NodeSet b, SatSet(*pred.rhs));
+        for (size_t i = 0; i < a.size(); ++i) a[i] = a[i] || b[i];
+        return a;
+      }
+      case PredExpr::Kind::kNot: {
+        XPWQO_ASSIGN_OR_RETURN(NodeSet a, SatSet(*pred.lhs));
+        a.flip();
+        return a;
+      }
+      case PredExpr::Kind::kPath:
+        return PathSatSet(pred.path);
+    }
+    return Status::Internal("unknown predicate kind");
+  }
+
+  /// Context nodes from which the (relative) path matches: evaluated
+  /// backwards, one bulk pass per step (Koch-style).
+  StatusOr<NodeSet> PathSatSet(const Path& path) {
+    // Matches of the last step's test (with its own predicates).
+    NodeSet current(doc_.num_nodes(), false);
+    const Step& last = path.steps.back();
+    for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+      Touch(1);
+      if (Matches(last.test, n)) current[n] = true;
+    }
+    FilterPrincipalType(last.axis, &current);
+    XPWQO_RETURN_IF_ERROR(FilterPredicates(last, &current));
+    // Fold backwards through the axes, ending with the first step's axis,
+    // which turns "matches of the whole path" into "context nodes".
+    for (size_t i = path.steps.size(); i-- > 0;) {
+      current = AxisPredecessors(path.steps[i].axis, current);
+      if (i > 0) {
+        // Intersect with matches of step i-1 (plus its predicates).
+        const Step& prev = path.steps[i - 1];
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          if (current[n] && !Matches(prev.test, n)) current[n] = false;
+        }
+        XPWQO_RETURN_IF_ERROR(FilterPredicates(prev, &current));
+      }
+    }
+    return current;
+  }
+
+  /// Nodes having an axis-successor in `set`.
+  NodeSet AxisPredecessors(Axis axis, const NodeSet& set) {
+    NodeSet out(doc_.num_nodes(), false);
+    switch (axis) {
+      case Axis::kChild:
+      case Axis::kAttribute:
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          Touch(1);
+          if (set[n] && doc_.parent(n) != kNullNode) {
+            out[doc_.parent(n)] = true;
+          }
+        }
+        break;
+      case Axis::kDescendant:
+        // Proper ancestors of members; reverse scan with subtree carry.
+        for (NodeId n = doc_.num_nodes() - 1; n >= 0; --n) {
+          Touch(1);
+          if (!set[n]) continue;
+          for (NodeId p = doc_.parent(n); p != kNullNode && !out[p];
+               p = doc_.parent(p)) {
+            out[p] = true;
+          }
+        }
+        break;
+      case Axis::kFollowingSibling: {
+        for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+          Touch(1);
+          if (!set[n]) continue;
+          // All preceding siblings of n.
+          NodeId p = doc_.parent(n);
+          NodeId c = p == kNullNode ? kNullNode : doc_.first_child(p);
+          for (; c != kNullNode && c != n; c = doc_.next_sibling(c)) {
+            out[c] = true;
+          }
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  StatusOr<NodeSet> EvalFromRoot(const Path& path) {
+    // The virtual document node's children = {root element}; a leading
+    // descendant step ranges over root and everything below.
+    NodeSet context(doc_.num_nodes(), false);
+    const Step& first = path.steps.front();
+    for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
+      bool in_axis = (first.axis == Axis::kDescendant)
+                         ? true
+                         : (n == doc_.root());
+      Touch(1);
+      if (in_axis && Matches(first.test, n)) context[n] = true;
+    }
+    XPWQO_RETURN_IF_ERROR(FilterPredicates(first, &context));
+    for (size_t i = 1; i < path.steps.size(); ++i) {
+      XPWQO_ASSIGN_OR_RETURN(context, StepForward(context, path.steps[i]));
+    }
+    return context;
+  }
+
+  const Document& doc_;
+  BaselineStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(const Path& path,
+                                                  const Document& doc,
+                                                  BaselineStats* stats) {
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  return BaselineEvaluator(doc, stats).Eval(path);
+}
+
+StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(const std::string& xpath,
+                                                  const Document& doc,
+                                                  BaselineStats* stats) {
+  XPWQO_ASSIGN_OR_RETURN(Path path, ParseXPath(xpath));
+  return EvalNodeSetBaseline(path, doc, stats);
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,110 @@
+#include "core/engine.h"
+
+#include "baseline/nodeset_eval.h"
+#include "xml/parser.h"
+#include "xpath/compile.h"
+#include "xpath/parser.h"
+
+namespace xpwqo {
+
+const char* EvalStrategyName(EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kNaive:
+      return "naive";
+    case EvalStrategy::kJumping:
+      return "jumping";
+    case EvalStrategy::kMemoized:
+      return "memoized";
+    case EvalStrategy::kOptimized:
+      return "optimized";
+    case EvalStrategy::kHybrid:
+      return "hybrid";
+    case EvalStrategy::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+std::string CompiledQuery::ToString() const { return xpwqo::ToString(path_); }
+
+Engine::Engine(Document doc)
+    : doc_(std::make_unique<Document>(std::move(doc))),
+      index_(std::make_unique<TreeIndex>(*doc_)) {}
+
+StatusOr<Engine> Engine::FromXmlFile(const std::string& path) {
+  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path));
+  return Engine(std::move(doc));
+}
+
+StatusOr<Engine> Engine::FromXmlString(std::string_view xml) {
+  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlString(xml));
+  return Engine(std::move(doc));
+}
+
+Engine Engine::FromDocument(Document doc) { return Engine(std::move(doc)); }
+
+StatusOr<CompiledQuery> Engine::Compile(std::string_view xpath) const {
+  CompiledQuery query;
+  XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));
+  Alphabet* alphabet = doc_->alphabet_ptr().get();
+  XPWQO_ASSIGN_OR_RETURN(query.asta_, CompileToAsta(query.path_, alphabet));
+  if (IsHybridEvaluable(query.path_)) {
+    XPWQO_ASSIGN_OR_RETURN(HybridPlan plan,
+                           HybridPlan::Make(query.path_, alphabet));
+    query.hybrid_ = std::make_unique<HybridPlan>(std::move(plan));
+  }
+  return query;
+}
+
+StatusOr<QueryResult> Engine::Run(const CompiledQuery& query,
+                                  const QueryOptions& options) const {
+  QueryResult out;
+  switch (options.strategy) {
+    case EvalStrategy::kBaseline: {
+      XPWQO_ASSIGN_OR_RETURN(out.nodes,
+                             EvalNodeSetBaseline(query.path(), *doc_));
+      return out;
+    }
+    case EvalStrategy::kHybrid: {
+      if (query.hybrid_ != nullptr) {
+        XPWQO_ASSIGN_OR_RETURN(
+            out.nodes, query.hybrid_->Run(*doc_, *index_, &out.hybrid));
+        out.used_hybrid = true;
+        return out;
+      }
+      break;  // fall through to optimized
+    }
+    default:
+      break;
+  }
+  AstaEvalOptions eval;
+  switch (options.strategy) {
+    case EvalStrategy::kNaive:
+      eval = {false, false, false};
+      break;
+    case EvalStrategy::kJumping:
+      eval = {true, false, false};
+      break;
+    case EvalStrategy::kMemoized:
+      eval = {false, true, false};
+      break;
+    default:  // kOptimized and hybrid fallback
+      eval = {true, true, true};
+      break;
+  }
+  eval.info_propagation =
+      eval.info_propagation && options.info_propagation;
+  AstaEvalResult r = EvalAsta(query.asta(), *doc_,
+                              eval.jumping ? index_.get() : nullptr, eval);
+  out.nodes = std::move(r.nodes);
+  out.stats = r.stats;
+  return out;
+}
+
+StatusOr<QueryResult> Engine::Run(std::string_view xpath,
+                                  const QueryOptions& options) const {
+  XPWQO_ASSIGN_OR_RETURN(CompiledQuery query, Compile(xpath));
+  return Run(query, options);
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,100 @@
+// Engine: the library's public entry point. Owns a document, its jump
+// index, and query compilation; dispatches to the evaluation strategies.
+//
+//   XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlFile("doc.xml"));
+//   XPWQO_ASSIGN_OR_RETURN(QueryResult r, engine.Run("//listitem//keyword"));
+//   for (NodeId n : r.nodes) std::cout << engine.document().PathTo(n);
+#ifndef XPWQO_CORE_ENGINE_H_
+#define XPWQO_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "asta/eval.h"
+#include "index/tree_index.h"
+#include "tree/document.h"
+#include "util/status.h"
+#include "xpath/ast.h"
+#include "xpath/hybrid.h"
+
+namespace xpwqo {
+
+/// How to evaluate a query. The first four correspond to Figure 4's series.
+enum class EvalStrategy {
+  kNaive,      // Algorithm 4.1 as written: no jumping, no memoization
+  kJumping,    // relevant-node jumping only
+  kMemoized,   // memoization only
+  kOptimized,  // jumping + memoization + information propagation (default)
+  kHybrid,     // start-anywhere (falls back to kOptimized when inapplicable)
+  kBaseline,   // step-wise node-set evaluation (the MonetDB stand-in)
+};
+
+const char* EvalStrategyName(EvalStrategy strategy);
+
+struct QueryOptions {
+  EvalStrategy strategy = EvalStrategy::kOptimized;
+  /// Information propagation (only meaningful for the automaton
+  /// strategies; Figure 4's four series keep it off except kOptimized).
+  bool info_propagation = true;
+};
+
+struct QueryResult {
+  /// Selected nodes in document order, duplicate-free.
+  std::vector<NodeId> nodes;
+  /// Automaton statistics (zero for kBaseline).
+  AstaEvalStats stats;
+  /// Hybrid statistics (only set when the hybrid strategy actually ran).
+  HybridStats hybrid;
+  bool used_hybrid = false;
+};
+
+/// A parsed and compiled query, reusable across runs on the same engine.
+class CompiledQuery {
+ public:
+  const Path& path() const { return path_; }
+  const Asta& asta() const { return asta_; }
+  /// Unparsed canonical form.
+  std::string ToString() const;
+
+ private:
+  friend class Engine;
+  Path path_;
+  Asta asta_;
+  std::unique_ptr<HybridPlan> hybrid_;  // null if not hybrid-evaluable
+};
+
+/// One document plus its index; immutable after construction, cheap to move.
+class Engine {
+ public:
+  static StatusOr<Engine> FromXmlFile(const std::string& path);
+  static StatusOr<Engine> FromXmlString(std::string_view xml);
+  static Engine FromDocument(Document doc);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Parses and compiles an XPath expression of the supported fragment.
+  StatusOr<CompiledQuery> Compile(std::string_view xpath) const;
+
+  /// Runs a compiled query.
+  StatusOr<QueryResult> Run(const CompiledQuery& query,
+                            const QueryOptions& options = {}) const;
+
+  /// Parses, compiles and runs in one call.
+  StatusOr<QueryResult> Run(std::string_view xpath,
+                            const QueryOptions& options = {}) const;
+
+  const Document& document() const { return *doc_; }
+  const TreeIndex& index() const { return *index_; }
+
+ private:
+  explicit Engine(Document doc);
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<TreeIndex> index_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_CORE_ENGINE_H_

@@ -1,0 +1,144 @@
+#include "index/balanced_parens.h"
+
+#include <algorithm>
+
+namespace xpwqo {
+
+BalancedParens::BalancedParens(const BitVector* bits) : bits_(bits) {
+  XPWQO_CHECK(bits_->frozen());
+  int64_t n = size();
+  num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
+  block_excess_.resize(num_blocks_ + 1);
+  block_min_.resize(num_blocks_);
+  block_max_.resize(num_blocks_);
+  int64_t e = 0;
+  for (int64_t b = 0; b < num_blocks_; ++b) {
+    block_excess_[b] = e;
+    int64_t lo = std::numeric_limits<int64_t>::max();
+    int64_t hi = std::numeric_limits<int64_t>::min();
+    int64_t end = std::min(n, (b + 1) * kBlockBits);
+    for (int64_t i = b * kBlockBits; i < end; ++i) {
+      e += Delta(i);
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    block_min_[b] = lo;
+    block_max_[b] = hi;
+  }
+  block_excess_[num_blocks_] = e;
+  int64_t num_super = (num_blocks_ + kBlocksPerSuper - 1) / kBlocksPerSuper;
+  super_min_.resize(num_super);
+  super_max_.resize(num_super);
+  for (int64_t s = 0; s < num_super; ++s) {
+    int64_t lo = std::numeric_limits<int64_t>::max();
+    int64_t hi = std::numeric_limits<int64_t>::min();
+    int64_t end = std::min(num_blocks_, (s + 1) * kBlocksPerSuper);
+    for (int64_t b = s * kBlocksPerSuper; b < end; ++b) {
+      lo = std::min(lo, block_min_[b]);
+      hi = std::max(hi, block_max_[b]);
+    }
+    super_min_[s] = lo;
+    super_max_[s] = hi;
+  }
+}
+
+int64_t BalancedParens::Excess(int64_t i) const {
+  if (i < 0) return 0;
+  size_t r1 = bits_->Rank1(static_cast<size_t>(i) + 1);
+  return 2 * static_cast<int64_t>(r1) - (i + 1);
+}
+
+int64_t BalancedParens::FwdSearchExcess(int64_t from, int64_t target) const {
+  int64_t n = size();
+  if (from >= n) return kNotFound;
+  int64_t b = from / kBlockBits;
+  // Scan the tail of the starting block.
+  int64_t e = Excess(from - 1);
+  int64_t block_end = std::min(n, (b + 1) * kBlockBits);
+  for (int64_t i = from; i < block_end; ++i) {
+    e += Delta(i);
+    if (e == target) return i;
+  }
+  // Skip blocks / superblocks that cannot contain the target.
+  ++b;
+  while (b < num_blocks_) {
+    if (b % kBlocksPerSuper == 0) {
+      int64_t s = b / kBlocksPerSuper;
+      if (super_min_[s] > target || super_max_[s] < target) {
+        b += kBlocksPerSuper;
+        continue;
+      }
+    }
+    if (block_min_[b] <= target && target <= block_max_[b]) {
+      e = block_excess_[b];
+      int64_t end = std::min(n, (b + 1) * kBlockBits);
+      for (int64_t i = b * kBlockBits; i < end; ++i) {
+        e += Delta(i);
+        if (e == target) return i;
+      }
+      XPWQO_DCHECK(false);  // min/max said the target is here
+    }
+    ++b;
+  }
+  return kNotFound;
+}
+
+int64_t BalancedParens::BwdSearchExcess(int64_t from, int64_t target) const {
+  if (from >= size()) from = size() - 1;
+  if (from < 0) return target == 0 ? -1 : kNotFound;
+  int64_t b = from / kBlockBits;
+  int64_t e = Excess(from);
+  // Scan the head of the starting block (positions from..block start).
+  for (int64_t i = from; i >= b * kBlockBits; --i) {
+    if (e == target) return i;
+    e -= Delta(i);
+  }
+  --b;
+  while (b >= 0) {
+    if ((b + 1) % kBlocksPerSuper == 0) {
+      int64_t s = b / kBlocksPerSuper;
+      if (super_min_[s] > target || super_max_[s] < target) {
+        b -= kBlocksPerSuper;
+        continue;
+      }
+    }
+    if (block_min_[b] <= target && target <= block_max_[b]) {
+      int64_t end = std::min(size(), (b + 1) * kBlockBits);
+      e = Excess(end - 1);
+      for (int64_t i = end - 1; i >= b * kBlockBits; --i) {
+        if (e == target) return i;
+        e -= Delta(i);
+      }
+      XPWQO_DCHECK(false);
+    }
+    --b;
+  }
+  return target == 0 ? -1 : kNotFound;
+}
+
+int64_t BalancedParens::FindClose(int64_t i) const {
+  XPWQO_DCHECK(IsOpen(i));
+  return FwdSearchExcess(i + 1, Excess(i) - 1);
+}
+
+int64_t BalancedParens::FindOpen(int64_t j) const {
+  XPWQO_DCHECK(!IsOpen(j));
+  int64_t p = BwdSearchExcess(j - 1, Excess(j));
+  return p == kNotFound ? kNotFound : p + 1;
+}
+
+int64_t BalancedParens::Enclose(int64_t i) const {
+  XPWQO_DCHECK(IsOpen(i));
+  int64_t before = Excess(i - 1);
+  if (before == 0) return kNotFound;
+  int64_t p = BwdSearchExcess(i - 1, before - 1);
+  return p == kNotFound ? kNotFound : p + 1;
+}
+
+size_t BalancedParens::MemoryUsage() const {
+  return (block_excess_.size() + block_min_.size() + block_max_.size() +
+          super_min_.size() + super_max_.size()) *
+         sizeof(int64_t);
+}
+
+}  // namespace xpwqo

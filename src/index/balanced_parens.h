@@ -1,0 +1,73 @@
+// Balanced-parentheses operations (findclose / findopen / enclose / excess)
+// over a BitVector, in the spirit of Sadakane & Navarro's range-min-max tree
+// [18]. We use a two-level directory (512-bit blocks, superblocks of 64
+// blocks) storing absolute excess minima/maxima; searches skip whole blocks
+// and superblocks whose excess range cannot contain the target. Because the
+// excess walk changes by ±1 per position, a block is a candidate exactly
+// when target ∈ [min, max].
+#ifndef XPWQO_INDEX_BALANCED_PARENS_H_
+#define XPWQO_INDEX_BALANCED_PARENS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "index/bit_vector.h"
+
+namespace xpwqo {
+
+/// Parenthesis navigation over a frozen BitVector where 1 = '(' and 0 = ')'.
+class BalancedParens {
+ public:
+  static constexpr int64_t kNotFound = -2;
+
+  BalancedParens() = default;
+
+  /// Builds the excess directory. `bits` must outlive this object and be
+  /// frozen and balanced.
+  explicit BalancedParens(const BitVector* bits);
+
+  int64_t size() const { return static_cast<int64_t>(bits_->size()); }
+
+  bool IsOpen(int64_t i) const { return bits_->Get(static_cast<size_t>(i)); }
+
+  /// excess(i) = (#opens - #closes) among positions [0, i]. excess(-1) = 0.
+  int64_t Excess(int64_t i) const;
+
+  /// Position of the close paren matching the open at i.
+  int64_t FindClose(int64_t i) const;
+
+  /// Position of the open paren matching the close at j.
+  int64_t FindOpen(int64_t j) const;
+
+  /// Position of the open paren of the pair most tightly enclosing the pair
+  /// opened at i; kNotFound if none (i is the outermost pair).
+  int64_t Enclose(int64_t i) const;
+
+  /// Smallest j >= from with Excess(j) == target, or kNotFound.
+  int64_t FwdSearchExcess(int64_t from, int64_t target) const;
+
+  /// Largest q <= from with Excess(q) == target; -1 counts as a virtual
+  /// position with excess 0. kNotFound if none.
+  int64_t BwdSearchExcess(int64_t from, int64_t target) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  static constexpr int64_t kBlockBits = 512;
+  static constexpr int64_t kBlocksPerSuper = 64;
+
+  int Delta(int64_t i) const { return IsOpen(i) ? 1 : -1; }
+
+  const BitVector* bits_ = nullptr;
+  int64_t num_blocks_ = 0;
+  std::vector<int64_t> block_excess_;  // excess before block start
+  std::vector<int64_t> block_min_;     // min absolute excess within block
+  std::vector<int64_t> block_max_;
+  std::vector<int64_t> super_min_;
+  std::vector<int64_t> super_max_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_INDEX_BALANCED_PARENS_H_

@@ -1,0 +1,131 @@
+#include "index/bit_vector.h"
+
+#include <bit>
+
+namespace xpwqo {
+namespace {
+
+/// Position (0-based) of the k-th set bit of `word`, k in [1, popcount].
+int SelectInWord(uint64_t word, int k) {
+  for (int byte = 0; byte < 8; ++byte) {
+    int ones = std::popcount(static_cast<uint64_t>((word >> (8 * byte)) & 0xFF));
+    if (k <= ones) {
+      uint8_t b = (word >> (8 * byte)) & 0xFF;
+      for (int bit = 0; bit < 8; ++bit) {
+        if ((b >> bit) & 1) {
+          if (--k == 0) return 8 * byte + bit;
+        }
+      }
+    }
+    k -= ones;
+  }
+  XPWQO_CHECK(false);
+  return -1;
+}
+
+}  // namespace
+
+void BitVector::PushBack(bool bit) {
+  XPWQO_DCHECK(!frozen_);
+  if ((size_ & 63) == 0) words_.push_back(0);
+  if (bit) words_.back() |= (1ULL << (size_ & 63));
+  ++size_;
+}
+
+void BitVector::Append(bool bit, size_t count) {
+  for (size_t i = 0; i < count; ++i) PushBack(bit);
+}
+
+void BitVector::Freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  size_t num_blocks = (words_.size() + kWordsPerBlock - 1) / kWordsPerBlock;
+  block_rank_.resize(num_blocks + 1);
+  size_t ones = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_rank_[b] = ones;
+    size_t end = std::min(words_.size(), (b + 1) * kWordsPerBlock);
+    for (size_t w = b * kWordsPerBlock; w < end; ++w) {
+      ones += std::popcount(words_[w]);
+    }
+  }
+  block_rank_[num_blocks] = ones;
+  total_ones_ = ones;
+}
+
+size_t BitVector::Rank1(size_t i) const {
+  XPWQO_DCHECK(frozen_);
+  XPWQO_DCHECK(i <= size_);
+  size_t word = i >> 6;
+  size_t block = word / kWordsPerBlock;
+  size_t ones = block_rank_[block];
+  for (size_t w = block * kWordsPerBlock; w < word; ++w) {
+    ones += std::popcount(words_[w]);
+  }
+  size_t rem = i & 63;
+  if (rem != 0) {
+    ones += std::popcount(words_[word] & ((1ULL << rem) - 1));
+  }
+  return ones;
+}
+
+size_t BitVector::Select1(size_t k) const {
+  XPWQO_DCHECK(frozen_);
+  XPWQO_DCHECK(k >= 1 && k <= total_ones_);
+  // Binary search the superblock directory.
+  size_t lo = 0, hi = block_rank_.size() - 1;
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (block_rank_[mid] < k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t remaining = k - block_rank_[lo];
+  size_t end = std::min(words_.size(), (lo + 1) * kWordsPerBlock);
+  for (size_t w = lo * kWordsPerBlock; w < end; ++w) {
+    size_t ones = std::popcount(words_[w]);
+    if (remaining <= ones) {
+      return 64 * w + SelectInWord(words_[w], static_cast<int>(remaining));
+    }
+    remaining -= ones;
+  }
+  XPWQO_CHECK(false);
+  return 0;
+}
+
+size_t BitVector::Select0(size_t k) const {
+  XPWQO_DCHECK(frozen_);
+  XPWQO_DCHECK(k >= 1 && k <= size_ - total_ones_);
+  // Binary search on Rank0 via the superblock directory (zeros before block b
+  // = 512*b - block_rank_[b], clamped by size_).
+  size_t lo = 0, hi = block_rank_.size() - 1;
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    size_t zeros = mid * kWordsPerBlock * 64 - block_rank_[mid];
+    if (zeros < k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t remaining = k - (lo * kWordsPerBlock * 64 - block_rank_[lo]);
+  size_t end = std::min(words_.size(), (lo + 1) * kWordsPerBlock);
+  for (size_t w = lo * kWordsPerBlock; w < end; ++w) {
+    size_t zeros = std::popcount(~words_[w]);
+    if (remaining <= zeros) {
+      return 64 * w + SelectInWord(~words_[w], static_cast<int>(remaining));
+    }
+    remaining -= zeros;
+  }
+  XPWQO_CHECK(false);
+  return 0;
+}
+
+size_t BitVector::MemoryUsage() const {
+  return words_.size() * sizeof(uint64_t) +
+         block_rank_.size() * sizeof(uint64_t);
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,71 @@
+// BitVector with constant-time rank and near-constant-time select, the base
+// layer of the succinct tree structures (the paper builds on Sadakane &
+// Navarro's fully-functional succinct trees [18]).
+#ifndef XPWQO_INDEX_BIT_VECTOR_H_
+#define XPWQO_INDEX_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace xpwqo {
+
+/// An immutable bit sequence with rank/select support. Construction is
+/// two-phase: append bits, then Freeze() to build the rank directory
+/// (superblocks of 512 bits). Rank is O(1); select is O(log #superblocks)
+/// plus an in-block scan.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Appends one bit. Only valid before Freeze().
+  void PushBack(bool bit);
+
+  /// Appends `count` copies of `bit`.
+  void Append(bool bit, size_t count);
+
+  /// Builds the rank/select directory. Idempotent.
+  void Freeze();
+
+  size_t size() const { return size_; }
+  bool frozen() const { return frozen_; }
+
+  bool Get(size_t i) const {
+    XPWQO_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of 1-bits in [0, i). Requires Freeze(); i <= size().
+  size_t Rank1(size_t i) const;
+  /// Number of 0-bits in [0, i).
+  size_t Rank0(size_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th 1-bit (k >= 1). Requires k <= Rank1(size()).
+  size_t Select1(size_t k) const;
+  /// Position of the k-th 0-bit (k >= 1).
+  size_t Select0(size_t k) const;
+
+  /// Total 1-bits.
+  size_t CountOnes() const { return total_ones_; }
+
+  /// Raw 64-bit word (padded with zeros past size()).
+  uint64_t Word(size_t w) const { return words_[w]; }
+  size_t NumWords() const { return words_.size(); }
+
+  /// Bytes used by the bits plus the rank directory.
+  size_t MemoryUsage() const;
+
+ private:
+  static constexpr size_t kWordsPerBlock = 8;  // 512-bit superblocks
+
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> block_rank_;  // ones before each superblock
+  size_t size_ = 0;
+  size_t total_ones_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_INDEX_BIT_VECTOR_H_

@@ -1,0 +1,70 @@
+#include "index/label_index.h"
+
+#include <algorithm>
+
+namespace xpwqo {
+
+const std::vector<NodeId> LabelIndex::kEmpty;
+
+LabelIndex::LabelIndex(const Document& doc) {
+  postings_.resize(doc.alphabet().size());
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    postings_[doc.label(n)].push_back(n);  // ids ascend: lists stay sorted
+  }
+}
+
+int32_t LabelIndex::Count(LabelId label) const {
+  if (label < 0 || label >= static_cast<LabelId>(postings_.size())) return 0;
+  return static_cast<int32_t>(postings_[label].size());
+}
+
+const std::vector<NodeId>& LabelIndex::Occurrences(LabelId label) const {
+  if (label < 0 || label >= static_cast<LabelId>(postings_.size())) {
+    return kEmpty;
+  }
+  return postings_[label];
+}
+
+NodeId LabelIndex::FirstInRange(LabelId label, NodeId lo, NodeId hi) const {
+  const std::vector<NodeId>& list = Occurrences(label);
+  auto it = std::lower_bound(list.begin(), list.end(), lo);
+  if (it == list.end() || *it >= hi) return kNullNode;
+  return *it;
+}
+
+NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
+                                NodeId hi) const {
+  XPWQO_DCHECK(set.IsFinite());
+  NodeId best = kNullNode;
+  for (LabelId l : set.FiniteMembers()) {
+    NodeId cand = FirstInRange(l, lo, hi);
+    if (cand != kNullNode && (best == kNullNode || cand < best)) {
+      best = cand;
+    }
+  }
+  return best;
+}
+
+int32_t LabelIndex::CountInRange(LabelId label, NodeId lo, NodeId hi) const {
+  const std::vector<NodeId>& list = Occurrences(label);
+  auto b = std::lower_bound(list.begin(), list.end(), lo);
+  auto e = std::lower_bound(b, list.end(), hi);
+  return static_cast<int32_t>(e - b);
+}
+
+bool LabelIndex::RangeContainsAny(const LabelSet& set, NodeId lo,
+                                  NodeId hi) const {
+  XPWQO_DCHECK(set.IsFinite());
+  for (LabelId l : set.FiniteMembers()) {
+    if (FirstInRange(l, lo, hi) != kNullNode) return true;
+  }
+  return false;
+}
+
+size_t LabelIndex::MemoryUsage() const {
+  size_t bytes = postings_.size() * sizeof(std::vector<NodeId>);
+  for (const auto& list : postings_) bytes += list.size() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace xpwqo

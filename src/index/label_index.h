@@ -1,0 +1,51 @@
+// LabelIndex: per-label sorted preorder occurrence lists. This is the
+// structure behind the paper's jumping primitives: finding the first node
+// with a label in L inside a preorder range costs O(|L| log n), and global
+// label counts (used by the hybrid strategy to pick a starting label) are
+// O(1).
+#ifndef XPWQO_INDEX_LABEL_INDEX_H_
+#define XPWQO_INDEX_LABEL_INDEX_H_
+
+#include <vector>
+
+#include "tree/document.h"
+#include "tree/label_set.h"
+
+namespace xpwqo {
+
+/// Immutable posting lists of node ids (== preorder ranks) per label.
+class LabelIndex {
+ public:
+  explicit LabelIndex(const Document& doc);
+
+  /// Number of occurrences of `label` (0 for labels interned after the
+  /// document was built).
+  int32_t Count(LabelId label) const;
+
+  /// All occurrences of `label` in document order.
+  const std::vector<NodeId>& Occurrences(LabelId label) const;
+
+  /// Smallest node id in [lo, hi) with the given label, or kNullNode.
+  NodeId FirstInRange(LabelId label, NodeId lo, NodeId hi) const;
+
+  /// Smallest node id in [lo, hi) whose label is in `set`, or kNullNode.
+  /// Requires set.IsFinite(); co-finite sets cannot be jumped to (callers
+  /// fall back to stepping, as the paper's engine does).
+  NodeId FirstInRange(const LabelSet& set, NodeId lo, NodeId hi) const;
+
+  /// Number of occurrences of `label` within [lo, hi).
+  int32_t CountInRange(LabelId label, NodeId lo, NodeId hi) const;
+
+  /// True if any label of the finite `set` occurs within [lo, hi).
+  bool RangeContainsAny(const LabelSet& set, NodeId lo, NodeId hi) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<NodeId>> postings_;
+  static const std::vector<NodeId> kEmpty;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_INDEX_LABEL_INDEX_H_

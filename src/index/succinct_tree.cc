@@ -1,0 +1,71 @@
+#include "index/succinct_tree.h"
+
+namespace xpwqo {
+
+SuccinctTree::SuccinctTree(const Document& doc) {
+  const int32_t n = doc.num_nodes();
+  labels_.reserve(n);
+  // Emit the balanced-parentheses string by an explicit-stack preorder walk;
+  // a '(' when a node is entered, ')' when left.
+  std::vector<NodeId> stack;
+  if (doc.root() != kNullNode) stack.push_back(doc.root());
+  // We cannot interleave naive recursion here: document depth is unbounded.
+  // The stack holds "enter node" (>= 0) and "close" markers (~node).
+  while (!stack.empty()) {
+    NodeId top = stack.back();
+    stack.pop_back();
+    if (top < 0) {
+      bp_.PushBack(false);
+      continue;
+    }
+    bp_.PushBack(true);
+    labels_.push_back(doc.label(top));
+    stack.push_back(~top);  // close marker
+    // Push children in reverse so the first child is processed first.
+    std::vector<NodeId> kids;
+    for (NodeId c = doc.first_child(top); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  bp_.Freeze();
+  ops_ = BalancedParens(&bp_);
+  XPWQO_CHECK(static_cast<int32_t>(labels_.size()) == n);
+}
+
+NodeId SuccinctTree::parent(NodeId n) const {
+  int64_t p = ops_.Enclose(Pos(n));
+  return p == BalancedParens::kNotFound ? kNullNode : NodeAt(p);
+}
+
+NodeId SuccinctTree::first_child(NodeId n) const {
+  int64_t p = Pos(n) + 1;
+  if (p >= ops_.size() || !ops_.IsOpen(p)) return kNullNode;
+  return NodeAt(p);
+}
+
+NodeId SuccinctTree::next_sibling(NodeId n) const {
+  int64_t close = ops_.FindClose(Pos(n));
+  if (close + 1 >= ops_.size() || !ops_.IsOpen(close + 1)) return kNullNode;
+  return NodeAt(close + 1);
+}
+
+int32_t SuccinctTree::subtree_size(NodeId n) const {
+  int64_t pos = Pos(n);
+  int64_t close = ops_.FindClose(pos);
+  return static_cast<int32_t>((close - pos + 1) / 2);
+}
+
+int SuccinctTree::Depth(NodeId n) const {
+  return static_cast<int>(ops_.Excess(Pos(n))) - 1;
+}
+
+size_t SuccinctTree::MemoryUsage() const {
+  return bp_.MemoryUsage() + ops_.MemoryUsage() +
+         labels_.size() * sizeof(LabelId);
+}
+
+}  // namespace xpwqo

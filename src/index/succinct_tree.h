@@ -1,0 +1,69 @@
+// SuccinctTree: the document topology in 2 bits per node (+ directory), per
+// the paper's use of fully-functional succinct trees [18] to avoid the 5-10x
+// memory blow-up of pointer structures (§1). Node identifiers are preorder
+// ranks and therefore interchangeable with Document NodeIds, so the label
+// index and every evaluator work unchanged on either backend.
+#ifndef XPWQO_INDEX_SUCCINCT_TREE_H_
+#define XPWQO_INDEX_SUCCINCT_TREE_H_
+
+#include <vector>
+
+#include "index/balanced_parens.h"
+#include "tree/document.h"
+
+namespace xpwqo {
+
+/// Balanced-parentheses encoding of a Document's tree with the navigation
+/// operations the evaluators need.
+class SuccinctTree {
+ public:
+  /// Encodes the topology (and copies the label array) of `doc`.
+  explicit SuccinctTree(const Document& doc);
+
+  SuccinctTree(const SuccinctTree&) = delete;
+  SuccinctTree& operator=(const SuccinctTree&) = delete;
+  SuccinctTree(SuccinctTree&&) = delete;
+
+  int32_t num_nodes() const { return static_cast<int32_t>(labels_.size()); }
+  NodeId root() const { return num_nodes() == 0 ? kNullNode : 0; }
+
+  LabelId label(NodeId n) const { return labels_[n]; }
+  NodeId parent(NodeId n) const;
+  NodeId first_child(NodeId n) const;
+  NodeId next_sibling(NodeId n) const;
+  int32_t subtree_size(NodeId n) const;
+  int Depth(NodeId n) const;
+
+  /// One past the last preorder id in n's XML subtree.
+  NodeId XmlEnd(NodeId n) const { return n + subtree_size(n); }
+
+  /// One past the last preorder id in n's *binary* (fcns) subtree.
+  NodeId BinaryEnd(NodeId n) const {
+    NodeId p = parent(n);
+    return p == kNullNode ? XmlEnd(n) : XmlEnd(p);
+  }
+
+  NodeId BinaryLeft(NodeId n) const { return first_child(n); }
+  NodeId BinaryRight(NodeId n) const { return next_sibling(n); }
+
+  /// Bytes used by parentheses + directory + label array.
+  size_t MemoryUsage() const;
+
+ private:
+  /// BP position of the open paren of preorder node n.
+  int64_t Pos(NodeId n) const {
+    return static_cast<int64_t>(bp_.Select1(static_cast<size_t>(n) + 1));
+  }
+  /// Preorder node of the open paren at BP position p.
+  NodeId NodeAt(int64_t p) const {
+    return static_cast<NodeId>(bp_.Rank1(static_cast<size_t>(p) + 1)) - 1;
+  }
+
+  BitVector bp_;
+  BalancedParens ops_;
+  std::vector<LabelId> labels_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_INDEX_SUCCINCT_TREE_H_

@@ -1,0 +1,91 @@
+// TreeIndex: the jumping primitives of Definition 3.2 over a Document and
+// its LabelIndex, plus the "topmost labeled nodes" enumeration derived from
+// them (d_t to find the first, f_t to step over binary subtrees).
+//
+// All node identifiers are preorder ranks, and the *binary* tree of the
+// paper is the first-child/next-sibling view: the binary subtree of n spans
+// the preorder range [n, BinaryEnd(n)).
+#ifndef XPWQO_INDEX_TREE_INDEX_H_
+#define XPWQO_INDEX_TREE_INDEX_H_
+
+#include <memory>
+
+#include "index/label_index.h"
+#include "index/succinct_tree.h"
+#include "tree/document.h"
+#include "tree/label_set.h"
+
+namespace xpwqo {
+
+/// Jump functions over one document. Holds a reference to the Document,
+/// which must outlive the index.
+class TreeIndex {
+ public:
+  explicit TreeIndex(const Document& doc) : doc_(&doc), labels_(doc) {}
+
+  const Document& doc() const { return *doc_; }
+  const LabelIndex& labels() const { return labels_; }
+
+  /// d_t(n, L): first *binary-tree* descendant of n (strictly below, in
+  /// document order) whose label is in L, or kNullNode.
+  NodeId FirstBinaryDescendant(NodeId n, const LabelSet& set) const;
+
+  /// First node of [n, BinaryEnd(n)) — n included — with label in L.
+  NodeId FirstInBinarySubtree(NodeId n, const LabelSet& set) const;
+
+  /// f_t(m, L, scope): first *binary* following node of m (document order,
+  /// not a binary descendant of m) that is a binary descendant of `scope`
+  /// and has a label in L. With d_t this enumerates the topmost L-labeled
+  /// nodes of scope's binary subtree:
+  ///   first = FirstBinaryDescendant(scope, L)
+  ///   next  = NextTopmost(prev, L, scope)
+  NodeId NextTopmost(NodeId m, const LabelSet& set, NodeId scope) const;
+
+  /// l_t(n, L): first node on the left-most binary path below n (the
+  /// first-child chain) with label in L, or kNullNode. O(chain length).
+  NodeId LeftPathFirst(NodeId n, const LabelSet& set) const;
+
+  /// r_t(n, L): first node on the right-most binary path below n (the
+  /// next-sibling chain) with label in L, or kNullNode. Uses the label
+  /// index to skip over sibling subtrees.
+  NodeId RightPathFirst(NodeId n, const LabelSet& set) const;
+
+  /// Global count of a label (O(1), used by the hybrid strategy).
+  int32_t Count(LabelId label) const { return labels_.Count(label); }
+
+ private:
+  const Document* doc_;
+  LabelIndex labels_;
+};
+
+/// Static-polymorphism views so the evaluators can run over either the
+/// pointer-based Document or the SuccinctTree backend (same NodeIds).
+struct PointerTreeView {
+  const Document* doc;
+
+  int32_t num_nodes() const { return doc->num_nodes(); }
+  NodeId root() const { return doc->root(); }
+  LabelId label(NodeId n) const { return doc->label(n); }
+  NodeId Left(NodeId n) const { return doc->BinaryLeft(n); }
+  NodeId Right(NodeId n) const { return doc->BinaryRight(n); }
+  NodeId Parent(NodeId n) const { return doc->parent(n); }
+  NodeId XmlEnd(NodeId n) const { return doc->XmlEnd(n); }
+  NodeId BinaryEnd(NodeId n) const { return doc->BinaryEnd(n); }
+};
+
+struct SuccinctTreeView {
+  const SuccinctTree* tree;
+
+  int32_t num_nodes() const { return tree->num_nodes(); }
+  NodeId root() const { return tree->root(); }
+  LabelId label(NodeId n) const { return tree->label(n); }
+  NodeId Left(NodeId n) const { return tree->BinaryLeft(n); }
+  NodeId Right(NodeId n) const { return tree->BinaryRight(n); }
+  NodeId Parent(NodeId n) const { return tree->parent(n); }
+  NodeId XmlEnd(NodeId n) const { return tree->XmlEnd(n); }
+  NodeId BinaryEnd(NodeId n) const { return tree->BinaryEnd(n); }
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_INDEX_TREE_INDEX_H_

@@ -1,0 +1,167 @@
+#include "sta/bottomup.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+/// Binary-tree positions for Algorithm B.2: real nodes are their NodeId;
+/// the '#' leaf replacing a missing first-child of n is EncodeLeaf(n, 0),
+/// a missing next-sibling EncodeLeaf(n, 1).
+using BinaryPos = int64_t;
+
+BinaryPos EncodeLeaf(NodeId host, int side, int32_t num_nodes) {
+  return static_cast<BinaryPos>(num_nodes) + 2 * host + side;
+}
+bool IsLeaf(BinaryPos p, int32_t num_nodes) { return p >= num_nodes; }
+NodeId LeafHost(BinaryPos p, int32_t num_nodes) {
+  return static_cast<NodeId>((p - num_nodes) / 2);
+}
+int LeafSide(BinaryPos p, int32_t num_nodes) {
+  return static_cast<int>((p - num_nodes) % 2);
+}
+
+}  // namespace
+
+StaRunResult BottomUpListRun(const Sta& sta, const Document& doc) {
+  XPWQO_CHECK(sta.bottoms().size() == 1);
+  const StateId q0 = sta.bottoms()[0];
+  const int32_t nn = doc.num_nodes();
+  StaRunResult out;
+  out.states.assign(nn, kNoState);
+
+  // The binary parent of a position: for a real node, its previous sibling
+  // if any (it is that sibling's right child), else its XML parent (it is
+  // the first child). For a '#' leaf, its host.
+  std::vector<NodeId> prev_sibling(nn, kNullNode);
+  for (NodeId n = 0; n < nn; ++n) {
+    NodeId c = doc.first_child(n);
+    NodeId prev = kNullNode;
+    for (; c != kNullNode; c = doc.next_sibling(c)) {
+      prev_sibling[c] = prev;
+      prev = c;
+    }
+  }
+  auto binary_parent = [&](BinaryPos p) -> NodeId {
+    if (IsLeaf(p, nn)) return LeafHost(p, nn);
+    NodeId n = static_cast<NodeId>(p);
+    return prev_sibling[n] != kNullNode ? prev_sibling[n] : doc.parent(n);
+  };
+  auto is_left_child = [&](BinaryPos p) -> bool {
+    if (IsLeaf(p, nn)) return LeafSide(p, nn) == 0;
+    return prev_sibling[static_cast<NodeId>(p)] == kNullNode;
+  };
+
+  // Sequence of leaves in document (binary pre-) order, via an explicit
+  // stack (document depth is unbounded).
+  std::vector<BinaryPos> leaves;
+  std::vector<BinaryPos> walk{doc.root()};
+  while (!walk.empty()) {
+    BinaryPos p = walk.back();
+    walk.pop_back();
+    if (IsLeaf(p, nn)) {
+      leaves.push_back(p);
+      continue;
+    }
+    NodeId n = static_cast<NodeId>(p);
+    NodeId left = doc.BinaryLeft(n);
+    NodeId right = doc.BinaryRight(n);
+    walk.push_back(right == kNullNode ? EncodeLeaf(n, 1, nn)
+                                      : static_cast<BinaryPos>(right));
+    walk.push_back(left == kNullNode ? EncodeLeaf(n, 0, nn)
+                                     : static_cast<BinaryPos>(left));
+  }
+
+  // Shift-reduce: push items left to right; reduce whenever the two top
+  // items are binary siblings. This computes exactly the reductions of
+  // Algorithm B.2's recursion.
+  std::vector<std::pair<BinaryPos, StateId>> stack;
+  for (BinaryPos leaf : leaves) {
+    stack.emplace_back(leaf, q0);
+    while (stack.size() >= 2) {
+      auto [p2, s2] = stack[stack.size() - 1];
+      auto [p1, s1] = stack[stack.size() - 2];
+      if (!is_left_child(p1) || is_left_child(p2) ||
+          binary_parent(p1) != binary_parent(p2)) {
+        break;
+      }
+      NodeId parent = binary_parent(p1);
+      StateId q = sta.Source(s1, s2, doc.label(parent));
+      out.states[parent] = q;
+      stack.pop_back();
+      stack.pop_back();
+      stack.emplace_back(parent, q);
+    }
+  }
+  XPWQO_CHECK(stack.size() == 1 &&
+              stack[0].first == static_cast<BinaryPos>(doc.root()));
+  out.accepting = sta.IsTop(stack[0].second);
+  if (!out.accepting) {
+    out.states.assign(nn, kNoState);
+    return out;
+  }
+  for (NodeId n = 0; n < nn; ++n) {
+    if (sta.Selects(out.states[n], doc.label(n))) out.selected.push_back(n);
+  }
+  return out;
+}
+
+LabelSet BottomUpEssentialLabels(const Sta& sta) {
+  XPWQO_CHECK(sta.bottoms().size() == 1);
+  const StateId q0 = sta.bottoms()[0];
+  LabelSet essential = sta.SelectingLabels(q0);
+  for (LabelId l : sta.EffectiveAlphabet()) {
+    auto sources = sta.Sources(q0, q0, l);
+    XPWQO_CHECK(sources.size() == 1);
+    if (sources[0] != q0) {
+      if (l == kOtherLabel) return LabelSet::All();  // cannot skip anything
+      essential = essential.Union(LabelSet::Of({l}));
+    }
+  }
+  return essential;
+}
+
+JumpRunResult BottomUpSkipRun(const Sta& sta, const Document& doc,
+                              const TreeIndex& index) {
+  XPWQO_CHECK(sta.bottoms().size() == 1);
+  const StateId q0 = sta.bottoms()[0];
+  const LabelSet essential = BottomUpEssentialLabels(sta);
+  const bool can_skip = essential.IsFinite();
+  JumpRunResult out;
+  out.states.assign(doc.num_nodes(), kNoState);
+
+  // Reverse-preorder sweep, but hop over maximal binary subtrees free of
+  // essential labels: [n, BinaryEnd(n)) without essential labels reduces to
+  // q0 everywhere.
+  auto value_of = [&](NodeId c) -> StateId {
+    if (c == kNullNode) return q0;
+    return out.states[c] == kNoState ? q0 : out.states[c];
+  };
+  for (NodeId n = doc.num_nodes() - 1; n >= 0; --n) {
+    if (can_skip && out.states[n] == kNoState) {
+      // If n starts a maximal skippable region we may leave it unset — but
+      // only when the whole binary subtree of n is essential-free.
+      if (!index.labels().RangeContainsAny(essential, n, doc.BinaryEnd(n))) {
+        continue;  // provably q0; not visited
+      }
+    }
+    StateId q1 = value_of(doc.BinaryLeft(n));
+    StateId q2 = value_of(doc.BinaryRight(n));
+    out.states[n] = sta.Source(q1, q2, doc.label(n));
+    out.visited.push_back(n);
+    ++out.stats.nodes_visited;
+    if (sta.Selects(out.states[n], doc.label(n))) out.selected.push_back(n);
+  }
+  std::reverse(out.visited.begin(), out.visited.end());
+  std::reverse(out.selected.begin(), out.selected.end());
+  out.accepting = sta.IsTop(value_of(doc.root()));
+  if (!out.accepting) {
+    out = JumpRunResult{};
+    out.states.assign(doc.num_nodes(), kNoState);
+  }
+  return out;
+}
+
+}  // namespace xpwqo

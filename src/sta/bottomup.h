@@ -1,0 +1,41 @@
+// Bottom-up evaluation of BDSTAs.
+//
+// BottomUpListRun is the literal Algorithm B.2: a shift-reduce pass over the
+// sequence of '#' leaves of the binary tree, repeatedly replacing two
+// sibling items by their parent.
+//
+// BottomUpSkipRun is our take on the paper's (unstated) bottomup_jump: a
+// bottom-up run that skips every binary subtree containing no state-changing
+// label — such a subtree provably reduces to the initial state q0 — using a
+// label-index range probe. The paper only asserts the existence of the full
+// jumping algorithm (§3.2) and notes its own index lacks efficient ancestor
+// jumps; we make the same simplification and document it in DESIGN.md. Tests
+// assert correctness (computed states equal the full run on visited nodes)
+// and that the visited set shrinks, not Theorem 3.2 optimality.
+#ifndef XPWQO_STA_BOTTOMUP_H_
+#define XPWQO_STA_BOTTOMUP_H_
+
+#include "index/tree_index.h"
+#include "sta/run.h"
+#include "sta/topdown_jump.h"
+
+namespace xpwqo {
+
+/// Literal Algorithm B.2 (shift-reduce over the leaf sequence). Requires a
+/// bottom-up deterministic, bottom-up complete STA.
+StaRunResult BottomUpListRun(const Sta& sta, const Document& doc);
+
+/// Bottom-up run with subtree skipping. Requires bottom-up determinism and
+/// completeness. Skipped nodes keep kNoState in `states` (their run value is
+/// the initial state q0).
+JumpRunResult BottomUpSkipRun(const Sta& sta, const Document& doc,
+                              const TreeIndex& index);
+
+/// The labels that can change the all-q0 fixpoint: l with δ(q0,q0,l) ≠ q0,
+/// plus the labels q0 selects on. Subtrees without these labels reduce to q0
+/// and can be skipped. Co-finite results disable skipping.
+LabelSet BottomUpEssentialLabels(const Sta& sta);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_BOTTOMUP_H_

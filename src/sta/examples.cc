@@ -1,0 +1,111 @@
+#include "sta/examples.h"
+
+#include "util/check.h"
+
+namespace xpwqo {
+
+Sta StaForDescADescB(LabelId a, LabelId b) {
+  Sta sta(2);
+  const StateId q0 = 0, q1 = 1;
+  sta.AddTop(q0);
+  sta.AddBottom(q0);
+  sta.AddBottom(q1);
+  sta.AddTransition(q0, LabelSet::Of({a}), q1, q0);
+  sta.AddTransition(q0, LabelSet::AllExcept({a}), q0, q0);
+  sta.AddTransition(q1, LabelSet::Of({b}), q1, q1);
+  sta.AddTransition(q1, LabelSet::AllExcept({b}), q1, q1);
+  sta.AddSelecting(q1, LabelSet::Of({b}));
+  return sta;
+}
+
+Sta StaForAWithBDescendant(LabelId a, LabelId b) {
+  // Bottom-up reading of δ(left, right, label):
+  //   left ∈ {q1, q2}                  -> q1   (b below my first child)
+  //   left = q0, label = b             -> q2   (I am the b)
+  //   left = q0, label ≠ b, right ≠ q0 -> q2   (b among my following sibs)
+  //   left = q0, label ≠ b, right = q0 -> q0
+  Sta sta(3);
+  const StateId q0 = 0, q1 = 1, q2 = 2;
+  sta.AddBottom(q0);
+  sta.AddTop(q0);
+  sta.AddTop(q1);
+  sta.AddTop(q2);
+  for (StateId right : {q0, q1, q2}) {
+    for (StateId marked_left : {q1, q2}) {
+      sta.AddTransition(q1, LabelSet::All(), marked_left, right);
+    }
+    sta.AddTransition(q2, LabelSet::Of({b}), q0, right);
+  }
+  for (StateId marked_right : {q1, q2}) {
+    sta.AddTransition(q2, LabelSet::AllExcept({b}), q0, marked_right);
+  }
+  sta.AddTransition(q0, LabelSet::AllExcept({b}), q0, q0);
+  sta.AddSelecting(q1, LabelSet::Of({a}));
+  return sta;
+}
+
+Sta StaDtdRootIsA(LabelId a) {
+  Sta sta(3);
+  const StateId q0 = 0, q_top = 1, q_sink = 2;
+  sta.AddTop(q0);
+  sta.AddBottom(q_top);
+  sta.AddTransition(q0, LabelSet::Of({a}), q_top, q_top);
+  sta.AddTransition(q0, LabelSet::AllExcept({a}), q_sink, q_sink);
+  sta.AddTransition(q_top, LabelSet::All(), q_top, q_top);
+  sta.AddTransition(q_sink, LabelSet::All(), q_sink, q_sink);
+  return sta;
+}
+
+Sta StaForChildChain(const std::vector<LabelId>& labels) {
+  XPWQO_CHECK(!labels.empty());
+  const int k = static_cast<int>(labels.size());
+  // States: s0..s_{k-1} are the steps, then q_top, q_sink.
+  Sta sta(k + 2);
+  const StateId q_top = k, q_sink = k + 1;
+  sta.AddTop(0);
+  sta.AddBottom(q_top);
+  for (StateId s = 1; s < k; ++s) sta.AddBottom(s);
+  // Root step: the root must carry labels[0].
+  {
+    StateId next = (k == 1) ? q_top : 1;
+    sta.AddTransition(0, LabelSet::Of({labels[0]}), next, q_top);
+    sta.AddTransition(0, LabelSet::AllExcept({labels[0]}), q_sink, q_sink);
+    if (k == 1) sta.AddSelecting(0, LabelSet::Of({labels[0]}));
+  }
+  // Step i (state i scans a sibling list for labels[i]).
+  for (StateId s = 1; s < k; ++s) {
+    LabelId l = labels[s];
+    StateId next = (s == k - 1) ? q_top : s + 1;
+    sta.AddTransition(s, LabelSet::Of({l}), next, s);
+    sta.AddTransition(s, LabelSet::AllExcept({l}), q_top, s);
+    if (s == k - 1) sta.AddSelecting(s, LabelSet::Of({l}));
+  }
+  sta.AddTransition(q_top, LabelSet::All(), q_top, q_top);
+  sta.AddTransition(q_sink, LabelSet::All(), q_sink, q_sink);
+  return sta;
+}
+
+Sta StaForDescendantChain(const std::vector<LabelId>& labels) {
+  XPWQO_CHECK(!labels.empty());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = i + 1; j < labels.size(); ++j) {
+      XPWQO_CHECK(labels[i] != labels[j]);
+    }
+  }
+  const int k = static_cast<int>(labels.size());
+  // State i = "matched labels[0..i-1], searching labels[i] below".
+  Sta sta(k);
+  sta.AddTop(0);
+  for (StateId q = 0; q < k; ++q) sta.AddBottom(q);
+  for (StateId q = 0; q + 1 < k; ++q) {
+    sta.AddTransition(q, LabelSet::Of({labels[q]}), q + 1, q);
+    sta.AddTransition(q, LabelSet::AllExcept({labels[q]}), q, q);
+  }
+  // Final state selects its label and keeps scanning below/right of it.
+  StateId last = k - 1;
+  sta.AddTransition(last, LabelSet::All(), last, last);
+  sta.AddSelecting(last, LabelSet::Of({labels[last]}));
+  return sta;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,45 @@
+// The example automata of the paper, used by tests, benchmarks and the
+// documentation.
+#ifndef XPWQO_STA_EXAMPLES_H_
+#define XPWQO_STA_EXAMPLES_H_
+
+#include "sta/sta.h"
+
+namespace xpwqo {
+
+/// Example 2.1: the TDSTA A_{//a//b} selecting all b-descendants of a-nodes.
+/// States: q0 = 0 (top), q1 = 1. S = {(q1, b)}.
+Sta StaForDescADescB(LabelId a, LabelId b);
+
+/// Example A.1 / B.1: the BDSTA A_{//a[.//b]} selecting all a-nodes with a
+/// b-node in their left (first-child) binary subtree — i.e. //a[.//b].
+///
+/// The paper presents this automaton with two states, but with the
+/// state-based selection semantics of Definition 2.3 two states cannot
+/// separate "b in my left subtree" (the a-node must be selected) from "b
+/// only in my right subtree" (it must not be, yet the fact must still flow
+/// upward). We use the three-state corrected version:
+///   q0 = 0: no b in my binary subtree            (bottom state)
+///   q1 = 1: b in my left (first-child) subtree   (selects a)
+///   q2 = 2: b in my subtree but not in my left subtree
+/// S = {(q1, a)}; T = {q0, q1, q2}. See DESIGN.md.
+Sta StaForAWithBDescendant(LabelId a, LabelId b);
+
+/// §3's recognizer for the DTD <!ELEMENT a ANY>: accepts trees whose root is
+/// labeled `a`. States: q0 = 0 (top), q_top = 1 (universal), q_sink = 2.
+Sta StaDtdRootIsA(LabelId a);
+
+/// A chain TDSTA for /a1/a2/.../ak (first-child path of child steps),
+/// selecting the final step's nodes. Used by the TDSTA jumping benchmarks.
+/// Requires at least one label.
+Sta StaForChildChain(const std::vector<LabelId>& labels);
+
+/// A TDSTA for //l1//l2//...//lk (descendant chain), selecting the last
+/// step. Deterministic because each step label only advances the chain.
+/// Requires pairwise distinct labels (otherwise the query is inherently
+/// non-deterministic for a TDSTA).
+Sta StaForDescendantChain(const std::vector<LabelId>& labels);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_EXAMPLES_H_

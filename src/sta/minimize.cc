@@ -1,0 +1,287 @@
+#include "sta/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+/// Groups the effective-alphabet labels of `sigma` by their (already
+/// computed) destination keys and emits one LabelSet per group. A group
+/// containing kOtherLabel becomes the co-finite set excluding all concrete
+/// labels that belong to other groups.
+template <typename Key>
+std::vector<std::pair<Key, LabelSet>> GroupLabels(
+    const std::vector<LabelId>& sigma, const std::vector<Key>& key_of) {
+  std::map<Key, std::vector<LabelId>> groups;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    groups[key_of[i]].push_back(sigma[i]);
+  }
+  std::vector<std::pair<Key, LabelSet>> out;
+  for (auto& [key, labels] : groups) {
+    bool has_other = false;
+    std::vector<LabelId> concrete;
+    for (LabelId l : labels) {
+      if (l == kOtherLabel) {
+        has_other = true;
+      } else {
+        concrete.push_back(l);
+      }
+    }
+    if (!has_other) {
+      out.emplace_back(key, LabelSet::Of(std::move(concrete)));
+    } else {
+      std::vector<LabelId> excluded;
+      for (LabelId l : sigma) {
+        if (l != kOtherLabel &&
+            !std::binary_search(concrete.begin(), concrete.end(), l)) {
+          // concrete is sorted because sigma is sorted.
+          excluded.push_back(l);
+        }
+      }
+      out.emplace_back(key, LabelSet::AllExcept(std::move(excluded)));
+    }
+  }
+  return out;
+}
+
+/// Initial partition: by (final-state membership, selecting labels). The
+/// `finals` flag vector marks B (for TDSTA) or T (for BDSTA).
+std::vector<int> InitialPartition(const Sta& sta,
+                                  const std::vector<bool>& finals,
+                                  int* num_classes) {
+  std::map<std::pair<bool, std::vector<LabelId>>, int> keys;
+  // Selecting label sets compare by representation; canonical because
+  // LabelSet stores sorted unique labels plus the negation flag encoded via
+  // a leading sentinel below.
+  std::vector<int> cls(sta.num_states());
+  for (StateId q = 0; q < sta.num_states(); ++q) {
+    std::vector<LabelId> sel_key = sta.SelectingLabels(q).Mentioned();
+    sel_key.insert(sel_key.begin(),
+                   sta.SelectingLabels(q).IsFinite() ? 0 : 1);
+    auto [it, inserted] = keys.emplace(
+        std::make_pair(finals[q], std::move(sel_key)),
+        static_cast<int>(keys.size()));
+    cls[q] = it->second;
+  }
+  *num_classes = static_cast<int>(keys.size());
+  return cls;
+}
+
+}  // namespace
+
+Sta MinimizeTopDown(const Sta& sta_in) {
+  XPWQO_CHECK(sta_in.IsTopDownDeterministic());
+  XPWQO_CHECK(sta_in.IsTopDownComplete());
+  Sta sta = sta_in.Restrict(sta_in.tops());
+  const std::vector<LabelId> sigma = sta.EffectiveAlphabet();
+  const int nq = sta.num_states();
+
+  // Cache δ(q, l) per state and alphabet position.
+  std::vector<std::vector<std::pair<StateId, StateId>>> dest(
+      nq, std::vector<std::pair<StateId, StateId>>(sigma.size()));
+  for (StateId q = 0; q < nq; ++q) {
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      dest[q][i] = sta.Destination(q, sigma[i]);
+    }
+  }
+
+  std::vector<bool> finals(nq);
+  for (StateId q = 0; q < nq; ++q) finals[q] = sta.IsBottom(q);
+  int num_classes = 0;
+  std::vector<int> cls = InitialPartition(sta, finals, &num_classes);
+
+  // Moore refinement to the coarsest bisimulation.
+  while (true) {
+    std::map<std::vector<int>, int> sig_to_class;
+    std::vector<int> next(nq);
+    for (StateId q = 0; q < nq; ++q) {
+      std::vector<int> sig;
+      sig.reserve(1 + 2 * sigma.size());
+      sig.push_back(cls[q]);
+      for (size_t i = 0; i < sigma.size(); ++i) {
+        sig.push_back(cls[dest[q][i].first]);
+        sig.push_back(cls[dest[q][i].second]);
+      }
+      auto [it, inserted] =
+          sig_to_class.emplace(std::move(sig), static_cast<int>(sig_to_class.size()));
+      next[q] = it->second;
+    }
+    int next_count = static_cast<int>(sig_to_class.size());
+    if (next_count == num_classes) break;
+    cls = std::move(next);
+    num_classes = next_count;
+  }
+
+  // Quotient automaton.
+  Sta out(num_classes);
+  std::vector<StateId> rep(num_classes, kNoState);
+  for (StateId q = 0; q < nq; ++q) {
+    if (rep[cls[q]] == kNoState) rep[cls[q]] = q;
+  }
+  out.AddTop(cls[sta.tops()[0]]);
+  for (int c = 0; c < num_classes; ++c) {
+    if (sta.IsBottom(rep[c])) out.AddBottom(c);
+    out.AddSelecting(c, sta.SelectingLabels(rep[c]));
+    std::vector<std::pair<int, int>> keys(sigma.size());
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      keys[i] = {cls[dest[rep[c]][i].first], cls[dest[rep[c]][i].second]};
+    }
+    for (auto& [key, labels] : GroupLabels(sigma, keys)) {
+      out.AddTransition(c, labels, key.first, key.second);
+    }
+  }
+  return out;
+}
+
+Sta MinimizeBottomUp(const Sta& sta_in) {
+  XPWQO_CHECK(sta_in.IsBottomUpDeterministic());
+  XPWQO_CHECK(sta_in.IsBottomUpComplete());
+  const std::vector<LabelId> sigma = sta_in.EffectiveAlphabet();
+
+  // Bottom-up reachability from b0.
+  const int nq_in = sta_in.num_states();
+  std::vector<bool> reach(nq_in, false);
+  reach[sta_in.bottoms()[0]] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const StaTransition& t : sta_in.transitions()) {
+      if (reach[t.to1] && reach[t.to2] && !reach[t.from]) {
+        reach[t.from] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<StateId> keep;
+  for (StateId q = 0; q < nq_in; ++q) {
+    if (reach[q]) keep.push_back(q);
+  }
+  std::vector<StateId> remap(nq_in, kNoState);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    remap[keep[i]] = static_cast<StateId>(i);
+  }
+  Sta sta(static_cast<int>(keep.size()));
+  sta.AddBottom(remap[sta_in.bottoms()[0]]);
+  for (StateId q : sta_in.tops()) {
+    if (remap[q] != kNoState) sta.AddTop(remap[q]);
+  }
+  for (size_t i = 0; i < keep.size(); ++i) {
+    sta.AddSelecting(static_cast<StateId>(i),
+                     sta_in.SelectingLabels(keep[i]));
+  }
+  for (const StaTransition& t : sta_in.transitions()) {
+    if (remap[t.from] != kNoState && remap[t.to1] != kNoState &&
+        remap[t.to2] != kNoState) {
+      sta.AddTransition(remap[t.from], t.labels, remap[t.to1], remap[t.to2]);
+    }
+  }
+  const int nq = sta.num_states();
+
+  // Cache δ(q1, q2, l) -> q.
+  auto idx = [&](StateId q1, StateId q2, size_t li) {
+    return (static_cast<size_t>(q1) * nq + q2) * sigma.size() + li;
+  };
+  std::vector<StateId> src(static_cast<size_t>(nq) * nq * sigma.size());
+  for (StateId q1 = 0; q1 < nq; ++q1) {
+    for (StateId q2 = 0; q2 < nq; ++q2) {
+      for (size_t i = 0; i < sigma.size(); ++i) {
+        src[idx(q1, q2, i)] = sta.Source(q1, q2, sigma[i]);
+      }
+    }
+  }
+
+  std::vector<bool> finals(nq);
+  for (StateId q = 0; q < nq; ++q) finals[q] = sta.IsTop(q);
+  int num_classes = 0;
+  std::vector<int> cls = InitialPartition(sta, finals, &num_classes);
+
+  while (true) {
+    std::map<std::vector<int>, int> sig_to_class;
+    std::vector<int> next(nq);
+    for (StateId q = 0; q < nq; ++q) {
+      std::vector<int> sig;
+      sig.push_back(cls[q]);
+      for (StateId r = 0; r < nq; ++r) {
+        for (size_t i = 0; i < sigma.size(); ++i) {
+          sig.push_back(cls[src[idx(q, r, i)]]);
+          sig.push_back(cls[src[idx(r, q, i)]]);
+        }
+      }
+      auto [it, inserted] = sig_to_class.emplace(
+          std::move(sig), static_cast<int>(sig_to_class.size()));
+      next[q] = it->second;
+    }
+    int next_count = static_cast<int>(sig_to_class.size());
+    if (next_count == num_classes) break;
+    cls = std::move(next);
+    num_classes = next_count;
+  }
+
+  Sta out(num_classes);
+  std::vector<StateId> rep(num_classes, kNoState);
+  for (StateId q = 0; q < nq; ++q) {
+    if (rep[cls[q]] == kNoState) rep[cls[q]] = q;
+  }
+  out.AddBottom(cls[sta.bottoms()[0]]);
+  for (int c = 0; c < num_classes; ++c) {
+    if (sta.IsTop(rep[c])) out.AddTop(c);
+    out.AddSelecting(c, sta.SelectingLabels(rep[c]));
+  }
+  // Transitions: one per (class1, class2) pair, labels grouped by source
+  // class.
+  for (int c1 = 0; c1 < num_classes; ++c1) {
+    for (int c2 = 0; c2 < num_classes; ++c2) {
+      std::vector<int> keys(sigma.size());
+      for (size_t i = 0; i < sigma.size(); ++i) {
+        keys[i] = cls[src[idx(rep[c1], rep[c2], i)]];
+      }
+      for (auto& [key, labels] : GroupLabels(sigma, keys)) {
+        out.AddTransition(key, labels, c1, c2);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsomorphicTopDown(const Sta& a, const Sta& b) {
+  if (a.num_states() != b.num_states()) return false;
+  if (a.tops().size() != 1 || b.tops().size() != 1) return false;
+  // Merge the effective alphabets so both automata are probed identically.
+  std::set<LabelId> merged;
+  for (LabelId l : a.EffectiveAlphabet()) merged.insert(l);
+  for (LabelId l : b.EffectiveAlphabet()) merged.insert(l);
+  std::vector<LabelId> sigma(merged.begin(), merged.end());
+
+  std::vector<StateId> map_ab(a.num_states(), kNoState);
+  std::vector<StateId> map_ba(b.num_states(), kNoState);
+  std::vector<std::pair<StateId, StateId>> queue;
+  auto pair_up = [&](StateId qa, StateId qb) {
+    if (map_ab[qa] == kNoState && map_ba[qb] == kNoState) {
+      map_ab[qa] = qb;
+      map_ba[qb] = qa;
+      queue.emplace_back(qa, qb);
+      return true;
+    }
+    return map_ab[qa] == qb && map_ba[qb] == qa;
+  };
+  if (!pair_up(a.tops()[0], b.tops()[0])) return false;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    auto [qa, qb] = queue[i];
+    if (a.IsBottom(qa) != b.IsBottom(qb)) return false;
+    for (LabelId l : sigma) {
+      if (a.Selects(qa, l) != b.Selects(qb, l)) return false;
+      auto da = a.Destinations(qa, l);
+      auto db = b.Destinations(qb, l);
+      if (da.size() != 1 || db.size() != 1) return false;
+      if (!pair_up(da[0].first, db[0].first)) return false;
+      if (!pair_up(da[0].second, db[0].second)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xpwqo

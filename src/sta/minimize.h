@@ -1,0 +1,32 @@
+// Minimization of deterministic selecting tree automata (Appendix A.2).
+//
+// The direct algorithms run Moore-style partition refinement where the
+// initial partition separates states by final-state membership AND by their
+// selecting labels — exactly the refined E0 the paper derives from the
+// selecting-unambiguity of recognizers. Theorem A.1 guarantees the quotient
+// is the unique minimal TDSTA/BDSTA. recognizer.h provides the alternative
+// minimize-via-recognizer route used to cross-validate these algorithms.
+#ifndef XPWQO_STA_MINIMIZE_H_
+#define XPWQO_STA_MINIMIZE_H_
+
+#include <vector>
+
+#include "sta/sta.h"
+
+namespace xpwqo {
+
+/// Minimizes a top-down deterministic, top-down complete STA. States not
+/// reachable from the top state are dropped first.
+Sta MinimizeTopDown(const Sta& sta);
+
+/// Minimizes a bottom-up deterministic, bottom-up complete STA. States not
+/// bottom-up reachable from the bottom state are dropped first.
+Sta MinimizeBottomUp(const Sta& sta);
+
+/// True if the two minimal TDSTAs are isomorphic (same canonical form under
+/// the BFS ordering from the top state over the merged effective alphabet).
+bool IsomorphicTopDown(const Sta& a, const Sta& b);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_MINIMIZE_H_

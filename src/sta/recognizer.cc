@@ -1,0 +1,151 @@
+#include "sta/recognizer.h"
+
+#include <algorithm>
+
+#include "sta/minimize.h"
+#include "util/check.h"
+
+namespace xpwqo {
+
+LabelId HatMap::HatOf(LabelId l) const {
+  auto it = std::lower_bound(plain.begin(), plain.end(), l);
+  XPWQO_CHECK(it != plain.end() && *it == l);
+  return hat[it - plain.begin()];
+}
+
+LabelId HatMap::PlainOf(LabelId l) const {
+  for (size_t i = 0; i < hat.size(); ++i) {
+    if (hat[i] == l) return plain[i];
+  }
+  return kNoLabel;
+}
+
+Sta ExpandOverAlphabet(const Sta& sta, const std::vector<LabelId>& sigma) {
+  LabelSet sigma_set = LabelSet::Of(sigma);
+  Sta out(sta.num_states());
+  for (StateId q : sta.tops()) out.AddTop(q);
+  for (StateId q : sta.bottoms()) out.AddBottom(q);
+  for (StateId q = 0; q < sta.num_states(); ++q) {
+    // Concrete labels mentioned anywhere must all belong to sigma.
+    for (LabelId l : sta.SelectingLabels(q).Mentioned()) {
+      XPWQO_CHECK(sigma_set.Contains(l) ||
+                  !sta.SelectingLabels(q).IsFinite());
+    }
+    out.AddSelecting(q, sta.SelectingLabels(q).Intersect(sigma_set));
+  }
+  for (const StaTransition& t : sta.transitions()) {
+    LabelSet expanded = t.labels.Intersect(sigma_set);
+    if (!expanded.IsEmpty()) {
+      out.AddTransition(t.from, expanded, t.to1, t.to2);
+    }
+  }
+  return out;
+}
+
+Sta EncodeRecognizer(const Sta& sta, const HatMap& hats) {
+  Sta out(sta.num_states());
+  for (StateId q : sta.tops()) out.AddTop(q);
+  for (StateId q : sta.bottoms()) out.AddBottom(q);
+  for (const StaTransition& t : sta.transitions()) {
+    XPWQO_CHECK(t.labels.IsFinite());  // expand first
+    const LabelSet& sel = sta.SelectingLabels(t.from);
+    std::vector<LabelId> plain_labels, hat_labels;
+    for (LabelId l : t.labels.FiniteMembers()) {
+      if (sel.Contains(l)) {
+        hat_labels.push_back(hats.HatOf(l));
+      } else {
+        plain_labels.push_back(l);
+      }
+    }
+    if (!plain_labels.empty()) {
+      out.AddTransition(t.from, LabelSet::Of(std::move(plain_labels)), t.to1,
+                        t.to2);
+    }
+    if (!hat_labels.empty()) {
+      out.AddTransition(t.from, LabelSet::Of(std::move(hat_labels)), t.to1,
+                        t.to2);
+    }
+  }
+  return out;  // S is empty: a pure recognizer
+}
+
+Sta DecodeRecognizer(const Sta& recognizer, const HatMap& hats) {
+  // Per Lemma A.3: transitions into a sink state are dropped (the selecting
+  // automaton does not need the completion sink), hat transitions become
+  // selecting configurations, and unreachable states are removed.
+  std::vector<bool> is_sink(recognizer.num_states());
+  for (StateId q = 0; q < recognizer.num_states(); ++q) {
+    is_sink[q] = recognizer.IsTopDownSink(q);
+  }
+  Sta out(recognizer.num_states());
+  for (StateId q : recognizer.tops()) out.AddTop(q);
+  for (StateId q : recognizer.bottoms()) out.AddBottom(q);
+  for (const StaTransition& t : recognizer.transitions()) {
+    if (is_sink[t.to1] || is_sink[t.to2]) continue;
+    std::vector<LabelId> plain_labels, unhatted;
+    if (t.labels.IsFinite()) {
+      for (LabelId l : t.labels.FiniteMembers()) {
+        LabelId p = hats.PlainOf(l);
+        if (p == kNoLabel) {
+          plain_labels.push_back(l);
+        } else {
+          unhatted.push_back(p);
+        }
+      }
+    } else {
+      // Co-finite sets can only arise from completion transitions, which
+      // never select; carve out the hat labels and keep the rest verbatim.
+      LabelSet plain_side = t.labels.Minus(LabelSet::Of(hats.hat));
+      if (!plain_side.IsEmpty()) {
+        out.AddTransition(t.from, plain_side, t.to1, t.to2);
+      }
+      for (size_t i = 0; i < hats.hat.size(); ++i) {
+        if (t.labels.Contains(hats.hat[i])) unhatted.push_back(hats.plain[i]);
+      }
+    }
+    if (!plain_labels.empty()) {
+      out.AddTransition(t.from, LabelSet::Of(std::move(plain_labels)), t.to1,
+                        t.to2);
+    }
+    if (!unhatted.empty()) {
+      LabelSet set = LabelSet::Of(std::move(unhatted));
+      out.AddTransition(t.from, set, t.to1, t.to2);
+      out.AddSelecting(t.from, set);
+    }
+  }
+  return out.Restrict(out.tops());
+}
+
+bool LooksSelectingUnambiguous(const Sta& recognizer, const HatMap& hats) {
+  // Necessary condition: no state maps σ and σ̂ to the same destination pair
+  // while both destinations can accept something. (Lemma A.2 guarantees the
+  // full property for encodings of complete automata; the tests verify the
+  // semantic property on sampled trees.)
+  for (StateId q = 0; q < recognizer.num_states(); ++q) {
+    for (size_t i = 0; i < hats.plain.size(); ++i) {
+      auto d_plain = recognizer.Destinations(q, hats.plain[i]);
+      auto d_hat = recognizer.Destinations(q, hats.hat[i]);
+      for (const auto& a : d_plain) {
+        for (const auto& b : d_hat) {
+          if (a == b && !recognizer.IsTopDownSink(a.first) &&
+              !recognizer.IsTopDownSink(a.second)) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Sta MinimizeTopDownViaRecognizer(const Sta& sta,
+                                 const std::vector<LabelId>& sigma,
+                                 const HatMap& hats) {
+  Sta expanded = ExpandOverAlphabet(sta, sigma);
+  Sta recognizer = EncodeRecognizer(expanded, hats);
+  recognizer.MakeTopDownComplete();
+  Sta minimized = MinimizeTopDown(recognizer);
+  return DecodeRecognizer(minimized, hats);
+}
+
+}  // namespace xpwqo

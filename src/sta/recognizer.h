@@ -1,0 +1,62 @@
+// The recognizer encoding of Appendix A.1: an STA A over Σ becomes an
+// ordinary tree automaton Â over Σ ∪ Σ̂ where selecting a node with label l
+// is encoded as accepting the hatted label l̂ at that node. Minimizing Â with
+// the standard algorithm and decoding back (Lemma A.3) yields the minimal
+// STA; we use this as a cross-validation of the direct algorithms in
+// minimize.h.
+//
+// The encoding requires an explicit finite alphabet: co-finite label sets of
+// an STA over an unbounded Σ cannot be complemented against Σ ∪ Σ̂ in finite
+// form. ExpandOverAlphabet closes an automaton over a given label list first.
+#ifndef XPWQO_STA_RECOGNIZER_H_
+#define XPWQO_STA_RECOGNIZER_H_
+
+#include <vector>
+
+#include "sta/sta.h"
+
+namespace xpwqo {
+
+/// Maps plain labels to their hatted counterparts (parallel vectors).
+struct HatMap {
+  std::vector<LabelId> plain;  // sorted
+  std::vector<LabelId> hat;    // hat[i] is the hat of plain[i]
+
+  LabelId HatOf(LabelId l) const;
+  /// kNoLabel if `l` is not a hat label.
+  LabelId PlainOf(LabelId l) const;
+  bool IsHat(LabelId l) const { return PlainOf(l) != kNoLabel; }
+};
+
+/// Rewrites every (possibly co-finite) label set of `sta` as an explicit
+/// finite set over `sigma`. All concrete labels mentioned by the automaton
+/// must be in `sigma`.
+Sta ExpandOverAlphabet(const Sta& sta, const std::vector<LabelId>& sigma);
+
+/// Builds the recognizer Â of an expanded automaton. `hats` supplies fresh
+/// label ids for the hatted alphabet (hats.plain must equal the alphabet the
+/// automaton was expanded over). The result has empty S; transitions over a
+/// hat label l̂ replicate the (q, l) transitions with (q, l) ∈ S.
+Sta EncodeRecognizer(const Sta& sta, const HatMap& hats);
+
+/// Inverse of EncodeRecognizer for selecting-unambiguous recognizers
+/// (Lemma A.3): hat transitions become selecting configurations.
+Sta DecodeRecognizer(const Sta& recognizer, const HatMap& hats);
+
+/// Checks selecting-unambiguity structurally for deterministic recognizers:
+/// no reachable state may accept both σ(t1,t2) and σ̂(t1,t2). For a
+/// deterministic TDTA this reduces to: no state has, for any σ, both the σ
+/// and σ̂ transition leading to non-sink pairs with overlapping languages.
+/// We check the sampled-tree version used by the tests instead; this
+/// function performs the cheap structural necessary condition.
+bool LooksSelectingUnambiguous(const Sta& recognizer, const HatMap& hats);
+
+/// Convenience: minimal TDSTA computed via the recognizer route
+/// (expand -> encode -> minimize -> decode).
+Sta MinimizeTopDownViaRecognizer(const Sta& sta,
+                                 const std::vector<LabelId>& sigma,
+                                 const HatMap& hats);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_RECOGNIZER_H_

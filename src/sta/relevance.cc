@@ -1,0 +1,76 @@
+#include "sta/relevance.h"
+
+#include "util/check.h"
+
+namespace xpwqo {
+
+StateId FindTopDownUniversal(const Sta& sta) {
+  for (StateId q = 0; q < sta.num_states(); ++q) {
+    if (sta.IsTopDownUniversal(q)) return q;
+  }
+  return kNoState;
+}
+
+StateId FindTopDownSink(const Sta& sta) {
+  for (StateId q = 0; q < sta.num_states(); ++q) {
+    if (sta.IsTopDownSink(q)) return q;
+  }
+  return kNoState;
+}
+
+StateId FindBottomUpUniversal(const Sta& sta) {
+  for (StateId q = 0; q < sta.num_states(); ++q) {
+    if (sta.IsNonChanging(q) && sta.IsTop(q) &&
+        sta.SelectingLabels(q).IsEmpty()) {
+      return q;
+    }
+  }
+  return kNoState;
+}
+
+std::vector<NodeId> TopDownRelevantNodes(const Sta& sta, const Document& doc,
+                                         const std::vector<StateId>& states) {
+  XPWQO_CHECK(states.size() == static_cast<size_t>(doc.num_nodes()));
+  const StateId top = FindTopDownUniversal(sta);
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    StateId q = states[n];
+    if (sta.Selects(q, doc.label(n))) {
+      out.push_back(n);
+      continue;
+    }
+    // The run assigns states to the '#' children too; recompute them from
+    // the unique transition.
+    auto [q1, q2] = sta.Destination(q, doc.label(n));
+    bool skip = (q == q1 && q == q2) || (q == q1 && q2 == top) ||
+                (q == q2 && q1 == top);
+    if (!skip) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> BottomUpRelevantNodes(const Sta& sta, const Document& doc,
+                                          const std::vector<StateId>& states) {
+  XPWQO_CHECK(states.size() == static_cast<size_t>(doc.num_nodes()));
+  XPWQO_CHECK(sta.bottoms().size() == 1);
+  const StateId q0 = sta.bottoms()[0];
+  const StateId top = FindBottomUpUniversal(sta);
+  std::vector<NodeId> out;
+  auto child_state = [&](NodeId c) { return c == kNullNode ? q0 : states[c]; };
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    StateId q = states[n];
+    if (sta.Selects(q, doc.label(n))) {
+      out.push_back(n);
+      continue;
+    }
+    StateId q1 = child_state(doc.BinaryLeft(n));
+    StateId q2 = child_state(doc.BinaryRight(n));
+    auto ignorable = [&](StateId r) { return r == q0 || r == top; };
+    bool skip = (q == top) || (q == q1 && q == q2) ||
+                (q == q1 && ignorable(q2)) || (q == q2 && ignorable(q1));
+    if (!skip) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,37 @@
+// Relevant nodes of deterministic runs (Section 3): the nodes a minimal
+// automaton must touch. Lemma 3.1 characterizes them for minimal TDSTAs
+// (state change or selection), Lemma 3.2 for minimal BDSTAs.
+#ifndef XPWQO_STA_RELEVANCE_H_
+#define XPWQO_STA_RELEVANCE_H_
+
+#include <vector>
+
+#include "sta/sta.h"
+#include "tree/document.h"
+
+namespace xpwqo {
+
+/// The unique top-down universal state q> of `sta`, or kNoState. For a
+/// minimal TDSTA at most one exists (§2, after Definition 2.4).
+StateId FindTopDownUniversal(const Sta& sta);
+
+/// The unique top-down sink q⊥ of `sta`, or kNoState.
+StateId FindTopDownSink(const Sta& sta);
+
+/// The unique bottom-up universal state (non-changing state in T), or
+/// kNoState.
+StateId FindBottomUpUniversal(const Sta& sta);
+
+/// Top-down relevant nodes of an accepting run per Lemma 3.1. `states` must
+/// be the full run of the minimal TDSTA `sta` over `doc` (states[n] for each
+/// real node). Returned in document order.
+std::vector<NodeId> TopDownRelevantNodes(const Sta& sta, const Document& doc,
+                                         const std::vector<StateId>& states);
+
+/// Bottom-up relevant nodes of an accepting run per Lemma 3.2.
+std::vector<NodeId> BottomUpRelevantNodes(const Sta& sta, const Document& doc,
+                                          const std::vector<StateId>& states);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_RELEVANCE_H_

@@ -1,0 +1,146 @@
+#include "sta/run.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+/// Dense state-set representation for the oracle passes.
+using StateMaskVec = std::vector<bool>;
+
+bool AnyIntersection(const StateMaskVec& mask, const std::vector<StateId>& v) {
+  for (StateId q : v) {
+    if (mask[q]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StaRunResult TopDownRun(const Sta& sta, const Document& doc) {
+  XPWQO_CHECK(sta.tops().size() == 1);
+  StaRunResult out;
+  out.states.assign(doc.num_nodes(), kNoState);
+  out.accepting = true;
+  // Assign states in preorder; both binary children of node n have larger
+  // ids, so a single forward sweep suffices once the root is seeded.
+  out.states[doc.root()] = sta.tops()[0];
+  for (NodeId n = 0; n < doc.num_nodes() && out.accepting; ++n) {
+    StateId q = out.states[n];
+    XPWQO_CHECK(q != kNoState);  // guaranteed by preorder sweep
+    auto dests = sta.Destinations(q, doc.label(n));
+    XPWQO_CHECK(dests.size() == 1);  // deterministic + complete
+    auto [q1, q2] = dests[0];
+    NodeId left = doc.BinaryLeft(n);
+    NodeId right = doc.BinaryRight(n);
+    if (left == kNullNode) {
+      if (!sta.IsBottom(q1)) out.accepting = false;
+    } else {
+      out.states[left] = q1;
+    }
+    if (right == kNullNode) {
+      if (!sta.IsBottom(q2)) out.accepting = false;
+    } else {
+      out.states[right] = q2;
+    }
+  }
+  if (!out.accepting) {
+    out.states.assign(doc.num_nodes(), kNoState);
+    return out;
+  }
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (sta.Selects(out.states[n], doc.label(n))) out.selected.push_back(n);
+  }
+  return out;
+}
+
+StaRunResult BottomUpRun(const Sta& sta, const Document& doc) {
+  XPWQO_CHECK(sta.bottoms().size() == 1);
+  const StateId b0 = sta.bottoms()[0];
+  StaRunResult out;
+  out.states.assign(doc.num_nodes(), kNoState);
+  // Both binary children of n have larger preorder ids: a reverse sweep is a
+  // valid bottom-up evaluation order.
+  for (NodeId n = doc.num_nodes() - 1; n >= 0; --n) {
+    NodeId left = doc.BinaryLeft(n);
+    NodeId right = doc.BinaryRight(n);
+    StateId q1 = left == kNullNode ? b0 : out.states[left];
+    StateId q2 = right == kNullNode ? b0 : out.states[right];
+    auto sources = sta.Sources(q1, q2, doc.label(n));
+    XPWQO_CHECK(sources.size() == 1);  // deterministic + complete
+    out.states[n] = sources[0];
+  }
+  out.accepting = sta.IsTop(out.states[doc.root()]);
+  if (!out.accepting) {
+    out.states.assign(doc.num_nodes(), kNoState);
+    return out;
+  }
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (sta.Selects(out.states[n], doc.label(n))) out.selected.push_back(n);
+  }
+  return out;
+}
+
+StaOracleResult OracleRun(const Sta& sta, const Document& doc) {
+  const int nq = sta.num_states();
+  const int32_t nn = doc.num_nodes();
+  StaOracleResult out;
+  if (nn == 0) return out;
+
+  // Bottom-up possibility sets D(n) = states labelling n in some run of the
+  // subtree semantics; '#' children admit exactly the states of B.
+  StateMaskVec leaf_mask(nq, false);
+  for (StateId q : sta.bottoms()) leaf_mask[q] = true;
+  std::vector<StateMaskVec> down(nn, StateMaskVec(nq, false));
+  for (NodeId n = nn - 1; n >= 0; --n) {
+    NodeId left = doc.BinaryLeft(n);
+    NodeId right = doc.BinaryRight(n);
+    const StateMaskVec& d1 = left == kNullNode ? leaf_mask : down[left];
+    const StateMaskVec& d2 = right == kNullNode ? leaf_mask : down[right];
+    for (const StaTransition& t : sta.transitions()) {
+      if (t.labels.Contains(doc.label(n)) && d1[t.to1] && d2[t.to2]) {
+        down[n][t.from] = true;
+      }
+    }
+  }
+  out.accepts = AnyIntersection(down[doc.root()], sta.tops());
+  if (!out.accepts) return out;
+
+  // Top-down usefulness filter U(n): states at n that occur in at least one
+  // accepting run.
+  std::vector<StateMaskVec> up(nn, StateMaskVec(nq, false));
+  for (StateId q : sta.tops()) {
+    if (down[doc.root()][q]) up[doc.root()][q] = true;
+  }
+  for (NodeId n = 0; n < nn; ++n) {
+    NodeId left = doc.BinaryLeft(n);
+    NodeId right = doc.BinaryRight(n);
+    const StateMaskVec& d1 = left == kNullNode ? leaf_mask : down[left];
+    const StateMaskVec& d2 = right == kNullNode ? leaf_mask : down[right];
+    for (const StaTransition& t : sta.transitions()) {
+      if (!up[n][t.from] || !t.labels.Contains(doc.label(n))) continue;
+      if (!d1[t.to1] || !d2[t.to2]) continue;
+      if (left != kNullNode) up[left][t.to1] = true;
+      if (right != kNullNode) up[right][t.to2] = true;
+    }
+  }
+  for (NodeId n = 0; n < nn; ++n) {
+    for (StateId q = 0; q < nq; ++q) {
+      if (up[n][q] && sta.Selects(q, doc.label(n))) {
+        out.selected.push_back(n);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool AgreeOn(const Sta& a, const Sta& b, const Document& doc) {
+  StaOracleResult ra = OracleRun(a, doc);
+  StaOracleResult rb = OracleRun(b, doc);
+  return ra.accepts == rb.accepts && ra.selected == rb.selected;
+}
+
+}  // namespace xpwqo

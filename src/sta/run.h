@@ -1,0 +1,46 @@
+// Runs of selecting tree automata (Definition 2.2) over the binary view of a
+// Document, and the reference (oracle) semantics for non-deterministic STAs:
+// L(A) and A(t) from Definition 2.3, computed by the classical bottom-up
+// state-set pass followed by a top-down usefulness filter.
+#ifndef XPWQO_STA_RUN_H_
+#define XPWQO_STA_RUN_H_
+
+#include <vector>
+
+#include "sta/sta.h"
+#include "tree/document.h"
+
+namespace xpwqo {
+
+/// Result of running a deterministic STA.
+struct StaRunResult {
+  /// True iff the (unique) run is accepting.
+  bool accepting = false;
+  /// State assigned to each real node (kNoState where the run was aborted
+  /// or, for jumping runs, the node was skipped).
+  std::vector<StateId> states;
+  /// Selected nodes in document order (empty if not accepting).
+  std::vector<NodeId> selected;
+};
+
+/// Runs a top-down deterministic, top-down complete STA. The unique run is
+/// materialized; '#' leaves are checked against B.
+StaRunResult TopDownRun(const Sta& sta, const Document& doc);
+
+/// Runs a bottom-up deterministic, bottom-up complete STA.
+StaRunResult BottomUpRun(const Sta& sta, const Document& doc);
+
+/// Reference semantics for arbitrary STAs (used as the test oracle; cost
+/// O(|D| · |δ| · |Q|)).
+struct StaOracleResult {
+  bool accepts = false;                // t ∈ L(A)
+  std::vector<NodeId> selected;        // A(t), document order
+};
+StaOracleResult OracleRun(const Sta& sta, const Document& doc);
+
+/// True if the two automata agree (language and selection) on `doc`.
+bool AgreeOn(const Sta& a, const Sta& b, const Document& doc);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_RUN_H_

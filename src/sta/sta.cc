@@ -1,0 +1,255 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+void InsertSorted(std::vector<StateId>* v, StateId q) {
+  auto it = std::lower_bound(v->begin(), v->end(), q);
+  if (it == v->end() || *it != q) v->insert(it, q);
+}
+
+bool ContainsSorted(const std::vector<StateId>& v, StateId q) {
+  return std::binary_search(v.begin(), v.end(), q);
+}
+
+}  // namespace
+
+StateId Sta::AddState() {
+  sel_labels_.emplace_back();
+  return static_cast<StateId>(sel_labels_.size()) - 1;
+}
+
+void Sta::AddTransition(StateId q, LabelSet labels, StateId q1, StateId q2) {
+  XPWQO_CHECK(q >= 0 && q < num_states());
+  XPWQO_CHECK(q1 >= 0 && q1 < num_states());
+  XPWQO_CHECK(q2 >= 0 && q2 < num_states());
+  transitions_.push_back({q, std::move(labels), q1, q2});
+}
+
+void Sta::AddSelecting(StateId q, const LabelSet& labels) {
+  XPWQO_CHECK(q >= 0 && q < num_states());
+  sel_labels_[q] = sel_labels_[q].Union(labels);
+}
+
+void Sta::AddTop(StateId q) { InsertSorted(&tops_, q); }
+void Sta::AddBottom(StateId q) { InsertSorted(&bottoms_, q); }
+
+bool Sta::IsTop(StateId q) const { return ContainsSorted(tops_, q); }
+bool Sta::IsBottom(StateId q) const { return ContainsSorted(bottoms_, q); }
+
+std::vector<std::pair<StateId, StateId>> Sta::Destinations(StateId q,
+                                                           LabelId l) const {
+  std::vector<std::pair<StateId, StateId>> out;
+  for (const StaTransition& t : transitions_) {
+    if (t.from == q && t.labels.Contains(l)) {
+      out.emplace_back(t.to1, t.to2);
+    }
+  }
+  return out;
+}
+
+std::vector<StateId> Sta::Sources(StateId q1, StateId q2, LabelId l) const {
+  std::vector<StateId> out;
+  for (const StaTransition& t : transitions_) {
+    if (t.to1 == q1 && t.to2 == q2 && t.labels.Contains(l)) {
+      out.push_back(t.from);
+    }
+  }
+  return out;
+}
+
+std::pair<StateId, StateId> Sta::Destination(StateId q, LabelId l) const {
+  auto dests = Destinations(q, l);
+  XPWQO_CHECK(dests.size() == 1);
+  return dests[0];
+}
+
+StateId Sta::Source(StateId q1, StateId q2, LabelId l) const {
+  auto sources = Sources(q1, q2, l);
+  XPWQO_CHECK(sources.size() == 1);
+  return sources[0];
+}
+
+std::vector<LabelId> Sta::EffectiveAlphabet() const {
+  std::set<LabelId> labels;
+  for (const StaTransition& t : transitions_) {
+    for (LabelId l : t.labels.Mentioned()) labels.insert(l);
+  }
+  for (const LabelSet& s : sel_labels_) {
+    for (LabelId l : s.Mentioned()) labels.insert(l);
+  }
+  labels.insert(kOtherLabel);
+  return std::vector<LabelId>(labels.begin(), labels.end());
+}
+
+bool Sta::IsTopDownDeterministic() const {
+  if (tops_.size() != 1) return false;
+  std::vector<LabelId> sigma = EffectiveAlphabet();
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (LabelId l : sigma) {
+      if (Destinations(q, l).size() > 1) return false;
+    }
+  }
+  return true;
+}
+
+bool Sta::IsBottomUpDeterministic() const {
+  if (bottoms_.size() != 1) return false;
+  std::vector<LabelId> sigma = EffectiveAlphabet();
+  for (StateId q1 = 0; q1 < num_states(); ++q1) {
+    for (StateId q2 = 0; q2 < num_states(); ++q2) {
+      for (LabelId l : sigma) {
+        if (Sources(q1, q2, l).size() > 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Sta::IsTopDownComplete() const {
+  std::vector<LabelId> sigma = EffectiveAlphabet();
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (LabelId l : sigma) {
+      if (Destinations(q, l).empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool Sta::IsBottomUpComplete() const {
+  std::vector<LabelId> sigma = EffectiveAlphabet();
+  for (StateId q1 = 0; q1 < num_states(); ++q1) {
+    for (StateId q2 = 0; q2 < num_states(); ++q2) {
+      for (LabelId l : sigma) {
+        if (Sources(q1, q2, l).empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+StateId Sta::MakeTopDownComplete() {
+  // Find, for each state, the labels not covered by any transition.
+  StateId sink = kNoState;
+  std::vector<std::pair<StateId, LabelSet>> missing;
+  for (StateId q = 0; q < num_states(); ++q) {
+    LabelSet covered = LabelSet::None();
+    for (const StaTransition& t : transitions_) {
+      if (t.from == q) covered = covered.Union(t.labels);
+    }
+    LabelSet uncovered = covered.Complement();
+    if (!uncovered.IsEmpty()) missing.emplace_back(q, uncovered);
+  }
+  if (missing.empty()) return kNoState;
+  sink = AddState();
+  for (auto& [q, labels] : missing) {
+    AddTransition(q, labels, sink, sink);
+  }
+  AddTransition(sink, LabelSet::All(), sink, sink);
+  return sink;
+}
+
+bool Sta::IsNonChanging(StateId q) const {
+  // δ(q, l) = {(q, q)} for every l: the (q,q) loops must jointly cover Σ and
+  // no other destination may exist for any label.
+  LabelSet loop = LabelSet::None();
+  for (const StaTransition& t : transitions_) {
+    if (t.from != q) continue;
+    if (t.to1 == q && t.to2 == q) {
+      loop = loop.Union(t.labels);
+    } else if (!t.labels.IsEmpty()) {
+      return false;
+    }
+  }
+  return loop.IsAll();
+}
+
+bool Sta::IsTopDownUniversal(StateId q) const {
+  return IsNonChanging(q) && IsBottom(q) && sel_labels_[q].IsEmpty();
+}
+
+bool Sta::IsTopDownSink(StateId q) const {
+  return IsNonChanging(q) && !IsBottom(q);
+}
+
+std::vector<StateId> Sta::ReachableFrom(
+    const std::vector<StateId>& from) const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack = from;
+  for (StateId q : from) seen[q] = true;
+  while (!stack.empty()) {
+    StateId q = stack.back();
+    stack.pop_back();
+    for (const StaTransition& t : transitions_) {
+      if (t.from != q) continue;
+      for (StateId next : {t.to1, t.to2}) {
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  std::vector<StateId> out;
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (seen[q]) out.push_back(q);
+  }
+  return out;
+}
+
+Sta Sta::Restrict(const std::vector<StateId>& new_tops) const {
+  std::vector<StateId> keep = ReachableFrom(new_tops);
+  std::vector<StateId> remap(num_states(), kNoState);
+  Sta out(static_cast<int>(keep.size()));
+  for (size_t i = 0; i < keep.size(); ++i) {
+    remap[keep[i]] = static_cast<StateId>(i);
+  }
+  for (StateId q : new_tops) out.AddTop(remap[q]);
+  for (StateId q : bottoms_) {
+    if (remap[q] != kNoState) out.AddBottom(remap[q]);
+  }
+  for (size_t i = 0; i < keep.size(); ++i) {
+    out.sel_labels_[i] = sel_labels_[keep[i]];
+  }
+  for (const StaTransition& t : transitions_) {
+    if (remap[t.from] == kNoState) continue;
+    XPWQO_CHECK(remap[t.to1] != kNoState && remap[t.to2] != kNoState);
+    out.AddTransition(remap[t.from], t.labels, remap[t.to1], remap[t.to2]);
+  }
+  return out;
+}
+
+std::string Sta::ToString(const Alphabet& alphabet) const {
+  std::string out = "STA(states=" + std::to_string(num_states()) + ")\n";
+  out += "  T = {";
+  for (size_t i = 0; i < tops_.size(); ++i) {
+    if (i) out += ",";
+    out += "q" + std::to_string(tops_[i]);
+  }
+  out += "}  B = {";
+  for (size_t i = 0; i < bottoms_.size(); ++i) {
+    if (i) out += ",";
+    out += "q" + std::to_string(bottoms_[i]);
+  }
+  out += "}\n";
+  for (const StaTransition& t : transitions_) {
+    bool sel = !sel_labels_[t.from].Intersect(t.labels).IsEmpty();
+    out += "  q" + std::to_string(t.from) + ", " +
+           t.labels.ToString(alphabet) + (sel ? " => (" : " -> (") + "q" +
+           std::to_string(t.to1) + ", q" + std::to_string(t.to2) + ")\n";
+  }
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (!sel_labels_[q].IsEmpty()) {
+      out += "  S(q" + std::to_string(q) +
+             ") = " + sel_labels_[q].ToString(alphabet) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,129 @@
+// Selecting tree automata (Definition 2.1): A = (Σ, Q, T, B, S, δ) over
+// binary trees. Transitions are tuples (q, L, q1, q2) with L a LabelSet;
+// read top-down, a node in state q with label in L sends its binary children
+// to q1 and q2. The selecting configurations S ⊆ Q × Σ are stored per state
+// as a LabelSet. The '#' leaves of the paper are the kNullNode children of
+// the binary (first-child/next-sibling) view.
+#ifndef XPWQO_STA_STA_H_
+#define XPWQO_STA_STA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/alphabet.h"
+#include "tree/label_set.h"
+#include "tree/types.h"
+
+namespace xpwqo {
+
+using StateId = int32_t;
+inline constexpr StateId kNoState = -1;
+
+/// A label id that stands for "any label not mentioned by this automaton".
+/// LabelSet treats it like any unknown id: co-finite sets contain it,
+/// finite sets do not, which is exactly the required semantics.
+inline constexpr LabelId kOtherLabel = -2;
+
+/// One transition (q, L, q1, q2) ∈ δ.
+struct StaTransition {
+  StateId from;
+  LabelSet labels;
+  StateId to1;
+  StateId to2;
+};
+
+/// A selecting tree automaton.
+class Sta {
+ public:
+  /// Creates an automaton with `num_states` states and no transitions.
+  explicit Sta(int num_states = 0) : sel_labels_(num_states) {}
+
+  int num_states() const { return static_cast<int>(sel_labels_.size()); }
+
+  /// Adds a fresh state; returns its id.
+  StateId AddState();
+
+  /// Adds transition q, L -> (q1, q2).
+  void AddTransition(StateId q, LabelSet labels, StateId q1, StateId q2);
+
+  /// Declares (q, l) ∈ S for every l in `labels` (the paper's ⇒ notation
+  /// when paired with a matching transition).
+  void AddSelecting(StateId q, const LabelSet& labels);
+
+  void AddTop(StateId q);
+  void AddBottom(StateId q);
+
+  const std::vector<StateId>& tops() const { return tops_; }
+  const std::vector<StateId>& bottoms() const { return bottoms_; }
+  bool IsTop(StateId q) const;
+  bool IsBottom(StateId q) const;
+
+  const std::vector<StaTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Labels on which q selects (S restricted to q).
+  const LabelSet& SelectingLabels(StateId q) const { return sel_labels_[q]; }
+  bool Selects(StateId q, LabelId l) const {
+    return sel_labels_[q].Contains(l);
+  }
+
+  /// δ(q, l): all destination pairs (Definition after 2.1).
+  std::vector<std::pair<StateId, StateId>> Destinations(StateId q,
+                                                        LabelId l) const;
+  /// δ(q1, q2, l): all source states.
+  std::vector<StateId> Sources(StateId q1, StateId q2, LabelId l) const;
+
+  /// The unique destination pair; requires top-down determinism+completeness
+  /// for (q, l).
+  std::pair<StateId, StateId> Destination(StateId q, LabelId l) const;
+  /// The unique source state; requires bottom-up determinism+completeness.
+  StateId Source(StateId q1, StateId q2, LabelId l) const;
+
+  /// Every label mentioned positively or negatively by any transition or
+  /// selecting configuration, plus kOtherLabel as the representative of all
+  /// remaining labels. Automaton algorithms that quantify over Σ iterate
+  /// over this set.
+  std::vector<LabelId> EffectiveAlphabet() const;
+
+  /// Determinism and completeness (Definitions in §2). The checks quantify
+  /// over the effective alphabet.
+  bool IsTopDownDeterministic() const;
+  bool IsBottomUpDeterministic() const;
+  bool IsTopDownComplete() const;
+  bool IsBottomUpComplete() const;
+
+  /// Adds a sink state (if needed) and transitions so that δ(q, l) is
+  /// non-empty for every q, l. Returns the sink used (an existing one if the
+  /// automaton was already complete in a way that exposes one, else new).
+  StateId MakeTopDownComplete();
+
+  /// Non-changing state (Definition 2.4): δ(q, l) = {(q, q)} for all l.
+  bool IsNonChanging(StateId q) const;
+  /// q is non-changing, in B, and never selects: skipped subtrees under it
+  /// are accepted silently (top-down universal).
+  bool IsTopDownUniversal(StateId q) const;
+  /// q is non-changing, not in B: no tree below it can be accepted.
+  bool IsTopDownSink(StateId q) const;
+
+  /// States reachable from `from` through transitions (Definition A.1).
+  std::vector<StateId> ReachableFrom(const std::vector<StateId>& from) const;
+
+  /// The restriction A[q1...qn] (Definition A.2): T replaced by the given
+  /// states, everything else restricted to what they reach.
+  Sta Restrict(const std::vector<StateId>& new_tops) const;
+
+  /// Human-readable dump; label names resolved through `alphabet`.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  std::vector<StaTransition> transitions_;
+  std::vector<StateId> tops_;     // sorted
+  std::vector<StateId> bottoms_;  // sorted
+  std::vector<LabelSet> sel_labels_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_STA_STA_H_

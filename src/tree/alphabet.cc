@@ -1,0 +1,26 @@
+#include "tree/alphabet.h"
+
+#include "util/check.h"
+
+namespace xpwqo {
+
+LabelId Alphabet::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId Alphabet::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNoLabel : it->second;
+}
+
+const std::string& Alphabet::Name(LabelId id) const {
+  XPWQO_CHECK(id >= 0 && id < size());
+  return names_[id];
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,41 @@
+// Label interning: maps label strings (element tags, "#text", "@attr") to
+// dense LabelIds and back.
+#ifndef XPWQO_TREE_ALPHABET_H_
+#define XPWQO_TREE_ALPHABET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tree/types.h"
+
+namespace xpwqo {
+
+/// A dense, append-only string <-> LabelId table. Documents own one; query
+/// compilation may add labels that do not occur in the document (they simply
+/// have zero occurrences in the index).
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id of `name` or kNoLabel if never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// Returns the name for an id. Requires 0 <= id < size().
+  const std::string& Name(LabelId id) const;
+
+  /// Number of interned labels.
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_TREE_ALPHABET_H_

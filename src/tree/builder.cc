@@ -1,0 +1,83 @@
+#include "tree/builder.h"
+
+#include <string>
+
+namespace xpwqo {
+
+NodeId TreeBuilder::Append(LabelId label, NodeKind kind,
+                           std::string_view text) {
+  NodeId id = doc_.num_nodes();
+  doc_.labels_.push_back(label);
+  doc_.kinds_.push_back(kind);
+  doc_.first_child_.push_back(kNullNode);
+  doc_.next_sibling_.push_back(kNullNode);
+  doc_.subtree_size_.push_back(1);
+  if (text.empty()) {
+    doc_.text_index_.push_back(-1);
+  } else {
+    doc_.text_index_.push_back(static_cast<int32_t>(doc_.texts_.size()));
+    doc_.texts_.emplace_back(text);
+  }
+  if (open_.empty()) {
+    doc_.parent_.push_back(kNullNode);
+    if (kind == NodeKind::kElement) ++root_count_;
+  } else {
+    NodeId parent = open_.back();
+    doc_.parent_.push_back(parent);
+    if (last_child_.back() == kNullNode) {
+      doc_.first_child_[parent] = id;
+    } else {
+      doc_.next_sibling_[last_child_.back()] = id;
+    }
+    last_child_.back() = id;
+  }
+  return id;
+}
+
+NodeId TreeBuilder::BeginElement(std::string_view tag) {
+  if (!open_.empty()) content_seen_.back() = true;
+  NodeId id = Append(doc_.alphabet_->Intern(tag), NodeKind::kElement, "");
+  open_.push_back(id);
+  last_child_.push_back(kNullNode);
+  content_seen_.push_back(false);
+  return id;
+}
+
+void TreeBuilder::EndElement() {
+  XPWQO_CHECK(!open_.empty());
+  NodeId id = open_.back();
+  doc_.subtree_size_[id] = doc_.num_nodes() - id;
+  open_.pop_back();
+  last_child_.pop_back();
+  content_seen_.pop_back();
+}
+
+NodeId TreeBuilder::AddAttribute(std::string_view name,
+                                 std::string_view value) {
+  XPWQO_CHECK(!open_.empty());
+  XPWQO_CHECK(!content_seen_.back());
+  std::string label = "@";
+  label += name;
+  return Append(doc_.alphabet_->Intern(label), NodeKind::kAttribute, value);
+}
+
+NodeId TreeBuilder::AddText(std::string_view content) {
+  XPWQO_CHECK(!open_.empty());
+  content_seen_.back() = true;
+  return Append(doc_.alphabet_->Intern("#text"), NodeKind::kText, content);
+}
+
+StatusOr<Document> TreeBuilder::Finish() {
+  if (!open_.empty()) {
+    return Status::InvalidArgument("TreeBuilder::Finish with open elements");
+  }
+  if (doc_.num_nodes() == 0) {
+    return Status::InvalidArgument("empty document");
+  }
+  if (root_count_ != 1) {
+    return Status::InvalidArgument("document must have exactly one root");
+  }
+  return std::move(doc_);
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,53 @@
+// TreeBuilder: streaming construction of a Document in document order.
+#ifndef XPWQO_TREE_BUILDER_H_
+#define XPWQO_TREE_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/document.h"
+#include "util/status.h"
+
+namespace xpwqo {
+
+/// Builds a Document through Begin/End element events (SAX style). Attributes
+/// must be added before any child content of the open element. The builder
+/// enforces a single root element.
+class TreeBuilder {
+ public:
+  TreeBuilder() = default;
+
+  /// Opens an element named `tag`. Returns its NodeId.
+  NodeId BeginElement(std::string_view tag);
+
+  /// Closes the innermost open element.
+  void EndElement();
+
+  /// Adds an attribute node "@name" with value to the open element.
+  /// Must precede Text/BeginElement children of that element.
+  NodeId AddAttribute(std::string_view name, std::string_view value);
+
+  /// Adds a "#text" child with the given content.
+  NodeId AddText(std::string_view content);
+
+  /// Number of nodes built so far.
+  int32_t num_nodes() const { return doc_.num_nodes(); }
+
+  /// Finishes the build. Fails if elements are still open, no root exists,
+  /// or more than one root element was created.
+  StatusOr<Document> Finish();
+
+ private:
+  NodeId Append(LabelId label, NodeKind kind, std::string_view text);
+
+  Document doc_;
+  std::vector<NodeId> open_;        // stack of open elements
+  std::vector<NodeId> last_child_;  // parallel: last child appended
+  std::vector<bool> content_seen_;  // parallel: saw non-attribute content
+  int root_count_ = 0;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_TREE_BUILDER_H_

@@ -1,0 +1,119 @@
+#include "tree/label_set.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+std::vector<LabelId> SortedUnique(std::vector<LabelId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<LabelId> SetUnion(const std::vector<LabelId>& a,
+                              const std::vector<LabelId>& b) {
+  std::vector<LabelId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<LabelId> SetIntersect(const std::vector<LabelId>& a,
+                                  const std::vector<LabelId>& b) {
+  std::vector<LabelId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<LabelId> SetMinus(const std::vector<LabelId>& a,
+                              const std::vector<LabelId>& b) {
+  std::vector<LabelId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+LabelSet::LabelSet(bool negated, std::vector<LabelId> labels)
+    : negated_(negated), labels_(SortedUnique(std::move(labels))) {}
+
+LabelSet LabelSet::All() { return LabelSet(true, {}); }
+LabelSet LabelSet::None() { return LabelSet(false, {}); }
+
+LabelSet LabelSet::Of(std::initializer_list<LabelId> labels) {
+  return LabelSet(false, std::vector<LabelId>(labels));
+}
+LabelSet LabelSet::Of(std::vector<LabelId> labels) {
+  return LabelSet(false, std::move(labels));
+}
+LabelSet LabelSet::AllExcept(std::initializer_list<LabelId> labels) {
+  return LabelSet(true, std::vector<LabelId>(labels));
+}
+LabelSet LabelSet::AllExcept(std::vector<LabelId> labels) {
+  return LabelSet(true, std::move(labels));
+}
+
+bool LabelSet::Contains(LabelId label) const {
+  bool in_list =
+      std::binary_search(labels_.begin(), labels_.end(), label);
+  return negated_ ? !in_list : in_list;
+}
+
+const std::vector<LabelId>& LabelSet::FiniteMembers() const {
+  XPWQO_CHECK(IsFinite());
+  return labels_;
+}
+
+const std::vector<LabelId>& LabelSet::Excluded() const {
+  XPWQO_CHECK(!IsFinite());
+  return labels_;
+}
+
+LabelSet LabelSet::Complement() const {
+  return LabelSet(!negated_, labels_);
+}
+
+LabelSet LabelSet::Union(const LabelSet& other) const {
+  if (!negated_ && !other.negated_) {
+    return LabelSet(false, SetUnion(labels_, other.labels_));
+  }
+  if (negated_ && other.negated_) {
+    // (Σ\A) ∪ (Σ\B) = Σ \ (A ∩ B)
+    return LabelSet(true, SetIntersect(labels_, other.labels_));
+  }
+  // A ∪ (Σ\B) = Σ \ (B \ A)
+  const LabelSet& pos = negated_ ? other : *this;
+  const LabelSet& neg = negated_ ? *this : other;
+  return LabelSet(true, SetMinus(neg.labels_, pos.labels_));
+}
+
+LabelSet LabelSet::Intersect(const LabelSet& other) const {
+  return Complement().Union(other.Complement()).Complement();
+}
+
+LabelSet LabelSet::Minus(const LabelSet& other) const {
+  return Intersect(other.Complement());
+}
+
+std::string LabelSet::ToString(const Alphabet& alphabet) const {
+  std::string out = negated_ ? "Σ\\{" : "{";
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += ",";
+    if (labels_[i] >= 0 && labels_[i] < alphabet.size()) {
+      out += alphabet.Name(labels_[i]);
+    } else {
+      out += '#';
+      out += std::to_string(labels_[i]);
+    }
+  }
+  out += "}";
+  if (IsAll()) return "Σ";
+  return out;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,76 @@
+// LabelSet: a finite or co-finite set of labels, as used in automaton
+// transitions (the paper writes transitions over sets L ⊆ Σ such as {a} or
+// Σ \ {a}). The alphabet is treated as unbounded (new labels may be interned
+// at any time), so a negated set is never empty.
+#ifndef XPWQO_TREE_LABEL_SET_H_
+#define XPWQO_TREE_LABEL_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tree/alphabet.h"
+#include "tree/types.h"
+
+namespace xpwqo {
+
+/// A set of labels, represented either positively (a sorted list of members)
+/// or negatively (a sorted list of non-members; the set is the complement).
+class LabelSet {
+ public:
+  /// The empty set.
+  LabelSet() : negated_(false) {}
+
+  /// Σ — every label.
+  static LabelSet All();
+  /// ∅ — no label.
+  static LabelSet None();
+  /// {labels...}
+  static LabelSet Of(std::initializer_list<LabelId> labels);
+  static LabelSet Of(std::vector<LabelId> labels);
+  /// Σ \ {labels...}
+  static LabelSet AllExcept(std::initializer_list<LabelId> labels);
+  static LabelSet AllExcept(std::vector<LabelId> labels);
+
+  bool Contains(LabelId label) const;
+
+  /// True if the set has finitely many members (positive representation).
+  bool IsFinite() const { return !negated_; }
+  /// True if the set is ∅.
+  bool IsEmpty() const { return !negated_ && labels_.empty(); }
+  /// True if the set is Σ.
+  bool IsAll() const { return negated_ && labels_.empty(); }
+
+  /// Members of a finite set, sorted. Requires IsFinite().
+  const std::vector<LabelId>& FiniteMembers() const;
+  /// Excluded labels of a co-finite set, sorted. Requires !IsFinite().
+  const std::vector<LabelId>& Excluded() const;
+
+  /// The labels explicitly mentioned by the representation (members of a
+  /// finite set, non-members of a co-finite one). All other labels behave
+  /// uniformly with respect to this set.
+  const std::vector<LabelId>& Mentioned() const { return labels_; }
+
+  LabelSet Complement() const;
+  LabelSet Union(const LabelSet& other) const;
+  LabelSet Intersect(const LabelSet& other) const;
+  /// this \ other.
+  LabelSet Minus(const LabelSet& other) const;
+
+  bool operator==(const LabelSet& other) const {
+    return negated_ == other.negated_ && labels_ == other.labels_;
+  }
+
+  /// Debug string such as "{a,b}" or "Σ\{a}"; names resolved via `alphabet`.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  LabelSet(bool negated, std::vector<LabelId> labels);
+
+  bool negated_;
+  std::vector<LabelId> labels_;  // sorted, unique
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_TREE_LABEL_SET_H_

@@ -1,0 +1,29 @@
+// Core identifier types of the tree model.
+#ifndef XPWQO_TREE_TYPES_H_
+#define XPWQO_TREE_TYPES_H_
+
+#include <cstdint>
+
+namespace xpwqo {
+
+/// Index of a node in a Document, equal to its preorder (document-order)
+/// rank. kNullNode plays the role of the '#' leaf of the paper's binary
+/// trees: a missing first-child or next-sibling.
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+/// Interned label. Element tags intern as-is ("item"), text nodes as
+/// "#text", attributes as "@name".
+using LabelId = int32_t;
+inline constexpr LabelId kNoLabel = -1;
+
+/// Kind of a document node.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+  kAttribute = 2,
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_TREE_TYPES_H_

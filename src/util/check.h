@@ -1,0 +1,27 @@
+// Internal invariant checks. XPWQO_CHECK is always on (cheap conditions on
+// cold paths); XPWQO_DCHECK compiles away in release builds and is used on
+// hot paths.
+#ifndef XPWQO_UTIL_CHECK_H_
+#define XPWQO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define XPWQO_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "XPWQO_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define XPWQO_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define XPWQO_DCHECK(cond) XPWQO_CHECK(cond)
+#endif
+
+#endif  // XPWQO_UTIL_CHECK_H_

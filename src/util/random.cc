@@ -1,0 +1,66 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  s0_ = SplitMix64(&sm);
+  s1_ = SplitMix64(&sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next64() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  XPWQO_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = bound * (UINT64_MAX / bound);
+  uint64_t r;
+  do {
+    r = Next64();
+  } while (r >= limit && limit != 0);
+  return r % bound;
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  XPWQO_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int Random::Geometric(double p, int cap) {
+  int n = 0;
+  while (n < cap && Bernoulli(p)) ++n;
+  return n;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random source used by the XMark generator and the
+// randomized property tests. A thin wrapper over a fixed-algorithm PRNG so
+// that generated documents are bit-identical across platforms and runs.
+#ifndef XPWQO_UTIL_RANDOM_H_
+#define XPWQO_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace xpwqo {
+
+/// SplitMix64-seeded xorshift128+ generator. Chosen over std::mt19937 because
+/// its output sequence is fully specified here (libstdc++'s distributions are
+/// not portable across versions).
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Geometric-ish: number of successes before failure with prob p, capped.
+  int Geometric(double p, int cap);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_UTIL_RANDOM_H_

@@ -1,0 +1,150 @@
+// Status / StatusOr: lightweight error propagation in the style used by
+// database systems such as Arrow and RocksDB. The library does not use
+// exceptions on its hot paths; fallible operations return Status or
+// StatusOr<T>.
+#ifndef XPWQO_UTIL_STATUS_H_
+#define XPWQO_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xpwqo {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kUnimplemented,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK (a single
+/// word); error details live behind a pointer.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class StatusOr {
+ public:
+  /*implicit*/ StatusOr(T value) : v_(std::move(value)) {}
+  /*implicit*/ StatusOr(Status status) : v_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Requires ok(). Aborts otherwise (programming error).
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+// Propagates a non-OK status from an expression.
+#define XPWQO_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::xpwqo::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors, binding the value.
+#define XPWQO_ASSIGN_OR_RETURN(lhs, expr)                  \
+  XPWQO_ASSIGN_OR_RETURN_IMPL(                             \
+      XPWQO_STATUS_CONCAT(_status_or, __LINE__), lhs, expr)
+#define XPWQO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define XPWQO_STATUS_CONCAT(a, b) XPWQO_STATUS_CONCAT_IMPL(a, b)
+#define XPWQO_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_UTIL_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared across the library.
+#ifndef XPWQO_UTIL_STRINGS_H_
+#define XPWQO_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xpwqo {
+
+/// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Escapes XML special characters (& < > " ') in `s`.
+std::string XmlEscape(std::string_view s);
+
+/// Formats n with thousands separators, e.g. 5673051 -> "5,673,051".
+std::string WithCommas(uint64_t n);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_UTIL_STRINGS_H_

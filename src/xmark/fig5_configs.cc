@@ -1,0 +1,133 @@
+#include "xmark/fig5_configs.h"
+
+#include "tree/builder.h"
+#include "util/check.h"
+
+namespace xpwqo {
+namespace {
+
+// Counts stated in Figure 5 of the paper.
+constexpr int kListitemsA = 75021, kKeywordsA = 3, kEmphsA = 4;
+constexpr int kListitemsB = 75021, kKeywordsB = 60234, kEmphsB = 4;
+constexpr int kListitemsC = 9083, kKeywordsTotalC = 40493, kEmphsC = 65831;
+constexpr int kListitemsD = 20304, kKeywordsD = 10209, kEmphsD = 15074;
+
+void Emph(TreeBuilder* b) {
+  b->BeginElement("emph");
+  b->EndElement();
+}
+void KeywordWithEmphs(TreeBuilder* b, int emphs) {
+  b->BeginElement("keyword");
+  for (int i = 0; i < emphs; ++i) Emph(b);
+  b->EndElement();
+}
+
+Document BuildA() {
+  TreeBuilder b;
+  b.BeginElement("doc");
+  // First three listitems carry the keywords; emphs split 2/1/1.
+  const int emph_split[3] = {2, 1, 1};
+  for (int i = 0; i < kListitemsA; ++i) {
+    b.BeginElement("listitem");
+    if (i < kKeywordsA) KeywordWithEmphs(&b, emph_split[i]);
+    b.EndElement();
+  }
+  b.EndElement();
+  return std::move(b.Finish()).value();
+}
+
+Document BuildB() {
+  TreeBuilder b;
+  b.BeginElement("doc");
+  // Keywords spread over the first kKeywordsB listitems, one each; the four
+  // emphs sit under the first four keywords.
+  for (int i = 0; i < kListitemsB; ++i) {
+    b.BeginElement("listitem");
+    if (i < kKeywordsB) KeywordWithEmphs(&b, i < kEmphsB ? 1 : 0);
+    b.EndElement();
+  }
+  b.EndElement();
+  return std::move(b.Finish()).value();
+}
+
+Document BuildC() {
+  TreeBuilder b;
+  b.BeginElement("doc");
+  // One keyword below a listitem, holding all the emphs.
+  b.BeginElement("listitem");
+  KeywordWithEmphs(&b, kEmphsC);
+  b.EndElement();
+  for (int i = 1; i < kListitemsC; ++i) {
+    b.BeginElement("listitem");
+    b.EndElement();
+  }
+  // The remaining keywords live outside any listitem.
+  b.BeginElement("other");
+  for (int i = 1; i < kKeywordsTotalC; ++i) KeywordWithEmphs(&b, 0);
+  b.EndElement();
+  b.EndElement();
+  return std::move(b.Finish()).value();
+}
+
+Document BuildD() {
+  TreeBuilder b;
+  b.BeginElement("doc");
+  // All keywords below one listitem; one keyword holds all the emphs.
+  b.BeginElement("listitem");
+  KeywordWithEmphs(&b, kEmphsD);
+  for (int i = 1; i < kKeywordsD; ++i) KeywordWithEmphs(&b, 0);
+  b.EndElement();
+  for (int i = 1; i < kListitemsD; ++i) {
+    b.BeginElement("listitem");
+    b.EndElement();
+  }
+  b.EndElement();
+  return std::move(b.Finish()).value();
+}
+
+}  // namespace
+
+Document BuildFig5Config(Fig5Config config) {
+  switch (config) {
+    case Fig5Config::kA:
+      return BuildA();
+    case Fig5Config::kB:
+      return BuildB();
+    case Fig5Config::kC:
+      return BuildC();
+    case Fig5Config::kD:
+      return BuildD();
+  }
+  XPWQO_CHECK(false);
+  return Document();
+}
+
+const char* Fig5ConfigName(Fig5Config config) {
+  switch (config) {
+    case Fig5Config::kA:
+      return "A";
+    case Fig5Config::kB:
+      return "B";
+    case Fig5Config::kC:
+      return "C";
+    case Fig5Config::kD:
+      return "D";
+  }
+  return "?";
+}
+
+int Fig5ExpectedSelected(Fig5Config config) {
+  switch (config) {
+    case Fig5Config::kA:
+      return kEmphsA;
+    case Fig5Config::kB:
+      return kEmphsB;
+    case Fig5Config::kC:
+      return kEmphsC;
+    case Fig5Config::kD:
+      return kEmphsD;
+  }
+  return -1;
+}
+
+}  // namespace xpwqo

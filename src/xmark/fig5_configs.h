@@ -1,0 +1,35 @@
+// The four hand-crafted document configurations of the paper's Figure 5,
+// used to probe the hybrid evaluation strategy on the query
+// //listitem//keyword//emph.
+//
+// Paper-stated shapes (counts reproduced exactly):
+//   A: 75021 listitem; 3 keyword below listitems (3 in total); 4 emph below
+//      those 3 keywords.                         (best case: rare keyword)
+//   B: 75021 listitem; 60234 keyword below listitems (60234 in total);
+//      4 emph below those keywords.              (best case: rare emph)
+//   C: 9083 listitem; one keyword below listitems (40493 in total); 65831
+//      emph below the one keyword below a listitem. (hybrid ~ regular)
+//   D: 20304 listitem; 10209 keyword below one listitem (10209 in total);
+//      15074 emph below one of those keywords.   (hybrid worst case)
+#ifndef XPWQO_XMARK_FIG5_CONFIGS_H_
+#define XPWQO_XMARK_FIG5_CONFIGS_H_
+
+#include "tree/document.h"
+
+namespace xpwqo {
+
+enum class Fig5Config { kA, kB, kC, kD };
+
+/// Builds the document for one Figure 5 configuration. Deterministic.
+Document BuildFig5Config(Fig5Config config);
+
+/// "A".."D".
+const char* Fig5ConfigName(Fig5Config config);
+
+/// The number of nodes //listitem//keyword//emph selects in each
+/// configuration, as stated by the paper (A:4, B:4, C:65831, D:15074).
+int Fig5ExpectedSelected(Fig5Config config);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XMARK_FIG5_CONFIGS_H_

@@ -1,0 +1,327 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "tree/builder.h"
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+const char* const kWords[] = {
+    "amorous",  "baggage", "cabinet", "dagger",  "eagle",   "fabric",
+    "gamboge",  "hackles", "iceberg", "jackal",  "keel",    "labour",
+    "madrigal", "nacelle", "oasis",   "pageant", "quarrel", "rampart",
+    "sable",    "tackle",  "umpire",  "vagrant", "waffle",  "yarrow",
+    "zealot",   "arrears", "borough", "cascade", "dredge",  "embargo"};
+constexpr int kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kRegions[] = {"africa",   "asia",     "australia",
+                                "europe",   "namerica", "samerica"};
+// Share of items per region; europe is the largest, matching XMark.
+const double kRegionShare[] = {0.06, 0.12, 0.05, 0.40, 0.30, 0.07};
+
+class XMarkGen {
+ public:
+  explicit XMarkGen(const XMarkOptions& options)
+      : opt_(options), rng_(options.seed) {}
+
+  Document Generate() {
+    const double f = std::max(opt_.scale, 1e-4);
+    const int num_items = std::max(6, static_cast<int>(21750 * f));
+    const int num_persons = std::max(4, static_cast<int>(25500 * f));
+    const int num_open = std::max(2, static_cast<int>(12000 * f));
+    const int num_closed = std::max(2, static_cast<int>(9750 * f));
+    const int num_categories = std::max(2, static_cast<int>(1000 * f));
+
+    b_.BeginElement("site");
+    Regions(num_items);
+    Categories(num_categories);
+    Catgraph(num_categories);
+    People(num_persons);
+    OpenAuctions(num_open);
+    ClosedAuctions(num_closed);
+    b_.EndElement();
+    auto doc = b_.Finish();
+    XPWQO_CHECK(doc.ok());
+    return std::move(doc).value();
+  }
+
+ private:
+  void Words(int lo, int hi) {
+    if (!opt_.with_text) return;
+    int n = static_cast<int>(rng_.UniformInt(lo, hi));
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) s += ' ';
+      s += kWords[rng_.Uniform(kNumWords)];
+    }
+    if (!s.empty()) b_.AddText(s);
+  }
+
+  void Id(const char* prefix, int i) {
+    if (opt_.with_attributes) {
+      b_.AddAttribute("id", std::string(prefix) + std::to_string(i));
+    }
+  }
+
+  void SimpleLeaf(const char* tag, int lo = 1, int hi = 3) {
+    b_.BeginElement(tag);
+    Words(lo, hi);
+    b_.EndElement();
+  }
+
+  /// <keyword>; occasionally nests <emph> inside, so predicates such as
+  /// Q13's .//keyword/emph and Q14's .//keyword//emph have witnesses.
+  void Keyword() {
+    b_.BeginElement("keyword");
+    Words(1, 2);
+    if (rng_.Bernoulli(0.08)) {
+      b_.BeginElement("emph");
+      Words(1, 1);
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  /// <text> with interleaved words and inline keyword/bold/emph markup.
+  void Text() {
+    b_.BeginElement("text");
+    Words(2, 8);
+    int inlines = rng_.Geometric(0.55, 4);
+    for (int i = 0; i < inlines; ++i) {
+      switch (rng_.Uniform(3)) {
+        case 0:
+          Keyword();
+          break;
+        case 1:
+          SimpleLeaf("bold");
+          break;
+        default:
+          SimpleLeaf("emph");
+          break;
+      }
+      Words(1, 4);
+    }
+    b_.EndElement();
+  }
+
+  /// Recursive parlist/listitem trees (XMark's <parlist> production).
+  void Parlist(int depth) {
+    b_.BeginElement("parlist");
+    int items = static_cast<int>(rng_.UniformInt(1, 4));
+    for (int i = 0; i < items; ++i) {
+      b_.BeginElement("listitem");
+      if (depth < 3 && rng_.Bernoulli(0.30)) {
+        Parlist(depth + 1);
+      } else {
+        Text();
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Description() {
+    b_.BeginElement("description");
+    if (rng_.Bernoulli(0.35)) {
+      Parlist(0);
+    } else {
+      Text();
+    }
+    b_.EndElement();
+  }
+
+  void Mailbox() {
+    b_.BeginElement("mailbox");
+    int mails = rng_.Geometric(0.6, 5);
+    for (int i = 0; i < mails; ++i) {
+      b_.BeginElement("mail");
+      SimpleLeaf("from");
+      SimpleLeaf("to");
+      if (rng_.Bernoulli(0.8)) SimpleLeaf("date", 1, 1);
+      Text();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Item(int region, int i) {
+    b_.BeginElement("item");
+    Id("item", i);
+    SimpleLeaf("location");
+    SimpleLeaf("quantity", 1, 1);
+    SimpleLeaf("name");
+    b_.BeginElement("payment");
+    Words(1, 2);
+    b_.EndElement();
+    Description();
+    b_.BeginElement("shipping");
+    Words(1, 3);
+    b_.EndElement();
+    int cats = rng_.Geometric(0.5, 3);
+    for (int c = 0; c < cats; ++c) {
+      b_.BeginElement("incategory");
+      if (opt_.with_attributes) {
+        b_.AddAttribute("category",
+                        "category" + std::to_string(rng_.Uniform(1000)));
+      }
+      b_.EndElement();
+    }
+    Mailbox();
+    b_.EndElement();
+    (void)region;
+  }
+
+  void Regions(int num_items) {
+    b_.BeginElement("regions");
+    int next_id = 0;
+    for (int r = 0; r < 6; ++r) {
+      b_.BeginElement(kRegions[r]);
+      int count = std::max(1, static_cast<int>(num_items * kRegionShare[r]));
+      for (int i = 0; i < count; ++i) Item(r, next_id++);
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Categories(int n) {
+    b_.BeginElement("categories");
+    for (int i = 0; i < n; ++i) {
+      b_.BeginElement("category");
+      Id("category", i);
+      SimpleLeaf("name");
+      Description();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Catgraph(int n) {
+    b_.BeginElement("catgraph");
+    for (int i = 0; i < n; ++i) {
+      b_.BeginElement("edge");
+      if (opt_.with_attributes) {
+        b_.AddAttribute("from", "category" + std::to_string(rng_.Uniform(n)));
+        b_.AddAttribute("to", "category" + std::to_string(rng_.Uniform(n)));
+      }
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void People(int n) {
+    b_.BeginElement("people");
+    for (int i = 0; i < n; ++i) {
+      b_.BeginElement("person");
+      Id("person", i);
+      SimpleLeaf("name");
+      SimpleLeaf("emailaddress", 1, 1);
+      if (rng_.Bernoulli(0.5)) SimpleLeaf("phone", 1, 1);
+      if (rng_.Bernoulli(0.4)) {
+        b_.BeginElement("address");
+        SimpleLeaf("street");
+        SimpleLeaf("city", 1, 1);
+        SimpleLeaf("country", 1, 1);
+        SimpleLeaf("zipcode", 1, 1);
+        b_.EndElement();
+      }
+      if (rng_.Bernoulli(0.3)) SimpleLeaf("homepage", 1, 1);
+      if (rng_.Bernoulli(0.5)) SimpleLeaf("creditcard", 1, 1);
+      if (rng_.Bernoulli(0.7)) {
+        b_.BeginElement("profile");
+        if (opt_.with_attributes) {
+          b_.AddAttribute("income", std::to_string(rng_.Uniform(100000)));
+        }
+        int interests = rng_.Geometric(0.5, 4);
+        for (int k = 0; k < interests; ++k) SimpleLeaf("interest", 1, 1);
+        SimpleLeaf("business", 1, 1);
+        if (rng_.Bernoulli(0.5)) SimpleLeaf("age", 1, 1);
+        b_.EndElement();
+      }
+      b_.BeginElement("watches");
+      int watches = rng_.Geometric(0.4, 3);
+      for (int k = 0; k < watches; ++k) SimpleLeaf("watch", 1, 1);
+      b_.EndElement();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void OpenAuctions(int n) {
+    b_.BeginElement("open_auctions");
+    for (int i = 0; i < n; ++i) {
+      b_.BeginElement("open_auction");
+      Id("open_auction", i);
+      SimpleLeaf("initial", 1, 1);
+      int bidders = rng_.Geometric(0.6, 5);
+      for (int k = 0; k < bidders; ++k) {
+        b_.BeginElement("bidder");
+        SimpleLeaf("date", 1, 1);
+        SimpleLeaf("time", 1, 1);
+        SimpleLeaf("increase", 1, 1);
+        b_.EndElement();
+      }
+      SimpleLeaf("current", 1, 1);
+      SimpleLeaf("itemref", 1, 1);
+      SimpleLeaf("seller", 1, 1);
+      Annotation();
+      SimpleLeaf("quantity", 1, 1);
+      SimpleLeaf("type", 1, 1);
+      b_.BeginElement("interval");
+      SimpleLeaf("start", 1, 1);
+      SimpleLeaf("end", 1, 1);
+      b_.EndElement();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  void Annotation() {
+    b_.BeginElement("annotation");
+    SimpleLeaf("author", 1, 1);
+    Description();
+    SimpleLeaf("happiness", 1, 1);
+    b_.EndElement();
+  }
+
+  void ClosedAuctions(int n) {
+    b_.BeginElement("closed_auctions");
+    for (int i = 0; i < n; ++i) {
+      b_.BeginElement("closed_auction");
+      SimpleLeaf("seller", 1, 1);
+      SimpleLeaf("buyer", 1, 1);
+      SimpleLeaf("itemref", 1, 1);
+      SimpleLeaf("price", 1, 1);
+      SimpleLeaf("date", 1, 1);
+      SimpleLeaf("quantity", 1, 1);
+      SimpleLeaf("type", 1, 1);
+      Annotation();
+      b_.EndElement();
+    }
+    b_.EndElement();
+  }
+
+  XMarkOptions opt_;
+  Random rng_;
+  TreeBuilder b_;
+};
+
+}  // namespace
+
+Document GenerateXMark(const XMarkOptions& options) {
+  return XMarkGen(options).Generate();
+}
+
+double XMarkScaleFromEnv(double fallback) {
+  const char* env = std::getenv("XPWQO_SCALE");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || v <= 0) return fallback;
+  return v;
+}
+
+}  // namespace xpwqo

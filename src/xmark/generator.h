@@ -1,0 +1,42 @@
+// Deterministic XMark-like document generator.
+//
+// The paper evaluates on a 116 MB XMark [19] document (5,673,051 nodes). We
+// regenerate a structurally equivalent document from scratch: the element
+// vocabulary and nesting reproduce the XMark DTD fragments exercised by the
+// benchmark queries Q01-Q15 (regions/item/mailbox/mail/text/keyword, people/
+// person with optional address/phone/homepage, closed_auctions with
+// annotation/description, and recursive parlist/listitem trees containing
+// keyword/emph/bold text markup). The generator is fully deterministic for a
+// given (seed, scale) pair.
+#ifndef XPWQO_XMARK_GENERATOR_H_
+#define XPWQO_XMARK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "tree/document.h"
+
+namespace xpwqo {
+
+struct XMarkOptions {
+  /// XMark-style scale factor. scale=1.0 approximates the paper's document
+  /// (tens of thousands of items/persons/auctions, millions of nodes);
+  /// the default keeps unit tests and quick benches fast.
+  double scale = 0.05;
+  /// Seed for the deterministic PRNG.
+  uint64_t seed = 20100324;  // paper's arXiv date
+  /// Emit #text leaves (content words).
+  bool with_text = true;
+  /// Emit @id-style attributes.
+  bool with_attributes = true;
+};
+
+/// Generates an XMark-like Document.
+Document GenerateXMark(const XMarkOptions& options = {});
+
+/// Reads the scale from the XPWQO_SCALE environment variable if set,
+/// otherwise returns `fallback`. Used by the benchmark binaries.
+double XMarkScaleFromEnv(double fallback);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XMARK_GENERATOR_H_

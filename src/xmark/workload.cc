@@ -1,0 +1,37 @@
+#include "xmark/workload.h"
+
+namespace xpwqo {
+
+const std::vector<WorkloadQuery>& Figure2Workload() {
+  // Note: the paper typesets "closed auctions" with a space (LaTeX artifact);
+  // XMark's actual tags use underscores.
+  static const std::vector<WorkloadQuery> kQueries = {
+      {"Q01", "/site/regions"},
+      {"Q02", "/site/regions/europe/item/mailbox/mail/text/keyword"},
+      {"Q03",
+       "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+       "listitem"},
+      {"Q04", "/site/regions/*/item"},
+      {"Q05", "//listitem//keyword"},
+      {"Q06", "/site/regions/*/item//keyword"},
+      {"Q07", "/site/people/person[ address and (phone or homepage) ]"},
+      {"Q08", "//listitem[ .//keyword and .//emph ]//parlist"},
+      {"Q09", "/site/regions/*/item[ mailbox/mail/date ]/mailbox/mail"},
+      {"Q10", "/site[ .//keyword ]"},
+      {"Q11", "/site//keyword"},
+      {"Q12", "/site[ .//keyword ]//keyword"},
+      {"Q13", "/site[ .//keyword or .//keyword/emph ]//keyword"},
+      {"Q14", "/site[ .//keyword//emph ]/descendant::keyword"},
+      {"Q15", "/site[ .//*//* ]//keyword"},
+  };
+  return kQueries;
+}
+
+const WorkloadQuery* FindWorkloadQuery(const std::string& id) {
+  for (const WorkloadQuery& q : Figure2Workload()) {
+    if (id == q.id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,26 @@
+// The query workload of the paper's Figure 2: Q01-Q09 from XPathMark [4],
+// Q10-Q15 crafted to exercise the automata logic.
+#ifndef XPWQO_XMARK_WORKLOAD_H_
+#define XPWQO_XMARK_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace xpwqo {
+
+struct WorkloadQuery {
+  /// "Q01".."Q15".
+  const char* id;
+  /// The XPath expression.
+  const char* xpath;
+};
+
+/// Q01..Q15 in order.
+const std::vector<WorkloadQuery>& Figure2Workload();
+
+/// Lookup by id ("Q05"); returns nullptr if unknown.
+const WorkloadQuery* FindWorkloadQuery(const std::string& id);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XMARK_WORKLOAD_H_

@@ -1,0 +1,336 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tree/builder.h"
+
+namespace xpwqo {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < s_.size() ? s_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (s_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumePrefix(std::string_view p) {
+    if (s_.substr(pos_).substr(0, p.size()) == p) {
+      for (size_t i = 0; i < p.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return s_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view xml, const XmlParseOptions& options)
+      : cur_(xml), options_(options) {}
+
+  StatusOr<Document> Parse() {
+    XPWQO_RETURN_IF_ERROR(SkipProlog());
+    if (cur_.AtEnd() || cur_.Peek() != '<') {
+      return Error("expected root element");
+    }
+    XPWQO_RETURN_IF_ERROR(ParseElement());
+    XPWQO_RETURN_IF_ERROR(SkipMisc());
+    if (!cur_.AtEnd()) {
+      return Error("content after root element");
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(cur_.line()) + ": " +
+                              msg);
+  }
+
+  Status SkipProlog() {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.ConsumePrefix("<?")) {
+        XPWQO_RETURN_IF_ERROR(SkipUntil("?>"));
+      } else if (cur_.ConsumePrefix("<!--")) {
+        XPWQO_RETURN_IF_ERROR(SkipUntil("-->"));
+      } else if (cur_.ConsumePrefix("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets in brackets allowed).
+        int depth = 1;
+        while (!cur_.AtEnd() && depth > 0) {
+          char c = cur_.Peek();
+          if (c == '<') ++depth;
+          if (c == '>') --depth;
+          cur_.Advance();
+        }
+        if (depth != 0) return Error("unterminated DOCTYPE");
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipMisc() {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.ConsumePrefix("<!--")) {
+        XPWQO_RETURN_IF_ERROR(SkipUntil("-->"));
+      } else if (cur_.ConsumePrefix("<?")) {
+        XPWQO_RETURN_IF_ERROR(SkipUntil("?>"));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    while (!cur_.AtEnd()) {
+      if (cur_.ConsumePrefix(terminator)) return Status::OK();
+      cur_.Advance();
+    }
+    return Error(std::string("unterminated construct, expected \"") +
+                 std::string(terminator) + "\"");
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (cur_.AtEnd() || !IsNameStart(cur_.Peek())) {
+      return Error("expected name");
+    }
+    size_t start = cur_.pos();
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
+    return std::string(cur_.Slice(start, cur_.pos()));
+  }
+
+  /// Decodes entity and character references in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    out->reserve(out->size() + raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        try {
+          code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                     ? std::stol(std::string(ent.substr(2)), nullptr, 16)
+                     : std::stol(std::string(ent.substr(1)), nullptr, 10);
+        } catch (...) {
+          return Error("bad character reference &" + std::string(ent) + ";");
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi;
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes() {
+    while (true) {
+      cur_.SkipSpace();
+      if (cur_.AtEnd()) return Error("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>' || c == '/') return Status::OK();
+      XPWQO_ASSIGN_OR_RETURN(std::string name, ParseName());
+      cur_.SkipSpace();
+      if (!cur_.Consume('=')) return Error("expected '=' after attribute");
+      cur_.SkipSpace();
+      char quote = cur_.AtEnd() ? '\0' : cur_.Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      cur_.Advance();
+      size_t start = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != quote) cur_.Advance();
+      if (cur_.AtEnd()) return Error("unterminated attribute value");
+      std::string value;
+      XPWQO_RETURN_IF_ERROR(
+          DecodeText(cur_.Slice(start, cur_.pos()), &value));
+      cur_.Advance();  // closing quote
+      if (options_.keep_attributes) {
+        builder_.AddAttribute(name, value);
+      }
+    }
+  }
+
+  // Iterative element parsing; recursion depth would otherwise be bounded by
+  // document depth, which is attacker-controlled input.
+  Status ParseElement() {
+    int depth = 0;
+    do {
+      // At '<' of a start tag.
+      if (!cur_.Consume('<')) return Error("expected '<'");
+      XPWQO_ASSIGN_OR_RETURN(std::string tag, ParseName());
+      builder_.BeginElement(tag);
+      XPWQO_RETURN_IF_ERROR(ParseAttributes());
+      if (cur_.Consume('/')) {
+        if (!cur_.Consume('>')) return Error("expected '/>'");
+        builder_.EndElement();
+      } else {
+        if (!cur_.Consume('>')) return Error("expected '>'");
+        ++depth;
+      }
+      // Parse content until we either open a new element (loop) or close
+      // enough elements to return to depth 0.
+      while (depth > 0) {
+        XPWQO_ASSIGN_OR_RETURN(bool opened, ParseContentStep(&depth));
+        if (opened) break;  // re-enter the start-tag logic above
+      }
+    } while (depth > 0);
+    return Status::OK();
+  }
+
+  /// Handles one content item at the current position. Returns true if
+  /// positioned at the '<' of a new start tag (caller opens it), false
+  /// otherwise (item fully consumed; *depth updated on end tags).
+  StatusOr<bool> ParseContentStep(int* depth) {
+    if (cur_.AtEnd()) return Status(Error("unexpected end of input"));
+    if (cur_.Peek() != '<') {
+      size_t start = cur_.pos();
+      while (!cur_.AtEnd() && cur_.Peek() != '<') cur_.Advance();
+      std::string_view raw = cur_.Slice(start, cur_.pos());
+      if (options_.keep_text) {
+        std::string text;
+        XPWQO_RETURN_IF_ERROR(DecodeText(raw, &text));
+        if (!options_.skip_whitespace_text ||
+            text.find_first_not_of(" \t\r\n") != std::string::npos) {
+          builder_.AddText(text);
+        }
+      }
+      return false;
+    }
+    if (cur_.ConsumePrefix("<!--")) {
+      XPWQO_RETURN_IF_ERROR(SkipUntil("-->"));
+      return false;
+    }
+    if (cur_.ConsumePrefix("<![CDATA[")) {
+      size_t start = cur_.pos();
+      while (!cur_.AtEnd() && !(cur_.Peek() == ']' && cur_.PeekAt(1) == ']' &&
+                                cur_.PeekAt(2) == '>')) {
+        cur_.Advance();
+      }
+      if (cur_.AtEnd()) return Status(Error("unterminated CDATA"));
+      if (options_.keep_text) {
+        builder_.AddText(cur_.Slice(start, cur_.pos()));
+      }
+      cur_.Advance();
+      cur_.Advance();
+      cur_.Advance();
+      return false;
+    }
+    if (cur_.ConsumePrefix("<?")) {
+      XPWQO_RETURN_IF_ERROR(SkipUntil("?>"));
+      return false;
+    }
+    if (cur_.PeekAt(1) == '/') {
+      cur_.Advance();  // '<'
+      cur_.Advance();  // '/'
+      XPWQO_ASSIGN_OR_RETURN(std::string tag, ParseName());
+      cur_.SkipSpace();
+      if (!cur_.Consume('>')) return Status(Error("expected '>' in end tag"));
+      builder_.EndElement();
+      --*depth;
+      (void)tag;  // tag mismatch tolerated (non-validating)
+      return false;
+    }
+    return true;  // start tag
+  }
+
+  Cursor cur_;
+  XmlParseOptions options_;
+  TreeBuilder builder_;
+};
+
+}  // namespace
+
+StatusOr<Document> ParseXmlString(std::string_view xml,
+                                  const XmlParseOptions& options) {
+  return Parser(xml, options).Parse();
+}
+
+StatusOr<Document> ParseXmlFile(const std::string& path,
+                                const XmlParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  return ParseXmlString(content, options);
+}
+
+}  // namespace xpwqo

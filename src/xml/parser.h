@@ -1,0 +1,41 @@
+// A small, fast, non-validating XML parser producing Documents.
+//
+// The paper parses XMark files with libxml2; the engine only consumes the
+// resulting tree, so this from-scratch parser is a drop-in substitute.
+// Supported: elements, attributes, character data, CDATA sections, comments,
+// processing instructions (skipped), XML declaration (skipped), the five
+// predefined entities and numeric character references. Not supported (by
+// design): DTDs, namespaces-aware processing (prefixes are kept verbatim in
+// tag names), external entities.
+#ifndef XPWQO_XML_PARSER_H_
+#define XPWQO_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "tree/document.h"
+#include "util/status.h"
+
+namespace xpwqo {
+
+struct XmlParseOptions {
+  /// Drop whitespace-only text nodes (XMark queries never touch them and
+  /// skipping them keeps node counts comparable to the paper's).
+  bool skip_whitespace_text = true;
+  /// Keep attribute nodes (encoded as "@name" children).
+  bool keep_attributes = true;
+  /// Keep text nodes (encoded as "#text" children).
+  bool keep_text = true;
+};
+
+/// Parses an XML document from a string.
+StatusOr<Document> ParseXmlString(std::string_view xml,
+                                  const XmlParseOptions& options = {});
+
+/// Parses an XML document from a file.
+StatusOr<Document> ParseXmlFile(const std::string& path,
+                                const XmlParseOptions& options = {});
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XML_PARSER_H_

@@ -1,0 +1,84 @@
+#include "xml/serializer.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace xpwqo {
+namespace {
+
+void SerializeRec(const Document& doc, NodeId n, int depth,
+                  const XmlSerializeOptions& options, std::string* out) {
+  const std::string& name = doc.LabelName(n);
+  auto indent = [&](int d) {
+    if (options.pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(2 * d), ' ');
+    }
+  };
+  switch (doc.kind(n)) {
+    case NodeKind::kText:
+      indent(depth);
+      out->append(XmlEscape(doc.text(n)));
+      return;
+    case NodeKind::kAttribute:
+      // Handled by the parent element below.
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  indent(depth);
+  out->push_back('<');
+  out->append(name);
+  // Attributes are the leading "@" children.
+  NodeId child = doc.first_child(n);
+  while (child != kNullNode && doc.kind(child) == NodeKind::kAttribute) {
+    out->push_back(' ');
+    out->append(doc.LabelName(child).substr(1));
+    out->append("=\"");
+    out->append(XmlEscape(doc.text(child)));
+    out->push_back('"');
+    child = doc.next_sibling(child);
+  }
+  if (child == kNullNode) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool had_element_child = false;
+  for (; child != kNullNode; child = doc.next_sibling(child)) {
+    if (doc.kind(child) == NodeKind::kElement) had_element_child = true;
+    SerializeRec(doc, child, depth + 1, options, out);
+  }
+  if (options.pretty && had_element_child) indent(depth);
+  out->append("</");
+  out->append(name);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeXml(const Document& doc,
+                         const XmlSerializeOptions& options, NodeId node) {
+  if (node == kNullNode) node = doc.root();
+  std::string out;
+  if (node == kNullNode) return out;
+  SerializeRec(doc, node, 0, options, &out);
+  if (options.pretty && !out.empty() && out[0] == '\n') out.erase(0, 1);
+  return out;
+}
+
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const XmlSerializeOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << SerializeXml(doc, options);
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xpwqo

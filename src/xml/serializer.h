@@ -1,0 +1,30 @@
+// Serializes a Document back to XML text (round-trip of the parser's
+// encoding: "@name" children become attributes, "#text" children character
+// data).
+#ifndef XPWQO_XML_SERIALIZER_H_
+#define XPWQO_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "tree/document.h"
+#include "util/status.h"
+
+namespace xpwqo {
+
+struct XmlSerializeOptions {
+  /// Indent nested elements by two spaces and add newlines.
+  bool pretty = false;
+};
+
+/// Serializes the subtree rooted at `node` (defaults to the document root).
+std::string SerializeXml(const Document& doc,
+                         const XmlSerializeOptions& options = {},
+                         NodeId node = kNullNode);
+
+/// Writes the serialized document to `path`.
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const XmlSerializeOptions& options = {});
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XML_SERIALIZER_H_

@@ -1,0 +1,65 @@
+#include "xpath/ast.h"
+
+namespace xpwqo {
+namespace {
+
+std::string TestToString(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return test.name;
+    case NodeTestKind::kStar:
+      return "*";
+    case NodeTestKind::kNode:
+      return "node()";
+    case NodeTestKind::kText:
+      return "text()";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+std::string ToString(const Path& path) {
+  std::string out;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& s = path.steps[i];
+    if (i > 0 || path.absolute) out += "/";
+    out += AxisName(s.axis);
+    out += "::";
+    out += TestToString(s.test);
+    for (const auto& p : s.predicates) {
+      out += "[" + ToString(*p) + "]";
+    }
+  }
+  return out;
+}
+
+std::string ToString(const PredExpr& pred) {
+  switch (pred.kind) {
+    case PredExpr::Kind::kAnd:
+      return "(" + ToString(*pred.lhs) + " and " + ToString(*pred.rhs) + ")";
+    case PredExpr::Kind::kOr:
+      return "(" + ToString(*pred.lhs) + " or " + ToString(*pred.rhs) + ")";
+    case PredExpr::Kind::kNot:
+      return "not(" + ToString(*pred.lhs) + ")";
+    case PredExpr::Kind::kPath:
+      return ToString(pred.path);
+  }
+  return "?";
+}
+
+}  // namespace xpwqo

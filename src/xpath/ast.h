@@ -1,0 +1,71 @@
+// AST of the forward Core XPath fragment (Definition C.1):
+//   Core         ::= LocationPath | '/' LocationPath
+//   LocationPath ::= LocationStep ('/' LocationStep)*
+//   LocationStep ::= Axis '::' NodeTest ('[' Pred ']')*
+//   Pred         ::= Pred 'and' Pred | Pred 'or' Pred | 'not' '(' Pred ')'
+//                  | Core | '(' Pred ')'
+//   Axis         ::= descendant | child | following-sibling | attribute
+//   NodeTest     ::= tag | '*' | 'node()' | 'text()'
+// plus the usual abbreviations: '//' (descendant), '@' (attribute), leading
+// '.' in relative predicate paths.
+#ifndef XPWQO_XPATH_AST_H_
+#define XPWQO_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xpwqo {
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kFollowingSibling,
+  kAttribute,
+};
+
+const char* AxisName(Axis axis);
+
+enum class NodeTestKind {
+  kName,   // tag or @name
+  kStar,   // * — any element
+  kNode,   // node() — anything
+  kText,   // text()
+};
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kName;
+  std::string name;  // for kName
+};
+
+struct PredExpr;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<std::unique_ptr<PredExpr>> predicates;
+};
+
+struct Path {
+  /// True for '/'-rooted paths; relative top-level paths are evaluated from
+  /// the document node as well (only predicates contain truly relative
+  /// paths).
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+struct PredExpr {
+  enum class Kind { kAnd, kOr, kNot, kPath };
+  Kind kind = Kind::kPath;
+  std::unique_ptr<PredExpr> lhs;  // kAnd/kOr/kNot
+  std::unique_ptr<PredExpr> rhs;  // kAnd/kOr
+  Path path;                      // kPath (relative to the context node)
+};
+
+/// Unparses back to XPath syntax (canonical form, for diagnostics).
+std::string ToString(const Path& path);
+std::string ToString(const PredExpr& pred);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XPATH_AST_H_

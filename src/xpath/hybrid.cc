@@ -1,0 +1,93 @@
+#include "xpath/hybrid.h"
+
+#include <algorithm>
+
+#include "xpath/compile.h"
+
+namespace xpwqo {
+
+bool IsHybridEvaluable(const Path& path) {
+  if (path.steps.empty() || !path.absolute) return false;
+  for (const Step& step : path.steps) {
+    if (step.axis != Axis::kDescendant) return false;
+    if (step.test.kind != NodeTestKind::kName) return false;
+    if (!step.predicates.empty()) return false;
+  }
+  return true;
+}
+
+StatusOr<HybridPlan> HybridPlan::Make(const Path& path, Alphabet* alphabet) {
+  if (!IsHybridEvaluable(path)) {
+    return Status::InvalidArgument(
+        "hybrid evaluation requires a //-chain of name tests");
+  }
+  HybridPlan plan;
+  for (const Step& step : path.steps) {
+    plan.labels_.push_back(alphabet->Intern(step.test.name));
+  }
+  XPWQO_ASSIGN_OR_RETURN(plan.full_asta_, CompileToAsta(path, alphabet));
+  plan.suffix_astas_.resize(path.steps.size());
+  for (size_t p = 1; p + 1 < path.steps.size(); ++p) {
+    XPWQO_ASSIGN_OR_RETURN(plan.suffix_astas_[p],
+                           CompileSuffixToAsta(path, p + 1, alphabet));
+  }
+  return plan;
+}
+
+StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
+                                              const TreeIndex& index,
+                                              HybridStats* stats) const {
+  const size_t k = labels_.size();
+  size_t pivot = 0;
+  for (size_t i = 1; i < k; ++i) {
+    if (index.Count(labels_[i]) < index.Count(labels_[pivot])) pivot = i;
+  }
+  HybridStats local;
+  HybridStats* st = stats != nullptr ? stats : &local;
+  st->pivot = static_cast<int>(pivot);
+  st->pivot_count = index.Count(labels_[pivot]);
+  st->nodes_visited = 0;
+
+  AstaEvalOptions opts;  // jumping + memoization + info propagation
+  if (pivot == 0) {
+    // The first label is the rarest: start anywhere degenerates to the
+    // regular run from the pivot occurrences downward — which is the plain
+    // top-down evaluation.
+    AstaEvalResult r = EvalAsta(full_asta_, doc, &index, opts);
+    st->nodes_visited = r.stats.nodes_visited;
+    return std::move(r.nodes);
+  }
+
+  std::vector<NodeId> out;
+  const bool pivot_is_last = pivot + 1 == k;
+  for (NodeId c : index.labels().Occurrences(labels_[pivot])) {
+    ++st->nodes_visited;  // the candidate itself
+    // Upward: match //l_{pivot-1}/.../l1 as an ancestor subsequence,
+    // greedily from the candidate up (pure parent moves, like the paper).
+    size_t need = pivot;  // labels_[need-1] is the next one to find
+    for (NodeId p = doc.parent(c); p != kNullNode && need > 0;
+         p = doc.parent(p)) {
+      ++st->nodes_visited;
+      if (doc.label(p) == labels_[need - 1]) --need;
+    }
+    if (need > 0) continue;
+    if (pivot_is_last) {
+      out.push_back(c);
+      continue;
+    }
+    // Downward: evaluate the suffix over the candidate's strict
+    // descendants (binary subtree of its first child).
+    NodeId below = doc.BinaryLeft(c);
+    if (below == kNullNode) continue;
+    AstaEvalResult sub =
+        EvalAstaAt(suffix_astas_[pivot], doc, &index, below, opts);
+    st->nodes_visited += sub.stats.nodes_visited;
+    out.insert(out.end(), sub.nodes.begin(), sub.nodes.end());
+  }
+  // Nested pivots can produce duplicates and out-of-order runs.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace xpwqo

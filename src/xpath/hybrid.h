@@ -1,0 +1,58 @@
+// Hybrid ("start anywhere") evaluation, §4.4: for a descendant chain
+// //l1//l2//...//lk, pick the label with the lowest global count (O(1) via
+// the label index), start at its occurrences, check the prefix //l1..//l_{p-1}
+// upward with parent moves, and evaluate the suffix //l_{p+1}..//lk downward
+// with the jumping automaton. Effective exactly when one label is rare
+// (configurations A/B of Figure 5); when the pivot is the first label the
+// strategy degenerates to the regular top-down+bottom-up run.
+//
+// Like the paper's engine, the upward part uses parent moves (our index has
+// no labeled-ancestor jumps either, §5 "Implementation").
+#ifndef XPWQO_XPATH_HYBRID_H_
+#define XPWQO_XPATH_HYBRID_H_
+
+#include "asta/eval.h"
+#include "index/tree_index.h"
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace xpwqo {
+
+/// True if the hybrid strategy applies: an absolute descendant chain of
+/// name tests without predicates, length >= 1.
+bool IsHybridEvaluable(const Path& path);
+
+struct HybridStats {
+  /// Which step was chosen as the pivot (0-based).
+  int pivot = 0;
+  int32_t pivot_count = 0;
+  /// Candidates + ancestor-walk nodes + suffix-evaluation visits — the
+  /// hybrid counterpart of Figure 5 line (2).
+  int64_t nodes_visited = 0;
+};
+
+/// A reusable hybrid plan (pivot choice is per-document).
+class HybridPlan {
+ public:
+  /// Builds a plan. Fails if the path shape is not hybrid-evaluable.
+  static StatusOr<HybridPlan> Make(const Path& path, Alphabet* alphabet);
+
+  /// Runs the plan. Results are sorted and duplicate-free.
+  StatusOr<std::vector<NodeId>> Run(const Document& doc,
+                                    const TreeIndex& index,
+                                    HybridStats* stats = nullptr) const;
+
+ private:
+  HybridPlan() = default;
+
+  std::vector<LabelId> labels_;  // one per step
+  /// Suffix automata: suffix_astas_[p] covers steps p+1.. (empty Asta when
+  /// p is the last step). Built lazily-eagerly for every possible pivot so
+  /// a plan works across documents with different counts.
+  std::vector<Asta> suffix_astas_;
+  Asta full_asta_;  // for the pivot == 0 fallback
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XPATH_HYBRID_H_

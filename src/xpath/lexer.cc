@@ -1,0 +1,96 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+
+namespace xpwqo {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> TokenizeXPath(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < input.size() && input[i + 1] == '/') {
+          out.push_back({TokenKind::kDoubleSlash, "", start});
+          i += 2;
+        } else {
+          out.push_back({TokenKind::kSlash, "", start});
+          ++i;
+        }
+        continue;
+      case '[':
+        out.push_back({TokenKind::kLBracket, "", start});
+        ++i;
+        continue;
+      case ']':
+        out.push_back({TokenKind::kRBracket, "", start});
+        ++i;
+        continue;
+      case '(':
+        out.push_back({TokenKind::kLParen, "", start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({TokenKind::kRParen, "", start});
+        ++i;
+        continue;
+      case ':':
+        if (i + 1 < input.size() && input[i + 1] == ':') {
+          out.push_back({TokenKind::kAxisSep, "", start});
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("stray ':' at offset " +
+                                  std::to_string(start));
+      case '@':
+        out.push_back({TokenKind::kAt, "", start});
+        ++i;
+        continue;
+      case '.':
+        out.push_back({TokenKind::kDot, "", start});
+        ++i;
+        continue;
+      case '*':
+        out.push_back({TokenKind::kStar, "", start});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (IsNameStart(c)) {
+      size_t end = i;
+      while (end < input.size() && IsNameChar(input[end])) ++end;
+      // A name must not swallow a trailing '.' that is its own token; names
+      // like "a.b" are legal, so only a final '.' before a non-name char is
+      // ambiguous. XPath names ending in '.' do not occur in practice; keep
+      // the greedy read.
+      out.push_back(
+          {TokenKind::kName, std::string(input.substr(i, end - i)), start});
+      i = end;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(start));
+  }
+  out.push_back({TokenKind::kEnd, "", input.size()});
+  return out;
+}
+
+}  // namespace xpwqo

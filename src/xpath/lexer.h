@@ -1,0 +1,40 @@
+// Tokenizer for the XPath fragment.
+#ifndef XPWQO_XPATH_LEXER_H_
+#define XPWQO_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xpwqo {
+
+enum class TokenKind {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kAxisSep,      // ::
+  kAt,           // @
+  kDot,          // .
+  kStar,         // *
+  kName,         // tag / axis name / and / or / not (contextual)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // for kName
+  size_t offset;     // position in the input, for error messages
+};
+
+/// Tokenizes an XPath string. Whitespace separates tokens and is otherwise
+/// ignored.
+StatusOr<std::vector<Token>> TokenizeXPath(std::string_view input);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XPATH_LEXER_H_

@@ -1,0 +1,238 @@
+#include "xpath/parser.h"
+
+#include "util/check.h"
+#include "xpath/lexer.h"
+
+namespace xpwqo {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Path> ParseTopLevel() {
+    XPWQO_ASSIGN_OR_RETURN(Path path, ParsePath(/*in_predicate=*/false));
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    if (path.steps.empty()) {
+      return Error("empty path");
+    }
+    return path;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Consume(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  /// Core ::= LocationPath | '/' LocationPath, with '//' and '.' prefixes.
+  StatusOr<Path> ParsePath(bool in_predicate) {
+    Path path;
+    Axis first_axis = Axis::kChild;
+    bool has_leading_sep = false;
+    if (Consume(TokenKind::kDot)) {
+      // '.' must be followed by '/' or '//' (we do not support a bare '.').
+      if (Consume(TokenKind::kDoubleSlash)) {
+        first_axis = Axis::kDescendant;
+      } else if (Consume(TokenKind::kSlash)) {
+        first_axis = Axis::kChild;
+      } else {
+        return Error("expected '/' or '//' after '.'");
+      }
+      has_leading_sep = true;
+      if (!in_predicate) path.absolute = true;  // './/' from the root
+    } else if (Consume(TokenKind::kDoubleSlash)) {
+      first_axis = Axis::kDescendant;
+      path.absolute = true;
+      has_leading_sep = true;
+    } else if (Consume(TokenKind::kSlash)) {
+      first_axis = Axis::kChild;
+      path.absolute = true;
+      has_leading_sep = true;
+    } else {
+      // Relative path; at top level this is document-rooted child access.
+      path.absolute = !in_predicate;
+    }
+    (void)has_leading_sep;
+    XPWQO_ASSIGN_OR_RETURN(Step first, ParseStep(first_axis));
+    path.steps.push_back(std::move(first));
+    while (true) {
+      Axis axis;
+      if (Consume(TokenKind::kDoubleSlash)) {
+        axis = Axis::kDescendant;
+      } else if (Consume(TokenKind::kSlash)) {
+        axis = Axis::kChild;
+      } else {
+        break;
+      }
+      XPWQO_ASSIGN_OR_RETURN(Step step, ParseStep(axis));
+      path.steps.push_back(std::move(step));
+    }
+    return path;
+  }
+
+  /// LocationStep ::= [Axis '::'] NodeTest Pred* | '@' name Pred*
+  StatusOr<Step> ParseStep(Axis default_axis) {
+    Step step;
+    step.axis = default_axis;
+    if (Consume(TokenKind::kAt)) {
+      step.axis = Axis::kAttribute;
+      if (Peek().kind != TokenKind::kName) {
+        return Error("expected attribute name after '@'");
+      }
+      step.test.kind = NodeTestKind::kName;
+      step.test.name = "@" + Take().text;
+      return ParsePredicates(std::move(step));
+    }
+    // Explicit axis?
+    if (Peek().kind == TokenKind::kName &&
+        Peek(1).kind == TokenKind::kAxisSep) {
+      std::string axis_name = Take().text;
+      Take();  // '::'
+      if (axis_name == "child") {
+        step.axis = Axis::kChild;
+      } else if (axis_name == "descendant") {
+        step.axis = Axis::kDescendant;
+      } else if (axis_name == "following-sibling") {
+        step.axis = Axis::kFollowingSibling;
+      } else if (axis_name == "attribute") {
+        step.axis = Axis::kAttribute;
+      } else {
+        return Error("unsupported axis '" + axis_name +
+                     "' (forward Core XPath fragment)");
+      }
+    }
+    // NodeTest.
+    if (Consume(TokenKind::kStar)) {
+      step.test.kind = NodeTestKind::kStar;
+    } else if (Peek().kind == TokenKind::kName) {
+      std::string name = Take().text;
+      if (Peek().kind == TokenKind::kLParen) {
+        Take();
+        if (!Consume(TokenKind::kRParen)) {
+          return Error("expected ')' in node test");
+        }
+        if (name == "node") {
+          step.test.kind = NodeTestKind::kNode;
+        } else if (name == "text") {
+          step.test.kind = NodeTestKind::kText;
+        } else {
+          return Error("unsupported node test '" + name + "()'");
+        }
+      } else {
+        step.test.kind = NodeTestKind::kName;
+        step.test.name = std::move(name);
+      }
+    } else {
+      return Error("expected node test");
+    }
+    if (step.axis == Axis::kAttribute &&
+        step.test.kind == NodeTestKind::kName &&
+        step.test.name[0] != '@') {
+      step.test.name = "@" + step.test.name;
+    }
+    return ParsePredicates(std::move(step));
+  }
+
+  StatusOr<Step> ParsePredicates(Step step) {
+    while (Consume(TokenKind::kLBracket)) {
+      XPWQO_ASSIGN_OR_RETURN(auto pred, ParsePredExpr());
+      if (!Consume(TokenKind::kRBracket)) {
+        return Error("expected ']'");
+      }
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  /// Pred ::= or-expression over and-expressions over unary predicates.
+  StatusOr<std::unique_ptr<PredExpr>> ParsePredExpr() {
+    XPWQO_ASSIGN_OR_RETURN(auto lhs, ParsePredAnd());
+    while (Peek().kind == TokenKind::kName && Peek().text == "or") {
+      Take();
+      XPWQO_ASSIGN_OR_RETURN(auto rhs, ParsePredAnd());
+      auto node = std::make_unique<PredExpr>();
+      node->kind = PredExpr::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<PredExpr>> ParsePredAnd() {
+    XPWQO_ASSIGN_OR_RETURN(auto lhs, ParsePredUnary());
+    while (Peek().kind == TokenKind::kName && Peek().text == "and") {
+      Take();
+      XPWQO_ASSIGN_OR_RETURN(auto rhs, ParsePredUnary());
+      auto node = std::make_unique<PredExpr>();
+      node->kind = PredExpr::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<PredExpr>> ParsePredUnary() {
+    if (Peek().kind == TokenKind::kName && Peek().text == "not" &&
+        Peek(1).kind == TokenKind::kLParen) {
+      Take();
+      Take();
+      XPWQO_ASSIGN_OR_RETURN(auto inner, ParsePredExpr());
+      if (!Consume(TokenKind::kRParen)) {
+        return Error("expected ')' after not(...)");
+      }
+      auto node = std::make_unique<PredExpr>();
+      node->kind = PredExpr::Kind::kNot;
+      node->lhs = std::move(inner);
+      return node;
+    }
+    if (Consume(TokenKind::kLParen)) {
+      XPWQO_ASSIGN_OR_RETURN(auto inner, ParsePredExpr());
+      if (!Consume(TokenKind::kRParen)) {
+        return Error("expected ')'");
+      }
+      return inner;
+    }
+    // A (relative) path predicate. Absolute paths inside predicates are not
+    // supported by this engine (they do occur in full XPath but not in the
+    // paper's fragment usage).
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      return Status(
+          Error("absolute paths inside predicates are not supported"));
+    }
+    XPWQO_ASSIGN_OR_RETURN(Path path, ParsePath(/*in_predicate=*/true));
+    auto node = std::make_unique<PredExpr>();
+    node->kind = PredExpr::Kind::kPath;
+    node->path = std::move(path);
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Path> ParseXPath(std::string_view xpath) {
+  XPWQO_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeXPath(xpath));
+  return Parser(std::move(tokens)).ParseTopLevel();
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the forward Core XPath fragment.
+#ifndef XPWQO_XPATH_PARSER_H_
+#define XPWQO_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace xpwqo {
+
+/// Parses a complete XPath expression. Top-level relative paths are treated
+/// as document-rooted (their first step applies at the root element), which
+/// matches evaluating from the document node.
+StatusOr<Path> ParseXPath(std::string_view xpath);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XPATH_PARSER_H_

@@ -1,0 +1,178 @@
+#include "asta_support.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xpwqo {
+namespace testing_util {
+namespace {
+
+/// Truth + contributing atoms of φ per Figure 7, against full child
+/// acceptance sets.
+bool EvalAtoms(const FormulaArena& fs, FormulaId f, const StateMask& d1,
+               const StateMask& d2,
+               std::vector<std::pair<int, StateId>>* atoms) {
+  const FormulaNode& n = fs.node(f);
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAnd: {
+      size_t mark = atoms->size();
+      if (EvalAtoms(fs, n.lhs, d1, d2, atoms) &&
+          EvalAtoms(fs, n.rhs, d1, d2, atoms)) {
+        return true;
+      }
+      atoms->resize(mark);
+      return false;
+    }
+    case FormulaKind::kOr: {
+      size_t mark = atoms->size();
+      bool a = EvalAtoms(fs, n.lhs, d1, d2, atoms);
+      if (!a) atoms->resize(mark);
+      size_t mid = atoms->size();
+      bool b = EvalAtoms(fs, n.rhs, d1, d2, atoms);
+      if (!b) atoms->resize(mid);
+      return a || b;
+    }
+    case FormulaKind::kNot: {
+      std::vector<std::pair<int, StateId>> discard;
+      return !EvalAtoms(fs, n.lhs, d1, d2, &discard);
+    }
+    case FormulaKind::kDown1:
+      if (!d1.Get(n.state)) return false;
+      atoms->emplace_back(1, n.state);
+      return true;
+    case FormulaKind::kDown2:
+      if (!d2.Get(n.state)) return false;
+      atoms->emplace_back(2, n.state);
+      return true;
+  }
+  return false;
+}
+
+/// Bottom-up acceptance sets D(n) for every node.
+std::vector<StateMask> AcceptSets(const Asta& asta, const Document& doc) {
+  const int nq = asta.num_states();
+  std::vector<StateMask> d(doc.num_nodes(), StateMask(nq));
+  StateMask leaf(nq);  // '#': no state accepts (no transition applies)
+  for (NodeId n = doc.num_nodes() - 1; n >= 0; --n) {
+    NodeId l = doc.BinaryLeft(n);
+    NodeId r = doc.BinaryRight(n);
+    const StateMask& d1 = l == kNullNode ? leaf : d[l];
+    const StateMask& d2 = r == kNullNode ? leaf : d[r];
+    for (const AstaTransition& t : asta.transitions()) {
+      if (d[n].Get(t.from) || !t.labels.Contains(doc.label(n))) continue;
+      std::vector<std::pair<int, StateId>> atoms;
+      if (EvalAtoms(asta.formulas(), t.formula, d1, d2, &atoms)) {
+        d[n].Set(t.from);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Asta AstaForDescADescBWithC(LabelId a, LabelId b, LabelId c) {
+  Asta asta;
+  StateId q0 = asta.AddState(), q1 = asta.AddState(), q2 = asta.AddState();
+  asta.AddTop(q0);
+  FormulaArena& f = asta.formulas();
+  asta.AddTransition(q0, LabelSet::Of({a}), false, f.Down(1, q1));
+  asta.AddTransition(q0, LabelSet::All(), false,
+                     f.Or(f.Down(1, q0), f.Down(2, q0)));
+  asta.AddTransition(q1, LabelSet::Of({b}), true, f.Down(1, q2));
+  asta.AddTransition(q1, LabelSet::All(), false,
+                     f.Or(f.Down(1, q1), f.Down(2, q1)));
+  asta.AddTransition(q2, LabelSet::Of({c}), false, f.True());
+  asta.AddTransition(q2, LabelSet::All(), false, f.Down(2, q2));
+  asta.Finalize();
+  return asta;
+}
+
+Asta AstaForDescADescB(LabelId a, LabelId b) {
+  Asta asta;
+  StateId q0 = asta.AddState(), q1 = asta.AddState();
+  asta.AddTop(q0);
+  FormulaArena& f = asta.formulas();
+  asta.AddTransition(q0, LabelSet::Of({a}), false, f.Down(1, q1));
+  asta.AddTransition(q0, LabelSet::All(), false,
+                     f.Or(f.Down(1, q0), f.Down(2, q0)));
+  asta.AddTransition(q1, LabelSet::Of({b}), true, f.True());
+  asta.AddTransition(q1, LabelSet::All(), false,
+                     f.Or(f.Down(1, q1), f.Down(2, q1)));
+  asta.Finalize();
+  return asta;
+}
+
+Asta AstaForConjunctionOfDisjunctions(LabelId x,
+                                      const std::vector<LabelId>& as) {
+  XPWQO_CHECK(!as.empty() && as.size() % 2 == 0);
+  Asta asta;
+  StateId qx = asta.AddState();
+  asta.AddTop(qx);
+  FormulaArena& f = asta.formulas();
+  std::vector<FormulaId> conjuncts;
+  for (size_t i = 0; i < as.size(); i += 2) {
+    StateId qa = asta.AddState();
+    StateId qb = asta.AddState();
+    asta.AddTransition(qa, LabelSet::Of({as[i]}), false, f.True());
+    asta.AddTransition(qa, LabelSet::All(), false, f.Down(2, qa));
+    asta.AddTransition(qb, LabelSet::Of({as[i + 1]}), false, f.True());
+    asta.AddTransition(qb, LabelSet::All(), false, f.Down(2, qb));
+    conjuncts.push_back(f.Or(f.Down(1, qa), f.Down(1, qb)));
+  }
+  asta.AddTransition(qx, LabelSet::Of({x}), true, f.AndAll(conjuncts));
+  asta.AddTransition(qx, LabelSet::All(), false,
+                     f.Or(f.Down(1, qx), f.Down(2, qx)));
+  asta.Finalize();
+  return asta;
+}
+
+bool AstaOracleAccepts(const Asta& asta, const Document& doc) {
+  if (doc.num_nodes() == 0) return false;
+  std::vector<StateMask> d = AcceptSets(asta, doc);
+  for (StateId q : asta.tops()) {
+    if (d[doc.root()].Get(q)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> AstaOracleSelect(const Asta& asta, const Document& doc) {
+  std::vector<NodeId> out;
+  if (doc.num_nodes() == 0) return out;
+  const int nq = asta.num_states();
+  std::vector<StateMask> d = AcceptSets(asta, doc);
+  std::vector<StateMask> useful(doc.num_nodes(), StateMask(nq));
+  StateMask leaf(nq);
+  for (StateId q : asta.tops()) {
+    if (d[doc.root()].Get(q)) useful[doc.root()].Set(q);
+  }
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    NodeId l = doc.BinaryLeft(n);
+    NodeId r = doc.BinaryRight(n);
+    const StateMask& d1 = l == kNullNode ? leaf : d[l];
+    const StateMask& d2 = r == kNullNode ? leaf : d[r];
+    bool selected = false;
+    for (const AstaTransition& t : asta.transitions()) {
+      if (!useful[n].Get(t.from) || !t.labels.Contains(doc.label(n))) {
+        continue;
+      }
+      std::vector<std::pair<int, StateId>> atoms;
+      if (!EvalAtoms(asta.formulas(), t.formula, d1, d2, &atoms)) continue;
+      if (t.selecting) selected = true;
+      for (auto [child, q] : atoms) {
+        if (child == 1 && l != kNullNode) useful[l].Set(q);
+        if (child == 2 && r != kNullNode) useful[r].Set(q);
+      }
+    }
+    if (selected) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace xpwqo

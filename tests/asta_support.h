@@ -1,0 +1,40 @@
+// Test-only helpers for the ASTA suites: paper example automata and an
+// independent reference oracle for ASTA semantics (Appendix C), implemented
+// as straightforward per-node state-set passes with no jumping, memoization,
+// result sets or r-restriction — a completely different code path from the
+// production evaluator.
+#ifndef XPWQO_TESTS_ASTA_SUPPORT_H_
+#define XPWQO_TESTS_ASTA_SUPPORT_H_
+
+#include <vector>
+
+#include "asta/asta.h"
+#include "tree/document.h"
+
+namespace xpwqo {
+namespace testing_util {
+
+/// Example 4.1: the ASTA for //a//b[c] (b-nodes with a strict a-ancestor and
+/// a c-child). States q0=0, q1=1, q2=2; T={q0}.
+Asta AstaForDescADescBWithC(LabelId a, LabelId b, LabelId c);
+
+/// The ASTA for //a//b (no predicate).
+Asta AstaForDescADescB(LabelId a, LabelId b);
+
+/// Example C.1: //x[(a1 or a2) and ... and (a2n-1 or a2n)] — linear-size
+/// alternating automaton whose STA equivalent is exponential.
+Asta AstaForConjunctionOfDisjunctions(LabelId x,
+                                      const std::vector<LabelId>& as);
+
+/// Reference semantics: accepted iff some top state accepts the root.
+bool AstaOracleAccepts(const Asta& asta, const Document& doc);
+
+/// Reference selected-node semantics per Figure 7 / Definition C.3:
+/// bottom-up acceptance sets, a top-down usefulness pass along true atoms,
+/// then every node with a useful, satisfied selecting transition.
+std::vector<NodeId> AstaOracleSelect(const Asta& asta, const Document& doc);
+
+}  // namespace testing_util
+}  // namespace xpwqo
+
+#endif  // XPWQO_TESTS_ASTA_SUPPORT_H_

@@ -1,0 +1,184 @@
+#include "index/balanced_parens.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+BitVector FromParens(const std::string& parens) {
+  BitVector bv;
+  for (char c : parens) bv.PushBack(c == '(');
+  bv.Freeze();
+  return bv;
+}
+
+/// Brute-force matching-paren positions.
+std::vector<int64_t> BruteMatch(const std::string& parens) {
+  std::vector<int64_t> match(parens.size(), -1);
+  std::vector<int64_t> stack;
+  for (size_t i = 0; i < parens.size(); ++i) {
+    if (parens[i] == '(') {
+      stack.push_back(static_cast<int64_t>(i));
+    } else {
+      match[i] = stack.back();
+      match[stack.back()] = static_cast<int64_t>(i);
+      stack.pop_back();
+    }
+  }
+  return match;
+}
+
+/// Deterministic random balanced string with `pairs` pairs.
+std::string RandomParens(uint64_t seed, int pairs) {
+  Random rng(seed);
+  std::string s;
+  int open = 0, remaining = pairs;
+  while (remaining > 0 || open > 0) {
+    bool can_open = remaining > 0;
+    bool can_close = open > 0;
+    if (can_open && (!can_close || rng.Bernoulli(0.5))) {
+      s += '(';
+      ++open;
+      --remaining;
+    } else {
+      s += ')';
+      --open;
+    }
+  }
+  return s;
+}
+
+TEST(BalancedParensTest, ExcessBasics) {
+  BitVector bv = FromParens("(()())");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.Excess(-1), 0);
+  EXPECT_EQ(bp.Excess(0), 1);
+  EXPECT_EQ(bp.Excess(1), 2);
+  EXPECT_EQ(bp.Excess(2), 1);
+  EXPECT_EQ(bp.Excess(5), 0);
+}
+
+TEST(BalancedParensTest, FindCloseSmall) {
+  BitVector bv = FromParens("(()())");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FindClose(0), 5);
+  EXPECT_EQ(bp.FindClose(1), 2);
+  EXPECT_EQ(bp.FindClose(3), 4);
+}
+
+TEST(BalancedParensTest, FindOpenSmall) {
+  BitVector bv = FromParens("(()())");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FindOpen(5), 0);
+  EXPECT_EQ(bp.FindOpen(2), 1);
+  EXPECT_EQ(bp.FindOpen(4), 3);
+}
+
+TEST(BalancedParensTest, EncloseSmall) {
+  BitVector bv = FromParens("((()))");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.Enclose(0), BalancedParens::kNotFound);
+  EXPECT_EQ(bp.Enclose(1), 0);
+  EXPECT_EQ(bp.Enclose(2), 1);
+}
+
+TEST(BalancedParensTest, SiblingEnclose) {
+  BitVector bv = FromParens("(()())");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.Enclose(1), 0);
+  EXPECT_EQ(bp.Enclose(3), 0);
+}
+
+TEST(BalancedParensTest, FwdSearchNotFound) {
+  BitVector bv = FromParens("()");
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FwdSearchExcess(0, 5), BalancedParens::kNotFound);
+  EXPECT_EQ(bp.FwdSearchExcess(2, 0), BalancedParens::kNotFound);
+}
+
+TEST(BalancedParensTest, BwdSearchVirtualRoot) {
+  BitVector bv = FromParens("()");
+  BalancedParens bp(&bv);
+  // excess 0 exists at the virtual position -1.
+  EXPECT_EQ(bp.BwdSearchExcess(-1, 0), -1);
+  EXPECT_EQ(bp.BwdSearchExcess(-1, 1), BalancedParens::kNotFound);
+}
+
+class BalancedParensRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BalancedParensRandomTest, MatchesBruteForce) {
+  // Use enough pairs to cross block (512) and superblock boundaries.
+  int pairs = 300 + static_cast<int>(GetParam()) * 217;
+  std::string s = RandomParens(GetParam(), pairs);
+  BitVector bv = FromParens(s);
+  BalancedParens bp(&bv);
+  std::vector<int64_t> match = BruteMatch(s);
+
+  // Excess cross-check.
+  int64_t e = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    e += (s[i] == '(') ? 1 : -1;
+    ASSERT_EQ(bp.Excess(static_cast<int64_t>(i)), e) << i;
+  }
+  // FindClose / FindOpen.
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ASSERT_EQ(bp.FindClose(static_cast<int64_t>(i)), match[i]) << i;
+    } else {
+      ASSERT_EQ(bp.FindOpen(static_cast<int64_t>(i)), match[i]) << i;
+    }
+  }
+  // Enclose: the nearest open whose pair strictly contains i.
+  std::vector<int64_t> stack;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      int64_t expected =
+          stack.empty() ? BalancedParens::kNotFound : stack.back();
+      ASSERT_EQ(bp.Enclose(static_cast<int64_t>(i)), expected) << i;
+      stack.push_back(static_cast<int64_t>(i));
+    } else {
+      stack.pop_back();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancedParensRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(BalancedParensTest, DeepNestingAcrossBlocks) {
+  // 5000 pairs of pure nesting: "((((...))))".
+  const int n = 5000;
+  BitVector bv;
+  bv.Append(true, n);
+  bv.Append(false, n);
+  bv.Freeze();
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FindClose(0), 2 * n - 1);
+  EXPECT_EQ(bp.FindClose(n - 1), n);
+  EXPECT_EQ(bp.FindOpen(2 * n - 1), 0);
+  EXPECT_EQ(bp.Enclose(n - 1), n - 2);
+  EXPECT_EQ(bp.Excess(n - 1), n);
+}
+
+TEST(BalancedParensTest, WideFlatAcrossBlocks) {
+  // "()()()..." with 5000 pairs.
+  const int n = 5000;
+  BitVector bv;
+  for (int i = 0; i < n; ++i) {
+    bv.PushBack(true);
+    bv.PushBack(false);
+  }
+  bv.Freeze();
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FindClose(0), 1);
+  EXPECT_EQ(bp.FindClose(2 * (n - 1)), 2 * n - 1);
+  EXPECT_EQ(bp.Enclose(2 * (n - 1)), BalancedParens::kNotFound);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,109 @@
+#include "baseline/nodeset_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tree/builder.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::TreeOf;
+
+std::vector<NodeId> Eval(const std::string& xpath, const Document& doc) {
+  auto r = EvalNodeSetBaseline(xpath, doc);
+  EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+  return std::move(r).value();
+}
+
+TEST(BaselineTest, ChildSteps) {
+  Document d = TreeOf("site(regions(item),people)");
+  EXPECT_EQ(Eval("/site", d), (std::vector<NodeId>{0}));
+  EXPECT_EQ(Eval("/site/regions", d), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Eval("/site/regions/item", d), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(Eval("/nope", d).empty());
+}
+
+TEST(BaselineTest, DescendantSteps) {
+  Document d = TreeOf("r(a(x(b),b),b)");
+  EXPECT_EQ(Eval("//b", d), (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(Eval("//a//b", d), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(Eval("//x//b", d), (std::vector<NodeId>{3}));
+}
+
+TEST(BaselineTest, DescendantOfOverlappingContexts) {
+  // Nested a's: descendants must be deduplicated.
+  Document d = TreeOf("r(a(a(b)))");
+  EXPECT_EQ(Eval("//a//b", d), (std::vector<NodeId>{3}));
+  EXPECT_EQ(Eval("//a//a", d), (std::vector<NodeId>{2}));
+}
+
+TEST(BaselineTest, Predicates) {
+  Document d = TreeOf("r(person(address),person(phone),person)");
+  EXPECT_EQ(Eval("//person[address]", d), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Eval("//person[address or phone]", d),
+            (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(Eval("//person[address and phone]", d), (std::vector<NodeId>{}));
+  EXPECT_EQ(Eval("//person[not(address or phone)]", d),
+            (std::vector<NodeId>{5}));
+}
+
+TEST(BaselineTest, DescendantPredicate) {
+  Document d = TreeOf("r(li(x(kw)),li(kw),li(x))");
+  EXPECT_EQ(Eval("//li[.//kw]", d), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(Eval("//li[not(.//kw)]", d), (std::vector<NodeId>{6}));
+}
+
+TEST(BaselineTest, MultiStepPredicatePaths) {
+  Document d = TreeOf("r(item(mailbox(mail(date))),item(mailbox(mail)))");
+  EXPECT_EQ(Eval("//item[mailbox/mail/date]", d), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Eval("//item[mailbox/mail/date]/mailbox/mail", d),
+            (std::vector<NodeId>{3}));
+}
+
+TEST(BaselineTest, NestedPredicates) {
+  Document d = TreeOf("r(a(b(c)),a(b))");
+  EXPECT_EQ(Eval("//a[b[c]]", d), (std::vector<NodeId>{1}));
+}
+
+TEST(BaselineTest, FollowingSibling) {
+  Document d = TreeOf("r(a,b,c,b)");
+  EXPECT_EQ(Eval("/r/a/following-sibling::b", d), (std::vector<NodeId>{2, 4}));
+  EXPECT_EQ(Eval("//a[following-sibling::c]", d), (std::vector<NodeId>{1}));
+}
+
+TEST(BaselineTest, StarAndNodeTests) {
+  TreeBuilder b;
+  b.BeginElement("r");
+  b.BeginElement("a");
+  b.AddAttribute("id", "1");
+  b.AddText("t");
+  b.BeginElement("e");
+  b.EndElement();
+  b.EndElement();
+  b.EndElement();
+  Document d = std::move(b.Finish()).value();
+  EXPECT_EQ(Eval("//a/*", d), (std::vector<NodeId>{4}));
+  // child::node() excludes attributes (XPath data model).
+  EXPECT_EQ(Eval("//a/node()", d), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(Eval("//a/@id", d), (std::vector<NodeId>{2}));
+  EXPECT_EQ(Eval("//a/text()", d), (std::vector<NodeId>{3}));
+  // child::id must not return the attribute node.
+  EXPECT_TRUE(Eval("//a/id", d).empty());
+}
+
+TEST(BaselineTest, StatsCountWork) {
+  Document d = TreeOf("r(a(b),a,a)");
+  BaselineStats stats;
+  auto r = EvalNodeSetBaseline("//a//b", d, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.nodes_touched, 0);
+}
+
+TEST(BaselineTest, ErrorsOnEmptyPath) {
+  Document d = TreeOf("r");
+  EXPECT_FALSE(EvalNodeSetBaseline("", d).ok());
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,128 @@
+#include "index/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+BitVector FromBits(const std::vector<bool>& bits) {
+  BitVector bv;
+  for (bool b : bits) bv.PushBack(b);
+  bv.Freeze();
+  return bv;
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  bv.Freeze();
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.Rank1(0), 0u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, GetReturnsStoredBits) {
+  BitVector bv = FromBits({1, 0, 1, 1, 0});
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_TRUE(bv.Get(2));
+  EXPECT_TRUE(bv.Get(3));
+  EXPECT_FALSE(bv.Get(4));
+}
+
+TEST(BitVectorTest, RankSmall) {
+  BitVector bv = FromBits({1, 0, 1, 1, 0});
+  EXPECT_EQ(bv.Rank1(0), 0u);
+  EXPECT_EQ(bv.Rank1(1), 1u);
+  EXPECT_EQ(bv.Rank1(3), 2u);
+  EXPECT_EQ(bv.Rank1(5), 3u);
+  EXPECT_EQ(bv.Rank0(5), 2u);
+}
+
+TEST(BitVectorTest, SelectSmall) {
+  BitVector bv = FromBits({1, 0, 1, 1, 0});
+  EXPECT_EQ(bv.Select1(1), 0u);
+  EXPECT_EQ(bv.Select1(2), 2u);
+  EXPECT_EQ(bv.Select1(3), 3u);
+  EXPECT_EQ(bv.Select0(1), 1u);
+  EXPECT_EQ(bv.Select0(2), 4u);
+}
+
+TEST(BitVectorTest, AppendRuns) {
+  BitVector bv;
+  bv.Append(true, 100);
+  bv.Append(false, 50);
+  bv.Append(true, 3);
+  bv.Freeze();
+  EXPECT_EQ(bv.size(), 153u);
+  EXPECT_EQ(bv.CountOnes(), 103u);
+  EXPECT_EQ(bv.Select1(103), 152u);
+  EXPECT_EQ(bv.Select0(50), 149u);
+}
+
+class BitVectorRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorRandomTest, RankSelectMatchBruteForce) {
+  Random rng(GetParam());
+  // Cross several superblock boundaries (512 bits each).
+  size_t n = 1500 + rng.Uniform(2000);
+  double density = 0.05 + 0.9 * rng.NextDouble();
+  std::vector<bool> bits;
+  for (size_t i = 0; i < n; ++i) bits.push_back(rng.Bernoulli(density));
+  BitVector bv = FromBits(bits);
+
+  size_t ones = 0;
+  std::vector<size_t> one_pos, zero_pos;
+  for (size_t i = 0; i <= n; ++i) {
+    ASSERT_EQ(bv.Rank1(i), ones) << "i=" << i;
+    if (i < n) {
+      if (bits[i]) {
+        one_pos.push_back(i);
+        ++ones;
+      } else {
+        zero_pos.push_back(i);
+      }
+    }
+  }
+  EXPECT_EQ(bv.CountOnes(), ones);
+  for (size_t k = 1; k <= one_pos.size(); ++k) {
+    ASSERT_EQ(bv.Select1(k), one_pos[k - 1]) << "k=" << k;
+  }
+  for (size_t k = 1; k <= zero_pos.size(); ++k) {
+    ASSERT_EQ(bv.Select0(k), zero_pos[k - 1]) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorRandomTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(BitVectorTest, AllOnes) {
+  BitVector bv;
+  bv.Append(true, 2048);
+  bv.Freeze();
+  for (size_t k = 1; k <= 2048; ++k) ASSERT_EQ(bv.Select1(k), k - 1);
+  EXPECT_EQ(bv.Rank1(2048), 2048u);
+}
+
+TEST(BitVectorTest, AllZeros) {
+  BitVector bv;
+  bv.Append(false, 2048);
+  bv.Freeze();
+  for (size_t k = 1; k <= 2048; ++k) ASSERT_EQ(bv.Select0(k), k - 1);
+  EXPECT_EQ(bv.Rank1(2048), 0u);
+}
+
+TEST(BitVectorTest, MemoryUsageReported) {
+  BitVector bv;
+  bv.Append(true, 10000);
+  bv.Freeze();
+  // ~10000 bits = 1250 bytes plus directory.
+  EXPECT_GE(bv.MemoryUsage(), 1250u);
+  EXPECT_LE(bv.MemoryUsage(), 3000u);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,91 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+namespace xpwqo {
+namespace {
+
+Engine MakeEngine() {
+  return std::move(Engine::FromXmlString(
+                       "<site><regions><item><keyword/></item></regions>"
+                       "<people><person><address/></person></people></site>"))
+      .value();
+}
+
+TEST(ExplainTest, ContainsQueryAndAutomatonShape) {
+  Engine engine = MakeEngine();
+  auto text = ExplainQuery(engine, "//item//keyword");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("descendant::item/descendant::keyword"),
+            std::string::npos);
+  EXPECT_NE(text->find("2 states"), std::string::npos);
+  EXPECT_NE(text->find("ASTA"), std::string::npos);
+}
+
+TEST(ExplainTest, ReportsJumpClassification) {
+  Engine engine = MakeEngine();
+  auto text = ExplainQuery(engine, "//item//keyword");
+  ASSERT_TRUE(text.ok());
+  // Descendant steps jump to topmost essential descendants.
+  EXPECT_NE(text->find("d_t/f_t"), std::string::npos);
+  EXPECT_NE(text->find("essential labels"), std::string::npos);
+  EXPECT_NE(text->find("[marking]"), std::string::npos);
+}
+
+TEST(ExplainTest, ChildStepsUseSiblingJumps) {
+  Engine engine = MakeEngine();
+  auto text = ExplainQuery(engine, "/site/regions");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("r_t"), std::string::npos);
+}
+
+TEST(ExplainTest, ReportsLabelCounts) {
+  Engine engine = MakeEngine();
+  auto text = ExplainQuery(engine, "//keyword");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("keyword: 1"), std::string::npos);
+}
+
+TEST(ExplainTest, HybridApplicability) {
+  Engine engine = MakeEngine();
+  auto chain = ExplainQuery(engine, "//item//keyword");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_NE(chain->find("applicable"), std::string::npos);
+  auto pred = ExplainQuery(engine, "//item[keyword]");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NE(pred->find("not applicable"), std::string::npos);
+}
+
+TEST(ExplainTest, OptionsSuppressSections) {
+  Engine engine = MakeEngine();
+  ExplainOptions options;
+  options.show_transitions = false;
+  options.show_jump_analysis = false;
+  options.show_label_counts = false;
+  auto text = ExplainQuery(engine, "//keyword", options);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("ASTA"), std::string::npos);
+  EXPECT_EQ(text->find("jump analysis"), std::string::npos);
+  EXPECT_EQ(text->find("label counts"), std::string::npos);
+}
+
+TEST(ExplainTest, ParseErrorPropagates) {
+  Engine engine = MakeEngine();
+  EXPECT_FALSE(ExplainQuery(engine, "//a[").ok());
+}
+
+TEST(FormatStatsTest, RendersAllCounters) {
+  AstaEvalStats stats;
+  stats.nodes_visited = 2528;
+  stats.jumps = 17;
+  stats.memo_step_entries = 20;
+  stats.memo_eval_entries = 5;
+  stats.interned_sets = 5;
+  std::string s = FormatStats(stats, 126285);
+  EXPECT_EQ(s,
+            "visited 2,528 of 126,285 nodes, 17 jumps, 25 memo entries, "
+            "5 state sets");
+}
+
+}  // namespace
+}  // namespace xpwqo

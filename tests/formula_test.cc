@@ -1,0 +1,115 @@
+#include "asta/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace xpwqo {
+namespace {
+
+/// Membership oracle from a list of states.
+struct Dom {
+  std::vector<StateId> states;
+  bool operator()(StateId q) const {
+    return std::find(states.begin(), states.end(), q) != states.end();
+  }
+};
+
+TEST(FormulaTest, ConstantsAreFixedIds) {
+  FormulaArena f;
+  EXPECT_EQ(f.True(), f.True());
+  EXPECT_NE(f.True(), f.False());
+}
+
+TEST(FormulaTest, HashConsingDeduplicates) {
+  FormulaArena f;
+  FormulaId a = f.Down(1, 3);
+  FormulaId b = f.Down(1, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, f.Down(2, 3));
+  EXPECT_NE(a, f.Down(1, 4));
+  FormulaId o1 = f.Or(f.Down(1, 0), f.Down(2, 0));
+  FormulaId o2 = f.Or(f.Down(1, 0), f.Down(2, 0));
+  EXPECT_EQ(o1, o2);
+}
+
+TEST(FormulaTest, ConstantFolding) {
+  FormulaArena f;
+  FormulaId d = f.Down(1, 0);
+  EXPECT_EQ(f.And(f.True(), d), d);
+  EXPECT_EQ(f.And(d, f.True()), d);
+  EXPECT_EQ(f.And(f.False(), d), f.False());
+  EXPECT_EQ(f.Or(f.False(), d), d);
+  EXPECT_EQ(f.Or(d, f.True()), f.True());
+  EXPECT_EQ(f.Not(f.True()), f.False());
+  EXPECT_EQ(f.Not(f.False()), f.True());
+}
+
+TEST(FormulaTest, AndAllOrAll) {
+  FormulaArena f;
+  EXPECT_EQ(f.AndAll({}), f.True());
+  EXPECT_EQ(f.OrAll({}), f.False());
+  FormulaId d1 = f.Down(1, 0), d2 = f.Down(2, 1);
+  EXPECT_EQ(f.AndAll({d1}), d1);
+  FormulaId both = f.AndAll({d1, d2});
+  EXPECT_EQ(f.node(both).kind, FormulaKind::kAnd);
+}
+
+TEST(FormulaTest, EvalTruthTable) {
+  FormulaArena f;
+  FormulaId phi = f.Or(f.And(f.Down(1, 0), f.Down(2, 1)), f.Not(f.Down(1, 2)));
+  // (↓1 q0 ∧ ↓2 q1) ∨ ¬↓1 q2
+  EXPECT_TRUE(f.Eval(phi, Dom{{0, 2}}, Dom{{1}}));   // first disjunct
+  EXPECT_TRUE(f.Eval(phi, Dom{{}}, Dom{{}}));        // ¬↓1 q2
+  EXPECT_FALSE(f.Eval(phi, Dom{{2}}, Dom{{}}));      // neither
+  EXPECT_FALSE(f.Eval(phi, Dom{{0, 2}}, Dom{{0}}));  // q1 missing right
+}
+
+TEST(FormulaTest, CollectDownStates) {
+  FormulaArena f;
+  FormulaId phi =
+      f.And(f.Or(f.Down(1, 0), f.Down(2, 1)), f.Not(f.Down(1, 2)));
+  std::vector<StateId> d1, d2;
+  f.CollectDownStates(phi, 1, &d1);
+  f.CollectDownStates(phi, 2, &d2);
+  EXPECT_EQ(d1, (std::vector<StateId>{0, 2}));
+  EXPECT_EQ(d2, (std::vector<StateId>{1}));
+}
+
+TEST(FormulaTest, EvalAfterLeftThreeValued) {
+  FormulaArena f;
+  FormulaId d1q0 = f.Down(1, 0);
+  FormulaId d2q1 = f.Down(2, 1);
+  Dom yes{{0}};
+  Dom no{{}};
+  EXPECT_EQ(f.EvalAfterLeft(d1q0, yes), Truth3::kTrue);
+  EXPECT_EQ(f.EvalAfterLeft(d1q0, no), Truth3::kFalse);
+  EXPECT_EQ(f.EvalAfterLeft(d2q1, yes), Truth3::kUnknown);
+  // Decided disjunction: left true short-circuits the unknown.
+  EXPECT_EQ(f.EvalAfterLeft(f.Or(d1q0, d2q1), yes), Truth3::kTrue);
+  EXPECT_EQ(f.EvalAfterLeft(f.Or(d1q0, d2q1), no), Truth3::kUnknown);
+  // Conjunction with a false left is decided false.
+  EXPECT_EQ(f.EvalAfterLeft(f.And(d1q0, d2q1), no), Truth3::kFalse);
+  EXPECT_EQ(f.EvalAfterLeft(f.And(d1q0, d2q1), yes), Truth3::kUnknown);
+  // Negation of unknown stays unknown.
+  EXPECT_EQ(f.EvalAfterLeft(f.Not(d2q1), yes), Truth3::kUnknown);
+  EXPECT_EQ(f.EvalAfterLeft(f.Not(d1q0), yes), Truth3::kFalse);
+}
+
+TEST(FormulaTest, EvalAfterLeftAgreesWithEvalWhenRightIrrelevant) {
+  FormulaArena f;
+  // Formulas with no ↓2 atoms are always decided.
+  FormulaId phi = f.And(f.Down(1, 0), f.Not(f.Down(1, 1)));
+  Dom d1{{0}};
+  EXPECT_EQ(f.EvalAfterLeft(phi, d1), Truth3::kTrue);
+  EXPECT_TRUE(f.Eval(phi, d1, Dom{{}}));
+}
+
+TEST(FormulaTest, ToString) {
+  FormulaArena f;
+  FormulaId phi = f.Or(f.Down(1, 0), f.Down(2, 0));
+  EXPECT_EQ(f.ToString(phi), "(↓1 q0 ∨ ↓2 q0)");
+  EXPECT_EQ(f.ToString(f.True()), "⊤");
+  EXPECT_EQ(f.ToString(f.Not(f.Down(1, 2))), "¬↓1 q2");
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,102 @@
+#include "index/label_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::NodesWithLabel;
+using testing_util::RandomTree;
+using testing_util::TreeOf;
+
+TEST(LabelIndexTest, CountsAndOccurrences) {
+  Document d = TreeOf("a(b,c(b),b)");
+  LabelIndex idx(d);
+  LabelId b = d.alphabet().Find("b");
+  EXPECT_EQ(idx.Count(b), 3);
+  EXPECT_EQ(idx.Occurrences(b), (std::vector<NodeId>{1, 3, 4}));
+  EXPECT_EQ(idx.Count(d.alphabet().Find("a")), 1);
+}
+
+TEST(LabelIndexTest, UnknownLabelIsEmpty) {
+  Document d = TreeOf("a(b)");
+  LabelIndex idx(d);
+  EXPECT_EQ(idx.Count(kNoLabel), 0);
+  EXPECT_EQ(idx.Count(999), 0);
+  EXPECT_TRUE(idx.Occurrences(999).empty());
+}
+
+TEST(LabelIndexTest, FirstInRangeSingleLabel) {
+  Document d = TreeOf("a(b,c(b),b)");  // b at 1, 3, 4
+  LabelIndex idx(d);
+  LabelId b = d.alphabet().Find("b");
+  EXPECT_EQ(idx.FirstInRange(b, 0, 5), 1);
+  EXPECT_EQ(idx.FirstInRange(b, 2, 5), 3);
+  EXPECT_EQ(idx.FirstInRange(b, 4, 5), 4);
+  EXPECT_EQ(idx.FirstInRange(b, 5, 10), kNullNode);
+  EXPECT_EQ(idx.FirstInRange(b, 2, 3), kNullNode);
+}
+
+TEST(LabelIndexTest, FirstInRangeLabelSet) {
+  Document d = TreeOf("a(b,c(b),b)");
+  LabelIndex idx(d);
+  LabelId b = d.alphabet().Find("b");
+  LabelId c = d.alphabet().Find("c");
+  EXPECT_EQ(idx.FirstInRange(LabelSet::Of({b, c}), 2, 5), 2);
+  EXPECT_EQ(idx.FirstInRange(LabelSet::Of({c}), 3, 5), kNullNode);
+  EXPECT_EQ(idx.FirstInRange(LabelSet::None(), 0, 5), kNullNode);
+}
+
+TEST(LabelIndexTest, CountInRange) {
+  Document d = TreeOf("a(b,c(b),b)");
+  LabelIndex idx(d);
+  LabelId b = d.alphabet().Find("b");
+  EXPECT_EQ(idx.CountInRange(b, 0, 5), 3);
+  EXPECT_EQ(idx.CountInRange(b, 2, 4), 1);
+  EXPECT_EQ(idx.CountInRange(b, 2, 2), 0);
+}
+
+TEST(LabelIndexTest, RangeContainsAny) {
+  Document d = TreeOf("a(b,c(b),b)");
+  LabelIndex idx(d);
+  LabelId a = d.alphabet().Find("a");
+  LabelId c = d.alphabet().Find("c");
+  EXPECT_TRUE(idx.RangeContainsAny(LabelSet::Of({a, c}), 0, 1));
+  EXPECT_FALSE(idx.RangeContainsAny(LabelSet::Of({a}), 1, 5));
+  EXPECT_TRUE(idx.RangeContainsAny(LabelSet::Of({c}), 2, 3));
+}
+
+class LabelIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelIndexRandomTest, MatchesBruteForce) {
+  Document d = RandomTree(GetParam(), {.num_nodes = 300, .num_labels = 4});
+  LabelIndex idx(d);
+  for (LabelId l = 0; l < d.alphabet().size(); ++l) {
+    EXPECT_EQ(idx.Occurrences(l), NodesWithLabel(d, l));
+  }
+  // Spot-check range queries against scans.
+  Random rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId lo = static_cast<NodeId>(rng.Uniform(d.num_nodes()));
+    NodeId hi = lo + static_cast<NodeId>(rng.Uniform(d.num_nodes() - lo + 1));
+    LabelId l = static_cast<LabelId>(rng.Uniform(d.alphabet().size()));
+    NodeId expect = kNullNode;
+    int32_t count = 0;
+    for (NodeId n = lo; n < hi; ++n) {
+      if (d.label(n) == l) {
+        if (expect == kNullNode) expect = n;
+        ++count;
+      }
+    }
+    EXPECT_EQ(idx.FirstInRange(l, lo, hi), expect);
+    EXPECT_EQ(idx.CountInRange(l, lo, hi), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelIndexRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace xpwqo

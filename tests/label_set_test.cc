@@ -1,0 +1,109 @@
+#include "tree/label_set.h"
+
+#include <gtest/gtest.h>
+
+namespace xpwqo {
+namespace {
+
+TEST(LabelSetTest, EmptyAndAll) {
+  EXPECT_TRUE(LabelSet::None().IsEmpty());
+  EXPECT_FALSE(LabelSet::None().Contains(0));
+  EXPECT_TRUE(LabelSet::All().IsAll());
+  EXPECT_TRUE(LabelSet::All().Contains(12345));
+  EXPECT_FALSE(LabelSet::All().IsFinite());
+  EXPECT_TRUE(LabelSet::None().IsFinite());
+}
+
+TEST(LabelSetTest, PositiveMembership) {
+  LabelSet s = LabelSet::Of({1, 3, 5});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(99));
+}
+
+TEST(LabelSetTest, NegatedMembership) {
+  LabelSet s = LabelSet::AllExcept({2});
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(1000));
+  EXPECT_FALSE(s.IsFinite());
+}
+
+TEST(LabelSetTest, ConstructionSortsAndDeduplicates) {
+  LabelSet s = LabelSet::Of({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.FiniteMembers(), (std::vector<LabelId>{1, 3, 5}));
+}
+
+TEST(LabelSetTest, ComplementRoundTrips) {
+  LabelSet s = LabelSet::Of({1, 2});
+  EXPECT_EQ(s.Complement().Complement(), s);
+  EXPECT_FALSE(s.Complement().Contains(1));
+  EXPECT_TRUE(s.Complement().Contains(3));
+}
+
+TEST(LabelSetTest, UnionPositivePositive) {
+  LabelSet u = LabelSet::Of({1, 2}).Union(LabelSet::Of({2, 3}));
+  EXPECT_EQ(u, LabelSet::Of({1, 2, 3}));
+}
+
+TEST(LabelSetTest, UnionNegatedNegated) {
+  // (Σ\{1,2}) ∪ (Σ\{2,3}) = Σ\{2}
+  LabelSet u = LabelSet::AllExcept({1, 2}).Union(LabelSet::AllExcept({2, 3}));
+  EXPECT_EQ(u, LabelSet::AllExcept({2}));
+}
+
+TEST(LabelSetTest, UnionMixed) {
+  // {1} ∪ (Σ\{1,2}) = Σ\{2}
+  LabelSet u = LabelSet::Of({1}).Union(LabelSet::AllExcept({1, 2}));
+  EXPECT_EQ(u, LabelSet::AllExcept({2}));
+  // Commuted.
+  LabelSet v = LabelSet::AllExcept({1, 2}).Union(LabelSet::Of({1}));
+  EXPECT_EQ(v, LabelSet::AllExcept({2}));
+}
+
+TEST(LabelSetTest, IntersectMixed) {
+  // {1,2,3} ∩ (Σ\{2}) = {1,3}
+  LabelSet i = LabelSet::Of({1, 2, 3}).Intersect(LabelSet::AllExcept({2}));
+  EXPECT_EQ(i, LabelSet::Of({1, 3}));
+}
+
+TEST(LabelSetTest, IntersectNegatedNegated) {
+  // (Σ\{1}) ∩ (Σ\{2}) = Σ\{1,2}
+  LabelSet i = LabelSet::AllExcept({1}).Intersect(LabelSet::AllExcept({2}));
+  EXPECT_EQ(i, LabelSet::AllExcept({1, 2}));
+}
+
+TEST(LabelSetTest, Minus) {
+  EXPECT_EQ(LabelSet::Of({1, 2, 3}).Minus(LabelSet::Of({2})),
+            LabelSet::Of({1, 3}));
+  EXPECT_EQ(LabelSet::All().Minus(LabelSet::Of({7})), LabelSet::AllExcept({7}));
+  EXPECT_TRUE(LabelSet::Of({1}).Minus(LabelSet::All()).IsEmpty());
+}
+
+TEST(LabelSetTest, MembershipLawsOnSamples) {
+  LabelSet sets[] = {LabelSet::None(), LabelSet::All(), LabelSet::Of({0, 2}),
+                     LabelSet::AllExcept({1, 2}), LabelSet::Of({3})};
+  for (const LabelSet& a : sets) {
+    for (const LabelSet& b : sets) {
+      LabelSet u = a.Union(b), i = a.Intersect(b), m = a.Minus(b);
+      for (LabelId l = 0; l < 6; ++l) {
+        EXPECT_EQ(u.Contains(l), a.Contains(l) || b.Contains(l));
+        EXPECT_EQ(i.Contains(l), a.Contains(l) && b.Contains(l));
+        EXPECT_EQ(m.Contains(l), a.Contains(l) && !b.Contains(l));
+      }
+    }
+  }
+}
+
+TEST(LabelSetTest, ToStringFormats) {
+  Alphabet a;
+  LabelId x = a.Intern("x"), y = a.Intern("y");
+  EXPECT_EQ(LabelSet::Of({x, y}).ToString(a), "{x,y}");
+  EXPECT_EQ(LabelSet::AllExcept({x}).ToString(a), "Σ\\{x}");
+  EXPECT_EQ(LabelSet::All().ToString(a), "Σ");
+  EXPECT_EQ(LabelSet::None().ToString(a), "{}");
+}
+
+}  // namespace
+}  // namespace xpwqo

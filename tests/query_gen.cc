@@ -1,0 +1,76 @@
+#include "query_gen.h"
+
+namespace xpwqo {
+namespace testing_util {
+namespace {
+
+std::string Label(Random* rng, const QueryGenOptions& opt) {
+  return std::string(
+      1, static_cast<char>('a' + rng->Uniform(opt.num_labels)));
+}
+
+std::string NodeTestStr(Random* rng, const QueryGenOptions& opt) {
+  if (opt.allow_star && rng->Bernoulli(0.12)) return "*";
+  return Label(rng, opt);
+}
+
+std::string Steps(Random* rng, const QueryGenOptions& opt, int depth,
+                  bool relative);
+
+std::string Pred(Random* rng, const QueryGenOptions& opt, int depth) {
+  double r = rng->NextDouble();
+  if (depth <= 0 || r < 0.55) {
+    return Steps(rng, opt, depth - 1, /*relative=*/true);
+  }
+  if (r < 0.7) {
+    return "not(" + Pred(rng, opt, depth - 1) + ")";
+  }
+  const char* op = rng->Bernoulli(0.5) ? " and " : " or ";
+  return "(" + Pred(rng, opt, depth - 1) + op + Pred(rng, opt, depth - 1) +
+         ")";
+}
+
+std::string Steps(Random* rng, const QueryGenOptions& opt, int depth,
+                  bool relative) {
+  int steps = 1 + static_cast<int>(rng->Uniform(opt.max_steps));
+  std::string out;
+  for (int i = 0; i < steps; ++i) {
+    double r = rng->NextDouble();
+    if (i == 0 && relative) {
+      // Relative predicate paths: bare child step, './/' descendant, or an
+      // explicit axis.
+      if (r < 0.4) {
+        out += ".//";
+      } else if (opt.allow_following_sibling && r > 0.9) {
+        out += "following-sibling::";
+      }
+    } else {
+      if (r < 0.45) {
+        out += "//";
+      } else {
+        out += "/";
+      }
+    }
+    out += NodeTestStr(rng, opt);
+    if (depth > 0 && rng->Bernoulli(0.35)) {
+      int preds = 1 + static_cast<int>(rng->Uniform(opt.max_predicates));
+      for (int p = 0; p < preds; ++p) {
+        out += "[" + Pred(rng, opt, opt.max_pred_depth) + "]";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RandomQuery(Random* rng, const QueryGenOptions& options) {
+  std::string q = Steps(rng, options, options.max_pred_depth,
+                        /*relative=*/false);
+  // Top-level paths must start with / or //.
+  if (q[0] != '/') q = (rng->Bernoulli(0.5) ? "/" : "//") + q;
+  return q;
+}
+
+}  // namespace testing_util
+}  // namespace xpwqo

@@ -1,0 +1,31 @@
+// Random query generation for cross-engine stress testing: produces valid
+// XPath strings of the supported fragment, with axes, star tests, and
+// nested boolean predicates.
+#ifndef XPWQO_TESTS_QUERY_GEN_H_
+#define XPWQO_TESTS_QUERY_GEN_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace xpwqo {
+namespace testing_util {
+
+struct QueryGenOptions {
+  int max_steps = 3;
+  int max_predicates = 1;
+  int max_pred_depth = 2;
+  /// Labels are single letters 'a'..('a'+num_labels-1), matching
+  /// RandomTree documents.
+  int num_labels = 3;
+  bool allow_star = true;
+  bool allow_following_sibling = true;
+};
+
+/// Generates one random query of the fragment.
+std::string RandomQuery(Random* rng, const QueryGenOptions& options = {});
+
+}  // namespace testing_util
+}  // namespace xpwqo
+
+#endif  // XPWQO_TESTS_QUERY_GEN_H_

@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xpwqo {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random r(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.Bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(17);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, GeometricRespectsCap) {
+  Random r(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(r.Geometric(0.9, 5), 5);
+  }
+  // p=0 never succeeds.
+  EXPECT_EQ(r.Geometric(0.0, 5), 0);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,112 @@
+// Property tests for minimization on randomly generated deterministic STAs:
+// bloat a random minimal-ish automaton by splitting states, minimize, and
+// check semantics, state count, and idempotence. This probes corners the
+// hand-written paper examples cannot.
+#include <gtest/gtest.h>
+
+#include "sta/minimize.h"
+#include "sta/run.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::RandomTree;
+
+/// Builds a random complete TDSTA over labels {0..num_labels-1} with the
+/// given number of states. State 0 is the top state; bottoms and selecting
+/// labels are chosen randomly.
+Sta RandomTdsta(Random* rng, int num_states, int num_labels) {
+  Sta sta(num_states);
+  sta.AddTop(0);
+  for (StateId q = 0; q < num_states; ++q) {
+    if (rng->Bernoulli(0.7)) sta.AddBottom(q);
+    // Partition the alphabet into per-destination groups.
+    std::vector<LabelId> rest;
+    for (LabelId l = 0; l < num_labels; ++l) rest.push_back(l);
+    while (!rest.empty()) {
+      std::vector<LabelId> group;
+      size_t take = 1 + rng->Uniform(rest.size());
+      for (size_t i = 0; i < take; ++i) {
+        group.push_back(rest.back());
+        rest.pop_back();
+      }
+      StateId q1 = static_cast<StateId>(rng->Uniform(num_states));
+      StateId q2 = static_cast<StateId>(rng->Uniform(num_states));
+      sta.AddTransition(q, LabelSet::Of(group), q1, q2);
+      if (rng->Bernoulli(0.25)) {
+        sta.AddSelecting(q, LabelSet::Of({group[0]}));
+      }
+    }
+    // Cover the labels beyond the explicit alphabet with a loop so the
+    // automaton is complete over the effective alphabet.
+    std::vector<LabelId> all;
+    for (LabelId l = 0; l < num_labels; ++l) all.push_back(l);
+    StateId q1 = static_cast<StateId>(rng->Uniform(num_states));
+    StateId q2 = static_cast<StateId>(rng->Uniform(num_states));
+    sta.AddTransition(q, LabelSet::AllExcept(all), q1, q2);
+  }
+  return sta;
+}
+
+/// Splits every state into two interchangeable copies (a guaranteed-bloated
+/// equivalent automaton).
+Sta SplitStates(const Sta& sta, Random* rng) {
+  const int n = sta.num_states();
+  Sta out(2 * n);  // state q becomes {q, q+n}
+  out.AddTop(sta.tops()[0]);
+  for (StateId q = 0; q < n; ++q) {
+    if (sta.IsBottom(q)) {
+      out.AddBottom(q);
+      out.AddBottom(q + n);
+    }
+    out.AddSelecting(q, sta.SelectingLabels(q));
+    out.AddSelecting(q + n, sta.SelectingLabels(q));
+  }
+  for (const StaTransition& t : sta.transitions()) {
+    // Each copy routes to a randomly chosen copy of the destinations.
+    for (StateId from : {t.from, static_cast<StateId>(t.from + n)}) {
+      StateId to1 = t.to1 + (rng->Bernoulli(0.5) ? n : 0);
+      StateId to2 = t.to2 + (rng->Bernoulli(0.5) ? n : 0);
+      out.AddTransition(from, t.labels, to1, to2);
+    }
+  }
+  return out;
+}
+
+class RandomMinimizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMinimizeTest, MinimizePreservesSemanticsAndShrinksBloat) {
+  Random rng(GetParam());
+  Sta sta = RandomTdsta(&rng, 2 + static_cast<int>(rng.Uniform(3)), 3);
+  if (!sta.IsTopDownDeterministic() || !sta.IsTopDownComplete()) {
+    GTEST_SKIP() << "generator produced overlapping label groups";
+  }
+  Sta bloated = SplitStates(sta, &rng);
+  ASSERT_TRUE(bloated.IsTopDownDeterministic());
+  ASSERT_TRUE(bloated.IsTopDownComplete());
+
+  Sta min_orig = MinimizeTopDown(sta);
+  Sta min_bloat = MinimizeTopDown(bloated);
+  // The doubled automaton minimizes to the same canonical automaton.
+  EXPECT_TRUE(IsomorphicTopDown(min_orig, min_bloat));
+  EXPECT_LE(min_orig.num_states(), sta.num_states());
+  // Idempotence.
+  EXPECT_TRUE(IsomorphicTopDown(min_orig, MinimizeTopDown(min_orig)));
+  // Semantics on sampled trees (labels a..c are ids 1..3 in RandomTree
+  // documents; the automaton's labels 0..2 overlap with r,a,b — that is
+  // fine, we only need agreement between the three automata).
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Document d = RandomTree(seed, {.num_nodes = 60, .num_labels = 3});
+    EXPECT_TRUE(AgreeOn(sta, min_orig, d)) << seed;
+    EXPECT_TRUE(AgreeOn(bloated, min_bloat, d)) << seed;
+    EXPECT_TRUE(AgreeOn(sta, bloated, d)) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMinimizeTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,197 @@
+#include "sta/run.h"
+
+#include <gtest/gtest.h>
+
+#include "sta/examples.h"
+#include "test_util.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::RandomTree;
+using testing_util::TreeOf;
+
+/// XML-semantics oracle for //a//b: b-labeled nodes with a strict a-labeled
+/// ancestor.
+std::vector<NodeId> DescADescBOracle(const Document& d, LabelId a, LabelId b) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    if (d.label(n) != b) continue;
+    for (NodeId p = d.parent(n); p != kNullNode; p = d.parent(p)) {
+      if (d.label(p) == a) {
+        out.push_back(n);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// XML-semantics oracle for //a[.//b]: a-labeled nodes with a b-labeled
+/// strict descendant.
+std::vector<NodeId> AWithBOracle(const Document& d, LabelId a, LabelId b) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    if (d.label(n) != a) continue;
+    for (NodeId m = n + 1; m < d.XmlEnd(n); ++m) {
+      if (d.label(m) == b) {
+        out.push_back(n);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+struct Ids {
+  LabelId a, b, c;
+};
+Ids IdsOf(const Document& d) {
+  // RandomTree/TreeOf documents intern "r" first, then labels as they
+  // appear; Find returns kNoLabel for absent ones, which no node carries.
+  return {d.alphabet().Find("a"), d.alphabet().Find("b"),
+          d.alphabet().Find("c")};
+}
+
+TEST(TopDownRunTest, SelectsBDescendantsOfA) {
+  Document d = TreeOf("r(a(b,c(b)),b)");
+  Ids ids = IdsOf(d);
+  Sta sta = StaForDescADescB(ids.a, ids.b);
+  StaRunResult r = TopDownRun(sta, d);
+  EXPECT_TRUE(r.accepting);
+  // b2 and b4 are under a1; the top-level b5 is not.
+  EXPECT_EQ(r.selected, DescADescBOracle(d, ids.a, ids.b));
+  EXPECT_EQ(r.selected, (std::vector<NodeId>{2, 4}));
+}
+
+TEST(TopDownRunTest, RunStatesMatchPaperIntuition) {
+  Document d = TreeOf("r(a(b))");
+  Ids ids = IdsOf(d);
+  Sta sta = StaForDescADescB(ids.a, ids.b);
+  StaRunResult r = TopDownRun(sta, d);
+  ASSERT_TRUE(r.accepting);
+  EXPECT_EQ(r.states[0], 0);  // root in q0
+  EXPECT_EQ(r.states[1], 0);  // the a node is entered in q0
+  EXPECT_EQ(r.states[2], 1);  // below the a node: q1
+}
+
+TEST(TopDownRunTest, EmptySelectionStillAccepts) {
+  Document d = TreeOf("r(c,c)");
+  Ids ids = IdsOf(d);
+  Sta sta = StaForDescADescB(ids.a, ids.b);
+  StaRunResult r = TopDownRun(sta, d);
+  EXPECT_TRUE(r.accepting);  // L(A_{//a//b}) accepts everything
+  EXPECT_TRUE(r.selected.empty());
+}
+
+TEST(TopDownRunTest, DtdRecognizerAcceptsOnlyARoots) {
+  Document good = TreeOf("a(b,c)");
+  Document bad = TreeOf("b(a)");
+  LabelId a_good = good.alphabet().Find("a");
+  EXPECT_TRUE(TopDownRun(StaDtdRootIsA(a_good), good).accepting);
+  LabelId a_bad = bad.alphabet().Find("a");
+  EXPECT_FALSE(TopDownRun(StaDtdRootIsA(a_bad), bad).accepting);
+}
+
+TEST(TopDownRunTest, RejectionClearsStates) {
+  Document d = TreeOf("b(a)");
+  LabelId a = d.alphabet().Find("a");
+  StaRunResult r = TopDownRun(StaDtdRootIsA(a), d);
+  EXPECT_FALSE(r.accepting);
+  for (StateId q : r.states) EXPECT_EQ(q, kNoState);
+  EXPECT_TRUE(r.selected.empty());
+}
+
+TEST(BottomUpRunTest, SelectsANodesWithBBelow) {
+  Document d = TreeOf("r(a(c(b)),a(c),b)");
+  Ids ids = IdsOf(d);
+  Sta sta = StaForAWithBDescendant(ids.a, ids.b);
+  StaRunResult r = BottomUpRun(sta, d);
+  EXPECT_TRUE(r.accepting);
+  EXPECT_EQ(r.selected, AWithBOracle(d, ids.a, ids.b));
+  EXPECT_EQ(r.selected, (std::vector<NodeId>{1}));
+}
+
+TEST(BottomUpRunTest, NestedAs) {
+  Document d = TreeOf("r(a(a(b)))");
+  Ids ids = IdsOf(d);
+  StaRunResult r = BottomUpRun(StaForAWithBDescendant(ids.a, ids.b), d);
+  ASSERT_TRUE(r.accepting);
+  // Both a-nodes have the b below.
+  EXPECT_EQ(r.selected, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(OracleTest, MatchesDeterministicRunsOnRandomTrees) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Document d = RandomTree(seed, {.num_nodes = 120, .num_labels = 3});
+    Ids ids = IdsOf(d);
+    Sta td = StaForDescADescB(ids.a, ids.b);
+    StaRunResult run = TopDownRun(td, d);
+    StaOracleResult oracle = OracleRun(td, d);
+    EXPECT_EQ(oracle.accepts, run.accepting);
+    EXPECT_EQ(oracle.selected, run.selected);
+    EXPECT_EQ(oracle.selected, DescADescBOracle(d, ids.a, ids.b));
+
+    Sta bu = StaForAWithBDescendant(ids.a, ids.b);
+    StaRunResult bu_run = BottomUpRun(bu, d);
+    StaOracleResult bu_oracle = OracleRun(bu, d);
+    EXPECT_EQ(bu_oracle.accepts, bu_run.accepting);
+    EXPECT_EQ(bu_oracle.selected, bu_run.selected);
+    EXPECT_EQ(bu_oracle.selected, AWithBOracle(d, ids.a, ids.b));
+  }
+}
+
+TEST(OracleTest, DescendantChainMatchesPathOracle) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Document d = RandomTree(seed, {.num_nodes = 150, .num_labels = 3});
+    Ids ids = IdsOf(d);
+    Sta chain = StaForDescendantChain({ids.a, ids.b, ids.c});
+    ASSERT_TRUE(chain.IsTopDownDeterministic());
+    ASSERT_TRUE(chain.IsTopDownComplete());
+    StaRunResult run = TopDownRun(chain, d);
+    // Oracle: c nodes with a b strict-ancestor which has an a strict-ancestor.
+    std::vector<NodeId> expect;
+    for (NodeId n = 0; n < d.num_nodes(); ++n) {
+      if (d.label(n) != ids.c) continue;
+      bool ok = false;
+      for (NodeId p = d.parent(n); p != kNullNode && !ok; p = d.parent(p)) {
+        if (d.label(p) != ids.b) continue;
+        for (NodeId g = d.parent(p); g != kNullNode; g = d.parent(g)) {
+          if (d.label(g) == ids.a) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) expect.push_back(n);
+    }
+    EXPECT_EQ(run.selected, expect) << "seed " << seed;
+  }
+}
+
+TEST(OracleTest, ChildChainMatchesPathOracle) {
+  Document d = TreeOf("a(b(c,c),b(a(c)),c)");
+  LabelId a = d.alphabet().Find("a");
+  LabelId b = d.alphabet().Find("b");
+  LabelId c = d.alphabet().Find("c");
+  Sta chain = StaForChildChain({a, b, c});
+  ASSERT_TRUE(chain.IsTopDownDeterministic());
+  ASSERT_TRUE(chain.IsTopDownComplete());
+  StaRunResult run = TopDownRun(chain, d);
+  ASSERT_TRUE(run.accepting);
+  // /a/b/c: c2, c3 (children of b1). Not c6 (under a/b/a) nor c7 (child of
+  // root).
+  EXPECT_EQ(run.selected, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(AgreeOnTest, DetectsAgreementAndDisagreement) {
+  Document d = TreeOf("r(a(b))");
+  Ids ids = IdsOf(d);
+  Sta x = StaForDescADescB(ids.a, ids.b);
+  EXPECT_TRUE(AgreeOn(x, x, d));
+  Sta y = StaForDescendantChain({ids.b, ids.a});  // different query
+  EXPECT_FALSE(AgreeOn(x, y, d));
+}
+
+}  // namespace
+}  // namespace xpwqo

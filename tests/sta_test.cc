@@ -1,0 +1,148 @@
+#include "sta/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "sta/examples.h"
+#include "test_util.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::TreeOf;
+
+// Labels used across these tests; ids are stable because every test interns
+// into a fresh alphabet in the same order.
+struct Labels {
+  Alphabet alphabet;
+  LabelId a, b, c;
+  Labels() : a(alphabet.Intern("a")), b(alphabet.Intern("b")),
+             c(alphabet.Intern("c")) {}
+};
+
+TEST(StaTest, AddStateAndTransition) {
+  Sta sta(1);
+  EXPECT_EQ(sta.num_states(), 1);
+  StateId q = sta.AddState();
+  EXPECT_EQ(q, 1);
+  sta.AddTransition(0, LabelSet::All(), 1, 1);
+  EXPECT_EQ(sta.transitions().size(), 1u);
+}
+
+TEST(StaTest, TopsAndBottomsSortedUnique) {
+  Sta sta(3);
+  sta.AddTop(2);
+  sta.AddTop(0);
+  sta.AddTop(2);
+  EXPECT_EQ(sta.tops(), (std::vector<StateId>{0, 2}));
+  EXPECT_TRUE(sta.IsTop(0));
+  EXPECT_FALSE(sta.IsTop(1));
+}
+
+TEST(StaTest, DestinationsAndSources) {
+  Labels l;
+  Sta sta = StaForDescADescB(l.a, l.b);
+  auto d = sta.Destinations(0, l.a);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], std::make_pair(StateId{1}, StateId{0}));
+  d = sta.Destinations(0, l.b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], std::make_pair(StateId{0}, StateId{0}));
+  // Sources of (q1, q0) on 'a' = {q0}.
+  EXPECT_EQ(sta.Sources(1, 0, l.a), (std::vector<StateId>{0}));
+  EXPECT_TRUE(sta.Sources(1, 0, l.b).empty());
+}
+
+TEST(StaTest, EffectiveAlphabetIncludesOther) {
+  Labels l;
+  Sta sta = StaForDescADescB(l.a, l.b);
+  auto sigma = sta.EffectiveAlphabet();
+  EXPECT_EQ(sigma, (std::vector<LabelId>{kOtherLabel, l.a, l.b}));
+}
+
+TEST(StaTest, OtherLabelBehavesLikeUnmentioned) {
+  // Co-finite sets contain kOtherLabel, finite ones do not.
+  EXPECT_TRUE(LabelSet::AllExcept({5}).Contains(kOtherLabel));
+  EXPECT_FALSE(LabelSet::Of({5}).Contains(kOtherLabel));
+}
+
+TEST(StaTest, ExampleAutomataDeterminism) {
+  Labels l;
+  Sta td = StaForDescADescB(l.a, l.b);
+  EXPECT_TRUE(td.IsTopDownDeterministic());
+  EXPECT_TRUE(td.IsTopDownComplete());
+  // The paper notes A_{//a//b} is not bottom-up deterministic (B is not a
+  // singleton).
+  EXPECT_FALSE(td.IsBottomUpDeterministic());
+
+  Sta bu = StaForAWithBDescendant(l.a, l.b);
+  EXPECT_TRUE(bu.IsBottomUpDeterministic());
+  EXPECT_TRUE(bu.IsBottomUpComplete());
+  EXPECT_FALSE(bu.IsTopDownDeterministic());
+}
+
+TEST(StaTest, MakeTopDownCompleteAddsSink) {
+  Labels l;
+  Sta sta(1);
+  sta.AddTop(0);
+  sta.AddBottom(0);
+  sta.AddTransition(0, LabelSet::Of({l.a}), 0, 0);
+  EXPECT_FALSE(sta.IsTopDownComplete());
+  StateId sink = sta.MakeTopDownComplete();
+  EXPECT_NE(sink, kNoState);
+  EXPECT_TRUE(sta.IsTopDownComplete());
+  EXPECT_TRUE(sta.IsTopDownSink(sink));
+}
+
+TEST(StaTest, MakeTopDownCompleteNoopWhenComplete) {
+  Labels l;
+  Sta sta = StaForDescADescB(l.a, l.b);
+  EXPECT_EQ(sta.MakeTopDownComplete(), kNoState);
+}
+
+TEST(StaTest, NonChangingClassification) {
+  Labels l;
+  Sta dtd = StaDtdRootIsA(l.a);
+  EXPECT_FALSE(dtd.IsNonChanging(0));
+  EXPECT_TRUE(dtd.IsNonChanging(1));
+  EXPECT_TRUE(dtd.IsNonChanging(2));
+  EXPECT_TRUE(dtd.IsTopDownUniversal(1));
+  EXPECT_FALSE(dtd.IsTopDownUniversal(2));
+  EXPECT_TRUE(dtd.IsTopDownSink(2));
+  EXPECT_FALSE(dtd.IsTopDownSink(1));
+}
+
+TEST(StaTest, SelectingStateIsNotUniversal) {
+  Labels l;
+  Sta sta = StaForDescADescB(l.a, l.b);
+  // q1 is non-changing but selects on b, so it is not universal.
+  EXPECT_TRUE(sta.IsNonChanging(1));
+  EXPECT_FALSE(sta.IsTopDownUniversal(1));
+}
+
+TEST(StaTest, ReachableFrom) {
+  Labels l;
+  Sta dtd = StaDtdRootIsA(l.a);
+  auto from_top = dtd.ReachableFrom({1});
+  EXPECT_EQ(from_top, (std::vector<StateId>{1}));
+  auto from_q0 = dtd.ReachableFrom({0});
+  EXPECT_EQ(from_q0, (std::vector<StateId>{0, 1, 2}));
+}
+
+TEST(StaTest, RestrictDropsUnreachable) {
+  Labels l;
+  Sta dtd = StaDtdRootIsA(l.a);
+  Sta restricted = dtd.Restrict({1});
+  EXPECT_EQ(restricted.num_states(), 1);
+  EXPECT_TRUE(restricted.IsTopDownUniversal(0));
+}
+
+TEST(StaTest, ToStringMentionsStructure) {
+  Labels l;
+  std::string s = StaForDescADescB(l.a, l.b).ToString(l.alphabet);
+  EXPECT_NE(s.find("q0"), std::string::npos);
+  EXPECT_NE(s.find("=>"), std::string::npos);  // selecting transition
+  EXPECT_NE(s.find("{a}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,40 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace xpwqo {
+namespace {
+
+TEST(StringsTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(StringsTest, JoinMultiple) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringsTest, XmlEscapeAllSpecials) {
+  EXPECT_EQ(XmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+}
+
+TEST(StringsTest, XmlEscapePlainPassthrough) {
+  EXPECT_EQ(XmlEscape("plain text 123"), "plain text 123");
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(5673051), "5,673,051");
+  EXPECT_EQ(WithCommas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace xpwqo

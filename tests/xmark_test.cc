@@ -1,0 +1,191 @@
+#include "xmark/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xmark/fig5_configs.h"
+#include "xmark/workload.h"
+
+namespace xpwqo {
+namespace {
+
+int CountLabel(const Document& d, const char* name) {
+  LabelId id = d.alphabet().Find(name);
+  if (id == kNoLabel) return 0;
+  int count = 0;
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    if (d.label(n) == id) ++count;
+  }
+  return count;
+}
+
+/// Counts nodes labeled `name` that have an ancestor labeled `anc`.
+int CountLabelUnder(const Document& d, const char* name, const char* anc) {
+  LabelId id = d.alphabet().Find(name);
+  LabelId anc_id = d.alphabet().Find(anc);
+  if (id == kNoLabel || anc_id == kNoLabel) return 0;
+  int count = 0;
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    if (d.label(n) != id) continue;
+    for (NodeId p = d.parent(n); p != kNullNode; p = d.parent(p)) {
+      if (d.label(p) == anc_id) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(XMarkGeneratorTest, DeterministicForSeedAndScale) {
+  XMarkOptions opt;
+  opt.scale = 0.002;
+  Document a = GenerateXMark(opt);
+  Document b = GenerateXMark(opt);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    ASSERT_EQ(a.LabelName(n), b.LabelName(n));
+    ASSERT_EQ(a.parent(n), b.parent(n));
+  }
+}
+
+TEST(XMarkGeneratorTest, SeedChangesDocument) {
+  XMarkOptions a_opt, b_opt;
+  a_opt.scale = b_opt.scale = 0.002;
+  b_opt.seed = a_opt.seed + 1;
+  Document a = GenerateXMark(a_opt);
+  Document b = GenerateXMark(b_opt);
+  EXPECT_NE(a.num_nodes(), b.num_nodes());
+}
+
+TEST(XMarkGeneratorTest, HasXMarkTopLevelStructure) {
+  XMarkOptions opt;
+  opt.scale = 0.002;
+  Document d = GenerateXMark(opt);
+  EXPECT_EQ(d.LabelName(d.root()), "site");
+  std::vector<std::string> top;
+  for (NodeId c = d.first_child(d.root()); c != kNullNode;
+       c = d.next_sibling(c)) {
+    top.push_back(d.LabelName(c));
+  }
+  EXPECT_EQ(top, (std::vector<std::string>{"regions", "categories", "catgraph",
+                                           "people", "open_auctions",
+                                           "closed_auctions"}));
+}
+
+TEST(XMarkGeneratorTest, RegionsContainAllContinents) {
+  XMarkOptions opt;
+  opt.scale = 0.002;
+  Document d = GenerateXMark(opt);
+  for (const char* r :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    EXPECT_GE(CountLabel(d, r), 1) << r;
+  }
+}
+
+TEST(XMarkGeneratorTest, QueryVocabularyPresent) {
+  XMarkOptions opt;
+  opt.scale = 0.005;
+  Document d = GenerateXMark(opt);
+  // Every element name used by Q01-Q15 must occur.
+  for (const char* tag :
+       {"site", "regions", "europe", "item", "mailbox", "mail", "text",
+        "keyword", "closed_auctions", "closed_auction", "annotation",
+        "description", "parlist", "listitem", "people", "person", "address",
+        "phone", "homepage", "emph"}) {
+    EXPECT_GE(CountLabel(d, tag), 1) << tag;
+  }
+}
+
+TEST(XMarkGeneratorTest, KeywordsExistUnderListitemsAndMail) {
+  XMarkOptions opt;
+  opt.scale = 0.01;
+  Document d = GenerateXMark(opt);
+  EXPECT_GT(CountLabelUnder(d, "keyword", "listitem"), 0);
+  EXPECT_GT(CountLabelUnder(d, "keyword", "mail"), 0);
+  // Q14's predicate witness: emph nested below keyword.
+  EXPECT_GT(CountLabelUnder(d, "emph", "keyword"), 0);
+}
+
+TEST(XMarkGeneratorTest, ScaleGrowsDocument) {
+  XMarkOptions small_opt, large_opt;
+  small_opt.scale = 0.002;
+  large_opt.scale = 0.01;
+  Document small = GenerateXMark(small_opt);
+  Document large = GenerateXMark(large_opt);
+  EXPECT_GT(large.num_nodes(), 3 * small.num_nodes());
+}
+
+TEST(XMarkGeneratorTest, TextAndAttributesToggles) {
+  XMarkOptions opt;
+  opt.scale = 0.002;
+  opt.with_text = false;
+  opt.with_attributes = false;
+  Document d = GenerateXMark(opt);
+  EXPECT_EQ(CountLabel(d, "#text"), 0);
+  EXPECT_EQ(CountLabel(d, "@id"), 0);
+  XMarkOptions full = opt;
+  full.with_text = true;
+  full.with_attributes = true;
+  Document d2 = GenerateXMark(full);
+  EXPECT_GT(CountLabel(d2, "#text"), 0);
+  EXPECT_GT(CountLabel(d2, "@id"), 0);
+}
+
+TEST(XMarkScaleFromEnvTest, FallbackAndOverride) {
+  unsetenv("XPWQO_SCALE");
+  EXPECT_DOUBLE_EQ(XMarkScaleFromEnv(0.25), 0.25);
+  setenv("XPWQO_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(XMarkScaleFromEnv(0.25), 0.5);
+  setenv("XPWQO_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(XMarkScaleFromEnv(0.25), 0.25);
+  unsetenv("XPWQO_SCALE");
+}
+
+TEST(Fig5ConfigTest, ExactPaperCounts) {
+  struct Expect {
+    Fig5Config config;
+    int listitems, keywords, emphs;
+  };
+  const Expect expect[] = {
+      {Fig5Config::kA, 75021, 3, 4},
+      {Fig5Config::kB, 75021, 60234, 4},
+      {Fig5Config::kC, 9083, 40493, 65831},
+      {Fig5Config::kD, 20304, 10209, 15074},
+  };
+  for (const Expect& e : expect) {
+    Document d = BuildFig5Config(e.config);
+    EXPECT_EQ(CountLabel(d, "listitem"), e.listitems)
+        << Fig5ConfigName(e.config);
+    EXPECT_EQ(CountLabel(d, "keyword"), e.keywords)
+        << Fig5ConfigName(e.config);
+    EXPECT_EQ(CountLabel(d, "emph"), e.emphs) << Fig5ConfigName(e.config);
+  }
+}
+
+TEST(Fig5ConfigTest, KeywordPlacementMatchesPaper) {
+  // A: all 3 keywords below listitems.
+  Document a = BuildFig5Config(Fig5Config::kA);
+  EXPECT_EQ(CountLabelUnder(a, "keyword", "listitem"), 3);
+  // C: only one keyword below a listitem; the rest outside.
+  Document c = BuildFig5Config(Fig5Config::kC);
+  EXPECT_EQ(CountLabelUnder(c, "keyword", "listitem"), 1);
+  // D: all keywords below (one) listitem.
+  Document d = BuildFig5Config(Fig5Config::kD);
+  EXPECT_EQ(CountLabelUnder(d, "keyword", "listitem"), 10209);
+}
+
+TEST(WorkloadTest, FifteenQueriesInOrder) {
+  const auto& w = Figure2Workload();
+  ASSERT_EQ(w.size(), 15u);
+  EXPECT_STREQ(w[0].id, "Q01");
+  EXPECT_STREQ(w[14].id, "Q15");
+  EXPECT_STREQ(w[4].xpath, "//listitem//keyword");
+}
+
+TEST(WorkloadTest, FindById) {
+  ASSERT_NE(FindWorkloadQuery("Q07"), nullptr);
+  EXPECT_EQ(FindWorkloadQuery("Q99"), nullptr);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,151 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::BracketString;
+
+Document MustParse(std::string_view xml, const XmlParseOptions& opt = {}) {
+  auto doc = ParseXmlString(xml, opt);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  Document d = MustParse("<a/>");
+  EXPECT_EQ(d.num_nodes(), 1);
+  EXPECT_EQ(d.LabelName(0), "a");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  Document d = MustParse("<a><b><c/><d/></b><e><f/></e></a>");
+  EXPECT_EQ(BracketString(d), "a(b(c,d),e(f))");
+}
+
+TEST(XmlParserTest, TextContent) {
+  Document d = MustParse("<a>hello <b>world</b></a>");
+  ASSERT_EQ(d.num_nodes(), 4);
+  EXPECT_EQ(d.kind(1), NodeKind::kText);
+  EXPECT_EQ(d.text(1), "hello ");
+  EXPECT_EQ(d.LabelName(2), "b");
+  EXPECT_EQ(d.text(3), "world");
+}
+
+TEST(XmlParserTest, WhitespaceTextSkippedByDefault) {
+  Document d = MustParse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(d.num_nodes(), 2);
+}
+
+TEST(XmlParserTest, WhitespaceTextKeptOnRequest) {
+  XmlParseOptions opt;
+  opt.skip_whitespace_text = false;
+  Document d = MustParse("<a>\n  <b/>\n</a>", opt);
+  EXPECT_EQ(d.num_nodes(), 4);
+}
+
+TEST(XmlParserTest, Attributes) {
+  Document d = MustParse("<item id=\"i1\" class='x'><name/></item>");
+  ASSERT_EQ(d.num_nodes(), 4);
+  EXPECT_EQ(d.LabelName(1), "@id");
+  EXPECT_EQ(d.text(1), "i1");
+  EXPECT_EQ(d.LabelName(2), "@class");
+  EXPECT_EQ(d.text(2), "x");
+  EXPECT_EQ(d.LabelName(3), "name");
+}
+
+TEST(XmlParserTest, AttributesSkippable) {
+  XmlParseOptions opt;
+  opt.keep_attributes = false;
+  Document d = MustParse("<item id=\"i1\"><name/></item>", opt);
+  EXPECT_EQ(d.num_nodes(), 2);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  Document d = MustParse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>");
+  EXPECT_EQ(d.text(1), "<x> & \"y\" 'z'");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  Document d = MustParse("<a>&#65;&#x42;&#233;</a>");
+  EXPECT_EQ(d.text(1), "AB\xC3\xA9");  // "ABé" in UTF-8
+}
+
+TEST(XmlParserTest, EntityInAttribute) {
+  Document d = MustParse("<a t=\"x&amp;y\"/>");
+  EXPECT_EQ(d.text(1), "x&y");
+}
+
+TEST(XmlParserTest, CommentsIgnored) {
+  Document d = MustParse("<!-- head --><a><!-- inner --><b/></a><!-- tail -->");
+  EXPECT_EQ(BracketString(d), "a(b)");
+}
+
+TEST(XmlParserTest, ProcessingInstructionsIgnored) {
+  Document d = MustParse("<?xml version=\"1.0\"?><a><?pi data?><b/></a>");
+  EXPECT_EQ(BracketString(d), "a(b)");
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  Document d = MustParse("<!DOCTYPE a [<!ELEMENT a ANY>]><a/>");
+  EXPECT_EQ(d.num_nodes(), 1);
+}
+
+TEST(XmlParserTest, Cdata) {
+  Document d = MustParse("<a><![CDATA[<not> &parsed;]]></a>");
+  ASSERT_EQ(d.num_nodes(), 2);
+  EXPECT_EQ(d.text(1), "<not> &parsed;");
+}
+
+TEST(XmlParserTest, DeepNestingNoStackOverflow) {
+  std::string xml;
+  constexpr int kDepth = 200000;
+  for (int i = 0; i < kDepth; ++i) xml += "<a>";
+  for (int i = 0; i < kDepth; ++i) xml += "</a>";
+  Document d = MustParse(xml);
+  EXPECT_EQ(d.num_nodes(), kDepth);
+  EXPECT_EQ(d.Depth(kDepth - 1), kDepth - 1);
+}
+
+TEST(XmlParserTest, ErrorOnGarbage) {
+  EXPECT_FALSE(ParseXmlString("not xml").ok());
+}
+
+TEST(XmlParserTest, ErrorOnUnclosedElement) {
+  EXPECT_FALSE(ParseXmlString("<a><b></b>").ok());
+}
+
+TEST(XmlParserTest, ErrorOnContentAfterRoot) {
+  EXPECT_FALSE(ParseXmlString("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, ErrorOnBadEntity) {
+  EXPECT_FALSE(ParseXmlString("<a>&unknown;</a>").ok());
+  EXPECT_FALSE(ParseXmlString("<a>&amp</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorOnUnquotedAttribute) {
+  EXPECT_FALSE(ParseXmlString("<a x=1/>").ok());
+}
+
+TEST(XmlParserTest, ErrorOnUnterminatedComment) {
+  EXPECT_FALSE(ParseXmlString("<a><!-- oops</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorMessageIncludesLine) {
+  auto r = ParseXmlString("<a>\n\n<b x=></b></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status();
+}
+
+TEST(XmlParserTest, FileNotFound) {
+  auto r = ParseXmlFile("/nonexistent/path.xml");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xpwqo

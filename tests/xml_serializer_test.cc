@@ -1,0 +1,71 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tree/builder.h"
+#include "xml/parser.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::BracketString;
+using testing_util::RandomTree;
+using testing_util::TreeOf;
+
+TEST(XmlSerializerTest, EmptyElement) {
+  EXPECT_EQ(SerializeXml(TreeOf("a")), "<a/>");
+}
+
+TEST(XmlSerializerTest, NestedElements) {
+  EXPECT_EQ(SerializeXml(TreeOf("a(b,c(d))")), "<a><b/><c><d/></c></a>");
+}
+
+TEST(XmlSerializerTest, AttributesAndText) {
+  TreeBuilder b;
+  b.BeginElement("item");
+  b.AddAttribute("id", "i<1>");
+  b.AddText("a & b");
+  b.EndElement();
+  Document d = std::move(b.Finish()).value();
+  EXPECT_EQ(SerializeXml(d), "<item id=\"i&lt;1&gt;\">a &amp; b</item>");
+}
+
+TEST(XmlSerializerTest, SubtreeSerialization) {
+  Document d = TreeOf("a(b(c),d)");
+  EXPECT_EQ(SerializeXml(d, {}, 1), "<b><c/></b>");
+}
+
+TEST(XmlSerializerTest, PrettyPrinting) {
+  std::string out = SerializeXml(TreeOf("a(b)"), {.pretty = true});
+  EXPECT_EQ(out, "<a>\n  <b/>\n</a>");
+}
+
+TEST(XmlSerializerTest, RoundTripThroughParser) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Document d = RandomTree(seed, {.num_nodes = 100, .num_labels = 5});
+    auto reparsed = ParseXmlString(SerializeXml(d));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(BracketString(*reparsed), BracketString(d));
+  }
+}
+
+TEST(XmlSerializerTest, TextRoundTrip) {
+  const char* xml = "<a x=\"1&amp;2\">he said &quot;hi&quot; &lt;now&gt;</a>";
+  Document d = std::move(ParseXmlString(xml)).value();
+  Document d2 = std::move(ParseXmlString(SerializeXml(d))).value();
+  EXPECT_EQ(d2.text(1), d.text(1));
+  EXPECT_EQ(d2.text(2), d.text(2));
+}
+
+TEST(XmlSerializerTest, WriteFile) {
+  Document d = TreeOf("a(b)");
+  std::string path = ::testing::TempDir() + "/xpwqo_ser_test.xml";
+  ASSERT_TRUE(WriteXmlFile(d, path).ok());
+  auto back = ParseXmlFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(BracketString(*back), "a(b)");
+}
+
+}  // namespace
+}  // namespace xpwqo
