@@ -1,0 +1,490 @@
+// Succinct-navigation microbenchmark: the rewritten rank9 / rmM-tree kernels
+// vs. replicas of the seed's linear-scan kernels (block-directory rank with a
+// per-word popcount loop, bit-by-bit excess searches), on the BP encoding of
+// an XMark-style document.
+//
+// Queries are independent draws from a precomputed pool, matching how the
+// evaluators consume these kernels: enumeration loops issue many navigation
+// ops whose inputs do not depend on each other, so the out-of-order core
+// overlaps them — unless a kernel's data-dependent branches stall it.
+//
+// Usage: bench_navigation [--quick] [--out PATH]
+//   --quick  small document + fewer iterations (CI smoke run)
+//   --out    where to write the JSON report (default BENCH_navigation.json)
+// XPWQO_SCALE overrides the document scale (default 0.45, ~1.2M nodes).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "index/balanced_parens.h"
+#include "index/bit_vector.h"
+#include "index/succinct_tree.h"
+#include "tree/document.h"
+#include "util/strings.h"
+#include "xmark/generator.h"
+
+namespace xpwqo {
+namespace {
+
+// ------------------------------------------------------- seed kernel replicas
+
+/// The seed BitVector rank/select: 512-bit block directory only, so Rank1
+/// pays a position-dependent per-word popcount loop and Select1 a binary
+/// search plus an in-block scan.
+class SeedBitVector {
+ public:
+  static constexpr size_t kWordsPerBlock = 8;
+
+  explicit SeedBitVector(const BitVector& bits) : bits_(&bits) {
+    size_t num_words = bits.NumWords();
+    size_t num_blocks = (num_words + kWordsPerBlock - 1) / kWordsPerBlock;
+    block_rank_.resize(num_blocks + 1);
+    size_t ones = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      block_rank_[b] = ones;
+      size_t end = std::min(num_words, (b + 1) * kWordsPerBlock);
+      for (size_t w = b * kWordsPerBlock; w < end; ++w) {
+        ones += std::popcount(bits.Word(w));
+      }
+    }
+    block_rank_[num_blocks] = ones;
+  }
+
+  size_t Rank1(size_t i) const {
+    size_t word = i >> 6;
+    size_t block = word / kWordsPerBlock;
+    size_t ones = block_rank_[block];
+    for (size_t w = block * kWordsPerBlock; w < word; ++w) {
+      ones += std::popcount(bits_->Word(w));
+    }
+    size_t rem = i & 63;
+    if (rem != 0) {
+      ones += std::popcount(bits_->Word(word) & ((1ULL << rem) - 1));
+    }
+    return ones;
+  }
+
+  size_t Select1(size_t k) const {
+    size_t lo = 0, hi = block_rank_.size() - 1;
+    while (lo + 1 < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (block_rank_[mid] < k) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    size_t remaining = k - block_rank_[lo];
+    for (size_t w = lo * kWordsPerBlock;; ++w) {
+      size_t ones = std::popcount(bits_->Word(w));
+      if (remaining <= ones) {
+        uint64_t word = bits_->Word(w);
+        for (int bit = 0;; ++bit) {
+          if ((word >> bit) & 1) {
+            if (--remaining == 0) return 64 * w + bit;
+          }
+        }
+      }
+      remaining -= ones;
+    }
+  }
+
+ private:
+  const BitVector* bits_;
+  std::vector<uint64_t> block_rank_;
+};
+
+/// The seed BalancedParens: flat block/superblock min-max arrays with
+/// bit-by-bit excess walks, and Excess() re-running the looping Rank1.
+class SeedBalancedParens {
+ public:
+  static constexpr int64_t kNotFound = -2;
+  static constexpr int64_t kBlockBits = 512;
+  static constexpr int64_t kBlocksPerSuper = 64;
+
+  SeedBalancedParens(const BitVector& bits, const SeedBitVector& rank)
+      : bits_(&bits), rank_(&rank) {
+    int64_t n = static_cast<int64_t>(bits.size());
+    num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
+    block_excess_.resize(num_blocks_ + 1);
+    block_min_.resize(num_blocks_);
+    block_max_.resize(num_blocks_);
+    int64_t e = 0;
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      block_excess_[b] = e;
+      int64_t lo = std::numeric_limits<int64_t>::max();
+      int64_t hi = std::numeric_limits<int64_t>::min();
+      int64_t end = std::min(n, (b + 1) * kBlockBits);
+      for (int64_t i = b * kBlockBits; i < end; ++i) {
+        e += Delta(i);
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+      }
+      block_min_[b] = lo;
+      block_max_[b] = hi;
+    }
+    block_excess_[num_blocks_] = e;
+    int64_t num_super = (num_blocks_ + kBlocksPerSuper - 1) / kBlocksPerSuper;
+    super_min_.resize(num_super);
+    super_max_.resize(num_super);
+    for (int64_t s = 0; s < num_super; ++s) {
+      int64_t lo = std::numeric_limits<int64_t>::max();
+      int64_t hi = std::numeric_limits<int64_t>::min();
+      int64_t end = std::min(num_blocks_, (s + 1) * kBlocksPerSuper);
+      for (int64_t b = s * kBlocksPerSuper; b < end; ++b) {
+        lo = std::min(lo, block_min_[b]);
+        hi = std::max(hi, block_max_[b]);
+      }
+      super_min_[s] = lo;
+      super_max_[s] = hi;
+    }
+  }
+
+  int64_t Excess(int64_t i) const {
+    if (i < 0) return 0;
+    size_t r1 = rank_->Rank1(static_cast<size_t>(i) + 1);
+    return 2 * static_cast<int64_t>(r1) - (i + 1);
+  }
+
+  int64_t FwdSearchExcess(int64_t from, int64_t target) const {
+    int64_t n = static_cast<int64_t>(bits_->size());
+    if (from >= n) return kNotFound;
+    int64_t b = from / kBlockBits;
+    int64_t e = Excess(from - 1);
+    int64_t block_end = std::min(n, (b + 1) * kBlockBits);
+    for (int64_t i = from; i < block_end; ++i) {
+      e += Delta(i);
+      if (e == target) return i;
+    }
+    ++b;
+    while (b < num_blocks_) {
+      if (b % kBlocksPerSuper == 0) {
+        int64_t s = b / kBlocksPerSuper;
+        if (super_min_[s] > target || super_max_[s] < target) {
+          b += kBlocksPerSuper;
+          continue;
+        }
+      }
+      if (block_min_[b] <= target && target <= block_max_[b]) {
+        e = block_excess_[b];
+        int64_t end = std::min(n, (b + 1) * kBlockBits);
+        for (int64_t i = b * kBlockBits; i < end; ++i) {
+          e += Delta(i);
+          if (e == target) return i;
+        }
+      }
+      ++b;
+    }
+    return kNotFound;
+  }
+
+  int64_t BwdSearchExcess(int64_t from, int64_t target) const {
+    int64_t n = static_cast<int64_t>(bits_->size());
+    if (from >= n) from = n - 1;
+    if (from < 0) return target == 0 ? -1 : kNotFound;
+    int64_t b = from / kBlockBits;
+    int64_t e = Excess(from);
+    for (int64_t i = from; i >= b * kBlockBits; --i) {
+      if (e == target) return i;
+      e -= Delta(i);
+    }
+    --b;
+    while (b >= 0) {
+      if ((b + 1) % kBlocksPerSuper == 0) {
+        int64_t s = b / kBlocksPerSuper;
+        if (super_min_[s] > target || super_max_[s] < target) {
+          b -= kBlocksPerSuper;
+          continue;
+        }
+      }
+      if (block_min_[b] <= target && target <= block_max_[b]) {
+        int64_t end = std::min(n, (b + 1) * kBlockBits);
+        e = Excess(end - 1);
+        for (int64_t i = end - 1; i >= b * kBlockBits; --i) {
+          if (e == target) return i;
+          e -= Delta(i);
+        }
+      }
+      --b;
+    }
+    return target == 0 ? -1 : kNotFound;
+  }
+
+  int64_t FindClose(int64_t i) const {
+    return FwdSearchExcess(i + 1, Excess(i) - 1);
+  }
+
+  int64_t Enclose(int64_t i) const {
+    int64_t before = Excess(i - 1);
+    if (before == 0) return kNotFound;
+    int64_t p = BwdSearchExcess(i - 1, before - 1);
+    return p == kNotFound ? kNotFound : p + 1;
+  }
+
+ private:
+  int Delta(int64_t i) const {
+    return bits_->Get(static_cast<size_t>(i)) ? 1 : -1;
+  }
+
+  const BitVector* bits_;
+  const SeedBitVector* rank_;
+  int64_t num_blocks_;
+  std::vector<int64_t> block_excess_, block_min_, block_max_;
+  std::vector<int64_t> super_min_, super_max_;
+};
+
+// ------------------------------------------------------------------- harness
+
+struct OpResult {
+  std::string op;
+  double new_mops = 0;   // net of harness overhead
+  double seed_mops = 0;  // net of harness overhead
+  uint64_t checksum_new = 0;
+  uint64_t checksum_seed = 0;
+  double speedup() const { return new_mops / seed_mops; }
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `fn(query)` over `iters` independent queries drawn round-robin from
+/// `queries`, best of 5 repeats (the paper's Appendix D protocol), and
+/// returns Mops/s. Four accumulators keep four queries in flight, measuring
+/// sustained throughput rather than one serial dependency chain — this is
+/// the regime enumeration loops run in, and it is where the branchless
+/// kernels pull ahead: a mispredicted scan loop flushes the pipeline and
+/// caps memory-level parallelism for the seed kernels. The checksum defeats
+/// dead-code elimination and verifies both kernels agree.
+template <typename Fn>
+double TimeOps(int64_t iters, const std::vector<uint64_t>& queries,
+               uint64_t* checksum, const Fn& fn) {
+  const size_t mask = queries.size() - 1;  // pool sizes are powers of two
+  double best_ms = -1;
+  uint64_t sum = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double start = NowMs();
+    uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (int64_t i = 0; i < iters; i += 4) {
+      const size_t j = static_cast<size_t>(i);
+      s0 += fn(queries[j & mask]);
+      s1 += fn(queries[(j + 1) & mask]);
+      s2 += fn(queries[(j + 2) & mask]);
+      s3 += fn(queries[(j + 3) & mask]);
+    }
+    const double ms = NowMs() - start;
+    if (best_ms < 0 || ms < best_ms) best_ms = ms;
+    sum = s0 + s1 + s2 + s3;
+  }
+  *checksum = sum;
+  return static_cast<double>(iters) / 1e6 / (best_ms / 1e3);
+}
+
+/// Per-op milliseconds the harness itself costs (pool read + loop + sum),
+/// measured with an identity "kernel"; subtracted from both sides so the
+/// reported numbers are kernel time, not loop time.
+double HarnessOverheadMsPerOp(int64_t iters,
+                              const std::vector<uint64_t>& queries) {
+  uint64_t sink = 0;
+  const double mops = TimeOps(iters, queries, &sink,
+                              [](uint64_t q) { return q; });
+  return 1.0 / (mops * 1e3);
+}
+
+/// Mops/s net of harness overhead.
+template <typename Fn>
+double TimeOpsNet(int64_t iters, const std::vector<uint64_t>& queries,
+                  double overhead_ms_per_op, uint64_t* checksum,
+                  const Fn& fn) {
+  const double gross_mops = TimeOps(iters, queries, checksum, fn);
+  const double ms_per_op = 1.0 / (gross_mops * 1e3) - overhead_ms_per_op;
+  return 1.0 / (std::max(ms_per_op, 1e-9) * 1e3);
+}
+
+/// Emits the balanced-parentheses encoding of `doc`.
+BitVector EncodeBp(const Document& doc) {
+  BitVector bp;
+  std::vector<NodeId> stack;
+  if (doc.root() != kNullNode) stack.push_back(doc.root());
+  while (!stack.empty()) {
+    NodeId top = stack.back();
+    stack.pop_back();
+    if (top < 0) {
+      bp.PushBack(false);
+      continue;
+    }
+    bp.PushBack(true);
+    stack.push_back(~top);
+    const size_t base = stack.size();
+    for (NodeId c = doc.first_child(top); c != kNullNode;
+         c = doc.next_sibling(c)) {
+      stack.push_back(c);
+    }
+    std::reverse(stack.begin() + base, stack.end());
+  }
+  bp.Freeze();
+  return bp;
+}
+
+int Run(bool quick, const std::string& out_path) {
+  XMarkOptions opt;
+  opt.scale = XMarkScaleFromEnv(quick ? 0.02 : 0.45);
+  std::printf("generating XMark document (scale %.3g)...\n", opt.scale);
+  Document doc = GenerateXMark(opt);
+  std::printf("document: %s nodes\n",
+              WithCommas(static_cast<uint64_t>(doc.num_nodes())).c_str());
+  if (!quick && doc.num_nodes() < 1000000) {
+    std::printf("warning: fewer than 1M nodes; raise XPWQO_SCALE\n");
+  }
+
+  BitVector bp = EncodeBp(doc);
+  BalancedParens ops(&bp);
+  SeedBitVector seed_bv(bp);
+  SeedBalancedParens seed_ops(bp, seed_bv);
+
+  const size_t n = bp.size();
+  const size_t num_opens = bp.CountOnes();
+  const int64_t iters = quick ? 200000 : 2000000;
+  std::vector<OpResult> results;
+
+  auto mix = [](uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return x;
+  };
+  // Precomputed query pools (power-of-two sized) so both kernels pay
+  // identical query-generation cost.
+  constexpr size_t kPool = 1 << 16;
+  std::vector<uint64_t> positions(kPool), ks(kPool), opens(kPool);
+  for (size_t i = 0; i < kPool; ++i) {
+    positions[i] = mix(i * 2654435761u + 17) % (n + 1);
+    ks[i] = 1 + mix(i * 40503u + 5) % num_opens;
+    opens[i] = bp.Select1(1 + mix(i * 69069u + 11) % num_opens);
+  }
+
+  const double overhead = HarnessOverheadMsPerOp(iters, positions);
+  {
+    OpResult r;
+    r.op = "Rank1";
+    r.new_mops = TimeOpsNet(iters, positions, overhead, &r.checksum_new,
+                            [&](uint64_t q) { return bp.Rank1(q); });
+    r.seed_mops = TimeOpsNet(iters, positions, overhead, &r.checksum_seed,
+                             [&](uint64_t q) { return seed_bv.Rank1(q); });
+    results.push_back(r);
+  }
+  {
+    OpResult r;
+    r.op = "Select1";
+    r.new_mops = TimeOpsNet(iters, ks, overhead, &r.checksum_new,
+                            [&](uint64_t q) { return bp.Select1(q); });
+    r.seed_mops = TimeOpsNet(iters, ks, overhead, &r.checksum_seed,
+                             [&](uint64_t q) { return seed_bv.Select1(q); });
+    results.push_back(r);
+  }
+  {
+    OpResult r;
+    r.op = "FindClose";
+    r.new_mops = TimeOpsNet(iters, opens, overhead, &r.checksum_new,
+                            [&](uint64_t q) {
+      return static_cast<uint64_t>(ops.FindClose(static_cast<int64_t>(q)));
+    });
+    r.seed_mops = TimeOpsNet(iters / 4, opens, overhead, &r.checksum_seed,
+                             [&](uint64_t q) {
+      return static_cast<uint64_t>(
+          seed_ops.FindClose(static_cast<int64_t>(q)));
+    });
+    results.push_back(r);
+  }
+  {
+    OpResult r;
+    r.op = "Enclose";
+    r.new_mops = TimeOpsNet(iters, opens, overhead, &r.checksum_new,
+                            [&](uint64_t q) {
+      return static_cast<uint64_t>(ops.Enclose(static_cast<int64_t>(q)) + 2);
+    });
+    r.seed_mops = TimeOpsNet(iters / 4, opens, overhead, &r.checksum_seed,
+                             [&](uint64_t q) {
+      return static_cast<uint64_t>(
+          seed_ops.Enclose(static_cast<int64_t>(q)) + 2);
+    });
+    results.push_back(r);
+  }
+  {
+    OpResult r;
+    r.op = "Excess";
+    r.new_mops = TimeOpsNet(iters, positions, overhead, &r.checksum_new,
+                            [&](uint64_t q) {
+      return static_cast<uint64_t>(ops.Excess(static_cast<int64_t>(q) - 1));
+    });
+    r.seed_mops = TimeOpsNet(iters / 2, positions, overhead, &r.checksum_seed,
+                             [&](uint64_t q) {
+      return static_cast<uint64_t>(
+          seed_ops.Excess(static_cast<int64_t>(q) - 1));
+    });
+    results.push_back(r);
+  }
+
+  std::printf("\n%-10s %14s %14s %9s\n", "op", "new Mops/s", "seed Mops/s",
+              "speedup");
+  bool checksums_ok = true;
+  for (const OpResult& r : results) {
+    std::printf("%-10s %14.1f %14.1f %8.1fx\n", r.op.c_str(), r.new_mops,
+                r.seed_mops, r.speedup());
+    // Chains with different iteration counts can't compare checksums.
+    if (r.op == "Rank1" || r.op == "Select1") {
+      checksums_ok = checksums_ok && r.checksum_new == r.checksum_seed;
+    }
+  }
+  std::printf("checksums: %s\n", checksums_ok ? "ok" : "MISMATCH");
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"navigation\",\n  \"quick\": %s,\n"
+               "  \"scale\": %.6g,\n  \"nodes\": %d,\n  \"bp_bits\": %zu,\n"
+               "  \"results\": [\n",
+               quick ? "true" : "false", opt.scale, doc.num_nodes(), n);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const OpResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"op\": \"%s\", \"new_mops\": %.2f, "
+                 "\"seed_mops\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.op.c_str(), r.new_mops, r.seed_mops, r.speedup(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return checksums_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xpwqo
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_navigation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return xpwqo::Run(quick, out_path);
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the succinct-navigation microbenchmark.
+#
+# Builds everything, runs the full test suite through ctest, then runs
+# bench_navigation --quick and leaves BENCH_navigation.json in the repo root
+# so successive PRs accumulate a perf trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+./build/bench_navigation --quick --out BENCH_navigation.json
+echo "check.sh: OK"

@@ -293,6 +293,7 @@ class AstaEvaluator {
     NodeId node = kNullNode;  // kNode: the node; kTopmost: current target
     SetId set = kNoSet;
     NodeId scope = kNullNode;  // kTopmost: subtree being enumerated
+    NodeId scope_end = kNullNode;  // kTopmost: BinaryEnd(scope), hoisted
     const Step* step = nullptr;  // kNode, from phase 1 on
     Step owned_step;             // backing storage when memoization is off
     ResultSet acc;             // kNode: Γ1; kTopmost: accumulator
@@ -330,6 +331,7 @@ class AstaEvaluator {
             f.node = m;
             f.set = s;
             f.scope = c;
+            f.scope_end = tree_.BinaryEnd(c);
             f.acc = ResultSet(num_states_);
             f.essential = jump.essential;
             f.early_stop = jump.all_nonmarking;
@@ -429,7 +431,8 @@ class AstaEvaluator {
           frames_.pop_back();
           continue;
         }
-        NodeId next = index_->NextTopmost(f.node, f.essential, f.scope);
+        NodeId next =
+            index_->NextTopmostBefore(f.node, f.essential, f.scope_end);
         if (next != kNullNode) {
           ++stats_.jumps;
           f.node = next;

@@ -66,9 +66,10 @@ class BaselineEvaluator {
         NodeId covered_until = 0;
         for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
           if (!context[n]) continue;
+          const NodeId n_end = doc_.XmlEnd(n);  // hoisted out of the fill
           NodeId from = std::max<NodeId>(n + 1, covered_until);
-          for (NodeId m = from; m < doc_.XmlEnd(n); ++m) in_range[m] = true;
-          covered_until = std::max(covered_until, doc_.XmlEnd(n));
+          for (NodeId m = from; m < n_end; ++m) in_range[m] = true;
+          covered_until = std::max(covered_until, n_end);
         }
         for (NodeId m = 0; m < doc_.num_nodes(); ++m) {
           if (!in_range[m]) continue;

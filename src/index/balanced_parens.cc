@@ -1,144 +1,491 @@
 #include "index/balanced_parens.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 namespace xpwqo {
+namespace {
+
+// Sentinels for padded rmM leaves: a range that can never contain a target.
+constexpr int32_t kEmptyMin = std::numeric_limits<int32_t>::max() / 2;
+constexpr int32_t kEmptyMax = std::numeric_limits<int32_t>::min() / 2;
+
+/// Per-byte excess summaries. A byte covers 8 parenthesis positions, bit 0
+/// (LSB) first; 1 = '(' (+1), 0 = ')' (-1). The position tables are indexed
+/// by the relative target d + 8 (d in [-8, 8]) and answer an entire byte in
+/// one lookup, so the search loops carry no data-dependent inner branches.
+struct ByteTables {
+  int8_t excess[256];   // total excess of the byte
+  int8_t min_fwd[256];  // min cumulative excess over prefixes of length 1..8
+  int8_t max_fwd[256];  // max cumulative excess over prefixes of length 1..8
+  // fwd_pos[v][d+8]: smallest j with prefix excess (over bits 0..j) == d,
+  // else 8.
+  int8_t fwd_pos[256][17];
+  // bwd_pos[v][d+8]: largest j with rel_j == d, else -1, where
+  // rel_j = -(sum of deltas of bits j+1..7) is the offset of
+  // Excess(byte start + j) from Excess(byte end).
+  int8_t bwd_pos[256][17];
+};
+
+constexpr ByteTables MakeByteTables() {
+  ByteTables t{};
+  for (int v = 0; v < 256; ++v) {
+    for (int d = 0; d < 17; ++d) {
+      t.fwd_pos[v][d] = 8;
+      t.bwd_pos[v][d] = -1;
+    }
+    int cur = 0, min_f = 8, max_f = -8;
+    for (int j = 0; j < 8; ++j) {
+      cur += ((v >> j) & 1) ? 1 : -1;
+      min_f = cur < min_f ? cur : min_f;
+      max_f = cur > max_f ? cur : max_f;
+      if (t.fwd_pos[v][cur + 8] == 8) {
+        t.fwd_pos[v][cur + 8] = static_cast<int8_t>(j);
+      }
+    }
+    t.excess[v] = static_cast<int8_t>(cur);
+    t.min_fwd[v] = static_cast<int8_t>(min_f);
+    t.max_fwd[v] = static_cast<int8_t>(max_f);
+    int rel = 0;
+    for (int j = 7; j >= 0; --j) {
+      if (t.bwd_pos[v][rel + 8] == -1) {
+        t.bwd_pos[v][rel + 8] = static_cast<int8_t>(j);
+      }
+      rel -= ((v >> j) & 1) ? 1 : -1;
+    }
+  }
+  return t;
+}
+
+constexpr ByteTables kTables = MakeByteTables();
+
+/// 16-bit near-match tables for the excess offset -1, the offset FindClose,
+/// FindOpen and Enclose all search for. On tree-shaped inputs the match is
+/// usually within a few positions, so one window lookup replaces the whole
+/// byte-stepping scan. 128 KiB total, initialized once at startup.
+struct NearTables {
+  // fwd_m1[w]: smallest j in 0..15 with prefix excess (bits 0..j) == -1,
+  // else 16.
+  int8_t fwd_m1[1 << 16];
+  // bwd_m1[w]: largest j in 0..15 with rel_j == -1, else -1, where
+  // rel_j = -(sum of deltas of bits j+1..15).
+  int8_t bwd_m1[1 << 16];
+
+  NearTables() {
+    for (int v = 0; v < (1 << 16); ++v) {
+      int cur = 0;
+      fwd_m1[v] = 16;
+      for (int j = 0; j < 16; ++j) {
+        cur += ((v >> j) & 1) ? 1 : -1;
+        if (cur == -1) {
+          fwd_m1[v] = static_cast<int8_t>(j);
+          break;
+        }
+      }
+      int rel = 0;
+      bwd_m1[v] = -1;
+      for (int j = 15; j >= 0; --j) {
+        if (rel == -1) {
+          bwd_m1[v] = static_cast<int8_t>(j);
+          break;
+        }
+        rel -= ((v >> j) & 1) ? 1 : -1;
+      }
+    }
+  }
+};
+
+const NearTables kNear;
+
+}  // namespace
 
 BalancedParens::BalancedParens(const BitVector* bits) : bits_(bits) {
   XPWQO_CHECK(bits_->frozen());
-  int64_t n = size();
+  const int64_t n = size();
+  XPWQO_CHECK(n < std::numeric_limits<int32_t>::max());
   num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
   block_excess_.resize(num_blocks_ + 1);
-  block_min_.resize(num_blocks_);
-  block_max_.resize(num_blocks_);
+
+  // Complete binary tree over the blocks; leaves at [leaf_base_, 2*leaf_base_).
+  leaf_base_ = std::bit_ceil(static_cast<size_t>(std::max<int64_t>(
+      num_blocks_, 1)));
+  tree_min_.assign(2 * leaf_base_, kEmptyMin);
+  tree_max_.assign(2 * leaf_base_, kEmptyMax);
+
+  // Per-word min/max/total excess (relative to the word start), then block
+  // leaves aggregated from the words.
+  const int64_t num_words = (n + 63) / 64;
+  word_meta_.resize(num_words);
+  for (int64_t w = 0; w < num_words; ++w) {
+    const int64_t valid = std::min<int64_t>(64, n - w * 64);
+    const uint64_t word = bits_->Word(static_cast<size_t>(w));
+    int cur = 0, lo = 127, hi = -127;
+    int64_t k = 0;
+    for (; k + 8 <= valid; k += 8) {
+      const uint8_t v = static_cast<uint8_t>(word >> k);
+      lo = std::min(lo, cur + kTables.min_fwd[v]);
+      hi = std::max(hi, cur + kTables.max_fwd[v]);
+      cur += kTables.excess[v];
+    }
+    for (; k < valid; ++k) {  // partial tail byte (last word only)
+      cur += ((word >> k) & 1) ? 1 : -1;
+      lo = std::min(lo, cur);
+      hi = std::max(hi, cur);
+    }
+    word_meta_[w] = static_cast<uint32_t>(static_cast<uint8_t>(lo)) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(hi)) << 8) |
+                    (static_cast<uint32_t>(static_cast<uint8_t>(cur)) << 16);
+  }
   int64_t e = 0;
   for (int64_t b = 0; b < num_blocks_; ++b) {
-    block_excess_[b] = e;
-    int64_t lo = std::numeric_limits<int64_t>::max();
-    int64_t hi = std::numeric_limits<int64_t>::min();
-    int64_t end = std::min(n, (b + 1) * kBlockBits);
-    for (int64_t i = b * kBlockBits; i < end; ++i) {
-      e += Delta(i);
-      lo = std::min(lo, e);
-      hi = std::max(hi, e);
+    block_excess_[b] = static_cast<int32_t>(e);
+    int64_t lo = kEmptyMin, hi = kEmptyMax;
+    const int64_t wend = std::min(num_words, (b + 1) * (kBlockBits / 64));
+    for (int64_t w = b * (kBlockBits / 64); w < wend; ++w) {
+      const uint32_t m = word_meta_[w];
+      lo = std::min<int64_t>(lo, e + static_cast<int8_t>(m));
+      hi = std::max<int64_t>(hi, e + static_cast<int8_t>(m >> 8));
+      e += static_cast<int8_t>(m >> 16);
     }
-    block_min_[b] = lo;
-    block_max_[b] = hi;
+    tree_min_[leaf_base_ + b] = static_cast<int32_t>(lo);
+    tree_max_[leaf_base_ + b] = static_cast<int32_t>(hi);
   }
-  block_excess_[num_blocks_] = e;
-  int64_t num_super = (num_blocks_ + kBlocksPerSuper - 1) / kBlocksPerSuper;
-  super_min_.resize(num_super);
-  super_max_.resize(num_super);
-  for (int64_t s = 0; s < num_super; ++s) {
-    int64_t lo = std::numeric_limits<int64_t>::max();
-    int64_t hi = std::numeric_limits<int64_t>::min();
-    int64_t end = std::min(num_blocks_, (s + 1) * kBlocksPerSuper);
-    for (int64_t b = s * kBlocksPerSuper; b < end; ++b) {
-      lo = std::min(lo, block_min_[b]);
-      hi = std::max(hi, block_max_[b]);
-    }
-    super_min_[s] = lo;
-    super_max_[s] = hi;
+  block_excess_[num_blocks_] = static_cast<int32_t>(e);
+  for (size_t v = leaf_base_ - 1; v >= 1; --v) {
+    tree_min_[v] = std::min(tree_min_[2 * v], tree_min_[2 * v + 1]);
+    tree_max_[v] = std::max(tree_max_[2 * v], tree_max_[2 * v + 1]);
   }
 }
 
-int64_t BalancedParens::Excess(int64_t i) const {
-  if (i < 0) return 0;
-  size_t r1 = bits_->Rank1(static_cast<size_t>(i) + 1);
-  return 2 * static_cast<int64_t>(r1) - (i + 1);
+int64_t BalancedParens::BytesFwd(int64_t p, int64_t lim, int64_t target,
+                                 int64_t* e) const {
+  // First byte may be entered mid-way: shift the consumed low bits out so
+  // the position table still applies (shifted-in zeros sit past the valid
+  // length and cannot produce a hit below it).
+  const int off = static_cast<int>(p & 7);
+  if (off != 0) {
+    const int valid = static_cast<int>(std::min<int64_t>(8 - off, lim - p));
+    const uint8_t v = Byte(p - off) >> off;
+    const uint64_t d = static_cast<uint64_t>(target - *e) + 8;
+    if (d <= 16) {
+      const int pos = kTables.fwd_pos[v][d];
+      if (pos < valid) return p + pos;
+    }
+    // Advance e by the valid bits only: the table's excess counts the
+    // shifted-in zeros as closes, so add one back per padding bit.
+    const uint8_t masked = v & static_cast<uint8_t>((1u << valid) - 1);
+    *e += kTables.excess[masked] + (8 - valid);
+    p += valid;
+  }
+  while (p < lim) {
+    // One word load per 8 bytes; bytes are peeled off in-register.
+    uint64_t w = bits_->Word(static_cast<size_t>(p) >> 6) >> (p & 63);
+    const int64_t word_end = std::min(lim, (p | 63) + 1);
+    while (p < word_end) {
+      const int valid = static_cast<int>(std::min<int64_t>(8, word_end - p));
+      const uint8_t v = static_cast<uint8_t>(w);
+      const uint64_t d = static_cast<uint64_t>(target - *e) + 8;
+      if (d <= 16) {
+        const int pos = kTables.fwd_pos[v][d];
+        if (pos < valid) return p + pos;
+      }
+      *e += kTables.excess[v];
+      p += 8;
+      w >>= 8;
+    }
+  }
+  return kNotFound;
+}
+
+int64_t BalancedParens::BytesBwd(int64_t p, int64_t lim, int64_t target,
+                                 int64_t* e) const {
+  // Topmost byte may be entered mid-way: shift the valid low bits to the
+  // top so the backward table walks them first; shifted-in zeros sit below
+  // the valid region and rank lower than any valid hit.
+  const int off = static_cast<int>(p & 7);
+  if (off != 7) {
+    const int pad = 7 - off;  // bits shifted in at the bottom
+    const uint8_t raw = Byte(p - off);
+    const uint8_t v = static_cast<uint8_t>(raw << pad);
+    const uint64_t d = static_cast<uint64_t>(target - *e) + 8;
+    if (d <= 16) {
+      const int pos = kTables.bwd_pos[v][d];
+      if (pos >= pad) return (p - off) + (pos - pad);
+    }
+    const uint8_t masked = raw & static_cast<uint8_t>((1u << (off + 1)) - 1);
+    *e -= kTables.excess[masked] + pad;  // padding zeros counted as closes
+    p -= off + 1;
+  }
+  while (p >= lim) {
+    // One word load per 8 bytes; bytes are peeled off the top in-register.
+    // p sits at a byte's top bit, so bits (p & ~63)..p are live.
+    uint64_t w = bits_->Word(static_cast<size_t>(p) >> 6) << (63 - (p & 63));
+    const int64_t word_start = std::max(lim, p & ~int64_t{63});
+    while (p >= word_start) {
+      // Full byte [p-7, p]; *e == Excess(p).
+      const uint8_t v = static_cast<uint8_t>(w >> 56);
+      const uint64_t d = static_cast<uint64_t>(target - *e) + 8;
+      if (d <= 16) {
+        const int pos = kTables.bwd_pos[v][d];
+        if (pos >= 0) return p - 7 + pos;
+      }
+      *e -= kTables.excess[v];
+      p -= 8;
+      w <<= 8;
+    }
+  }
+  return kNotFound;
+}
+
+int64_t BalancedParens::ScanFwdBlock(int64_t b, int64_t from, int64_t target,
+                                     int64_t e) const {
+  const int64_t end = std::min(size(), (b + 1) * kBlockBits);
+  int64_t i = from;
+  if (i >= end) return kNotFound;
+  // Entry word bytewise, then whole words through the min/max metadata.
+  const int64_t first_lim = std::min(end, (i | 63) + 1);
+  int64_t r = BytesFwd(i, first_lim, target, &e);
+  if (r != kNotFound) return r;
+  i = first_lim;
+  while (i < end) {
+    const uint32_t m = word_meta_[static_cast<size_t>(i) >> 6];
+    const int64_t d = target - e;
+    if (d >= static_cast<int8_t>(m) && d <= static_cast<int8_t>(m >> 8)) {
+      r = BytesFwd(i, std::min(end, i + 64), target, &e);
+      XPWQO_DCHECK(r != kNotFound);  // the word metadata said the hit is here
+      return r;
+    }
+    e += static_cast<int8_t>(m >> 16);
+    i += 64;
+  }
+  return kNotFound;
+}
+
+int64_t BalancedParens::ScanBwdBlock(int64_t b, int64_t from, int64_t target,
+                                     int64_t e) const {
+  const int64_t start = b * kBlockBits;
+  int64_t i = from;
+  if (i < start) return kNotFound;
+  const int64_t first_lim = std::max(start, i & ~int64_t{63});
+  int64_t r = BytesBwd(i, first_lim, target, &e);
+  if (r != kNotFound) return r;
+  i = first_lim - 1;
+  while (i >= start) {
+    // Word [i-63, i], all bits valid (it precedes a scanned position).
+    // Checked values are Excess(word start + j) = e + prefix(j+1) - total,
+    // so the word contains the target iff d + total ∈ [min, max].
+    const uint32_t m = word_meta_[static_cast<size_t>(i) >> 6];
+    const int64_t dt = target - e + static_cast<int8_t>(m >> 16);
+    if (dt >= static_cast<int8_t>(m) && dt <= static_cast<int8_t>(m >> 8)) {
+      r = BytesBwd(i, i & ~int64_t{63}, target, &e);
+      XPWQO_DCHECK(r != kNotFound);
+      return r;
+    }
+    e -= static_cast<int8_t>(m >> 16);
+    i -= 64;
+  }
+  return kNotFound;
+}
+
+int64_t BalancedParens::NextCandidateBlock(int64_t b, int64_t target) const {
+  // Nearby blocks first: the leaf arrays are contiguous, so probing the
+  // next 16 blocks costs one or two cache lines, while a tree climb pays a
+  // dependent miss per level. Only genuinely long jumps climb the tree.
+  const int64_t lin_end = std::min(num_blocks_, b + 1 + 16);
+  for (int64_t x = b + 1; x < lin_end; ++x) {
+    if (BlockContains(leaf_base_ + static_cast<size_t>(x), target)) return x;
+  }
+  if (lin_end >= num_blocks_) return -1;
+  b = lin_end - 1;
+  size_t node = leaf_base_ + static_cast<size_t>(b);
+  while (node != 1) {
+    if ((node & 1) == 0 && BlockContains(node + 1, target)) {
+      node += 1;
+      while (node < leaf_base_) {
+        node *= 2;
+        if (!BlockContains(node, target)) node += 1;
+      }
+      const int64_t leaf = static_cast<int64_t>(node - leaf_base_);
+      return leaf < num_blocks_ ? leaf : -1;
+    }
+    node >>= 1;
+  }
+  return -1;
+}
+
+int64_t BalancedParens::PrevCandidateBlock(int64_t b, int64_t target) const {
+  const int64_t lin_end = std::max<int64_t>(0, b - 16);
+  for (int64_t x = b - 1; x >= lin_end; --x) {
+    if (BlockContains(leaf_base_ + static_cast<size_t>(x), target)) return x;
+  }
+  if (lin_end <= 0) return -1;
+  b = lin_end;
+  size_t node = leaf_base_ + static_cast<size_t>(b);
+  while (node != 1) {
+    if ((node & 1) == 1 && BlockContains(node - 1, target)) {
+      node -= 1;
+      while (node < leaf_base_) {
+        node = 2 * node + 1;
+        if (!BlockContains(node, target)) node -= 1;
+      }
+      return static_cast<int64_t>(node - leaf_base_);
+    }
+    node >>= 1;
+  }
+  return -1;
+}
+
+int64_t BalancedParens::FwdSearchExcessFrom(int64_t from, int64_t target,
+                                            int64_t e_before) const {
+  const int64_t b = from / kBlockBits;
+  int64_t r = ScanFwdBlock(b, from, target, e_before);
+  if (r != kNotFound) return r;
+  const int64_t nb = NextCandidateBlock(b, target);
+  if (nb < 0) return kNotFound;
+  r = ScanFwdBlock(nb, nb * kBlockBits, target, block_excess_[nb]);
+  XPWQO_DCHECK(r != kNotFound);  // the rmM range said the target is here
+  return r;
 }
 
 int64_t BalancedParens::FwdSearchExcess(int64_t from, int64_t target) const {
-  int64_t n = size();
-  if (from >= n) return kNotFound;
-  int64_t b = from / kBlockBits;
-  // Scan the tail of the starting block.
-  int64_t e = Excess(from - 1);
-  int64_t block_end = std::min(n, (b + 1) * kBlockBits);
-  for (int64_t i = from; i < block_end; ++i) {
-    e += Delta(i);
-    if (e == target) return i;
-  }
-  // Skip blocks / superblocks that cannot contain the target.
-  ++b;
-  while (b < num_blocks_) {
-    if (b % kBlocksPerSuper == 0) {
-      int64_t s = b / kBlocksPerSuper;
-      if (super_min_[s] > target || super_max_[s] < target) {
-        b += kBlocksPerSuper;
-        continue;
-      }
-    }
-    if (block_min_[b] <= target && target <= block_max_[b]) {
-      e = block_excess_[b];
-      int64_t end = std::min(n, (b + 1) * kBlockBits);
-      for (int64_t i = b * kBlockBits; i < end; ++i) {
-        e += Delta(i);
-        if (e == target) return i;
-      }
-      XPWQO_DCHECK(false);  // min/max said the target is here
-    }
-    ++b;
-  }
-  return kNotFound;
+  if (from < 0) from = 0;
+  if (from >= size()) return kNotFound;
+  return FwdSearchExcessFrom(from, target, Excess(from - 1));
+}
+
+int64_t BalancedParens::BwdSearchExcessFrom(int64_t from, int64_t target,
+                                            int64_t e_at) const {
+  const int64_t b = from / kBlockBits;
+  int64_t r = ScanBwdBlock(b, from, target, e_at);
+  if (r != kNotFound) return r;
+  const int64_t pb = PrevCandidateBlock(b, target);
+  if (pb < 0) return target == 0 ? -1 : kNotFound;
+  // pb < b, so block pb is full; its last position has the next block's
+  // starting excess.
+  const int64_t last = (pb + 1) * kBlockBits - 1;
+  r = ScanBwdBlock(pb, last, target, block_excess_[pb + 1]);
+  XPWQO_DCHECK(r != kNotFound);
+  return r;
 }
 
 int64_t BalancedParens::BwdSearchExcess(int64_t from, int64_t target) const {
   if (from >= size()) from = size() - 1;
   if (from < 0) return target == 0 ? -1 : kNotFound;
-  int64_t b = from / kBlockBits;
-  int64_t e = Excess(from);
-  // Scan the head of the starting block (positions from..block start).
-  for (int64_t i = from; i >= b * kBlockBits; --i) {
-    if (e == target) return i;
-    e -= Delta(i);
-  }
-  --b;
-  while (b >= 0) {
-    if ((b + 1) % kBlocksPerSuper == 0) {
-      int64_t s = b / kBlocksPerSuper;
-      if (super_min_[s] > target || super_max_[s] < target) {
-        b -= kBlocksPerSuper;
-        continue;
-      }
-    }
-    if (block_min_[b] <= target && target <= block_max_[b]) {
-      int64_t end = std::min(size(), (b + 1) * kBlockBits);
-      e = Excess(end - 1);
-      for (int64_t i = end - 1; i >= b * kBlockBits; --i) {
-        if (e == target) return i;
-        e -= Delta(i);
-      }
-      XPWQO_DCHECK(false);
-    }
-    --b;
-  }
-  return target == 0 ? -1 : kNotFound;
+  return BwdSearchExcessFrom(from, target, Excess(from));
 }
+
+// FindClose/FindOpen/Enclose all search for the excess offset -1 from their
+// starting position, and the scans only ever consume target - e, so the
+// in-block part runs entirely on relative excess (target -1, e 0): no rank
+// read at all unless the answer crosses a block boundary. A 16-bit window
+// lookup resolves the near matches that dominate tree navigation — leaves,
+// small subtrees, first children — in one table load, and the window is
+// indifferent to block boundaries because it reads the raw bits.
 
 int64_t BalancedParens::FindClose(int64_t i) const {
   XPWQO_DCHECK(IsOpen(i));
-  return FwdSearchExcess(i + 1, Excess(i) - 1);
+  const int64_t n = size();
+  if (i + 1 >= n) return kNotFound;
+  const uint64_t w64 = Window64(i + 1);
+  const int pos = kNear.fwd_m1[w64 & 0xFFFF];
+  if (pos < 16) {
+    const int64_t near = i + 1 + pos;
+    if (near < n) return near;  // near >= n would be a padding hit
+  }
+  // Cascade the remaining table-checked bytes of the already-loaded window:
+  // the 16-bit prefix had no dip to -1, so its excess is even and >= 0, and
+  // shallow continuations stay within the byte table's offset range.
+  int64_t probe_end = i + 17;  // first position not yet probed
+  int64_t e_probe = 2 * std::popcount(w64 & 0xFFFF) - 16;
+  for (int k = 2; k <= 7; ++k) {
+    const uint8_t v = static_cast<uint8_t>(w64 >> (8 * k));
+    const uint64_t d = static_cast<uint64_t>(-1 - e_probe) + 8;
+    if (d <= 16) {
+      const int bpos = kTables.fwd_pos[v][d];
+      if (bpos < 8) {
+        const int64_t hit = i + 1 + 8 * k + bpos;
+        if (hit < n) return hit;
+        break;  // padding hit: rescan below handles the boundary
+      }
+    }
+    e_probe += kTables.excess[v];
+    probe_end += 8;
+  }
+  const int64_t b = (i + 1) / kBlockBits;
+  int64_t r;
+  if (probe_end < n && probe_end / kBlockBits == b) {
+    r = ScanFwdBlock(b, probe_end, -1, e_probe);
+  } else {
+    r = ScanFwdBlock(b, i + 1, -1, 0);
+  }
+  if (r != kNotFound) return r;
+  const int64_t target = Excess(i) - 1;
+  const int64_t nb = NextCandidateBlock(b, target);
+  if (nb < 0) return kNotFound;
+  return ScanFwdBlock(nb, nb * kBlockBits, target, block_excess_[nb]);
+}
+
+int64_t BalancedParens::BwdMinus1(int64_t from) const {
+  const int64_t b = from / kBlockBits;
+  int64_t r;
+  if (from >= 64) {
+    const uint64_t w64 = Window64(from - 63);  // bit 63 = position from
+    const int pos = kNear.bwd_m1[(w64 >> 48) & 0xFFFF];
+    if (pos >= 0) return from - 15 + pos;
+    // Cascade the remaining table-checked bytes of the loaded window.
+    int64_t probe_pos = from - 16;  // highest position not yet probed
+    int64_t e_probe = 16 - 2 * std::popcount(w64 >> 48);  // Excess(from-16)
+    for (int k = 5; k >= 0; --k) {
+      const uint8_t v = static_cast<uint8_t>(w64 >> (8 * k));
+      const uint64_t d = static_cast<uint64_t>(-1 - e_probe) + 8;
+      if (d <= 16) {
+        const int bpos = kTables.bwd_pos[v][d];
+        if (bpos >= 0) return (from - 63) + 8 * k + bpos;
+      }
+      e_probe -= kTables.excess[v];
+      probe_pos -= 8;
+    }
+    r = (probe_pos >= 0 && probe_pos / kBlockBits == b)
+            ? ScanBwdBlock(b, probe_pos, -1, e_probe)
+            : ScanBwdBlock(b, from, -1, 0);
+  } else if (from >= 16) {
+    const int pos = kNear.bwd_m1[Window16(from - 15)];  // bit 15 = from
+    if (pos >= 0) return from - 15 + pos;
+    r = ScanBwdBlock(b, from, -1, 0);
+  } else {
+    r = ScanBwdBlock(b, from, -1, 0);
+  }
+  if (r != kNotFound) return r;
+  const int64_t target = Excess(from) - 1;
+  const int64_t pb = PrevCandidateBlock(b, target);
+  // No block can contain the target: the match is the virtual position -1
+  // when the target excess is 0, otherwise absent.
+  if (pb < 0) return target == 0 ? -1 : kNotFound;
+  const int64_t last = (pb + 1) * kBlockBits - 1;
+  r = ScanBwdBlock(pb, last, target, block_excess_[pb + 1]);
+  XPWQO_DCHECK(r != kNotFound);
+  return r;
 }
 
 int64_t BalancedParens::FindOpen(int64_t j) const {
   XPWQO_DCHECK(!IsOpen(j));
-  int64_t p = BwdSearchExcess(j - 1, Excess(j));
+  if (j - 1 < 0) return kNotFound;
+  const int64_t p = BwdMinus1(j - 1);  // Excess(j) == Excess(j-1) - 1
   return p == kNotFound ? kNotFound : p + 1;
 }
 
 int64_t BalancedParens::Enclose(int64_t i) const {
   XPWQO_DCHECK(IsOpen(i));
-  int64_t before = Excess(i - 1);
-  if (before == 0) return kNotFound;
-  int64_t p = BwdSearchExcess(i - 1, before - 1);
+  if (i - 1 < 0) return kNotFound;
+  const int64_t p = BwdMinus1(i - 1);
   return p == kNotFound ? kNotFound : p + 1;
 }
 
 size_t BalancedParens::MemoryUsage() const {
-  return (block_excess_.size() + block_min_.size() + block_max_.size() +
-          super_min_.size() + super_max_.size()) *
-         sizeof(int64_t);
+  return (block_excess_.size() + tree_min_.size() + tree_max_.size()) *
+             sizeof(int32_t) +
+         word_meta_.size() * sizeof(uint32_t);
 }
 
 }  // namespace xpwqo

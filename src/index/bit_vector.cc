@@ -1,16 +1,26 @@
 #include "index/bit_vector.h"
 
-#include <bit>
+#include <algorithm>
+
+#ifdef __BMI2__
+#include <immintrin.h>
+#endif
 
 namespace xpwqo {
 namespace {
 
 /// Position (0-based) of the k-th set bit of `word`, k in [1, popcount].
-int SelectInWord(uint64_t word, int k) {
+inline int SelectInWord(uint64_t word, uint64_t k) {
+#ifdef __BMI2__
+  // Deposit a single bit at the k-th set position, then locate it.
+  return std::countr_zero(_pdep_u64(1ULL << (k - 1), word));
+#else
+  // Portable broadword fallback: find the byte by cumulative popcounts,
+  // then the bit within the byte.
   for (int byte = 0; byte < 8; ++byte) {
-    int ones = std::popcount(static_cast<uint64_t>((word >> (8 * byte)) & 0xFF));
+    uint64_t b = (word >> (8 * byte)) & 0xFF;
+    uint64_t ones = std::popcount(b);
     if (k <= ones) {
-      uint8_t b = (word >> (8 * byte)) & 0xFF;
       for (int bit = 0; bit < 8; ++bit) {
         if ((b >> bit) & 1) {
           if (--k == 0) return 8 * byte + bit;
@@ -21,111 +31,144 @@ int SelectInWord(uint64_t word, int k) {
   }
   XPWQO_CHECK(false);
   return -1;
+#endif
 }
 
 }  // namespace
 
-void BitVector::PushBack(bool bit) {
-  XPWQO_DCHECK(!frozen_);
-  if ((size_ & 63) == 0) words_.push_back(0);
-  if (bit) words_.back() |= (1ULL << (size_ & 63));
-  ++size_;
-}
-
 void BitVector::Append(bool bit, size_t count) {
-  for (size_t i = 0; i < count; ++i) PushBack(bit);
+  XPWQO_DCHECK(!frozen_);
+  // Fill word-at-a-time: finish the current partial word, then write whole
+  // words, then the tail.
+  while (count > 0 && (size_ & 63) != 0) {
+    PushBack(bit);
+    --count;
+  }
+  while (count >= 64) {
+    words_.push_back(bit ? ~0ULL : 0ULL);
+    size_ += 64;
+    count -= 64;
+  }
+  while (count > 0) {
+    PushBack(bit);
+    --count;
+  }
 }
 
 void BitVector::Freeze() {
   if (frozen_) return;
   frozen_ = true;
-  size_t num_blocks = (words_.size() + kWordsPerBlock - 1) / kWordsPerBlock;
-  block_rank_.resize(num_blocks + 1);
+  num_words_ = words_.size();
+  // Pad one zero word so Rank1(size()) may read words_[size()/64] when
+  // size() is a multiple of 64.
+  words_.push_back(0);
+
+  const size_t num_blocks =
+      (words_.size() + kWordsPerBlock - 1) / kWordsPerBlock;
+  rank_.assign(2 * num_blocks, 0);
   size_t ones = 0;
   for (size_t b = 0; b < num_blocks; ++b) {
-    block_rank_[b] = ones;
-    size_t end = std::min(words_.size(), (b + 1) * kWordsPerBlock);
-    for (size_t w = b * kWordsPerBlock; w < end; ++w) {
-      ones += std::popcount(words_[w]);
+    rank_[2 * b] = ones;
+    uint64_t packed = 0;
+    uint64_t in_block = 0;
+    for (size_t t = 0; t < kWordsPerBlock; ++t) {
+      if (t != 0) packed |= in_block << (9 * (t - 1));
+      const size_t w = b * kWordsPerBlock + t;
+      if (w < words_.size()) in_block += std::popcount(words_[w]);
+    }
+    rank_[2 * b + 1] = packed;
+    ones += in_block;
+  }
+  total_ones_ = ones;
+
+  // Select hints: the superblock containing every (j*kSelectSample + 1)-th
+  // one (resp. zero). One uint32 per 512 ones/zeros keeps the binary-search
+  // range short without a full select directory.
+  const size_t total_zeros = size_ - total_ones_;
+  select1_hint_.clear();
+  select0_hint_.clear();
+  select1_hint_.reserve(total_ones_ / kSelectSample + 1);
+  select0_hint_.reserve(total_zeros / kSelectSample + 1);
+  const size_t data_blocks = (size_ + kWordsPerBlock * 64 - 1) /
+                             (kWordsPerBlock * 64);
+  size_t next_one = 1, next_zero = 1;
+  for (size_t b = 0; b < data_blocks; ++b) {
+    const size_t ones_end =
+        (b + 1 < data_blocks) ? static_cast<size_t>(rank_[2 * (b + 1)])
+                              : total_ones_;
+    const size_t bits_end = std::min(size_, (b + 1) * kWordsPerBlock * 64);
+    const size_t zeros_end = bits_end - ones_end;
+    while (next_one <= ones_end) {
+      select1_hint_.push_back(static_cast<uint32_t>(b));
+      next_one += kSelectSample;
+    }
+    while (next_zero <= zeros_end) {
+      select0_hint_.push_back(static_cast<uint32_t>(b));
+      next_zero += kSelectSample;
     }
   }
-  block_rank_[num_blocks] = ones;
-  total_ones_ = ones;
-}
-
-size_t BitVector::Rank1(size_t i) const {
-  XPWQO_DCHECK(frozen_);
-  XPWQO_DCHECK(i <= size_);
-  size_t word = i >> 6;
-  size_t block = word / kWordsPerBlock;
-  size_t ones = block_rank_[block];
-  for (size_t w = block * kWordsPerBlock; w < word; ++w) {
-    ones += std::popcount(words_[w]);
-  }
-  size_t rem = i & 63;
-  if (rem != 0) {
-    ones += std::popcount(words_[word] & ((1ULL << rem) - 1));
-  }
-  return ones;
 }
 
 size_t BitVector::Select1(size_t k) const {
   XPWQO_DCHECK(frozen_);
   XPWQO_DCHECK(k >= 1 && k <= total_ones_);
-  // Binary search the superblock directory.
-  size_t lo = 0, hi = block_rank_.size() - 1;
+  // Narrow to the sampled superblock range, then binary-search for the last
+  // superblock with fewer than k ones before it.
+  const size_t j = (k - 1) / kSelectSample;
+  size_t lo = select1_hint_[j];
+  size_t hi = (j + 1 < select1_hint_.size())
+                  ? select1_hint_[j + 1] + 1
+                  : (size_ + kWordsPerBlock * 64 - 1) / (kWordsPerBlock * 64);
   while (lo + 1 < hi) {
-    size_t mid = (lo + hi) / 2;
-    if (block_rank_[mid] < k) {
+    const size_t mid = (lo + hi) / 2;
+    if (BlockRank(mid) < k) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  size_t remaining = k - block_rank_[lo];
-  size_t end = std::min(words_.size(), (lo + 1) * kWordsPerBlock);
-  for (size_t w = lo * kWordsPerBlock; w < end; ++w) {
-    size_t ones = std::popcount(words_[w]);
-    if (remaining <= ones) {
-      return 64 * w + SelectInWord(words_[w], static_cast<int>(remaining));
-    }
-    remaining -= ones;
-  }
-  XPWQO_CHECK(false);
-  return 0;
+  // Resolve the word through the packed relative counts (<= 7 compares).
+  uint64_t rem = k - BlockRank(lo);
+  const uint64_t packed = rank_[2 * lo + 1];
+  size_t t = 0;
+  while (t < kWordsPerBlock - 1 && ((packed >> (9 * t)) & 0x1FF) < rem) ++t;
+  if (t != 0) rem -= (packed >> (9 * (t - 1))) & 0x1FF;
+  const size_t w = lo * kWordsPerBlock + t;
+  return 64 * w + SelectInWord(words_[w], rem);
 }
 
 size_t BitVector::Select0(size_t k) const {
   XPWQO_DCHECK(frozen_);
   XPWQO_DCHECK(k >= 1 && k <= size_ - total_ones_);
-  // Binary search on Rank0 via the superblock directory (zeros before block b
-  // = 512*b - block_rank_[b], clamped by size_).
-  size_t lo = 0, hi = block_rank_.size() - 1;
+  const size_t j = (k - 1) / kSelectSample;
+  size_t lo = select0_hint_[j];
+  size_t hi = (j + 1 < select0_hint_.size())
+                  ? select0_hint_[j + 1] + 1
+                  : (size_ + kWordsPerBlock * 64 - 1) / (kWordsPerBlock * 64);
   while (lo + 1 < hi) {
-    size_t mid = (lo + hi) / 2;
-    size_t zeros = mid * kWordsPerBlock * 64 - block_rank_[mid];
-    if (zeros < k) {
+    const size_t mid = (lo + hi) / 2;
+    if (BlockRank0(mid) < k) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  size_t remaining = k - (lo * kWordsPerBlock * 64 - block_rank_[lo]);
-  size_t end = std::min(words_.size(), (lo + 1) * kWordsPerBlock);
-  for (size_t w = lo * kWordsPerBlock; w < end; ++w) {
-    size_t zeros = std::popcount(~words_[w]);
-    if (remaining <= zeros) {
-      return 64 * w + SelectInWord(~words_[w], static_cast<int>(remaining));
-    }
-    remaining -= zeros;
+  uint64_t rem = k - BlockRank0(lo);
+  const uint64_t packed = rank_[2 * lo + 1];
+  size_t t = 0;
+  // Zeros in words [0, t) of the superblock = 64*t - packed ones count.
+  while (t < kWordsPerBlock - 1 &&
+         64 * (t + 1) - ((packed >> (9 * t)) & 0x1FF) < rem) {
+    ++t;
   }
-  XPWQO_CHECK(false);
-  return 0;
+  if (t != 0) rem -= 64 * t - ((packed >> (9 * (t - 1))) & 0x1FF);
+  const size_t w = lo * kWordsPerBlock + t;
+  return 64 * w + SelectInWord(~words_[w], rem);
 }
 
 size_t BitVector::MemoryUsage() const {
-  return words_.size() * sizeof(uint64_t) +
-         block_rank_.size() * sizeof(uint64_t);
+  return words_.size() * sizeof(uint64_t) + rank_.size() * sizeof(uint64_t) +
+         (select1_hint_.size() + select0_hint_.size()) * sizeof(uint32_t);
 }
 
 }  // namespace xpwqo

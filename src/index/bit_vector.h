@@ -1,26 +1,44 @@
 // BitVector with constant-time rank and near-constant-time select, the base
 // layer of the succinct tree structures (the paper builds on Sadakane &
 // Navarro's fully-functional succinct trees [18]).
+//
+// Rank uses a rank9-style two-level directory (Vigna, "Broadword
+// implementation of rank/select queries"): one absolute 64-bit count per
+// 512-bit superblock plus seven 9-bit relative word counts packed into a
+// second 64-bit word, so Rank1 is two directory reads and one masked
+// popcount — no position-dependent loop. Select keeps sampled hints (the
+// superblock of every 512th one/zero), binary-searches the narrowed
+// superblock range, resolves the word through the packed counts, and picks
+// the bit with PDEP where available (portable broadword fallback otherwise).
 #ifndef XPWQO_INDEX_BIT_VECTOR_H_
 #define XPWQO_INDEX_BIT_VECTOR_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
+
+#ifdef __BMI2__
+#include <immintrin.h>
+#endif
 
 #include "util/check.h"
 
 namespace xpwqo {
 
 /// An immutable bit sequence with rank/select support. Construction is
-/// two-phase: append bits, then Freeze() to build the rank directory
-/// (superblocks of 512 bits). Rank is O(1); select is O(log #superblocks)
-/// plus an in-block scan.
+/// two-phase: append bits, then Freeze() to build the rank/select directory.
+/// Rank is O(1); select is O(log(superblocks per sample)) + O(1).
 class BitVector {
  public:
   BitVector() = default;
 
   /// Appends one bit. Only valid before Freeze().
-  void PushBack(bool bit);
+  void PushBack(bool bit) {
+    XPWQO_DCHECK(!frozen_);
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (bit) words_.back() |= (1ULL << (size_ & 63));
+    ++size_;
+  }
 
   /// Appends `count` copies of `bit`.
   void Append(bool bit, size_t count);
@@ -36,8 +54,25 @@ class BitVector {
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
-  /// Number of 1-bits in [0, i). Requires Freeze(); i <= size().
-  size_t Rank1(size_t i) const;
+  /// Number of 1-bits in [0, i). Requires Freeze(); i <= size(). O(1): one
+  /// superblock read, one packed-count read, one masked popcount.
+  size_t Rank1(size_t i) const {
+    XPWQO_DCHECK(frozen_);
+    XPWQO_DCHECK(i <= size_);
+    const size_t w = i >> 6;
+    const size_t b = w >> 3;  // 512-bit superblock
+    const size_t t = w & 7;
+    // Branchless relative count: field t-1 holds ones in words [0, t) of
+    // the superblock. For t == 0 the shift amount becomes 63, which lands
+    // on the single unused top bit of the packed word — always zero.
+    const uint64_t rel = (rank_[2 * b + 1] >> (9 * ((t + 7) & 7))) & 0x1FF;
+#ifdef __BMI2__
+    const uint64_t prefix = _bzhi_u64(words_[w], static_cast<uint32_t>(i & 63));
+#else
+    const uint64_t prefix = words_[w] & ((1ULL << (i & 63)) - 1);
+#endif
+    return static_cast<size_t>(rank_[2 * b] + rel) + std::popcount(prefix);
+  }
   /// Number of 0-bits in [0, i).
   size_t Rank0(size_t i) const { return i - Rank1(i); }
 
@@ -51,17 +86,32 @@ class BitVector {
 
   /// Raw 64-bit word (padded with zeros past size()).
   uint64_t Word(size_t w) const { return words_[w]; }
-  size_t NumWords() const { return words_.size(); }
+  size_t NumWords() const { return num_words_; }
 
-  /// Bytes used by the bits plus the rank directory.
+  /// Bytes used by the bits plus the rank/select directory.
   size_t MemoryUsage() const;
 
  private:
-  static constexpr size_t kWordsPerBlock = 8;  // 512-bit superblocks
+  static constexpr size_t kWordsPerBlock = 8;   // 512-bit superblocks
+  static constexpr size_t kSelectSample = 512;  // ones/zeros per select hint
 
-  std::vector<uint64_t> words_;
-  std::vector<uint64_t> block_rank_;  // ones before each superblock
+  size_t NumBlocks() const { return rank_.size() / 2; }
+  /// Ones strictly before superblock b.
+  uint64_t BlockRank(size_t b) const { return rank_[2 * b]; }
+  /// Zeros strictly before superblock b (padding past size() never counts
+  /// because callers bound k by the true zero total).
+  uint64_t BlockRank0(size_t b) const {
+    return static_cast<uint64_t>(b) * kWordsPerBlock * 64 - rank_[2 * b];
+  }
+
+  std::vector<uint64_t> words_;  // one zero pad word appended by Freeze()
+  // Two entries per 512-bit superblock: [2b] = absolute ones before the
+  // superblock, [2b+1] = seven packed 9-bit cumulative word counts.
+  std::vector<uint64_t> rank_;
+  std::vector<uint32_t> select1_hint_;  // superblock of one #(j*sample+1)
+  std::vector<uint32_t> select0_hint_;  // superblock of zero #(j*sample+1)
   size_t size_ = 0;
+  size_t num_words_ = 0;  // data words, excluding the pad word
   size_t total_ones_ = 0;
   bool frozen_ = false;
 };

@@ -3,6 +3,26 @@
 #include <algorithm>
 
 namespace xpwqo {
+namespace {
+
+/// Index of the first element >= lo: gallop (exponential probe) from the
+/// front, then binary-search the bracketed window. Jump enumeration probes
+/// overwhelmingly near the start of each posting list, where this is
+/// O(log(answer)) instead of O(log(list size)).
+size_t GallopLowerBound(const std::vector<NodeId>& v, NodeId lo) {
+  if (v.empty() || v.front() >= lo) return 0;
+  size_t below = 0;  // v[below] < lo
+  size_t probe = 1;
+  while (probe < v.size() && v[probe] < lo) {
+    below = probe;
+    probe <<= 1;
+  }
+  const size_t end = std::min(probe + 1, v.size());
+  return std::lower_bound(v.begin() + below + 1, v.begin() + end, lo) -
+         v.begin();
+}
+
+}  // namespace
 
 const std::vector<NodeId> LabelIndex::kEmpty;
 
@@ -27,9 +47,9 @@ const std::vector<NodeId>& LabelIndex::Occurrences(LabelId label) const {
 
 NodeId LabelIndex::FirstInRange(LabelId label, NodeId lo, NodeId hi) const {
   const std::vector<NodeId>& list = Occurrences(label);
-  auto it = std::lower_bound(list.begin(), list.end(), lo);
-  if (it == list.end() || *it >= hi) return kNullNode;
-  return *it;
+  const size_t idx = GallopLowerBound(list, lo);
+  if (idx == list.size() || list[idx] >= hi) return kNullNode;
+  return list[idx];
 }
 
 NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
@@ -37,9 +57,13 @@ NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
   XPWQO_DCHECK(set.IsFinite());
   NodeId best = kNullNode;
   for (LabelId l : set.FiniteMembers()) {
+    // Shrink hi to the best candidate so far: later labels only need to
+    // search the narrower prefix, and a hit at lo is unbeatable.
     NodeId cand = FirstInRange(l, lo, hi);
-    if (cand != kNullNode && (best == kNullNode || cand < best)) {
+    if (cand != kNullNode) {
       best = cand;
+      if (cand == lo) break;
+      hi = cand;
     }
   }
   return best;

@@ -30,13 +30,16 @@ class LabelIndex {
 
   /// Smallest node id in [lo, hi) whose label is in `set`, or kNullNode.
   /// Requires set.IsFinite(); co-finite sets cannot be jumped to (callers
-  /// fall back to stepping, as the paper's engine does).
+  /// fall back to stepping, as the paper's engine does). Each label probe
+  /// gallops from the front of its posting list, and the scan ceiling
+  /// shrinks to the best candidate found so far.
   NodeId FirstInRange(const LabelSet& set, NodeId lo, NodeId hi) const;
 
   /// Number of occurrences of `label` within [lo, hi).
   int32_t CountInRange(LabelId label, NodeId lo, NodeId hi) const;
 
-  /// True if any label of the finite `set` occurs within [lo, hi).
+  /// True if any label of the finite `set` occurs within [lo, hi). Shares
+  /// the galloping probe with FirstInRange but stops at the first hit.
   bool RangeContainsAny(const LabelSet& set, NodeId lo, NodeId hi) const;
 
   size_t MemoryUsage() const;

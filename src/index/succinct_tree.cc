@@ -1,5 +1,7 @@
 #include "index/succinct_tree.h"
 
+#include <algorithm>
+
 namespace xpwqo {
 
 SuccinctTree::SuccinctTree(const Document& doc) {
@@ -21,15 +23,14 @@ SuccinctTree::SuccinctTree(const Document& doc) {
     bp_.PushBack(true);
     labels_.push_back(doc.label(top));
     stack.push_back(~top);  // close marker
-    // Push children in reverse so the first child is processed first.
-    std::vector<NodeId> kids;
+    // Push children, then reverse them in place so the first child is
+    // processed first — no per-node temporary vector.
+    const size_t base = stack.size();
     for (NodeId c = doc.first_child(top); c != kNullNode;
          c = doc.next_sibling(c)) {
-      kids.push_back(c);
+      stack.push_back(c);
     }
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      stack.push_back(*it);
-    }
+    std::reverse(stack.begin() + base, stack.end());
   }
   bp_.Freeze();
   ops_ = BalancedParens(&bp_);
@@ -57,6 +58,23 @@ int32_t SuccinctTree::subtree_size(NodeId n) const {
   int64_t pos = Pos(n);
   int64_t close = ops_.FindClose(pos);
   return static_cast<int32_t>((close - pos + 1) / 2);
+}
+
+NodeId SuccinctTree::XmlEnd(NodeId n) const {
+  // Opens strictly before n's close paren = n's preorder rank + subtree size.
+  int64_t close = ops_.FindClose(Pos(n));
+  return static_cast<NodeId>(bp_.Rank1(static_cast<size_t>(close)));
+}
+
+NodeId SuccinctTree::BinaryEnd(NodeId n) const {
+  int64_t pos = Pos(n);
+  int64_t e = ops_.Excess(pos);
+  // The first position after pos with excess e-2 is the close paren of n's
+  // parent (for the root, e == 1, and the close of n itself ends the range).
+  int64_t close = e >= 2 ? ops_.FwdSearchExcess(pos + 1, e - 2)
+                         : ops_.FindClose(pos);
+  XPWQO_DCHECK(close != BalancedParens::kNotFound);
+  return static_cast<NodeId>(bp_.Rank1(static_cast<size_t>(close)));
 }
 
 int SuccinctTree::Depth(NodeId n) const {

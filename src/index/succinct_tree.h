@@ -34,14 +34,14 @@ class SuccinctTree {
   int32_t subtree_size(NodeId n) const;
   int Depth(NodeId n) const;
 
-  /// One past the last preorder id in n's XML subtree.
-  NodeId XmlEnd(NodeId n) const { return n + subtree_size(n); }
+  /// One past the last preorder id in n's XML subtree: one FindClose plus
+  /// one Rank1 (opens before n's close paren = n + subtree size).
+  NodeId XmlEnd(NodeId n) const;
 
-  /// One past the last preorder id in n's *binary* (fcns) subtree.
-  NodeId BinaryEnd(NodeId n) const {
-    NodeId p = parent(n);
-    return p == kNullNode ? XmlEnd(n) : XmlEnd(p);
-  }
+  /// One past the last preorder id in n's *binary* (fcns) subtree. A single
+  /// forward excess search locates the parent's close paren directly, so
+  /// this costs one search + one Rank1 instead of Enclose + FindClose.
+  NodeId BinaryEnd(NodeId n) const;
 
   NodeId BinaryLeft(NodeId n) const { return first_child(n); }
   NodeId BinaryRight(NodeId n) const { return next_sibling(n); }

@@ -13,10 +13,14 @@ NodeId TreeIndex::FirstInBinarySubtree(NodeId n, const LabelSet& set) const {
 
 NodeId TreeIndex::NextTopmost(NodeId m, const LabelSet& set,
                               NodeId scope) const {
+  return NextTopmostBefore(m, set, doc_->BinaryEnd(scope));
+}
+
+NodeId TreeIndex::NextTopmostBefore(NodeId m, const LabelSet& set,
+                                    NodeId scope_end) const {
   // The binary subtree of m ends at BinaryEnd(m); the next topmost node is
-  // the first match at or after that boundary, still inside scope.
-  return labels_.FirstInRange(set, doc_->BinaryEnd(m),
-                              doc_->BinaryEnd(scope));
+  // the first match at or after that boundary, still inside the scope.
+  return labels_.FirstInRange(set, doc_->BinaryEnd(m), scope_end);
 }
 
 NodeId TreeIndex::LeftPathFirst(NodeId n, const LabelSet& set) const {

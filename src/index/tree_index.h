@@ -41,6 +41,12 @@ class TreeIndex {
   ///   next  = NextTopmost(prev, L, scope)
   NodeId NextTopmost(NodeId m, const LabelSet& set, NodeId scope) const;
 
+  /// NextTopmost with the scope's binary end precomputed. Enumeration loops
+  /// should hoist BinaryEnd(scope) once and call this variant, so the scope
+  /// boundary is not re-derived on every jump.
+  NodeId NextTopmostBefore(NodeId m, const LabelSet& set,
+                           NodeId scope_end) const;
+
   /// l_t(n, L): first node on the left-most binary path below n (the
   /// first-child chain) with label in L, or kNullNode. O(chain length).
   NodeId LeftPathFirst(NodeId n, const LabelSet& set) const;

@@ -111,17 +111,17 @@ class JumpRunner {
           return;
         }
         ++result_->stats.jumps;
-        // Collect the topmost essential nodes, then push them in reverse so
-        // the stack pops them in document order.
-        size_t mark = pending_.size();
+        // Push the topmost essential nodes, then reverse the pushed range in
+        // place so the stack pops them in document order. The scope boundary
+        // is hoisted out of the enumeration loop.
+        const NodeId scope_end = doc_.BinaryEnd(c);
+        const size_t mark = stack_.size();
         for (NodeId m = index_.FirstBinaryDescendant(c, info.essential);
-             m != kNullNode; m = index_.NextTopmost(m, info.essential, c)) {
-          pending_.push_back(m);
+             m != kNullNode;
+             m = index_.NextTopmostBefore(m, info.essential, scope_end)) {
+          Push(m, q);
         }
-        for (size_t i = pending_.size(); i-- > mark;) {
-          Push(pending_[i], q);
-        }
-        pending_.resize(mark);
+        std::reverse(stack_.begin() + mark, stack_.end());
         return;
       }
       case StateJumpInfo::kLeftPath: {
@@ -182,7 +182,6 @@ class JumpRunner {
   std::vector<StateJumpInfo> infos_;
   StateId sink_;
   std::vector<std::pair<NodeId, StateId>> stack_;
-  std::vector<NodeId> pending_;
   JumpRunResult* result_ = nullptr;
   bool failed_ = false;
 };

@@ -1,0 +1,266 @@
+// Randomized property tests for the broadword succinct kernels: rank9-style
+// BitVector rank/select and rmM-tree BalancedParens searches, cross-checked
+// against naive linear-scan reference implementations on adversarial inputs
+// (empty, all-open, all-close, single-word, block-boundary sizes,
+// multi-superblock vectors, deep left-spine trees).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "index/balanced_parens.h"
+#include "index/bit_vector.h"
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+BitVector FromBits(const std::vector<bool>& bits) {
+  BitVector bv;
+  for (bool b : bits) bv.PushBack(b);
+  bv.Freeze();
+  return bv;
+}
+
+// ----------------------------------------------------------------- naive refs
+
+size_t NaiveRank1(const std::vector<bool>& bits, size_t i) {
+  size_t ones = 0;
+  for (size_t p = 0; p < i; ++p) ones += bits[p];
+  return ones;
+}
+
+int64_t NaiveExcess(const std::vector<bool>& bits, int64_t i) {
+  int64_t e = 0;
+  for (int64_t p = 0; p <= i; ++p) e += bits[p] ? 1 : -1;
+  return e;
+}
+
+int64_t NaiveFwdSearch(const std::vector<bool>& bits, int64_t from,
+                       int64_t target) {
+  const int64_t n = static_cast<int64_t>(bits.size());
+  if (from < 0) from = 0;
+  int64_t e = from > 0 ? NaiveExcess(bits, from - 1) : 0;
+  for (int64_t i = from; i < n; ++i) {
+    e += bits[i] ? 1 : -1;
+    if (e == target) return i;
+  }
+  return BalancedParens::kNotFound;
+}
+
+int64_t NaiveBwdSearch(const std::vector<bool>& bits, int64_t from,
+                       int64_t target) {
+  const int64_t n = static_cast<int64_t>(bits.size());
+  if (from >= n) from = n - 1;
+  if (from >= 0) {
+    int64_t e = NaiveExcess(bits, from);
+    for (int64_t i = from; i >= 0; --i) {
+      if (e == target) return i;
+      e -= bits[i] ? 1 : -1;
+    }
+  }
+  return target == 0 ? -1 : BalancedParens::kNotFound;
+}
+
+/// Checks rank/select against the naive scans at every position (or a
+/// deterministic sample for large inputs).
+void CheckRankSelect(const std::vector<bool>& bits, size_t stride = 1) {
+  BitVector bv = FromBits(bits);
+  const size_t n = bits.size();
+  ASSERT_EQ(bv.size(), n);
+  size_t ones = 0;
+  std::vector<size_t> one_pos, zero_pos;
+  for (size_t i = 0; i < n; ++i) {
+    if (bits[i]) {
+      one_pos.push_back(i);
+      ++ones;
+    } else {
+      zero_pos.push_back(i);
+    }
+  }
+  EXPECT_EQ(bv.CountOnes(), ones);
+  for (size_t i = 0; i <= n; i += stride) {
+    ASSERT_EQ(bv.Rank1(i), NaiveRank1(bits, i)) << "i=" << i;
+  }
+  ASSERT_EQ(bv.Rank1(n), ones);
+  for (size_t k = 1; k <= one_pos.size(); k += stride) {
+    ASSERT_EQ(bv.Select1(k), one_pos[k - 1]) << "k=" << k;
+  }
+  for (size_t k = 1; k <= zero_pos.size(); k += stride) {
+    ASSERT_EQ(bv.Select0(k), zero_pos[k - 1]) << "k=" << k;
+  }
+}
+
+/// Checks Excess plus forward/backward excess search against the naive walk,
+/// for a spread of start positions and targets around the local excess.
+void CheckExcessSearches(const std::vector<bool>& bits, size_t stride = 1) {
+  BitVector bv = FromBits(bits);
+  BalancedParens bp(&bv);
+  const int64_t n = static_cast<int64_t>(bits.size());
+  for (int64_t i = 0; i < n; i += static_cast<int64_t>(stride)) {
+    ASSERT_EQ(bp.Excess(i), NaiveExcess(bits, i)) << "i=" << i;
+  }
+  // Searches: targets near the local excess exercise the in-block fast
+  // path, far targets exercise the rmM-tree block skipping.
+  for (int64_t from = 0; from <= n; from += static_cast<int64_t>(stride)) {
+    const int64_t local = from > 0 ? NaiveExcess(bits, from - 1) : 0;
+    for (int64_t target :
+         {local - 2, local - 1, local, local + 1, local + 2, int64_t{0},
+          local - 40, local + 40}) {
+      ASSERT_EQ(bp.FwdSearchExcess(from, target),
+                NaiveFwdSearch(bits, from, target))
+          << "from=" << from << " target=" << target;
+      ASSERT_EQ(bp.BwdSearchExcess(from, target),
+                NaiveBwdSearch(bits, from, target))
+          << "from=" << from << " target=" << target;
+    }
+  }
+}
+
+/// Brute-force matcher for balanced inputs; checks FindClose/FindOpen/
+/// Enclose everywhere.
+void CheckMatching(const std::vector<bool>& bits, size_t stride = 1) {
+  BitVector bv = FromBits(bits);
+  BalancedParens bp(&bv);
+  std::vector<int64_t> match(bits.size(), -1);
+  std::vector<int64_t> enclose(bits.size(), BalancedParens::kNotFound);
+  std::vector<int64_t> stack;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      if (!stack.empty()) enclose[i] = stack.back();
+      stack.push_back(static_cast<int64_t>(i));
+    } else {
+      match[i] = stack.back();
+      match[stack.back()] = static_cast<int64_t>(i);
+      stack.pop_back();
+    }
+  }
+  ASSERT_TRUE(stack.empty()) << "input must be balanced";
+  for (size_t i = 0; i < bits.size(); i += stride) {
+    if (bits[i]) {
+      ASSERT_EQ(bp.FindClose(static_cast<int64_t>(i)), match[i]) << i;
+      ASSERT_EQ(bp.Enclose(static_cast<int64_t>(i)), enclose[i]) << i;
+    } else {
+      ASSERT_EQ(bp.FindOpen(static_cast<int64_t>(i)), match[i]) << i;
+    }
+  }
+}
+
+std::vector<bool> RandomBits(uint64_t seed, size_t n, double density) {
+  Random rng(seed);
+  std::vector<bool> bits(n);
+  for (size_t i = 0; i < n; ++i) bits[i] = rng.Bernoulli(density);
+  return bits;
+}
+
+/// Deterministic random balanced parentheses with `pairs` pairs.
+std::vector<bool> RandomBalanced(uint64_t seed, int pairs) {
+  Random rng(seed);
+  std::vector<bool> bits;
+  int open = 0, remaining = pairs;
+  while (remaining > 0 || open > 0) {
+    const bool can_open = remaining > 0;
+    const bool can_close = open > 0;
+    if (can_open && (!can_close || rng.Bernoulli(0.5))) {
+      bits.push_back(true);
+      ++open;
+      --remaining;
+    } else {
+      bits.push_back(false);
+      --open;
+    }
+  }
+  return bits;
+}
+
+// ------------------------------------------------------------------ the tests
+
+TEST(SuccinctKernelsTest, Empty) {
+  CheckRankSelect({});
+  BitVector bv = FromBits({});
+  BalancedParens bp(&bv);
+  EXPECT_EQ(bp.FwdSearchExcess(0, 0), BalancedParens::kNotFound);
+  EXPECT_EQ(bp.BwdSearchExcess(0, 0), -1);
+  EXPECT_EQ(bp.BwdSearchExcess(0, 1), BalancedParens::kNotFound);
+}
+
+TEST(SuccinctKernelsTest, AllOpen) {
+  // Unbalanced on purpose: the excess searches must still be exact.
+  for (size_t n : {1u, 63u, 64u, 65u, 511u, 512u, 513u, 1100u}) {
+    std::vector<bool> bits(n, true);
+    CheckRankSelect(bits);
+    CheckExcessSearches(bits, n > 600 ? 7 : 1);
+  }
+}
+
+TEST(SuccinctKernelsTest, AllClose) {
+  for (size_t n : {1u, 63u, 64u, 65u, 511u, 512u, 513u, 1100u}) {
+    std::vector<bool> bits(n, false);
+    CheckRankSelect(bits);
+    CheckExcessSearches(bits, n > 600 ? 7 : 1);
+  }
+}
+
+TEST(SuccinctKernelsTest, SingleWord) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (size_t n : {1u, 5u, 8u, 9u, 31u, 63u, 64u}) {
+      std::vector<bool> bits = RandomBits(seed * 131 + n, n, 0.5);
+      CheckRankSelect(bits);
+      CheckExcessSearches(bits);
+    }
+  }
+}
+
+TEST(SuccinctKernelsTest, BlockBoundaries) {
+  // Straddle the 512-bit superblock / rmM-leaf boundary in every alignment.
+  for (size_t n : {510u, 511u, 512u, 513u, 514u, 1023u, 1024u, 1025u,
+                   4095u, 4096u, 4097u}) {
+    std::vector<bool> bits = RandomBits(n, n, 0.4);
+    CheckRankSelect(bits);
+    CheckExcessSearches(bits, 3);
+  }
+}
+
+TEST(SuccinctKernelsTest, MultiSuperblockRandom) {
+  // Large enough that the select hints and the rmM tree have real depth.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const size_t n = 80000 + seed * 7777;
+    for (double density : {0.02, 0.5, 0.98}) {
+      std::vector<bool> bits = RandomBits(seed * 97 + n, n, density);
+      CheckRankSelect(bits, 601);
+      CheckExcessSearches(bits, 1217);
+    }
+  }
+}
+
+TEST(SuccinctKernelsTest, DeepLeftSpine) {
+  // "(((( ... ))))": worst case for excess range width per block.
+  for (int pairs : {40, 256, 257, 5000, 40000}) {
+    std::vector<bool> bits;
+    bits.insert(bits.end(), pairs, true);
+    bits.insert(bits.end(), pairs, false);
+    const size_t stride = pairs > 1000 ? 509 : 1;
+    CheckRankSelect(bits, stride);
+    CheckMatching(bits, stride);
+    CheckExcessSearches(bits, pairs > 300 ? 313 : 1);
+  }
+}
+
+TEST(SuccinctKernelsTest, RandomBalancedMatching) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    std::vector<bool> bits =
+        RandomBalanced(seed, 500 + static_cast<int>(seed) * 700);
+    CheckMatching(bits);
+    CheckExcessSearches(bits, 11);
+  }
+}
+
+TEST(SuccinctKernelsTest, LargeRandomBalancedMatching) {
+  std::vector<bool> bits = RandomBalanced(42, 120000);
+  CheckMatching(bits, 379);
+  CheckRankSelect(bits, 379);
+}
+
+}  // namespace
+}  // namespace xpwqo
