@@ -22,6 +22,11 @@ const SuccinctTree& SharedSuccinctTree() {
   return *tree;
 }
 
+const TreeIndex& SharedSuccinctIndex() {
+  static TreeIndex* index = new TreeIndex(SharedSuccinctTree());
+  return *index;
+}
+
 Asta CompileQuery(const char* xpath) {
   auto path = ParseXPath(xpath);
   auto asta = CompileToAsta(
@@ -44,7 +49,29 @@ void BM_SuccinctBackend(benchmark::State& state, const char* xpath) {
   Asta asta = CompileQuery(xpath);
   AstaEvalOptions options{false, true, true};
   for (auto _ : state) {
-    AstaEvalResult r = EvalAstaSuccinct(asta, tree, options);
+    AstaEvalResult r = EvalAstaSuccinct(asta, tree, nullptr, options);
+    benchmark::DoNotOptimize(r.nodes.data());
+  }
+}
+
+void BM_PointerBackendOpt(benchmark::State& state, const char* xpath) {
+  const Engine& engine = bench::XMarkEngine();
+  Asta asta = CompileQuery(xpath);
+  AstaEvalOptions options{true, true, true};  // jumping + memo + infoprop
+  for (auto _ : state) {
+    AstaEvalResult r =
+        EvalAsta(asta, engine.document(), &engine.index(), options);
+    benchmark::DoNotOptimize(r.nodes.data());
+  }
+}
+
+void BM_SuccinctBackendOpt(benchmark::State& state, const char* xpath) {
+  const SuccinctTree& tree = SharedSuccinctTree();
+  const TreeIndex& index = SharedSuccinctIndex();
+  Asta asta = CompileQuery(xpath);
+  AstaEvalOptions options{true, true, true};
+  for (auto _ : state) {
+    AstaEvalResult r = EvalAstaSuccinct(asta, tree, &index, options);
     benchmark::DoNotOptimize(r.nodes.data());
   }
 }
@@ -86,6 +113,16 @@ void RegisterAll() {
     benchmark::RegisterBenchmark(
         (std::string("MemoEval/succinct/") + q).c_str(),
         [q](benchmark::State& s) { BM_SuccinctBackend(s, q); })
+        ->Unit(benchmark::kMillisecond);
+    // Jumping on both backends: the succinct TreeIndex makes the opt
+    // configuration comparable, not just the stepping one.
+    benchmark::RegisterBenchmark(
+        (std::string("OptEval/pointer/") + q).c_str(),
+        [q](benchmark::State& s) { BM_PointerBackendOpt(s, q); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("OptEval/succinct/") + q).c_str(),
+        [q](benchmark::State& s) { BM_SuccinctBackendOpt(s, q); })
         ->Unit(benchmark::kMillisecond);
   }
 }

@@ -1,0 +1,163 @@
+// Succinct-engine evaluation benchmark: the paper's speed/space point,
+// measured instead of asserted. Runs the Figure-2 workload on an XMark
+// document over the succinct backend with jumping off vs. on (both through
+// the memoized ASTA evaluator), and the jumping+memoized (opt) evaluator on
+// the succinct vs. the pointer backend. All three configurations must select
+// identical node sets; a mismatch fails the run.
+//
+// Usage: bench_eval_succinct [--quick] [--out PATH]
+//   --quick  small document + fewer repeats (CI smoke run)
+//   --out    where to write the JSON report (default BENCH_eval_succinct.json)
+// XPWQO_SCALE overrides the document scale (default 0.2).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "asta/eval.h"
+#include "bench_util.h"
+#include "index/succinct_tree.h"
+#include "index/tree_index.h"
+#include "util/strings.h"
+#include "xmark/generator.h"
+#include "xmark/workload.h"
+#include "xpath/compile.h"
+#include "xpath/parser.h"
+
+namespace xpwqo {
+namespace {
+
+struct QueryResultRow {
+  const char* id;
+  const char* xpath;
+  double succinct_nojump_ms = 0;
+  double succinct_jump_ms = 0;
+  double pointer_jump_ms = 0;
+  size_t selected = 0;
+  bool match = true;
+
+  double jump_speedup() const {
+    return succinct_nojump_ms / succinct_jump_ms;
+  }
+  double succinct_vs_pointer() const {
+    return succinct_jump_ms / pointer_jump_ms;
+  }
+};
+
+int Run(bool quick, const std::string& out_path) {
+  XMarkOptions opt;
+  opt.scale = XMarkScaleFromEnv(quick ? 0.02 : 0.2);
+  std::printf("generating XMark document (scale %.3g)...\n", opt.scale);
+  Document doc = GenerateXMark(opt);
+  std::printf("document: %s nodes\n",
+              WithCommas(static_cast<uint64_t>(doc.num_nodes())).c_str());
+
+  TreeIndex pointer_index(doc);
+  SuccinctTree tree(doc);
+  TreeIndex succinct_index(tree);
+  const int repeats = quick ? 3 : 5;
+
+  const AstaEvalOptions kNoJump{false, true, true};
+  const AstaEvalOptions kJump{true, true, true};
+
+  std::vector<QueryResultRow> rows;
+  bool all_match = true;
+  for (const WorkloadQuery& wq : Figure2Workload()) {
+    auto path = ParseXPath(wq.xpath);
+    if (!path.ok()) continue;
+    auto asta = CompileToAsta(*path, doc.alphabet_ptr().get());
+    if (!asta.ok()) continue;
+
+    QueryResultRow row;
+    row.id = wq.id;
+    row.xpath = wq.xpath;
+
+    AstaEvalResult nojump, jump, pointer;
+    row.succinct_nojump_ms = bench::BestOfMs(
+        [&] { nojump = EvalAstaSuccinct(*asta, tree, nullptr, kNoJump); },
+        repeats);
+    row.succinct_jump_ms = bench::BestOfMs(
+        [&] { jump = EvalAstaSuccinct(*asta, tree, &succinct_index, kJump); },
+        repeats);
+    row.pointer_jump_ms = bench::BestOfMs(
+        [&] { pointer = EvalAsta(*asta, doc, &pointer_index, kJump); },
+        repeats);
+    row.selected = jump.nodes.size();
+    row.match = jump.nodes == nojump.nodes && jump.nodes == pointer.nodes;
+    all_match = all_match && row.match;
+    rows.push_back(row);
+
+    std::printf(
+        "%-4s nojump %8.3f ms  jump %8.3f ms (%5.2fx)  pointer-opt %8.3f ms"
+        "  [%zu nodes]%s\n",
+        row.id, row.succinct_nojump_ms, row.succinct_jump_ms,
+        row.jump_speedup(), row.pointer_jump_ms, row.selected,
+        row.match ? "" : "  MISMATCH");
+  }
+
+  double log_jump = 0, log_sp = 0;
+  for (const QueryResultRow& r : rows) {
+    log_jump += std::log(r.jump_speedup());
+    log_sp += std::log(r.succinct_vs_pointer());
+  }
+  const double n = static_cast<double>(rows.size());
+  const double geo_jump = std::exp(log_jump / n);
+  const double geo_sp = std::exp(log_sp / n);
+  std::printf(
+      "\ngeomean: jumping speeds up the succinct backend %.2fx; "
+      "succinct opt eval costs %.2fx the pointer opt eval\n",
+      geo_jump, geo_sp);
+  std::printf("results: %s\n", all_match ? "all configurations agree"
+                                         : "MISMATCH");
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"eval_succinct\",\n  \"quick\": %s,\n"
+               "  \"scale\": %.6g,\n  \"nodes\": %d,\n"
+               "  \"all_match\": %s,\n"
+               "  \"geomean_jump_speedup\": %.3f,\n"
+               "  \"geomean_succinct_vs_pointer\": %.3f,\n"
+               "  \"results\": [\n",
+               quick ? "true" : "false", opt.scale, doc.num_nodes(),
+               all_match ? "true" : "false", geo_jump, geo_sp);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const QueryResultRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"query\": \"%s\", \"succinct_nojump_ms\": %.4f, "
+                 "\"succinct_jump_ms\": %.4f, \"pointer_jump_ms\": %.4f, "
+                 "\"jump_speedup\": %.3f, \"selected\": %zu, "
+                 "\"match\": %s}%s\n",
+                 r.id, r.succinct_nojump_ms, r.succinct_jump_ms,
+                 r.pointer_jump_ms, r.jump_speedup(), r.selected,
+                 r.match ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xpwqo
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_eval_succinct.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return xpwqo::Run(quick, out_path);
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus the succinct-navigation microbenchmark.
+# Tier-1 verify plus the quick benchmark suite.
 #
 # Builds everything, runs the full test suite through ctest, then runs
-# bench_navigation --quick and leaves BENCH_navigation.json in the repo root
-# so successive PRs accumulate a perf trajectory.
+# bench_navigation --quick and bench_eval_succinct --quick, leaving
+# BENCH_navigation.json and BENCH_eval_succinct.json in the repo root so
+# successive PRs accumulate a perf trajectory. Malformed JSON output fails
+# the check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,4 +14,12 @@ cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 ./build/bench_navigation --quick --out BENCH_navigation.json
+./build/bench_eval_succinct --quick --out BENCH_eval_succinct.json
+
+for f in BENCH_navigation.json BENCH_eval_succinct.json; do
+  if ! python3 -m json.tool "$f" > /dev/null; then
+    echo "check.sh: $f is not valid JSON" >&2
+    exit 1
+  fi
+done
 echo "check.sh: OK"

@@ -292,12 +292,14 @@ class AstaEvaluator {
     uint8_t phase = 0;
     NodeId node = kNullNode;  // kNode: the node; kTopmost: current target
     SetId set = kNoSet;
-    NodeId scope = kNullNode;  // kTopmost: subtree being enumerated
     NodeId scope_end = kNullNode;  // kTopmost: BinaryEnd(scope), hoisted
     const Step* step = nullptr;  // kNode, from phase 1 on
     Step owned_step;             // backing storage when memoization is off
     ResultSet acc;             // kNode: Γ1; kTopmost: accumulator
-    LabelSet essential;        // kTopmost
+    // kTopmost: merged posting probe over the essential labels; its
+    // per-label cursors advance monotonically across the whole enumeration,
+    // so each f_t step costs amortized cursor movement, not |L| gallops.
+    LabelIndex::SetCursor cursor;
     bool early_stop = false;   // kTopmost: stop once every state accepted
   };
 
@@ -324,16 +326,20 @@ class AstaEvaluator {
         ++stats_.jumps;
         switch (jump.kind) {
           case LoopKind::kBoth: {
-            NodeId m = index_->FirstBinaryDescendant(c, jump.essential);
+            // One backend BinaryEnd for the whole enumeration (on the
+            // succinct backend that is an excess search, worth hoisting);
+            // d_t is the cursor's first probe, f_t the subsequent ones.
+            const NodeId scope_end = tree_.BinaryEnd(c);
+            LabelIndex::SetCursor cursor(index_->labels(), jump.essential);
+            NodeId m = cursor.First(c + 1, scope_end);
             if (m == kNullNode) break;
             Frame f;
             f.kind = Frame::kTopmost;
             f.node = m;
             f.set = s;
-            f.scope = c;
-            f.scope_end = tree_.BinaryEnd(c);
+            f.scope_end = scope_end;
             f.acc = ResultSet(num_states_);
-            f.essential = jump.essential;
+            f.cursor = std::move(cursor);
             f.early_stop = jump.all_nonmarking;
             frames_.push_back(std::move(f));
             return true;
@@ -431,8 +437,7 @@ class AstaEvaluator {
           frames_.pop_back();
           continue;
         }
-        NodeId next =
-            index_->NextTopmostBefore(f.node, f.essential, f.scope_end);
+        NodeId next = f.cursor.First(tree_.BinaryEnd(f.node), f.scope_end);
         if (next != kNullNode) {
           ++stats_.jumps;
           f.node = next;
@@ -487,10 +492,18 @@ AstaEvalResult EvalAstaAt(const Asta& asta, const Document& doc,
 }
 
 AstaEvalResult EvalAstaSuccinct(const Asta& asta, const SuccinctTree& tree,
+                                const TreeIndex* index,
                                 const AstaEvalOptions& options) {
-  XPWQO_CHECK(!options.jumping);
   SuccinctTreeView view{&tree};
-  return AstaEvaluator<SuccinctTreeView>(asta, view, nullptr, options).Run();
+  return AstaEvaluator<SuccinctTreeView>(asta, view, index, options).Run();
+}
+
+AstaEvalResult EvalAstaSuccinctAt(const Asta& asta, const SuccinctTree& tree,
+                                  const TreeIndex* index, NodeId start,
+                                  const AstaEvalOptions& options) {
+  SuccinctTreeView view{&tree};
+  return AstaEvaluator<SuccinctTreeView>(asta, view, index, options)
+      .RunAt(start);
 }
 
 }  // namespace xpwqo

@@ -73,11 +73,19 @@ AstaEvalResult EvalAstaAt(const Asta& asta, const Document& doc,
                           const TreeIndex* index, NodeId start,
                           const AstaEvalOptions& options = {});
 
-/// Evaluation over the succinct topology backend (firstChild/nextSibling
-/// only, so jumping must be off). Demonstrates the paper's point that
-/// memoized alternating automata are fast even without jump indexes.
+/// Evaluation over the succinct topology backend. `index` may be null when
+/// options.jumping is false; with a (succinct-backed) TreeIndex all four
+/// Figure-4 configurations run on the succinct representation — the paper's
+/// speed/space point in one configuration.
 AstaEvalResult EvalAstaSuccinct(const Asta& asta, const SuccinctTree& tree,
+                                const TreeIndex* index,
                                 const AstaEvalOptions& options = {});
+
+/// Succinct-backend counterpart of EvalAstaAt: evaluates over the binary
+/// subtree rooted at `start`.
+AstaEvalResult EvalAstaSuccinctAt(const Asta& asta, const SuccinctTree& tree,
+                                  const TreeIndex* index, NodeId start,
+                                  const AstaEvalOptions& options = {});
 
 }  // namespace xpwqo
 

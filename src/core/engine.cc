@@ -25,23 +25,43 @@ const char* EvalStrategyName(EvalStrategy strategy) {
   return "?";
 }
 
+const char* TreeBackendName(TreeBackend backend) {
+  switch (backend) {
+    case TreeBackend::kPointer:
+      return "pointer";
+    case TreeBackend::kSuccinct:
+      return "succinct";
+  }
+  return "?";
+}
+
 std::string CompiledQuery::ToString() const { return xpwqo::ToString(path_); }
 
-Engine::Engine(Document doc)
-    : doc_(std::make_unique<Document>(std::move(doc))),
-      index_(std::make_unique<TreeIndex>(*doc_)) {}
+Engine::Engine(Document doc, TreeBackend backend)
+    : doc_(std::make_unique<Document>(std::move(doc))) {
+  if (backend == TreeBackend::kSuccinct) {
+    succinct_ = std::make_unique<SuccinctTree>(*doc_);
+    index_ = std::make_unique<TreeIndex>(*succinct_);
+  } else {
+    index_ = std::make_unique<TreeIndex>(*doc_);
+  }
+}
 
-StatusOr<Engine> Engine::FromXmlFile(const std::string& path) {
+StatusOr<Engine> Engine::FromXmlFile(const std::string& path,
+                                     TreeBackend backend) {
   XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path));
-  return Engine(std::move(doc));
+  return Engine(std::move(doc), backend);
 }
 
-StatusOr<Engine> Engine::FromXmlString(std::string_view xml) {
+StatusOr<Engine> Engine::FromXmlString(std::string_view xml,
+                                       TreeBackend backend) {
   XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlString(xml));
-  return Engine(std::move(doc));
+  return Engine(std::move(doc), backend);
 }
 
-Engine Engine::FromDocument(Document doc) { return Engine(std::move(doc)); }
+Engine Engine::FromDocument(Document doc, TreeBackend backend) {
+  return Engine(std::move(doc), backend);
+}
 
 StatusOr<CompiledQuery> Engine::Compile(std::string_view xpath) const {
   CompiledQuery query;
@@ -67,8 +87,13 @@ StatusOr<QueryResult> Engine::Run(const CompiledQuery& query,
     }
     case EvalStrategy::kHybrid: {
       if (query.hybrid_ != nullptr) {
-        XPWQO_ASSIGN_OR_RETURN(
-            out.nodes, query.hybrid_->Run(*doc_, *index_, &out.hybrid));
+        if (succinct_ != nullptr) {
+          XPWQO_ASSIGN_OR_RETURN(
+              out.nodes, query.hybrid_->Run(*succinct_, *index_, &out.hybrid));
+        } else {
+          XPWQO_ASSIGN_OR_RETURN(
+              out.nodes, query.hybrid_->Run(*doc_, *index_, &out.hybrid));
+        }
         out.used_hybrid = true;
         return out;
       }
@@ -94,8 +119,11 @@ StatusOr<QueryResult> Engine::Run(const CompiledQuery& query,
   }
   eval.info_propagation =
       eval.info_propagation && options.info_propagation;
-  AstaEvalResult r = EvalAsta(query.asta(), *doc_,
-                              eval.jumping ? index_.get() : nullptr, eval);
+  const TreeIndex* index = eval.jumping ? index_.get() : nullptr;
+  AstaEvalResult r =
+      succinct_ != nullptr
+          ? EvalAstaSuccinct(query.asta(), *succinct_, index, eval)
+          : EvalAsta(query.asta(), *doc_, index, eval);
   out.nodes = std::move(r.nodes);
   out.stats = r.stats;
   return out;

@@ -32,6 +32,17 @@ enum class EvalStrategy {
 
 const char* EvalStrategyName(EvalStrategy strategy);
 
+/// Which tree representation the engine evaluates on. The pointer backend
+/// is the default; the succinct backend keeps the topology in ~2 bits/node
+/// (plus directories) and runs every strategy — including jumping — through
+/// the balanced-parentheses kernels and a succinct-backed TreeIndex.
+enum class TreeBackend {
+  kPointer,
+  kSuccinct,
+};
+
+const char* TreeBackendName(TreeBackend backend);
+
 struct QueryOptions {
   EvalStrategy strategy = EvalStrategy::kOptimized;
   /// Information propagation (only meaningful for the automaton
@@ -67,9 +78,12 @@ class CompiledQuery {
 /// One document plus its index; immutable after construction, cheap to move.
 class Engine {
  public:
-  static StatusOr<Engine> FromXmlFile(const std::string& path);
-  static StatusOr<Engine> FromXmlString(std::string_view xml);
-  static Engine FromDocument(Document doc);
+  static StatusOr<Engine> FromXmlFile(
+      const std::string& path, TreeBackend backend = TreeBackend::kPointer);
+  static StatusOr<Engine> FromXmlString(
+      std::string_view xml, TreeBackend backend = TreeBackend::kPointer);
+  static Engine FromDocument(Document doc,
+                             TreeBackend backend = TreeBackend::kPointer);
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -87,12 +101,19 @@ class Engine {
 
   const Document& document() const { return *doc_; }
   const TreeIndex& index() const { return *index_; }
+  TreeBackend backend() const {
+    return succinct_ == nullptr ? TreeBackend::kPointer
+                                : TreeBackend::kSuccinct;
+  }
+  /// The succinct tree, or null on the pointer backend.
+  const SuccinctTree* succinct_tree() const { return succinct_.get(); }
 
  private:
-  explicit Engine(Document doc);
+  Engine(Document doc, TreeBackend backend);
 
   std::unique_ptr<Document> doc_;
-  std::unique_ptr<TreeIndex> index_;
+  std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
+  std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured
 };
 
 }  // namespace xpwqo

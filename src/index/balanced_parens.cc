@@ -106,12 +106,10 @@ BalancedParens::BalancedParens(const BitVector* bits) : bits_(bits) {
   XPWQO_CHECK(n < std::numeric_limits<int32_t>::max());
   num_blocks_ = (n + kBlockBits - 1) / kBlockBits;
   block_excess_.resize(num_blocks_ + 1);
-
-  // Complete binary tree over the blocks; leaves at [leaf_base_, 2*leaf_base_).
-  leaf_base_ = std::bit_ceil(static_cast<size_t>(std::max<int64_t>(
-      num_blocks_, 1)));
-  tree_min_.assign(2 * leaf_base_, kEmptyMin);
-  tree_max_.assign(2 * leaf_base_, kEmptyMax);
+  level_mm_.clear();
+  level_mm_.emplace_back(2 * std::max<int64_t>(num_blocks_, 1));
+  level_mm_[0][0] = kEmptyMin;
+  level_mm_[0][1] = kEmptyMax;
 
   // Per-word min/max/total excess (relative to the word start), then block
   // leaves aggregated from the words.
@@ -148,13 +146,26 @@ BalancedParens::BalancedParens(const BitVector* bits) : bits_(bits) {
       hi = std::max<int64_t>(hi, e + static_cast<int8_t>(m >> 8));
       e += static_cast<int8_t>(m >> 16);
     }
-    tree_min_[leaf_base_ + b] = static_cast<int32_t>(lo);
-    tree_max_[leaf_base_ + b] = static_cast<int32_t>(hi);
+    level_mm_[0][2 * b] = static_cast<int32_t>(lo);
+    level_mm_[0][2 * b + 1] = static_cast<int32_t>(hi);
   }
   block_excess_[num_blocks_] = static_cast<int32_t>(e);
-  for (size_t v = leaf_base_ - 1; v >= 1; --v) {
-    tree_min_[v] = std::min(tree_min_[2 * v], tree_min_[2 * v + 1]);
-    tree_max_[v] = std::max(tree_max_[2 * v], tree_max_[2 * v + 1]);
+  // Upper levels of the fanout-8 hierarchy, built until one group remains.
+  while (level_mm_.back().size() / 2 > kFanout) {
+    const std::vector<int32_t>& prev = level_mm_.back();
+    const size_t prev_nodes = prev.size() / 2;
+    std::vector<int32_t> next(2 * ((prev_nodes + kFanout - 1) / kFanout));
+    for (size_t g = 0; g * kFanout < prev_nodes; ++g) {
+      int32_t lo = kEmptyMin, hi = kEmptyMax;
+      const size_t end = std::min(prev_nodes, (g + 1) * kFanout);
+      for (size_t v = g * kFanout; v < end; ++v) {
+        lo = std::min(lo, prev[2 * v]);
+        hi = std::max(hi, prev[2 * v + 1]);
+      }
+      next[2 * g] = lo;
+      next[2 * g + 1] = hi;
+    }
+    level_mm_.push_back(std::move(next));
   }
 }
 
@@ -267,9 +278,28 @@ int64_t BalancedParens::ScanBwdBlock(int64_t b, int64_t from, int64_t target,
   const int64_t start = b * kBlockBits;
   int64_t i = from;
   if (i < start) return kNotFound;
+  // Block starts are word-aligned (kBlockBits is a multiple of 64), so the
+  // entry word never straddles the block boundary.
+  static_assert(kBlockBits % 64 == 0);
   const int64_t first_lim = std::max(start, i & ~int64_t{63});
-  int64_t r = BytesBwd(i, first_lim, target, &e);
-  if (r != kNotFound) return r;
+  // Entry-word min/max probe: one popcount derives the excess at the word
+  // boundary, and the word metadata then decides whether the entry byte
+  // scan can hit at all — a deep Enclose skips straight into the
+  // 64-positions-per-probe metadata walk below.
+  const size_t w = static_cast<size_t>(i) >> 6;
+  const uint32_t meta = word_meta_[w];
+  const int live = static_cast<int>(i & 63) + 1;
+  const uint64_t below = bits_->Word(w) & (~uint64_t{0} >> (64 - live));
+  const int64_t e0 = e - (2 * std::popcount(below) - live);
+  const int64_t d0 = target - e0;
+  if (d0 >= static_cast<int8_t>(meta) &&
+      d0 <= static_cast<int8_t>(meta >> 8)) {
+    int64_t r = BytesBwd(i, first_lim, target, &e);
+    if (r != kNotFound) return r;
+  } else {
+    // The target excess occurs nowhere in the entry word: skip it whole.
+    e = e0;  // == Excess(word_start - 1)
+  }
   i = first_lim - 1;
   while (i >= start) {
     // Word [i-63, i], all bits valid (it precedes a scanned position).
@@ -278,7 +308,7 @@ int64_t BalancedParens::ScanBwdBlock(int64_t b, int64_t from, int64_t target,
     const uint32_t m = word_meta_[static_cast<size_t>(i) >> 6];
     const int64_t dt = target - e + static_cast<int8_t>(m >> 16);
     if (dt >= static_cast<int8_t>(m) && dt <= static_cast<int8_t>(m >> 8)) {
-      r = BytesBwd(i, i & ~int64_t{63}, target, &e);
+      const int64_t r = BytesBwd(i, i & ~int64_t{63}, target, &e);
       XPWQO_DCHECK(r != kNotFound);
       return r;
     }
@@ -289,51 +319,83 @@ int64_t BalancedParens::ScanBwdBlock(int64_t b, int64_t from, int64_t target,
 }
 
 int64_t BalancedParens::NextCandidateBlock(int64_t b, int64_t target) const {
-  // Nearby blocks first: the leaf arrays are contiguous, so probing the
-  // next 16 blocks costs one or two cache lines, while a tree climb pays a
-  // dependent miss per level. Only genuinely long jumps climb the tree.
-  const int64_t lin_end = std::min(num_blocks_, b + 1 + 16);
-  for (int64_t x = b + 1; x < lin_end; ++x) {
-    if (BlockContains(leaf_base_ + static_cast<size_t>(x), target)) return x;
-  }
-  if (lin_end >= num_blocks_) return -1;
-  b = lin_end - 1;
-  size_t node = leaf_base_ + static_cast<size_t>(b);
-  while (node != 1) {
-    if ((node & 1) == 0 && BlockContains(node + 1, target)) {
-      node += 1;
-      while (node < leaf_base_) {
-        node *= 2;
-        if (!BlockContains(node, target)) node += 1;
+  // Ascend: at each level probe the group siblings to the right of the
+  // current node — a group's 8 {min, max} pairs share a cache line. The
+  // first containing sibling brackets the answer; descend picking the
+  // leftmost containing child per level.
+  const int num_levels = static_cast<int>(level_mm_.size());
+  int64_t idx = b;
+  int64_t found = -1;
+  int k = 0;
+  for (; k < num_levels; ++k) {
+    const std::vector<int32_t>& lv = level_mm_[k];
+    const int64_t nodes = static_cast<int64_t>(lv.size() / 2);
+    const int64_t group_end =
+        std::min(nodes, (idx / kFanout + 1) * kFanout);
+    for (int64_t x = idx + 1; x < group_end; ++x) {
+      if (lv[2 * x] <= target && target <= lv[2 * x + 1]) {
+        found = x;
+        break;
       }
-      const int64_t leaf = static_cast<int64_t>(node - leaf_base_);
-      return leaf < num_blocks_ ? leaf : -1;
     }
-    node >>= 1;
+    if (found >= 0) break;
+    idx /= kFanout;
   }
-  return -1;
+  if (found < 0) return -1;
+  while (k > 0) {
+    --k;
+    const std::vector<int32_t>& lv = level_mm_[k];
+    const int64_t nodes = static_cast<int64_t>(lv.size() / 2);
+    const int64_t cstart = found * kFanout;
+    const int64_t cend = std::min(nodes, cstart + kFanout);
+    int64_t child = -1;
+    for (int64_t c = cstart; c < cend; ++c) {
+      if (lv[2 * c] <= target && target <= lv[2 * c + 1]) {
+        child = c;
+        break;
+      }
+    }
+    XPWQO_DCHECK(child >= 0);  // the parent's range covers a child's
+    found = child;
+  }
+  return found;
 }
 
 int64_t BalancedParens::PrevCandidateBlock(int64_t b, int64_t target) const {
-  const int64_t lin_end = std::max<int64_t>(0, b - 16);
-  for (int64_t x = b - 1; x >= lin_end; --x) {
-    if (BlockContains(leaf_base_ + static_cast<size_t>(x), target)) return x;
-  }
-  if (lin_end <= 0) return -1;
-  b = lin_end;
-  size_t node = leaf_base_ + static_cast<size_t>(b);
-  while (node != 1) {
-    if ((node & 1) == 1 && BlockContains(node - 1, target)) {
-      node -= 1;
-      while (node < leaf_base_) {
-        node = 2 * node + 1;
-        if (!BlockContains(node, target)) node -= 1;
+  const int num_levels = static_cast<int>(level_mm_.size());
+  int64_t idx = b;
+  int64_t found = -1;
+  int k = 0;
+  for (; k < num_levels; ++k) {
+    const std::vector<int32_t>& lv = level_mm_[k];
+    const int64_t group_start = (idx / kFanout) * kFanout;
+    for (int64_t x = idx - 1; x >= group_start; --x) {
+      if (lv[2 * x] <= target && target <= lv[2 * x + 1]) {
+        found = x;
+        break;
       }
-      return static_cast<int64_t>(node - leaf_base_);
     }
-    node >>= 1;
+    if (found >= 0) break;
+    idx /= kFanout;
   }
-  return -1;
+  if (found < 0) return -1;
+  while (k > 0) {
+    --k;
+    const std::vector<int32_t>& lv = level_mm_[k];
+    const int64_t nodes = static_cast<int64_t>(lv.size() / 2);
+    const int64_t cstart = found * kFanout;
+    const int64_t cend = std::min(nodes, cstart + kFanout);
+    int64_t child = -1;
+    for (int64_t c = cend - 1; c >= cstart; --c) {
+      if (lv[2 * c] <= target && target <= lv[2 * c + 1]) {
+        child = c;
+        break;
+      }
+    }
+    XPWQO_DCHECK(child >= 0);
+    found = child;
+  }
+  return found;
 }
 
 int64_t BalancedParens::FwdSearchExcessFrom(int64_t from, int64_t target,
@@ -433,7 +495,8 @@ int64_t BalancedParens::BwdMinus1(int64_t from) const {
     const uint64_t w64 = Window64(from - 63);  // bit 63 = position from
     const int pos = kNear.bwd_m1[(w64 >> 48) & 0xFFFF];
     if (pos >= 0) return from - 15 + pos;
-    // Cascade the remaining table-checked bytes of the loaded window.
+    // Cascade the remaining table-checked bytes of the loaded window —
+    // in-register, so answers within the window cost table lookups only.
     int64_t probe_pos = from - 16;  // highest position not yet probed
     int64_t e_probe = 16 - 2 * std::popcount(w64 >> 48);  // Excess(from-16)
     for (int k = 5; k >= 0; --k) {
@@ -446,9 +509,24 @@ int64_t BalancedParens::BwdMinus1(int64_t from) const {
       e_probe -= kTables.excess[v];
       probe_pos -= 8;
     }
-    r = (probe_pos >= 0 && probe_pos / kBlockBits == b)
-            ? ScanBwdBlock(b, probe_pos, -1, e_probe)
-            : ScanBwdBlock(b, from, -1, 0);
+    // The whole 64-bit window is clean: this is a deep answer. One rank
+    // read buys the absolute target, and the block's own min/max then
+    // decides whether the in-block scan can hit at all — most deep calls
+    // go straight to the candidate-block hierarchy.
+    const int64_t target = Excess(from) - 1;
+    r = kNotFound;
+    if (level_mm_[0][2 * b] <= target && target <= level_mm_[0][2 * b + 1]) {
+      r = (probe_pos >= 0 && probe_pos / kBlockBits == b)
+              ? ScanBwdBlock(b, probe_pos, target, target + 1 + e_probe)
+              : ScanBwdBlock(b, from, target, target + 1);
+    }
+    if (r != kNotFound) return r;
+    const int64_t pb = PrevCandidateBlock(b, target);
+    if (pb < 0) return target == 0 ? -1 : kNotFound;
+    const int64_t last = (pb + 1) * kBlockBits - 1;
+    r = ScanBwdBlock(pb, last, target, block_excess_[pb + 1]);
+    XPWQO_DCHECK(r != kNotFound);
+    return r;
   } else if (from >= 16) {
     const int pos = kNear.bwd_m1[Window16(from - 15)];  // bit 15 = from
     if (pos >= 0) return from - 15 + pos;
@@ -483,8 +561,9 @@ int64_t BalancedParens::Enclose(int64_t i) const {
 }
 
 size_t BalancedParens::MemoryUsage() const {
-  return (block_excess_.size() + tree_min_.size() + tree_max_.size()) *
-             sizeof(int32_t) +
+  size_t hierarchy = 0;
+  for (const std::vector<int32_t>& lv : level_mm_) hierarchy += lv.size();
+  return (block_excess_.size() + hierarchy) * sizeof(int32_t) +
          word_meta_.size() * sizeof(uint32_t);
 }
 

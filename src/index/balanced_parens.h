@@ -69,6 +69,7 @@ class BalancedParens {
 
  private:
   static constexpr int64_t kBlockBits = 512;
+  static constexpr int64_t kFanout = 8;  // rmM hierarchy children per node
 
   int Delta(int64_t i) const { return IsOpen(i) ? 1 : -1; }
 
@@ -128,9 +129,6 @@ class BalancedParens {
   /// (possible only when that excess is 0), kNotFound if absent.
   int64_t BwdMinus1(int64_t from) const;
 
-  bool BlockContains(size_t node, int64_t target) const {
-    return tree_min_[node] <= target && target <= tree_max_[node];
-  }
   /// Smallest leaf block index > b whose excess range contains target, or -1.
   int64_t NextCandidateBlock(int64_t b, int64_t target) const;
   /// Largest leaf block index < b whose excess range contains target, or -1.
@@ -138,10 +136,14 @@ class BalancedParens {
 
   const BitVector* bits_ = nullptr;
   int64_t num_blocks_ = 0;
-  size_t leaf_base_ = 0;               // first leaf slot in the rmM tree
   std::vector<int32_t> block_excess_;  // excess before each block start
-  std::vector<int32_t> tree_min_;      // rmM tree: min excess per range
-  std::vector<int32_t> tree_max_;      //           max excess per range
+  // rmM hierarchy over the blocks with fanout 8: level 0 holds interleaved
+  // {min, max} per block, level k per group of 8^k blocks. A group's 8
+  // pairs are 64 contiguous bytes — one cache line — so a candidate search
+  // pays one dependent load per level and the hierarchy is only
+  // ~log8(blocks) deep (4 levels for a million-node document, vs 13
+  // dependent probes for a binary tree).
+  std::vector<std::vector<int32_t>> level_mm_;
   // Word-granularity rmM level: per 64-bit word, packed {min prefix excess
   // (int8), max prefix excess (int8), total excess (int8)} over the word's
   // valid bits, relative to the word start. Lets the block scans skip 64

@@ -81,16 +81,16 @@ void BitVector::Freeze() {
   }
   total_ones_ = ones;
 
-  // Select hints: the superblock containing every (j*kSelectSample + 1)-th
-  // one (resp. zero). One uint32 per 512 ones/zeros keeps the binary-search
-  // range short without a full select directory.
+  // Two-level select directory. First collect the superblock of every
+  // (m*kSelectSub + 1)-th one (resp. zero); every eighth of those is a hint
+  // superblock, and the seven in between pack as 8-bit superblock-local
+  // deltas (saturated at 255 — queries then fall back to the next hint).
   const size_t total_zeros = size_ - total_ones_;
-  select1_hint_.clear();
-  select0_hint_.clear();
-  select1_hint_.reserve(total_ones_ / kSelectSample + 1);
-  select0_hint_.reserve(total_zeros / kSelectSample + 1);
   const size_t data_blocks = (size_ + kWordsPerBlock * 64 - 1) /
                              (kWordsPerBlock * 64);
+  std::vector<uint32_t> subs1, subs0;
+  subs1.reserve(total_ones_ / kSelectSub + 1);
+  subs0.reserve(total_zeros / kSelectSub + 1);
   size_t next_one = 1, next_zero = 1;
   for (size_t b = 0; b < data_blocks; ++b) {
     const size_t ones_end =
@@ -99,26 +99,61 @@ void BitVector::Freeze() {
     const size_t bits_end = std::min(size_, (b + 1) * kWordsPerBlock * 64);
     const size_t zeros_end = bits_end - ones_end;
     while (next_one <= ones_end) {
-      select1_hint_.push_back(static_cast<uint32_t>(b));
-      next_one += kSelectSample;
+      subs1.push_back(static_cast<uint32_t>(b));
+      next_one += kSelectSub;
     }
     while (next_zero <= zeros_end) {
-      select0_hint_.push_back(static_cast<uint32_t>(b));
-      next_zero += kSelectSample;
+      subs0.push_back(static_cast<uint32_t>(b));
+      next_zero += kSelectSub;
     }
   }
+  constexpr size_t kSubsPerSample = kSelectSample / kSelectSub;
+  auto pack = [](const std::vector<uint32_t>& subs,
+                 std::vector<uint32_t>* hint, std::vector<uint64_t>* sub) {
+    const size_t samples = (subs.size() + kSubsPerSample - 1) /
+                           kSubsPerSample;
+    hint->clear();
+    sub->clear();
+    hint->reserve(samples);
+    sub->reserve(samples);
+    for (size_t j = 0; j < samples; ++j) {
+      const uint32_t base = subs[j * kSubsPerSample];
+      hint->push_back(base);
+      uint64_t packed = 0;
+      for (size_t m = 1; m < kSubsPerSample; ++m) {
+        const size_t idx = j * kSubsPerSample + m;
+        const uint64_t d =
+            idx < subs.size() ? std::min<uint64_t>(subs[idx] - base, 255)
+                              : 255;
+        packed |= d << (8 * (m - 1));
+      }
+      sub->push_back(packed);
+    }
+  };
+  pack(subs1, &select1_hint_, &select1_sub_);
+  pack(subs0, &select0_hint_, &select0_sub_);
 }
 
 size_t BitVector::Select1(size_t k) const {
   XPWQO_DCHECK(frozen_);
   XPWQO_DCHECK(k >= 1 && k <= total_ones_);
-  // Narrow to the sampled superblock range, then binary-search for the last
-  // superblock with fewer than k ones before it.
+  // Narrow to the sub-sample's superblock range (one hint read plus one
+  // packed-delta read), then binary-search for the last superblock with
+  // fewer than k ones before it — usually a zero-or-one-step search.
   const size_t j = (k - 1) / kSelectSample;
-  size_t lo = select1_hint_[j];
+  const size_t m = ((k - 1) % kSelectSample) / kSelectSub;
+  const size_t base = select1_hint_[j];
+  size_t lo = base;
   size_t hi = (j + 1 < select1_hint_.size())
                   ? select1_hint_[j + 1] + 1
                   : (size_ + kWordsPerBlock * 64 - 1) / (kWordsPerBlock * 64);
+  const uint64_t subs = select1_sub_[j];
+  if (m > 0) lo = base + ((subs >> (8 * (m - 1))) & 0xFF);
+  if (m < kSelectSample / kSelectSub - 1) {
+    const size_t d = (subs >> (8 * m)) & 0xFF;
+    // A saturated delta only bounds from below; keep the hint fallback.
+    if (d < 255) hi = std::min(hi, base + d + 1);
+  }
   while (lo + 1 < hi) {
     const size_t mid = (lo + hi) / 2;
     if (BlockRank(mid) < k) {
@@ -141,10 +176,18 @@ size_t BitVector::Select0(size_t k) const {
   XPWQO_DCHECK(frozen_);
   XPWQO_DCHECK(k >= 1 && k <= size_ - total_ones_);
   const size_t j = (k - 1) / kSelectSample;
-  size_t lo = select0_hint_[j];
+  const size_t m = ((k - 1) % kSelectSample) / kSelectSub;
+  const size_t base = select0_hint_[j];
+  size_t lo = base;
   size_t hi = (j + 1 < select0_hint_.size())
                   ? select0_hint_[j + 1] + 1
                   : (size_ + kWordsPerBlock * 64 - 1) / (kWordsPerBlock * 64);
+  const uint64_t subs = select0_sub_[j];
+  if (m > 0) lo = base + ((subs >> (8 * (m - 1))) & 0xFF);
+  if (m < kSelectSample / kSelectSub - 1) {
+    const size_t d = (subs >> (8 * m)) & 0xFF;
+    if (d < 255) hi = std::min(hi, base + d + 1);
+  }
   while (lo + 1 < hi) {
     const size_t mid = (lo + hi) / 2;
     if (BlockRank0(mid) < k) {
@@ -168,7 +211,8 @@ size_t BitVector::Select0(size_t k) const {
 
 size_t BitVector::MemoryUsage() const {
   return words_.size() * sizeof(uint64_t) + rank_.size() * sizeof(uint64_t) +
-         (select1_hint_.size() + select0_hint_.size()) * sizeof(uint32_t);
+         (select1_hint_.size() + select0_hint_.size()) * sizeof(uint32_t) +
+         (select1_sub_.size() + select0_sub_.size()) * sizeof(uint64_t);
 }
 
 }  // namespace xpwqo

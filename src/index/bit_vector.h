@@ -6,10 +6,13 @@
 // implementation of rank/select queries"): one absolute 64-bit count per
 // 512-bit superblock plus seven 9-bit relative word counts packed into a
 // second 64-bit word, so Rank1 is two directory reads and one masked
-// popcount — no position-dependent loop. Select keeps sampled hints (the
-// superblock of every 512th one/zero), binary-searches the narrowed
-// superblock range, resolves the word through the packed counts, and picks
-// the bit with PDEP where available (portable broadword fallback otherwise).
+// popcount — no position-dependent loop. Select keeps a two-level sampled
+// directory: the superblock of every 512th one/zero, plus seven packed 8-bit
+// superblock-local deltas locating every 64th one/zero within the sample.
+// A query reads one hint and one delta word, leaving (almost always) a
+// zero-or-one-superblock window for the binary search, then resolves the
+// word through the packed counts and picks the bit with PDEP where
+// available (portable broadword fallback otherwise).
 #ifndef XPWQO_INDEX_BIT_VECTOR_H_
 #define XPWQO_INDEX_BIT_VECTOR_H_
 
@@ -94,6 +97,7 @@ class BitVector {
  private:
   static constexpr size_t kWordsPerBlock = 8;   // 512-bit superblocks
   static constexpr size_t kSelectSample = 512;  // ones/zeros per select hint
+  static constexpr size_t kSelectSub = 64;      // ones/zeros per sub-sample
 
   size_t NumBlocks() const { return rank_.size() / 2; }
   /// Ones strictly before superblock b.
@@ -110,6 +114,13 @@ class BitVector {
   std::vector<uint64_t> rank_;
   std::vector<uint32_t> select1_hint_;  // superblock of one #(j*sample+1)
   std::vector<uint32_t> select0_hint_;  // superblock of zero #(j*sample+1)
+  // Second select level: per sample j, seven packed 8-bit deltas. Byte m-1
+  // is the superblock of one/zero #(j*sample + m*sub + 1) relative to the
+  // sample's hint superblock, saturated at 255 (a saturated upper bound
+  // falls back to the next hint). One read narrows the binary-search window
+  // from a whole sample to a sub-sample.
+  std::vector<uint64_t> select1_sub_;
+  std::vector<uint64_t> select0_sub_;
   size_t size_ = 0;
   size_t num_words_ = 0;  // data words, excluding the pad word
   size_t total_ones_ = 0;

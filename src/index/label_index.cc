@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/succinct_tree.h"
+
 namespace xpwqo {
 namespace {
 
@@ -22,15 +24,53 @@ size_t GallopLowerBound(const std::vector<NodeId>& v, NodeId lo) {
          v.begin();
 }
 
+/// Gallop within [pos, end) from the *current* cursor position. Same probe
+/// pattern as GallopLowerBound, but anchored at pos so monotone callers pay
+/// cost proportional to how far the cursor actually moves.
+const NodeId* GallopFrom(const NodeId* pos, const NodeId* end, NodeId lo) {
+  if (pos == end || *pos >= lo) return pos;
+  size_t below = 0;  // pos[below] < lo
+  size_t probe = 1;
+  const size_t len = static_cast<size_t>(end - pos);
+  while (probe < len && pos[probe] < lo) {
+    below = probe;
+    probe <<= 1;
+  }
+  return std::lower_bound(pos + below + 1, pos + std::min(probe + 1, len),
+                          lo);
+}
+
+/// kNullNode (= -1) casts to the unsigned maximum, so min over unsigned
+/// views treats "no candidate" as larger than every real node id.
+inline uint32_t AsKey(NodeId n) { return static_cast<uint32_t>(n); }
+
 }  // namespace
 
 const std::vector<NodeId> LabelIndex::kEmpty;
+
+void LabelIndex::Build(const LabelId* labels, int32_t num_nodes,
+                       size_t num_labels) {
+  postings_.resize(num_labels);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    postings_[labels[n]].push_back(n);  // ids ascend: lists stay sorted
+  }
+}
 
 LabelIndex::LabelIndex(const Document& doc) {
   postings_.resize(doc.alphabet().size());
   for (NodeId n = 0; n < doc.num_nodes(); ++n) {
     postings_[doc.label(n)].push_back(n);  // ids ascend: lists stay sorted
   }
+}
+
+LabelIndex::LabelIndex(const SuccinctTree& tree) {
+  // The succinct backend stores no alphabet; size the table by the largest
+  // label present (queries for labels interned later just return empty).
+  const std::vector<LabelId>& labels = tree.label_array();
+  LabelId max_label = -1;
+  for (LabelId l : labels) max_label = std::max(max_label, l);
+  Build(labels.data(), tree.num_nodes(),
+        static_cast<size_t>(max_label + 1));
 }
 
 int32_t LabelIndex::Count(LabelId label) const {
@@ -55,18 +95,18 @@ NodeId LabelIndex::FirstInRange(LabelId label, NodeId lo, NodeId hi) const {
 NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
                                 NodeId hi) const {
   XPWQO_DCHECK(set.IsFinite());
-  NodeId best = kNullNode;
+  uint32_t best = AsKey(kNullNode);
   for (LabelId l : set.FiniteMembers()) {
-    // Shrink hi to the best candidate so far: later labels only need to
-    // search the narrower prefix, and a hit at lo is unbeatable.
-    NodeId cand = FirstInRange(l, lo, hi);
-    if (cand != kNullNode) {
-      best = cand;
-      if (cand == lo) break;
-      hi = cand;
-    }
+    // The scan ceiling shrinks to the best head so far, and a hit at lo is
+    // unbeatable; the merge itself is a branchless unsigned min (kNullNode's
+    // key is the unsigned maximum, so an empty best leaves hi in charge).
+    const NodeId cand =
+        FirstInRange(l, lo, static_cast<NodeId>(std::min(AsKey(hi), best)));
+    best = std::min(best, AsKey(cand));
+    if (best == AsKey(lo)) break;
   }
-  return best;
+  const NodeId first = static_cast<NodeId>(best);
+  return first < hi ? first : kNullNode;
 }
 
 int32_t LabelIndex::CountInRange(LabelId label, NodeId lo, NodeId hi) const {
@@ -83,6 +123,38 @@ bool LabelIndex::RangeContainsAny(const LabelSet& set, NodeId lo,
     if (FirstInRange(l, lo, hi) != kNullNode) return true;
   }
   return false;
+}
+
+LabelIndex::SetCursor::SetCursor(const LabelIndex& index,
+                                 const LabelSet& set) {
+  XPWQO_DCHECK(set.IsFinite());
+  for (LabelId l : set.FiniteMembers()) {
+    const std::vector<NodeId>& list = index.Occurrences(l);
+    if (list.empty()) continue;
+    const Cursor c{list.data(), list.data() + list.size()};
+    if (count_ < kInlineCursors) {
+      inline_cursors_[count_] = c;
+    } else {
+      if (spill_.empty()) {
+        spill_.assign(inline_cursors_, inline_cursors_ + kInlineCursors);
+      }
+      spill_.push_back(c);
+    }
+    ++count_;
+  }
+}
+
+NodeId LabelIndex::SetCursor::First(NodeId lo, NodeId hi) {
+  uint32_t best = AsKey(kNullNode);
+  Cursor* cursors = data();
+  for (size_t i = 0; i < count_; ++i) {
+    Cursor& c = cursors[i];
+    c.pos = GallopFrom(c.pos, c.end, lo);
+    const NodeId head = c.pos == c.end ? kNullNode : *c.pos;
+    best = std::min(best, AsKey(head));
+  }
+  const NodeId first = static_cast<NodeId>(best);
+  return first < hi ? first : kNullNode;
 }
 
 size_t LabelIndex::MemoryUsage() const {

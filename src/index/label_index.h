@@ -3,6 +3,10 @@
 // with a label in L inside a preorder range costs O(|L| log n), and global
 // label counts (used by the hybrid strategy to pick a starting label) are
 // O(1).
+//
+// Posting lists can be built from either tree backend: the pointer Document
+// or a SuccinctTree's label array — node ids are preorder ranks in both, so
+// the lists are identical and no pointer tree has to be materialized.
 #ifndef XPWQO_INDEX_LABEL_INDEX_H_
 #define XPWQO_INDEX_LABEL_INDEX_H_
 
@@ -13,10 +17,14 @@
 
 namespace xpwqo {
 
+class SuccinctTree;
+
 /// Immutable posting lists of node ids (== preorder ranks) per label.
 class LabelIndex {
  public:
   explicit LabelIndex(const Document& doc);
+  /// Builds the postings straight from the succinct backend's label array.
+  explicit LabelIndex(const SuccinctTree& tree);
 
   /// Number of occurrences of `label` (0 for labels interned after the
   /// document was built).
@@ -31,8 +39,8 @@ class LabelIndex {
   /// Smallest node id in [lo, hi) whose label is in `set`, or kNullNode.
   /// Requires set.IsFinite(); co-finite sets cannot be jumped to (callers
   /// fall back to stepping, as the paper's engine does). Each label probe
-  /// gallops from the front of its posting list, and the scan ceiling
-  /// shrinks to the best candidate found so far.
+  /// gallops to its posting head at or after lo; the heads merge through a
+  /// branchless unsigned min (kNullNode = -1 ranks above every real id).
   NodeId FirstInRange(const LabelSet& set, NodeId lo, NodeId hi) const;
 
   /// Number of occurrences of `label` within [lo, hi).
@@ -42,9 +50,44 @@ class LabelIndex {
   /// the galloping probe with FirstInRange but stops at the first hit.
   bool RangeContainsAny(const LabelSet& set, NodeId lo, NodeId hi) const;
 
+  /// Stateful merged probe over one finite LabelSet's posting lists, for
+  /// enumeration loops whose lower bound only moves forward (topmost-node
+  /// chains: each jump starts at the previous subtree's BinaryEnd). Each
+  /// per-label cursor advances monotonically — a gallop from its *current*
+  /// position — so a whole enumeration pays O(matches visited) amortized
+  /// list movement instead of |L| fresh front-gallops per jump.
+  class SetCursor {
+   public:
+    SetCursor() = default;
+    SetCursor(const LabelIndex& index, const LabelSet& set);
+
+    /// Smallest node id >= lo across the set's lists that is < hi, or
+    /// kNullNode. `lo` must be non-decreasing across calls.
+    NodeId First(NodeId lo, NodeId hi);
+
+   private:
+    struct Cursor {
+      const NodeId* pos;
+      const NodeId* end;
+    };
+    /// Essential-label sets are almost always tiny; an inline buffer keeps
+    /// cursor construction allocation-free for them (one SetCursor is
+    /// built per jump region, including regions that prove empty).
+    static constexpr size_t kInlineCursors = 4;
+    Cursor* data() {
+      return spill_.empty() ? inline_cursors_ : spill_.data();
+    }
+
+    Cursor inline_cursors_[kInlineCursors];
+    size_t count_ = 0;
+    std::vector<Cursor> spill_;  // holds ALL cursors when count_ > inline
+  };
+
   size_t MemoryUsage() const;
 
  private:
+  void Build(const LabelId* labels, int32_t num_nodes, size_t num_labels);
+
   std::vector<std::vector<NodeId>> postings_;
   static const std::vector<NodeId> kEmpty;
 };

@@ -28,6 +28,9 @@ class SuccinctTree {
   NodeId root() const { return num_nodes() == 0 ? kNullNode : 0; }
 
   LabelId label(NodeId n) const { return labels_[n]; }
+  /// The raw preorder label array (LabelIndex builds its posting lists
+  /// straight from this, no pointer tree needed).
+  const std::vector<LabelId>& label_array() const { return labels_; }
   NodeId parent(NodeId n) const;
   NodeId first_child(NodeId n) const;
   NodeId next_sibling(NodeId n) const;

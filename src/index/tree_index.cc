@@ -3,30 +3,29 @@
 namespace xpwqo {
 
 NodeId TreeIndex::FirstBinaryDescendant(NodeId n, const LabelSet& set) const {
-  return labels_.FirstInRange(set, n + 1, doc_->BinaryEnd(n));
+  return labels_.FirstInRange(set, n + 1, BinaryEnd(n));
 }
 
 NodeId TreeIndex::FirstInBinarySubtree(NodeId n, const LabelSet& set) const {
-  if (set.Contains(doc_->label(n))) return n;
+  if (set.Contains(Label(n))) return n;
   return FirstBinaryDescendant(n, set);
 }
 
 NodeId TreeIndex::NextTopmost(NodeId m, const LabelSet& set,
                               NodeId scope) const {
-  return NextTopmostBefore(m, set, doc_->BinaryEnd(scope));
+  return NextTopmostBefore(m, set, BinaryEnd(scope));
 }
 
 NodeId TreeIndex::NextTopmostBefore(NodeId m, const LabelSet& set,
                                     NodeId scope_end) const {
   // The binary subtree of m ends at BinaryEnd(m); the next topmost node is
   // the first match at or after that boundary, still inside the scope.
-  return labels_.FirstInRange(set, doc_->BinaryEnd(m), scope_end);
+  return labels_.FirstInRange(set, BinaryEnd(m), scope_end);
 }
 
 NodeId TreeIndex::LeftPathFirst(NodeId n, const LabelSet& set) const {
-  for (NodeId c = doc_->first_child(n); c != kNullNode;
-       c = doc_->first_child(c)) {
-    if (set.Contains(doc_->label(c))) return c;
+  for (NodeId c = FirstChild(n); c != kNullNode; c = FirstChild(c)) {
+    if (set.Contains(Label(c))) return c;
   }
   return kNullNode;
 }
@@ -36,18 +35,18 @@ NodeId TreeIndex::RightPathFirst(NodeId n, const LabelSet& set) const {
   // sibling starts exactly at the XmlEnd of its predecessor, so we can probe
   // the label index from there and, when a match falls inside a sibling's
   // subtree rather than on the spine, skip past that subtree.
-  const NodeId parent = doc_->parent(n);
-  const NodeId hi = doc_->BinaryEnd(n);
-  NodeId pos = doc_->XmlEnd(n);  // start of n's next sibling, if any
+  const NodeId parent = Parent(n);
+  const NodeId hi = BinaryEnd(n);
+  NodeId pos = XmlEnd(n);  // start of n's next sibling, if any
   while (pos < hi) {
     NodeId m = labels_.FirstInRange(set, pos, hi);
     if (m == kNullNode) return kNullNode;
-    if (doc_->parent(m) == parent) return m;  // on the spine
+    if (Parent(m) == parent) return m;  // on the spine
     // m is nested inside a sibling subtree; hop to that sibling's end by
     // walking up to the spine level.
     NodeId top = m;
-    while (doc_->parent(top) != parent) top = doc_->parent(top);
-    pos = doc_->XmlEnd(top);
+    while (Parent(top) != parent) top = Parent(top);
+    pos = XmlEnd(top);
   }
   return kNullNode;
 }

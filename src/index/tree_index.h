@@ -1,10 +1,15 @@
-// TreeIndex: the jumping primitives of Definition 3.2 over a Document and
-// its LabelIndex, plus the "topmost labeled nodes" enumeration derived from
-// them (d_t to find the first, f_t to step over binary subtrees).
+// TreeIndex: the jumping primitives of Definition 3.2 over a tree backend
+// and its LabelIndex, plus the "topmost labeled nodes" enumeration derived
+// from them (d_t to find the first, f_t to step over binary subtrees).
 //
-// All node identifiers are preorder ranks, and the *binary* tree of the
-// paper is the first-child/next-sibling view: the binary subtree of n spans
-// the preorder range [n, BinaryEnd(n)).
+// The index is backend-parameterized: it runs over either the pointer-based
+// Document or the SuccinctTree. Node identifiers are preorder ranks in both,
+// so the posting lists are identical; only the navigation primitives
+// (BinaryEnd/XmlEnd/parent/first_child) differ — O(1) array reads on the
+// pointer backend, balanced-parentheses kernel calls (FindClose / excess
+// search / Enclose) on the succinct one. All node identifiers are preorder
+// ranks, and the *binary* tree of the paper is the first-child/next-sibling
+// view: the binary subtree of n spans the preorder range [n, BinaryEnd(n)).
 #ifndef XPWQO_INDEX_TREE_INDEX_H_
 #define XPWQO_INDEX_TREE_INDEX_H_
 
@@ -17,13 +22,17 @@
 
 namespace xpwqo {
 
-/// Jump functions over one document. Holds a reference to the Document,
-/// which must outlive the index.
+/// Jump functions over one document, on either backend. Holds a reference
+/// to the backing tree, which must outlive the index.
 class TreeIndex {
  public:
   explicit TreeIndex(const Document& doc) : doc_(&doc), labels_(doc) {}
+  explicit TreeIndex(const SuccinctTree& tree)
+      : tree_(&tree), labels_(tree) {}
 
-  const Document& doc() const { return *doc_; }
+  /// The pointer backend, or null when succinct-backed (and vice versa).
+  const Document* doc() const { return doc_; }
+  const SuccinctTree* succinct() const { return tree_; }
   const LabelIndex& labels() const { return labels_; }
 
   /// d_t(n, L): first *binary-tree* descendant of n (strictly below, in
@@ -43,7 +52,9 @@ class TreeIndex {
 
   /// NextTopmost with the scope's binary end precomputed. Enumeration loops
   /// should hoist BinaryEnd(scope) once and call this variant, so the scope
-  /// boundary is not re-derived on every jump.
+  /// boundary is not re-derived on every jump. (Hot loops that enumerate a
+  /// whole chain should additionally hoist a LabelIndex::SetCursor and probe
+  /// it with BinaryEnd(m) directly — see eval.cc / topdown_jump.cc.)
   NodeId NextTopmostBefore(NodeId m, const LabelSet& set,
                            NodeId scope_end) const;
 
@@ -56,11 +67,30 @@ class TreeIndex {
   /// index to skip over sibling subtrees.
   NodeId RightPathFirst(NodeId n, const LabelSet& set) const;
 
+  /// Backend-dispatched navigation (one predictable branch; the posting
+  /// probes dominate every caller's cost).
+  NodeId BinaryEnd(NodeId n) const {
+    return doc_ != nullptr ? doc_->BinaryEnd(n) : tree_->BinaryEnd(n);
+  }
+  NodeId XmlEnd(NodeId n) const {
+    return doc_ != nullptr ? doc_->XmlEnd(n) : tree_->XmlEnd(n);
+  }
+  NodeId Parent(NodeId n) const {
+    return doc_ != nullptr ? doc_->parent(n) : tree_->parent(n);
+  }
+  NodeId FirstChild(NodeId n) const {
+    return doc_ != nullptr ? doc_->first_child(n) : tree_->first_child(n);
+  }
+  LabelId Label(NodeId n) const {
+    return doc_ != nullptr ? doc_->label(n) : tree_->label(n);
+  }
+
   /// Global count of a label (O(1), used by the hybrid strategy).
   int32_t Count(LabelId label) const { return labels_.Count(label); }
 
  private:
-  const Document* doc_;
+  const Document* doc_ = nullptr;
+  const SuccinctTree* tree_ = nullptr;
   LabelIndex labels_;
 };
 

@@ -62,9 +62,10 @@ std::vector<StateJumpInfo> ClassifyStates(const Sta& sta) {
   return infos;
 }
 
+template <typename TreeView>
 class JumpRunner {
  public:
-  JumpRunner(const Sta& sta, const Document& doc, const TreeIndex& index)
+  JumpRunner(const Sta& sta, const TreeView& doc, const TreeIndex& index)
       : sta_(sta),
         doc_(doc),
         index_(index),
@@ -113,12 +114,13 @@ class JumpRunner {
         ++result_->stats.jumps;
         // Push the topmost essential nodes, then reverse the pushed range in
         // place so the stack pops them in document order. The scope boundary
-        // is hoisted out of the enumeration loop.
+        // and the merged posting cursor are hoisted out of the enumeration
+        // loop: f_t steps pay amortized cursor movement, not |L| gallops.
         const NodeId scope_end = doc_.BinaryEnd(c);
+        LabelIndex::SetCursor cursor(index_.labels(), info.essential);
         const size_t mark = stack_.size();
-        for (NodeId m = index_.FirstBinaryDescendant(c, info.essential);
-             m != kNullNode;
-             m = index_.NextTopmostBefore(m, info.essential, scope_end)) {
+        for (NodeId m = cursor.First(c + 1, scope_end); m != kNullNode;
+             m = cursor.First(doc_.BinaryEnd(m), scope_end)) {
           Push(m, q);
         }
         std::reverse(stack_.begin() + mark, stack_.end());
@@ -160,8 +162,8 @@ class JumpRunner {
       failed_ = true;
       return;
     }
-    NodeId left = doc_.BinaryLeft(n);
-    NodeId right = doc_.BinaryRight(n);
+    NodeId left = doc_.Left(n);
+    NodeId right = doc_.Right(n);
     // Push right first so the left subtree is processed first.
     if (right == kNullNode) {
       if (!sta_.IsBottom(q2)) failed_ = true;
@@ -177,7 +179,7 @@ class JumpRunner {
   }
 
   const Sta& sta_;
-  const Document& doc_;
+  const TreeView& doc_;
   const TreeIndex& index_;
   std::vector<StateJumpInfo> infos_;
   StateId sink_;
@@ -190,7 +192,14 @@ class JumpRunner {
 
 JumpRunResult TopDownJumpRun(const Sta& sta, const Document& doc,
                              const TreeIndex& index) {
-  return JumpRunner(sta, doc, index).Run();
+  PointerTreeView view{&doc};
+  return JumpRunner<PointerTreeView>(sta, view, index).Run();
+}
+
+JumpRunResult TopDownJumpRun(const Sta& sta, const SuccinctTree& tree,
+                             const TreeIndex& index) {
+  SuccinctTreeView view{&tree};
+  return JumpRunner<SuccinctTreeView>(sta, view, index).Run();
 }
 
 }  // namespace xpwqo

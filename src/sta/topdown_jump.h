@@ -46,6 +46,11 @@ struct JumpRunResult {
 JumpRunResult TopDownJumpRun(const Sta& sta, const Document& doc,
                              const TreeIndex& index);
 
+/// Same, over the succinct backend (`index` should be succinct-backed so
+/// the jump primitives resolve through the BP kernels).
+JumpRunResult TopDownJumpRun(const Sta& sta, const SuccinctTree& tree,
+                             const TreeIndex& index);
+
 }  // namespace xpwqo
 
 #endif  // XPWQO_STA_TOPDOWN_JUMP_H_

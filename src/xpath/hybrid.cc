@@ -34,9 +34,48 @@ StatusOr<HybridPlan> HybridPlan::Make(const Path& path, Alphabet* alphabet) {
   return plan;
 }
 
+namespace {
+
+/// Backend dispatch for the full/suffix automaton runs inside the hybrid
+/// plan: the pointer view goes through EvalAsta, the succinct one through
+/// EvalAstaSuccinct, both with the same (backend-matched) TreeIndex.
+AstaEvalResult EvalOn(const Asta& asta, const PointerTreeView& view,
+                      const TreeIndex* index, const AstaEvalOptions& opts) {
+  return EvalAsta(asta, *view.doc, index, opts);
+}
+AstaEvalResult EvalOn(const Asta& asta, const SuccinctTreeView& view,
+                      const TreeIndex* index, const AstaEvalOptions& opts) {
+  return EvalAstaSuccinct(asta, *view.tree, index, opts);
+}
+AstaEvalResult EvalOnAt(const Asta& asta, const PointerTreeView& view,
+                        const TreeIndex* index, NodeId start,
+                        const AstaEvalOptions& opts) {
+  return EvalAstaAt(asta, *view.doc, index, start, opts);
+}
+AstaEvalResult EvalOnAt(const Asta& asta, const SuccinctTreeView& view,
+                        const TreeIndex* index, NodeId start,
+                        const AstaEvalOptions& opts) {
+  return EvalAstaSuccinctAt(asta, *view.tree, index, start, opts);
+}
+
+}  // namespace
+
 StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
                                               const TreeIndex& index,
                                               HybridStats* stats) const {
+  return RunImpl(PointerTreeView{&doc}, index, stats);
+}
+
+StatusOr<std::vector<NodeId>> HybridPlan::Run(const SuccinctTree& tree,
+                                              const TreeIndex& index,
+                                              HybridStats* stats) const {
+  return RunImpl(SuccinctTreeView{&tree}, index, stats);
+}
+
+template <typename TreeView>
+StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
+                                                  const TreeIndex& index,
+                                                  HybridStats* stats) const {
   const size_t k = labels_.size();
   size_t pivot = 0;
   for (size_t i = 1; i < k; ++i) {
@@ -53,7 +92,7 @@ StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
     // The first label is the rarest: start anywhere degenerates to the
     // regular run from the pivot occurrences downward — which is the plain
     // top-down evaluation.
-    AstaEvalResult r = EvalAsta(full_asta_, doc, &index, opts);
+    AstaEvalResult r = EvalOn(full_asta_, doc, &index, opts);
     st->nodes_visited = r.stats.nodes_visited;
     return std::move(r.nodes);
   }
@@ -65,8 +104,8 @@ StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
     // Upward: match //l_{pivot-1}/.../l1 as an ancestor subsequence,
     // greedily from the candidate up (pure parent moves, like the paper).
     size_t need = pivot;  // labels_[need-1] is the next one to find
-    for (NodeId p = doc.parent(c); p != kNullNode && need > 0;
-         p = doc.parent(p)) {
+    for (NodeId p = doc.Parent(c); p != kNullNode && need > 0;
+         p = doc.Parent(p)) {
       ++st->nodes_visited;
       if (doc.label(p) == labels_[need - 1]) --need;
     }
@@ -77,10 +116,10 @@ StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
     }
     // Downward: evaluate the suffix over the candidate's strict
     // descendants (binary subtree of its first child).
-    NodeId below = doc.BinaryLeft(c);
+    NodeId below = doc.Left(c);
     if (below == kNullNode) continue;
     AstaEvalResult sub =
-        EvalAstaAt(suffix_astas_[pivot], doc, &index, below, opts);
+        EvalOnAt(suffix_astas_[pivot], doc, &index, below, opts);
     st->nodes_visited += sub.stats.nodes_visited;
     out.insert(out.end(), sub.nodes.begin(), sub.nodes.end());
   }

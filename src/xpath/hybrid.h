@@ -42,8 +42,20 @@ class HybridPlan {
                                     const TreeIndex& index,
                                     HybridStats* stats = nullptr) const;
 
+  /// Same, over the succinct backend: the upward walk uses BP parent moves
+  /// and the downward suffix run uses the succinct jumping evaluator.
+  /// `index` should be succinct-backed.
+  StatusOr<std::vector<NodeId>> Run(const SuccinctTree& tree,
+                                    const TreeIndex& index,
+                                    HybridStats* stats = nullptr) const;
+
  private:
   HybridPlan() = default;
+
+  template <typename TreeView>
+  StatusOr<std::vector<NodeId>> RunImpl(const TreeView& view,
+                                        const TreeIndex& index,
+                                        HybridStats* stats) const;
 
   std::vector<LabelId> labels_;  // one per step
   /// Suffix automata: suffix_astas_[p] covers steps p+1.. (empty Asta when

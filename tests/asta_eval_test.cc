@@ -137,10 +137,16 @@ TEST(AstaEvalTest, SuccinctBackendAgrees) {
     Asta asta = AstaForDescADescBWithC(ids.a, ids.b, ids.c);
     TreeIndex index(d);
     SuccinctTree tree(d);
+    TreeIndex succinct_index(tree);
     AstaEvalResult pointer = EvalAsta(asta, d, &index, kOpt);
-    AstaEvalResult succinct = EvalAstaSuccinct(asta, tree, kMemoOnly);
+    AstaEvalResult succinct = EvalAstaSuccinct(asta, tree, nullptr, kMemoOnly);
     EXPECT_EQ(pointer.nodes, succinct.nodes);
     EXPECT_EQ(pointer.accepted, succinct.accepted);
+    // The succinct backend with a succinct-backed index jumps too.
+    AstaEvalResult jumping =
+        EvalAstaSuccinct(asta, tree, &succinct_index, kOpt);
+    EXPECT_EQ(pointer.nodes, jumping.nodes);
+    EXPECT_EQ(pointer.accepted, jumping.accepted);
   }
 }
 

@@ -115,6 +115,29 @@ TEST(BitVectorTest, AllZeros) {
   EXPECT_EQ(bv.Rank1(2048), 0u);
 }
 
+TEST(BitVectorTest, SelectSparseSaturatesSubDirectory) {
+  // One set bit every 3000 positions: a 64-one sub-sample spans ~375
+  // superblocks, saturating the 8-bit superblock-local deltas. The query
+  // must then fall back to the hint window and still land exactly.
+  BitVector bv;
+  std::vector<size_t> pos;
+  for (size_t i = 0; i < 700; ++i) {
+    bv.Append(false, 2999);
+    bv.PushBack(true);
+    pos.push_back(i * 3000 + 2999);
+  }
+  bv.Freeze();
+  for (size_t k = 1; k <= pos.size(); ++k) {
+    ASSERT_EQ(bv.Select1(k), pos[k - 1]) << "k=" << k;
+  }
+  // Zeros are dense here, exercising the unsaturated sub-delta path.
+  for (size_t k = 1; k <= bv.size() - bv.CountOnes(); k += 997) {
+    size_t p = bv.Select0(k);
+    ASSERT_FALSE(bv.Get(p));
+    ASSERT_EQ(bv.Rank0(p), k - 1);
+  }
+}
+
 TEST(BitVectorTest, MemoryUsageReported) {
   BitVector bv;
   bv.Append(true, 10000);

@@ -42,15 +42,21 @@ void CheckAllEngines(const Document& doc, const std::string& query) {
       {false, false, false}, {true, false, false}, {false, true, false},
       {true, true, true},    {true, true, false},  {false, false, true},
   };
+  SuccinctTree tree(doc);
+  TreeIndex succinct_index(tree);
   for (const AstaEvalOptions& opts : configs) {
     AstaEvalResult r = EvalAsta(*asta, doc, &index, opts);
     ASSERT_EQ(r.nodes, *expect)
         << "asta jump=" << opts.jumping << " memo=" << opts.memoize
         << " infoprop=" << opts.info_propagation;
+    // Every configuration — including the jumping ones — must agree on the
+    // succinct backend through the succinct-backed TreeIndex.
+    AstaEvalResult s = EvalAstaSuccinct(
+        *asta, tree, opts.jumping ? &succinct_index : nullptr, opts);
+    ASSERT_EQ(s.nodes, *expect)
+        << "succinct jump=" << opts.jumping << " memo=" << opts.memoize
+        << " infoprop=" << opts.info_propagation;
   }
-  SuccinctTree tree(doc);
-  AstaEvalResult succinct = EvalAstaSuccinct(*asta, tree, {false, true, true});
-  ASSERT_EQ(succinct.nodes, *expect) << "succinct backend";
 
   if (IsHybridEvaluable(*path)) {
     auto plan = HybridPlan::Make(*path, doc.alphabet_ptr().get());
@@ -58,6 +64,9 @@ void CheckAllEngines(const Document& doc, const std::string& query) {
     auto hybrid = plan->Run(doc, index);
     ASSERT_TRUE(hybrid.ok());
     ASSERT_EQ(*hybrid, *expect) << "hybrid";
+    auto succinct_hybrid = plan->Run(tree, succinct_index);
+    ASSERT_TRUE(succinct_hybrid.ok());
+    ASSERT_EQ(*succinct_hybrid, *expect) << "succinct hybrid";
   }
 
   if (IsTdstaCompilable(*path)) {
@@ -68,6 +77,8 @@ void CheckAllEngines(const Document& doc, const std::string& query) {
     Sta minimal = MinimizeTopDown(*sta);
     JumpRunResult jump = TopDownJumpRun(minimal, doc, index);
     ASSERT_EQ(jump.selected, *expect) << "tdsta jumping run";
+    JumpRunResult sjump = TopDownJumpRun(minimal, tree, succinct_index);
+    ASSERT_EQ(sjump.selected, *expect) << "tdsta succinct jumping run";
   }
 }
 
@@ -86,6 +97,32 @@ TEST_P(CrossEngineRandomTest, RandomQueriesOnRandomDocuments) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngineRandomTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+class CrossEngineJumpHeavyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossEngineJumpHeavyTest, DescendantHeavyQueries) {
+  // Descendant-dominated queries over label-skewed documents: nearly every
+  // step compiles to a looping state, so the jumping evaluators spend the
+  // run inside the label-index enumeration (the path the succinct-backed
+  // TreeIndex has to get right).
+  uint64_t seed = GetParam();
+  Document doc = RandomTree(seed * 131 + 7,
+                            {.num_nodes = 200 + 60 * (seed % 4),
+                             .num_labels = 5,
+                             .descend_prob = 0.45});
+  Random rng(seed * 913 + 3);
+  QueryGenOptions gen;
+  gen.num_labels = 5;
+  gen.max_steps = 4;
+  gen.descendant_prob = 0.85;
+  gen.star_prob = 0.04;
+  for (int i = 0; i < 10; ++i) {
+    CheckAllEngines(doc, RandomQuery(&rng, gen));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngineJumpHeavyTest,
+                         ::testing::Range<uint64_t>(1, 13));
 
 TEST(CrossEngineShapeTest, DeepChainDocument) {
   // A pathological 400-deep chain: exercises the explicit stacks.

@@ -96,6 +96,37 @@ TEST(EngineTest, FromDocumentWorks) {
   auto r = engine.Run("/site/regions/europe/item");
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->nodes.size(), 0u);
+  EXPECT_EQ(engine.backend(), TreeBackend::kPointer);
+  EXPECT_EQ(engine.succinct_tree(), nullptr);
+}
+
+TEST(EngineTest, SuccinctBackendAgreesOnEveryStrategy) {
+  XMarkOptions opt;
+  opt.scale = 0.002;
+  Document doc = GenerateXMark(opt);
+  Engine pointer = Engine::FromDocument(doc);
+  Engine succinct = Engine::FromDocument(std::move(doc),
+                                         TreeBackend::kSuccinct);
+  EXPECT_EQ(succinct.backend(), TreeBackend::kSuccinct);
+  ASSERT_NE(succinct.succinct_tree(), nullptr);
+  ASSERT_NE(succinct.index().succinct(), nullptr);
+  const EvalStrategy strategies[] = {
+      EvalStrategy::kNaive,     EvalStrategy::kJumping,
+      EvalStrategy::kMemoized,  EvalStrategy::kOptimized,
+      EvalStrategy::kHybrid,    EvalStrategy::kBaseline,
+  };
+  for (const WorkloadQuery& wq : Figure2Workload()) {
+    auto expect = pointer.Run(wq.xpath);
+    ASSERT_TRUE(expect.ok()) << wq.id;
+    for (EvalStrategy s : strategies) {
+      QueryOptions opts;
+      opts.strategy = s;
+      auto r = succinct.Run(wq.xpath, opts);
+      ASSERT_TRUE(r.ok()) << wq.id << " " << EvalStrategyName(s);
+      EXPECT_EQ(r->nodes, expect->nodes)
+          << wq.id << " " << EvalStrategyName(s);
+    }
+  }
 }
 
 TEST(EngineTest, StatsPopulated) {

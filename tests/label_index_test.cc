@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "index/succinct_tree.h"
 #include "test_util.h"
 
 namespace xpwqo {
@@ -68,6 +69,39 @@ TEST(LabelIndexTest, RangeContainsAny) {
   EXPECT_TRUE(idx.RangeContainsAny(LabelSet::Of({c}), 2, 3));
 }
 
+TEST(LabelIndexTest, SetCursorMergesHeads) {
+  Document d = TreeOf("a(b,c(b),b)");  // b at 1, 3, 4; c at 2
+  LabelIndex idx(d);
+  LabelId b = d.alphabet().Find("b");
+  LabelId c = d.alphabet().Find("c");
+  LabelIndex::SetCursor cur(idx, LabelSet::Of({b, c}));
+  EXPECT_EQ(cur.First(0, 5), 1);
+  EXPECT_EQ(cur.First(2, 5), 2);
+  EXPECT_EQ(cur.First(3, 4), 3);
+  EXPECT_EQ(cur.First(4, 4), kNullNode);  // 4 matches but sits past hi
+  EXPECT_EQ(cur.First(5, 10), kNullNode);
+}
+
+TEST(LabelIndexTest, SetCursorEmptySetAndAbsentLabels) {
+  Document d = TreeOf("a(b)");
+  LabelIndex idx(d);
+  LabelIndex::SetCursor none(idx, LabelSet::None());
+  EXPECT_EQ(none.First(0, 2), kNullNode);
+  LabelIndex::SetCursor absent(idx, LabelSet::Of({999}));
+  EXPECT_EQ(absent.First(0, 2), kNullNode);
+}
+
+TEST(LabelIndexTest, SuccinctConstructionMatchesPointerConstruction) {
+  Document d = RandomTree(99, {.num_nodes = 300, .num_labels = 4});
+  LabelIndex from_doc(d);
+  SuccinctTree tree(d);
+  LabelIndex from_tree(tree);
+  for (LabelId l = 0; l < d.alphabet().size(); ++l) {
+    EXPECT_EQ(from_tree.Count(l), from_doc.Count(l));
+    EXPECT_EQ(from_tree.Occurrences(l), from_doc.Occurrences(l));
+  }
+}
+
 class LabelIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LabelIndexRandomTest, MatchesBruteForce) {
@@ -92,6 +126,17 @@ TEST_P(LabelIndexRandomTest, MatchesBruteForce) {
     }
     EXPECT_EQ(idx.FirstInRange(l, lo, hi), expect);
     EXPECT_EQ(idx.CountInRange(l, lo, hi), count);
+  }
+  // A SetCursor driven with non-decreasing lower bounds must agree with
+  // the stateless set probe at every step.
+  const LabelSet set = LabelSet::Of({0, 2});
+  LabelIndex::SetCursor cur(idx, set);
+  NodeId lo = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    lo += static_cast<NodeId>(rng.Uniform(12));
+    EXPECT_EQ(cur.First(lo, d.num_nodes()),
+              idx.FirstInRange(set, lo, d.num_nodes()))
+        << "lo=" << lo;
   }
 }
 

@@ -10,7 +10,7 @@ std::string Label(Random* rng, const QueryGenOptions& opt) {
 }
 
 std::string NodeTestStr(Random* rng, const QueryGenOptions& opt) {
-  if (opt.allow_star && rng->Bernoulli(0.12)) return "*";
+  if (opt.allow_star && rng->Bernoulli(opt.star_prob)) return "*";
   return Label(rng, opt);
 }
 
@@ -45,7 +45,7 @@ std::string Steps(Random* rng, const QueryGenOptions& opt, int depth,
         out += "following-sibling::";
       }
     } else {
-      if (r < 0.45) {
+      if (r < opt.descendant_prob) {
         out += "//";
       } else {
         out += "/";

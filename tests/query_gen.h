@@ -20,6 +20,14 @@ struct QueryGenOptions {
   int num_labels = 3;
   bool allow_star = true;
   bool allow_following_sibling = true;
+  /// Probability of a '//' (descendant) connector between steps. High values
+  /// produce jump-heavy queries: each '//' compiles to a looping state the
+  /// jumping evaluators skip through the label index.
+  double descendant_prob = 0.45;
+  /// Probability of a '*' node test (when allow_star). Star steps have
+  /// co-finite essential sets, forcing the stepping fallback — keep this low
+  /// to stress jumping, high to stress the fallback.
+  double star_prob = 0.12;
 };
 
 /// Generates one random query of the fragment.

@@ -142,11 +142,42 @@ TEST(TreeIndexTest, CountDelegatesToLabelIndex) {
   EXPECT_EQ(idx.Count(999), 0);
 }
 
+TEST(TreeIndexTest, SuccinctBackendSmall) {
+  Document d = TreeOf("a(b(b,c),c(b))");
+  SuccinctTree tree(d);
+  TreeIndex idx(tree);
+  EXPECT_EQ(idx.doc(), nullptr);
+  EXPECT_EQ(idx.succinct(), &tree);
+  LabelId b = d.alphabet().Find("b");
+  LabelId c = d.alphabet().Find("c");
+  EXPECT_EQ(idx.Count(b), 3);
+  EXPECT_EQ(idx.FirstBinaryDescendant(0, LabelSet::Of({b})), 1);
+  EXPECT_EQ(idx.FirstBinaryDescendant(0, LabelSet::Of({c})), 3);
+  EXPECT_EQ(idx.FirstBinaryDescendant(3, LabelSet::Of({b})), kNullNode);
+  EXPECT_EQ(idx.FirstBinaryDescendant(4, LabelSet::Of({b})), 5);
+  EXPECT_EQ(idx.RightPathFirst(1, LabelSet::Of({c})), 4);
+}
+
+TEST(TreeIndexTest, SuccinctBackendLabelsInternedLaterCountZero) {
+  // The succinct LabelIndex is sized by the largest label present; labels
+  // interned after construction must count 0, not crash.
+  Document d = TreeOf("a(b)");
+  SuccinctTree tree(d);
+  TreeIndex idx(tree);
+  LabelId later = d.alphabet_ptr()->Intern("zzz");
+  EXPECT_EQ(idx.Count(later), 0);
+  EXPECT_EQ(idx.FirstBinaryDescendant(0, LabelSet::Of({later})), kNullNode);
+}
+
 class TreeIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(TreeIndexRandomTest, JumpFunctionsMatchBruteForce) {
   Document d = RandomTree(GetParam(), {.num_nodes = 250, .num_labels = 3});
   TreeIndex idx(d);
+  // The succinct-backed index must answer every primitive identically: same
+  // preorder ids, but navigation through the BP kernels.
+  SuccinctTree tree(d);
+  TreeIndex sidx(tree);
   Random rng(GetParam() ^ 0xabcdef);
   std::vector<LabelSet> sets;
   for (LabelId l = 0; l < d.alphabet().size(); ++l) {
@@ -162,6 +193,14 @@ TEST_P(TreeIndexRandomTest, JumpFunctionsMatchBruteForce) {
       ASSERT_EQ(IndexTopmost(idx, n, set), BruteTopmost(d, n, set));
       ASSERT_EQ(idx.LeftPathFirst(n, set), BruteLeftPathFirst(d, n, set));
       ASSERT_EQ(idx.RightPathFirst(n, set), BruteRightPathFirst(d, n, set));
+      ASSERT_EQ(sidx.FirstBinaryDescendant(n, set),
+                BruteFirstBinaryDescendant(d, n, set));
+      ASSERT_EQ(IndexTopmost(sidx, n, set), BruteTopmost(d, n, set));
+      ASSERT_EQ(sidx.LeftPathFirst(n, set), BruteLeftPathFirst(d, n, set));
+      ASSERT_EQ(sidx.RightPathFirst(n, set),
+                BruteRightPathFirst(d, n, set));
+      ASSERT_EQ(sidx.FirstInBinarySubtree(n, set),
+                idx.FirstInBinarySubtree(n, set));
     }
   }
 }
