@@ -1,0 +1,279 @@
+// Ingestion benchmark: parse+build throughput (MB/s) and peak RSS for the
+// three load pipelines on an XMark-style XML file —
+//
+//   pointer          streamed events -> TreeBuilder -> Document + TreeIndex
+//   pointer_legacy   the pre-streaming pointer path: slurp the file into
+//                    one string, parse, then build the TreeIndex (the
+//                    throughput yardstick the streamed pointer load must
+//                    stay within 5% of)
+//   succinct_stream  streamed events -> {SuccinctBuilder, LabelPostings-
+//                    Builder}, no pointer Document ever materialized
+//   succinct_legacy  the pre-streaming path: slurp the file into one
+//                    string, parse a full pointer Document, then convert to
+//                    SuccinctTree + rebuild the LabelIndex from it
+//
+// Each pipeline runs in a forked child so its peak RSS (VmHWM delta from
+// the child's post-fork baseline) is isolated from sibling measurements and
+// allocator caching. The point of the exercise: succinct_stream's peak
+// should be several times (target >= 4x) below succinct_legacy's, at
+// comparable throughput.
+//
+// Usage: bench_build [--quick] [--out PATH]
+//   --quick  small document + small chunk size, so the CI smoke run also
+//            exercises the streaming loader's refill/boundary paths
+//   --out    where to write the JSON report (default BENCH_build.json)
+// XPWQO_SCALE overrides the document scale (default 0.45, ~1.1M nodes).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/label_index.h"
+#include "index/succinct_tree.h"
+#include "util/strings.h"
+#include "xmark/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xpwqo {
+namespace {
+
+/// Current peak RSS of this process in KiB (Linux VmHWM; getrusage
+/// fallback would report the same number but /proc keeps this portable
+/// across libc versions).
+long PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atol(line.c_str() + 6);
+    }
+  }
+  return 0;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseResult {
+  std::string name;
+  double ms = 0;
+  double peak_delta_mb = 0;  // peak RSS growth during the load
+  long nodes = 0;
+  bool ok = false;
+};
+
+/// Runs `load` in a forked child, reporting wall time, the child's peak-RSS
+/// growth over its post-fork baseline, and the node count the load saw.
+PhaseResult MeasureForked(const std::string& name,
+                          const std::function<long()>& load) {
+  PhaseResult result;
+  result.name = name;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return result;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const long baseline_kb = PeakRssKb();
+    const double start = NowMs();
+    const long nodes = load();
+    const double ms = NowMs() - start;
+    const long peak_kb = PeakRssKb();
+    double payload[3] = {ms, static_cast<double>(peak_kb - baseline_kb),
+                         static_cast<double>(nodes)};
+    ssize_t written = write(fds[1], payload, sizeof(payload));
+    (void)written;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  double payload[3] = {0, 0, 0};
+  ssize_t got = read(fds[0], payload, sizeof(payload));
+  close(fds[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (got == sizeof(payload) && WIFEXITED(wstatus) &&
+      WEXITSTATUS(wstatus) == 0) {
+    result.ms = payload[0];
+    result.peak_delta_mb = payload[1] / 1024.0;
+    result.nodes = static_cast<long>(payload[2]);
+    result.ok = true;
+  }
+  return result;
+}
+
+/// Slurps the whole file into one string, the pre-streaming read path.
+StatusOr<Document> SlurpAndParse(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  return ParseXmlString(content);
+}
+
+/// The pre-PR pointer load: slurp, parse, index.
+long LegacyPointerLoad(const std::string& path) {
+  auto doc = SlurpAndParse(path);
+  if (!doc.ok()) return -1;
+  TreeIndex index(*doc);
+  return doc->num_nodes();
+}
+
+/// The pre-PR succinct load, reproduced exactly: slurp, pointer-parse,
+/// convert, re-derive postings from the succinct label array.
+long LegacySuccinctLoad(const std::string& path) {
+  auto doc = SlurpAndParse(path);
+  if (!doc.ok()) return -1;
+  SuccinctTree tree(*doc);
+  LabelIndex postings(tree);
+  (void)postings;
+  return tree.num_nodes();
+}
+
+int Run(bool quick, const std::string& out_path) {
+  XMarkOptions opt;
+  opt.scale = XMarkScaleFromEnv(quick ? 0.02 : 0.45);
+  const std::string path = "/tmp/xpwqo_bench_build.xml";
+  std::printf("generating XMark document (scale %.3g)...\n", opt.scale);
+  // Generate + serialize in a forked child: the parent's heap stays tiny,
+  // so each measurement child's baseline is clean rather than inheriting a
+  // retained allocator arena that would absorb (and hide) its allocations.
+  PhaseResult gen = MeasureForked("generate", [&opt, &path]() -> long {
+    Document doc = GenerateXMark(opt);
+    Status st = WriteXmlFile(doc, path);
+    return st.ok() ? doc.num_nodes() : -1;
+  });
+  if (!gen.ok || gen.nodes < 0) {
+    std::fprintf(stderr, "cannot generate %s\n", path.c_str());
+    return 1;
+  }
+  const long nodes = gen.nodes;
+  size_t xml_bytes = 0;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    xml_bytes = static_cast<size_t>(probe.tellg());
+  }
+  std::printf("document: %s nodes, %.1f MB XML\n",
+              WithCommas(static_cast<uint64_t>(nodes)).c_str(),
+              xml_bytes / 1e6);
+  if (!quick && nodes < 1000000) {
+    std::printf("warning: fewer than 1M nodes; raise XPWQO_SCALE\n");
+  }
+
+  // Quick runs shrink the chunk so the ~0.8 MB document still crosses many
+  // boundaries and the refill path gets exercised in CI.
+  const size_t chunk_bytes = quick ? size_t{4096} : size_t{1} << 20;
+  std::vector<PhaseResult> results;
+  results.push_back(MeasureForked("pointer", [&path, chunk_bytes]() -> long {
+    LoadOptions load;
+    load.parse.chunk_bytes = chunk_bytes;
+    auto engine = Engine::FromXmlFile(path, load);
+    return engine.ok() ? engine->num_nodes() : -1;
+  }));
+  results.push_back(MeasureForked("pointer_legacy", [&path]() -> long {
+    return LegacyPointerLoad(path);
+  }));
+  results.push_back(
+      MeasureForked("succinct_stream", [&path, chunk_bytes]() -> long {
+        LoadOptions load;
+        load.backend = TreeBackend::kSuccinct;
+        load.parse.chunk_bytes = chunk_bytes;
+        auto engine = Engine::FromXmlFile(path, load);
+        return engine.ok() ? engine->num_nodes() : -1;
+      }));
+  results.push_back(MeasureForked("succinct_legacy", [&path]() -> long {
+    return LegacySuccinctLoad(path);
+  }));
+
+  // A failed fork/child leaves ms == 0; keep the division (and the JSON
+  // below) finite.
+  auto mb_per_s = [xml_bytes](const PhaseResult& r) {
+    return r.ms > 0 ? xml_bytes / 1e6 / (r.ms / 1e3) : 0.0;
+  };
+  std::printf("\n%-16s %10s %10s %12s %12s\n", "pipeline", "ms", "MB/s",
+              "peak-MB", "nodes");
+  bool all_ok = true;
+  for (const PhaseResult& r : results) {
+    all_ok = all_ok && r.ok && r.nodes == nodes;
+    std::printf("%-16s %10.1f %10.1f %12.1f %12s\n", r.name.c_str(), r.ms,
+                mb_per_s(r), r.peak_delta_mb,
+                WithCommas(static_cast<uint64_t>(std::max(0L, r.nodes)))
+                    .c_str());
+  }
+  const double legacy_peak = results[3].peak_delta_mb;
+  const double stream_peak = results[2].peak_delta_mb;
+  const double peak_ratio =
+      stream_peak > 0 ? legacy_peak / stream_peak : 0;
+  // Streamed pointer load relative to the pre-streaming one (>= 0.95 keeps
+  // the "no pointer throughput regression" acceptance bar).
+  const double pointer_speed_ratio =
+      results[0].ms > 0 ? results[1].ms / results[0].ms : 0;
+  std::printf("\npeak memory, legacy succinct load vs streamed: %.1fx\n",
+              peak_ratio);
+  std::printf("pointer throughput, streamed vs legacy: %.2fx\n",
+              pointer_speed_ratio);
+  if (!all_ok) std::printf("WARNING: a pipeline failed or node counts differ\n");
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"build\",\n  \"quick\": %s,\n"
+               "  \"scale\": %.6g,\n  \"nodes\": %ld,\n"
+               "  \"xml_bytes\": %zu,\n  \"results\": [\n",
+               quick ? "true" : "false", opt.scale, nodes, xml_bytes);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PhaseResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"pipeline\": \"%s\", \"ms\": %.1f, "
+                 "\"mb_per_s\": %.2f, \"peak_rss_mb\": %.2f}%s\n",
+                 r.name.c_str(), r.ms, mb_per_s(r), r.peak_delta_mb,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"peak_ratio_legacy_vs_stream\": %.2f,\n"
+               "  \"pointer_speed_vs_legacy\": %.2f\n}\n",
+               peak_ratio, pointer_speed_ratio);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::remove(path.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xpwqo
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_build.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return xpwqo::Run(quick, out_path);
+}

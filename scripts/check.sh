@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus the quick benchmark suite.
 #
-# Builds everything, runs the full test suite through ctest, then runs
-# bench_navigation --quick and bench_eval_succinct --quick, leaving
-# BENCH_navigation.json and BENCH_eval_succinct.json in the repo root so
-# successive PRs accumulate a perf trajectory. Malformed JSON output fails
-# the check.
+# Builds everything, runs the full test suite through ctest, re-runs the
+# ingestion/parser suites under ASan+UBSan, then smoke-runs the quick
+# benches (bench_navigation, bench_eval_succinct, bench_build) into
+# build/ and validates their JSON. The repo-root BENCH_*.json files are
+# full-scale runs committed per PR (the perf trajectory); the quick smoke
+# outputs deliberately do not overwrite them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +14,20 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-./build/bench_navigation --quick --out BENCH_navigation.json
-./build/bench_eval_succinct --quick --out BENCH_eval_succinct.json
+# Sanitizer pass over the ingestion pipeline: the streaming parser and the
+# builders juggle a rolling buffer plus string_views into it, exactly the
+# kind of code ASan/UBSan catch regressions in.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
+cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
+./build-asan/xpwqo_tests \
+  --gtest_filter='XmlParser*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*'
 
-for f in BENCH_navigation.json BENCH_eval_succinct.json; do
+./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
+./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
+./build/bench_build --quick --out build/BENCH_build.quick.json
+
+for f in build/BENCH_navigation.quick.json build/BENCH_eval_succinct.quick.json \
+         build/BENCH_build.quick.json; do
   if ! python3 -m json.tool "$f" > /dev/null; then
     echo "check.sh: $f is not valid JSON" >&2
     exit 1

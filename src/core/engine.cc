@@ -1,11 +1,26 @@
 #include "core/engine.h"
 
+#include <fstream>
+
 #include "baseline/nodeset_eval.h"
-#include "xml/parser.h"
+#include "index/label_index.h"
+#include "index/succinct_builder.h"
+#include "tree/builder.h"
+#include "tree/event_sink.h"
 #include "xpath/compile.h"
 #include "xpath/parser.h"
 
 namespace xpwqo {
+namespace {
+
+size_t FileSizeOrZero(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  if (!probe) return 0;
+  const auto size = probe.tellg();
+  return size > 0 ? static_cast<size_t>(size) : 0;
+}
+
+}  // namespace
 
 const char* EvalStrategyName(EvalStrategy strategy) {
   switch (strategy) {
@@ -38,7 +53,8 @@ const char* TreeBackendName(TreeBackend backend) {
 std::string CompiledQuery::ToString() const { return xpwqo::ToString(path_); }
 
 Engine::Engine(Document doc, TreeBackend backend)
-    : doc_(std::make_unique<Document>(std::move(doc))) {
+    : alphabet_(doc.alphabet_ptr()),
+      doc_(std::make_unique<Document>(std::move(doc))) {
   if (backend == TreeBackend::kSuccinct) {
     succinct_ = std::make_unique<SuccinctTree>(*doc_);
     index_ = std::make_unique<TreeIndex>(*succinct_);
@@ -47,16 +63,62 @@ Engine::Engine(Document doc, TreeBackend backend)
   }
 }
 
+StatusOr<Engine> Engine::LoadSuccinct(
+    size_t input_bytes,
+    const std::function<Status(Alphabet*, TreeEventSink*)>& parse) {
+  // One parse feeds the parenthesis/label builder and the posting-list
+  // builder side by side; no pointer Document exists at any point.
+  auto alphabet = std::make_shared<Alphabet>();
+  SuccinctBuilder tree;
+  LabelPostingsBuilder postings;
+  TeeSink tee{&tree, &postings};
+  tree.ReserveNodes(EstimateNodesFromBytes(input_bytes));
+  XPWQO_RETURN_IF_ERROR(parse(alphabet.get(), &tee));
+  Engine engine;
+  engine.alphabet_ = std::move(alphabet);
+  XPWQO_ASSIGN_OR_RETURN(engine.succinct_, std::move(tree).Finish());
+  engine.index_ = std::make_unique<TreeIndex>(*engine.succinct_,
+                                              LabelIndex(std::move(postings)));
+  return engine;
+}
+
+StatusOr<Engine> Engine::FromXmlFile(const std::string& path,
+                                     const LoadOptions& options) {
+  if (options.backend == TreeBackend::kSuccinct) {
+    return LoadSuccinct(
+        FileSizeOrZero(path),
+        [&path, &options](Alphabet* alphabet, TreeEventSink* sink) {
+          return ParseXmlFileEvents(path, options.parse, alphabet, sink);
+        });
+  }
+  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path, options.parse));
+  return Engine(std::move(doc), TreeBackend::kPointer);
+}
+
+StatusOr<Engine> Engine::FromXmlString(std::string_view xml,
+                                       const LoadOptions& options) {
+  if (options.backend == TreeBackend::kSuccinct) {
+    return LoadSuccinct(
+        xml.size(), [xml, &options](Alphabet* alphabet, TreeEventSink* sink) {
+          return ParseXmlEvents(xml, options.parse, alphabet, sink);
+        });
+  }
+  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlString(xml, options.parse));
+  return Engine(std::move(doc), TreeBackend::kPointer);
+}
+
 StatusOr<Engine> Engine::FromXmlFile(const std::string& path,
                                      TreeBackend backend) {
-  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path));
-  return Engine(std::move(doc), backend);
+  LoadOptions options;
+  options.backend = backend;
+  return FromXmlFile(path, options);
 }
 
 StatusOr<Engine> Engine::FromXmlString(std::string_view xml,
                                        TreeBackend backend) {
-  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlString(xml));
-  return Engine(std::move(doc), backend);
+  LoadOptions options;
+  options.backend = backend;
+  return FromXmlString(xml, options);
 }
 
 Engine Engine::FromDocument(Document doc, TreeBackend backend) {
@@ -66,7 +128,7 @@ Engine Engine::FromDocument(Document doc, TreeBackend backend) {
 StatusOr<CompiledQuery> Engine::Compile(std::string_view xpath) const {
   CompiledQuery query;
   XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));
-  Alphabet* alphabet = doc_->alphabet_ptr().get();
+  Alphabet* alphabet = alphabet_.get();
   XPWQO_ASSIGN_OR_RETURN(query.asta_, CompileToAsta(query.path_, alphabet));
   if (IsHybridEvaluable(query.path_)) {
     XPWQO_ASSIGN_OR_RETURN(HybridPlan plan,
@@ -81,6 +143,11 @@ StatusOr<QueryResult> Engine::Run(const CompiledQuery& query,
   QueryResult out;
   switch (options.strategy) {
     case EvalStrategy::kBaseline: {
+      if (doc_ == nullptr) {
+        return Status::InvalidArgument(
+            "baseline strategy requires the pointer Document; this engine "
+            "was streamed straight into the succinct backend");
+      }
       XPWQO_ASSIGN_OR_RETURN(out.nodes,
                              EvalNodeSetBaseline(query.path(), *doc_));
       return out;

@@ -1,5 +1,6 @@
-// Engine: the library's public entry point. Owns a document, its jump
-// index, and query compilation; dispatches to the evaluation strategies.
+// Engine: the library's public entry point. Owns a document representation
+// (pointer or succinct), its jump index, and query compilation; dispatches
+// to the evaluation strategies.
 //
 //   XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlFile("doc.xml"));
 //   XPWQO_ASSIGN_OR_RETURN(QueryResult r, engine.Run("//listitem//keyword"));
@@ -7,6 +8,7 @@
 #ifndef XPWQO_CORE_ENGINE_H_
 #define XPWQO_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -15,6 +17,7 @@
 #include "index/tree_index.h"
 #include "tree/document.h"
 #include "util/status.h"
+#include "xml/parser.h"
 #include "xpath/ast.h"
 #include "xpath/hybrid.h"
 
@@ -42,6 +45,16 @@ enum class TreeBackend {
 };
 
 const char* TreeBackendName(TreeBackend backend);
+
+/// How to load XML into an engine. The backend picks the ingestion
+/// pipeline: the pointer backend streams parser events into a TreeBuilder;
+/// the succinct backend streams the same events into a SuccinctBuilder and
+/// a LabelPostingsBuilder, so no pointer Document is ever materialized and
+/// peak load memory stays near the steady-state footprint.
+struct LoadOptions {
+  TreeBackend backend = TreeBackend::kPointer;
+  XmlParseOptions parse;
+};
 
 struct QueryOptions {
   EvalStrategy strategy = EvalStrategy::kOptimized;
@@ -78,10 +91,20 @@ class CompiledQuery {
 /// One document plus its index; immutable after construction, cheap to move.
 class Engine {
  public:
-  static StatusOr<Engine> FromXmlFile(
-      const std::string& path, TreeBackend backend = TreeBackend::kPointer);
-  static StatusOr<Engine> FromXmlString(
-      std::string_view xml, TreeBackend backend = TreeBackend::kPointer);
+  /// Streams the XML into the backend selected by `options` — the single
+  /// entry point that chooses the ingestion pipeline.
+  static StatusOr<Engine> FromXmlFile(const std::string& path,
+                                      const LoadOptions& options = {});
+  static StatusOr<Engine> FromXmlString(std::string_view xml,
+                                        const LoadOptions& options = {});
+  /// Backend-only conveniences.
+  static StatusOr<Engine> FromXmlFile(const std::string& path,
+                                      TreeBackend backend);
+  static StatusOr<Engine> FromXmlString(std::string_view xml,
+                                        TreeBackend backend);
+  /// Wraps an already-materialized Document (kept even on the succinct
+  /// backend — it is already paid for; use the FromXml* loaders to avoid
+  /// materializing one at all).
   static Engine FromDocument(Document doc,
                              TreeBackend backend = TreeBackend::kPointer);
 
@@ -99,8 +122,22 @@ class Engine {
   StatusOr<QueryResult> Run(std::string_view xpath,
                             const QueryOptions& options = {}) const;
 
-  const Document& document() const { return *doc_; }
+  /// The pointer Document. Requires has_document(): engines loaded straight
+  /// into the succinct backend never materialize one.
+  const Document& document() const {
+    XPWQO_CHECK(doc_ != nullptr);
+    return *doc_;
+  }
+  bool has_document() const { return doc_ != nullptr; }
   const TreeIndex& index() const { return *index_; }
+  /// The label alphabet (shared by the document representation and query
+  /// compilation, whichever backend is loaded).
+  const Alphabet& alphabet() const { return *alphabet_; }
+  const std::shared_ptr<Alphabet>& alphabet_ptr() const { return alphabet_; }
+  /// Number of nodes, on either backend.
+  int32_t num_nodes() const {
+    return doc_ != nullptr ? doc_->num_nodes() : succinct_->num_nodes();
+  }
   TreeBackend backend() const {
     return succinct_ == nullptr ? TreeBackend::kPointer
                                 : TreeBackend::kSuccinct;
@@ -109,9 +146,15 @@ class Engine {
   const SuccinctTree* succinct_tree() const { return succinct_.get(); }
 
  private:
+  Engine() = default;
   Engine(Document doc, TreeBackend backend);
+  /// Shared streamed-succinct load path of the FromXml* entry points.
+  static StatusOr<Engine> LoadSuccinct(
+      size_t input_bytes,
+      const std::function<Status(Alphabet*, TreeEventSink*)>& parse);
 
-  std::unique_ptr<Document> doc_;
+  std::shared_ptr<Alphabet> alphabet_;
+  std::unique_ptr<Document> doc_;  // null on streaming-succinct loads
   std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
   std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured
 };

@@ -25,7 +25,7 @@ const char* LoopKindName(LoopKind kind) {
 
 std::string ExplainQuery(const Engine& engine, const CompiledQuery& query,
                          const ExplainOptions& options) {
-  const Alphabet& alphabet = engine.document().alphabet();
+  const Alphabet& alphabet = engine.alphabet();
   std::string out;
   out += "query:      " + query.ToString() + "\n";
   out += "strategy:   compiled to an alternating selecting tree automaton "

@@ -46,6 +46,9 @@ class BitVector {
   /// Appends `count` copies of `bit`.
   void Append(bool bit, size_t count);
 
+  /// Pre-sizes the word array for `bits` appended bits.
+  void Reserve(size_t bits) { words_.reserve(bits / 64 + 2); }
+
   /// Builds the rank/select directory. Idempotent.
   void Freeze();
 

@@ -63,6 +63,9 @@ LabelIndex::LabelIndex(const Document& doc) {
   }
 }
 
+LabelIndex::LabelIndex(LabelPostingsBuilder&& builder)
+    : postings_(std::move(builder.postings_)) {}
+
 LabelIndex::LabelIndex(const SuccinctTree& tree) {
   // The succinct backend stores no alphabet; size the table by the largest
   // label present (queries for labels interned later just return empty).

@@ -10,14 +10,17 @@
 #ifndef XPWQO_INDEX_LABEL_INDEX_H_
 #define XPWQO_INDEX_LABEL_INDEX_H_
 
+#include <string_view>
 #include <vector>
 
 #include "tree/document.h"
+#include "tree/event_sink.h"
 #include "tree/label_set.h"
 
 namespace xpwqo {
 
 class SuccinctTree;
+class LabelPostingsBuilder;
 
 /// Immutable posting lists of node ids (== preorder ranks) per label.
 class LabelIndex {
@@ -25,6 +28,8 @@ class LabelIndex {
   explicit LabelIndex(const Document& doc);
   /// Builds the postings straight from the succinct backend's label array.
   explicit LabelIndex(const SuccinctTree& tree);
+  /// Adopts posting lists grown incrementally during streaming ingestion.
+  explicit LabelIndex(LabelPostingsBuilder&& builder);
 
   /// Number of occurrences of `label` (0 for labels interned after the
   /// document was built).
@@ -90,6 +95,41 @@ class LabelIndex {
 
   std::vector<std::vector<NodeId>> postings_;
   static const std::vector<NodeId> kEmpty;
+};
+
+/// Grows per-label posting lists incrementally from TreeEventSink events:
+/// every node event appends the next preorder id to its label's list, so the
+/// lists are sorted by construction and the finished index is identical to
+/// LabelIndex(Document) / LabelIndex(SuccinctTree) — with no tree of either
+/// kind materialized. Move into LabelIndex to finish.
+class LabelPostingsBuilder final : public TreeEventSink {
+ public:
+  LabelPostingsBuilder() = default;
+
+  void BeginElement(LabelId label) override { Add(label); }
+  void Attribute(LabelId label, std::string_view /*value*/) override {
+    Add(label);
+  }
+  void Text(LabelId label, std::string_view /*content*/) override {
+    Add(label);
+  }
+  void EndElement() override {}
+
+  /// Nodes recorded so far (== the next preorder id).
+  int32_t num_nodes() const { return next_id_; }
+
+ private:
+  friend class LabelIndex;
+
+  void Add(LabelId label) {
+    if (label >= static_cast<LabelId>(postings_.size())) {
+      postings_.resize(static_cast<size_t>(label) + 1);
+    }
+    postings_[label].push_back(next_id_++);
+  }
+
+  std::vector<std::vector<NodeId>> postings_;
+  NodeId next_id_ = 0;
 };
 
 }  // namespace xpwqo

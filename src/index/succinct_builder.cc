@@ -1,0 +1,25 @@
+#include "index/succinct_builder.h"
+
+#include <utility>
+
+#include "index/succinct_tree.h"
+
+namespace xpwqo {
+
+void SuccinctBuilder::ReserveNodes(size_t nodes) {
+  bits_.Reserve(2 * nodes);
+  labels_.reserve(nodes);
+}
+
+StatusOr<std::unique_ptr<SuccinctTree>> SuccinctBuilder::Finish() && {
+  if (depth_ != 0) {
+    return Status::InvalidArgument(
+        "SuccinctBuilder::Finish with open elements");
+  }
+  if (labels_.empty()) {
+    return Status::InvalidArgument("empty document");
+  }
+  return std::make_unique<SuccinctTree>(std::move(bits_), std::move(labels_));
+}
+
+}  // namespace xpwqo

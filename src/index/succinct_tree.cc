@@ -1,14 +1,21 @@
 #include "index/succinct_tree.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "index/succinct_builder.h"
 
 namespace xpwqo {
 
+SuccinctTree::SuccinctTree(BitVector bits, std::vector<LabelId> labels) {
+  Adopt(std::move(bits), std::move(labels));
+}
+
 SuccinctTree::SuccinctTree(const Document& doc) {
-  const int32_t n = doc.num_nodes();
-  labels_.reserve(n);
-  // Emit the balanced-parentheses string by an explicit-stack preorder walk;
-  // a '(' when a node is entered, ')' when left.
+  // Replay the document through the streaming builder by an explicit-stack
+  // preorder walk; an open event when a node is entered, a close when left.
+  SuccinctBuilder builder;
+  builder.ReserveNodes(static_cast<size_t>(doc.num_nodes()));
   std::vector<NodeId> stack;
   if (doc.root() != kNullNode) stack.push_back(doc.root());
   // We cannot interleave naive recursion here: document depth is unbounded.
@@ -17,11 +24,10 @@ SuccinctTree::SuccinctTree(const Document& doc) {
     NodeId top = stack.back();
     stack.pop_back();
     if (top < 0) {
-      bp_.PushBack(false);
+      builder.EndElement();
       continue;
     }
-    bp_.PushBack(true);
-    labels_.push_back(doc.label(top));
+    builder.BeginElement(doc.label(top));
     stack.push_back(~top);  // close marker
     // Push children, then reverse them in place so the first child is
     // processed first — no per-node temporary vector.
@@ -32,9 +38,17 @@ SuccinctTree::SuccinctTree(const Document& doc) {
     }
     std::reverse(stack.begin() + base, stack.end());
   }
+  Adopt(builder.TakeBits(), builder.TakeLabels());
+  XPWQO_CHECK(num_nodes() == doc.num_nodes());
+}
+
+void SuccinctTree::Adopt(BitVector bits, std::vector<LabelId> labels) {
+  bp_ = std::move(bits);
+  labels_ = std::move(labels);
   bp_.Freeze();
   ops_ = BalancedParens(&bp_);
-  XPWQO_CHECK(static_cast<int32_t>(labels_.size()) == n);
+  XPWQO_CHECK(bp_.CountOnes() == labels_.size());
+  XPWQO_CHECK(bp_.size() == 2 * labels_.size());
 }
 
 NodeId SuccinctTree::parent(NodeId n) const {

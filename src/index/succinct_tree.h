@@ -13,12 +13,20 @@
 
 namespace xpwqo {
 
-/// Balanced-parentheses encoding of a Document's tree with the navigation
+/// Balanced-parentheses encoding of a document tree with the navigation
 /// operations the evaluators need.
 class SuccinctTree {
  public:
-  /// Encodes the topology (and copies the label array) of `doc`.
+  /// Encodes the topology (and copies the label array) of `doc`. This is a
+  /// convenience wrapper over SuccinctBuilder — the streaming ingestion
+  /// pipeline builds the same representation directly from parser events
+  /// without materializing a Document first.
   explicit SuccinctTree(const Document& doc);
+
+  /// Adopts streamed construction output: the appended (unfrozen)
+  /// parenthesis bits and the preorder label array, as produced by
+  /// SuccinctBuilder. Freezes the bits and builds the rank/rmM directories.
+  SuccinctTree(BitVector bits, std::vector<LabelId> labels);
 
   SuccinctTree(const SuccinctTree&) = delete;
   SuccinctTree& operator=(const SuccinctTree&) = delete;
@@ -53,6 +61,10 @@ class SuccinctTree {
   size_t MemoryUsage() const;
 
  private:
+  /// Shared adoption path of both constructors: move the parts in, freeze,
+  /// build the BP directory.
+  void Adopt(BitVector bits, std::vector<LabelId> labels);
+
   /// BP position of the open paren of preorder node n.
   int64_t Pos(NodeId n) const {
     return static_cast<int64_t>(bp_.Select1(static_cast<size_t>(n) + 1));

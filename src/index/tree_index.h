@@ -14,6 +14,7 @@
 #define XPWQO_INDEX_TREE_INDEX_H_
 
 #include <memory>
+#include <utility>
 
 #include "index/label_index.h"
 #include "index/succinct_tree.h"
@@ -29,6 +30,10 @@ class TreeIndex {
   explicit TreeIndex(const Document& doc) : doc_(&doc), labels_(doc) {}
   explicit TreeIndex(const SuccinctTree& tree)
       : tree_(&tree), labels_(tree) {}
+  /// From-builder: adopts a LabelIndex grown during streaming ingestion
+  /// (LabelPostingsBuilder) instead of re-scanning the label array.
+  TreeIndex(const SuccinctTree& tree, LabelIndex labels)
+      : tree_(&tree), labels_(std::move(labels)) {}
 
   /// The pointer backend, or null when succinct-backed (and vice versa).
   const Document* doc() const { return doc_; }

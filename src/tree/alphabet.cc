@@ -5,7 +5,7 @@
 namespace xpwqo {
 
 LabelId Alphabet::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(name);
@@ -14,7 +14,7 @@ LabelId Alphabet::Intern(std::string_view name) {
 }
 
 LabelId Alphabet::Find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   return it == ids_.end() ? kNoLabel : it->second;
 }
 

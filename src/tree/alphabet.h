@@ -3,6 +3,7 @@
 #ifndef XPWQO_TREE_ALPHABET_H_
 #define XPWQO_TREE_ALPHABET_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,7 +20,9 @@ class Alphabet {
  public:
   Alphabet() = default;
 
-  /// Returns the id of `name`, interning it if new.
+  /// Returns the id of `name`, interning it if new. Lookup is heterogeneous
+  /// (no temporary std::string), so the streaming parser's per-node hits
+  /// allocate nothing.
   LabelId Intern(std::string_view name);
 
   /// Returns the id of `name` or kNoLabel if never interned.
@@ -32,8 +35,19 @@ class Alphabet {
   int size() const { return static_cast<int>(names_.size()); }
 
  private:
+  /// Transparent hash so find() accepts string_view keys directly.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+    size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, LabelId> ids_;
+  std::unordered_map<std::string, LabelId, StringHash, std::equal_to<>> ids_;
 };
 
 }  // namespace xpwqo

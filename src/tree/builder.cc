@@ -1,8 +1,29 @@
 #include "tree/builder.h"
 
 #include <string>
+#include <utility>
 
 namespace xpwqo {
+
+TreeBuilder::TreeBuilder(std::shared_ptr<Alphabet> alphabet,
+                         size_t node_hint) {
+  XPWQO_CHECK(alphabet != nullptr);
+  doc_.alphabet_ = std::move(alphabet);
+  if (node_hint > 0) ReserveNodes(node_hint);
+}
+
+void TreeBuilder::ReserveNodes(size_t nodes) {
+  doc_.labels_.reserve(nodes);
+  doc_.kinds_.reserve(nodes);
+  doc_.parent_.reserve(nodes);
+  doc_.first_child_.reserve(nodes);
+  doc_.next_sibling_.reserve(nodes);
+  doc_.subtree_size_.reserve(nodes);
+  doc_.text_index_.reserve(nodes);
+  // Text/attribute values typically attach to a minority of nodes; a quarter
+  // keeps the reserve useful without overcommitting on text-free documents.
+  doc_.texts_.reserve(nodes / 4);
+}
 
 NodeId TreeBuilder::Append(LabelId label, NodeKind kind,
                            std::string_view text) {
@@ -34,13 +55,24 @@ NodeId TreeBuilder::Append(LabelId label, NodeKind kind,
   return id;
 }
 
-NodeId TreeBuilder::BeginElement(std::string_view tag) {
+void TreeBuilder::BeginElement(LabelId label) {
   if (!open_.empty()) content_seen_.back() = true;
-  NodeId id = Append(doc_.alphabet_->Intern(tag), NodeKind::kElement, "");
+  NodeId id = Append(label, NodeKind::kElement, "");
   open_.push_back(id);
   last_child_.push_back(kNullNode);
   content_seen_.push_back(false);
-  return id;
+}
+
+void TreeBuilder::Attribute(LabelId label, std::string_view value) {
+  XPWQO_CHECK(!open_.empty());
+  XPWQO_CHECK(!content_seen_.back());
+  Append(label, NodeKind::kAttribute, value);
+}
+
+void TreeBuilder::Text(LabelId label, std::string_view content) {
+  XPWQO_CHECK(!open_.empty());
+  content_seen_.back() = true;
+  Append(label, NodeKind::kText, content);
 }
 
 void TreeBuilder::EndElement() {
@@ -52,19 +84,26 @@ void TreeBuilder::EndElement() {
   content_seen_.pop_back();
 }
 
+NodeId TreeBuilder::BeginElement(std::string_view tag) {
+  NodeId id = doc_.num_nodes();
+  BeginElement(doc_.alphabet_->Intern(tag));
+  return id;
+}
+
 NodeId TreeBuilder::AddAttribute(std::string_view name,
                                  std::string_view value) {
-  XPWQO_CHECK(!open_.empty());
-  XPWQO_CHECK(!content_seen_.back());
-  std::string label = "@";
-  label += name;
-  return Append(doc_.alphabet_->Intern(label), NodeKind::kAttribute, value);
+  attr_buf_.assign(1, '@');
+  attr_buf_ += name;
+  NodeId id = doc_.num_nodes();
+  Attribute(doc_.alphabet_->Intern(attr_buf_), value);
+  return id;
 }
 
 NodeId TreeBuilder::AddText(std::string_view content) {
-  XPWQO_CHECK(!open_.empty());
-  content_seen_.back() = true;
-  return Append(doc_.alphabet_->Intern("#text"), NodeKind::kText, content);
+  if (text_label_ == kNoLabel) text_label_ = doc_.alphabet_->Intern("#text");
+  NodeId id = doc_.num_nodes();
+  Text(text_label_, content);
+  return id;
 }
 
 StatusOr<Document> TreeBuilder::Finish() {

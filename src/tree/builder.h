@@ -2,11 +2,13 @@
 #ifndef XPWQO_TREE_BUILDER_H_
 #define XPWQO_TREE_BUILDER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "tree/document.h"
+#include "tree/event_sink.h"
 #include "util/status.h"
 
 namespace xpwqo {
@@ -14,15 +16,35 @@ namespace xpwqo {
 /// Builds a Document through Begin/End element events (SAX style). Attributes
 /// must be added before any child content of the open element. The builder
 /// enforces a single root element.
-class TreeBuilder {
+///
+/// Two entry styles share one Append path: the string methods intern through
+/// the document's Alphabet (generator, tests, hand-built trees), and the
+/// TreeEventSink overrides take pre-interned LabelIds (the streaming XML
+/// pipeline, where the parser interns once for every attached sink).
+class TreeBuilder : public TreeEventSink {
  public:
   TreeBuilder() = default;
 
+  /// Builds the Document around an existing alphabet (the streaming parser
+  /// shares one alphabet between interning and every sink). `node_hint`, if
+  /// nonzero, pre-sizes the node arrays as ReserveNodes does.
+  explicit TreeBuilder(std::shared_ptr<Alphabet> alphabet,
+                       size_t node_hint = 0);
+
+  /// Pre-sizes the per-node arrays for `nodes` nodes (and the text store for
+  /// the usual text-to-node ratio), so a bulk build pays one allocation per
+  /// array instead of O(log n) growth steps.
+  void ReserveNodes(size_t nodes);
+
+  // ------------------------------------------------------ TreeEventSink
+  void BeginElement(LabelId label) override;
+  void Attribute(LabelId label, std::string_view value) override;
+  void Text(LabelId label, std::string_view content) override;
+  void EndElement() override;
+
+  // ------------------------------------------------- string convenience
   /// Opens an element named `tag`. Returns its NodeId.
   NodeId BeginElement(std::string_view tag);
-
-  /// Closes the innermost open element.
-  void EndElement();
 
   /// Adds an attribute node "@name" with value to the open element.
   /// Must precede Text/BeginElement children of that element.
@@ -33,6 +55,12 @@ class TreeBuilder {
 
   /// Number of nodes built so far.
   int32_t num_nodes() const { return doc_.num_nodes(); }
+
+  /// The alphabet the built Document will own (the streaming parser interns
+  /// through it so every sink sees the same LabelIds).
+  const std::shared_ptr<Alphabet>& alphabet() const {
+    return doc_.alphabet_ptr();
+  }
 
   /// Finishes the build. Fails if elements are still open, no root exists,
   /// or more than one root element was created.
@@ -45,6 +73,8 @@ class TreeBuilder {
   std::vector<NodeId> open_;        // stack of open elements
   std::vector<NodeId> last_child_;  // parallel: last child appended
   std::vector<bool> content_seen_;  // parallel: saw non-attribute content
+  std::string attr_buf_;            // reused "@name" scratch
+  LabelId text_label_ = kNoLabel;   // lazily interned "#text"
   int root_count_ = 0;
 };
 

@@ -1,0 +1,27 @@
+#include "tree/event_sink.h"
+
+namespace xpwqo {
+
+TeeSink::TeeSink(std::initializer_list<TreeEventSink*> sinks) {
+  for (TreeEventSink* s : sinks) {
+    if (s != nullptr) sinks_.push_back(s);
+  }
+}
+
+void TeeSink::BeginElement(LabelId label) {
+  for (TreeEventSink* s : sinks_) s->BeginElement(label);
+}
+
+void TeeSink::Attribute(LabelId label, std::string_view value) {
+  for (TreeEventSink* s : sinks_) s->Attribute(label, value);
+}
+
+void TeeSink::Text(LabelId label, std::string_view content) {
+  for (TreeEventSink* s : sinks_) s->Text(label, content);
+}
+
+void TeeSink::EndElement() {
+  for (TreeEventSink* s : sinks_) s->EndElement();
+}
+
+}  // namespace xpwqo

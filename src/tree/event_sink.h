@@ -1,0 +1,58 @@
+// TreeEventSink: the SAX-style boundary between XML ingestion and tree
+// construction. The parser interns every label exactly once through a shared
+// Alphabet and emits id-based events; any number of sinks can consume the
+// same event stream (via TeeSink), so one pass over the bytes can build a
+// pointer Document, a SuccinctTree, and LabelIndex postings — or any subset
+// — without intermediate materialization.
+#ifndef XPWQO_TREE_EVENT_SINK_H_
+#define XPWQO_TREE_EVENT_SINK_H_
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "tree/types.h"
+
+namespace xpwqo {
+
+/// Receives one document-order event per node. Labels arrive pre-interned
+/// (elements as-is, attributes as "@name", text as "#text"); string_view
+/// payloads are only valid for the duration of the call — a streaming
+/// producer may reuse or discard the underlying buffer afterwards.
+class TreeEventSink {
+ public:
+  virtual ~TreeEventSink() = default;
+
+  /// An element node opens. Its attributes (if any) arrive next, then its
+  /// content, then the matching EndElement.
+  virtual void BeginElement(LabelId label) = 0;
+
+  /// An attribute node of the innermost open element ("@name" label).
+  /// Always precedes the element's text/element content.
+  virtual void Attribute(LabelId label, std::string_view value) = 0;
+
+  /// A text node ("#text" label) of the innermost open element.
+  virtual void Text(LabelId label, std::string_view content) = 0;
+
+  /// The innermost open element closes.
+  virtual void EndElement() = 0;
+};
+
+/// Fans one event stream out to several sinks, in order. Null entries are
+/// permitted and skipped, so callers can compose optional stages inline.
+class TeeSink final : public TreeEventSink {
+ public:
+  TeeSink(std::initializer_list<TreeEventSink*> sinks);
+
+  void BeginElement(LabelId label) override;
+  void Attribute(LabelId label, std::string_view value) override;
+  void Text(LabelId label, std::string_view content) override;
+  void EndElement() override;
+
+ private:
+  std::vector<TreeEventSink*> sinks_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_TREE_EVENT_SINK_H_

@@ -1,9 +1,8 @@
 #include "xml/parser.h"
 
+#include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <fstream>
-#include <sstream>
 
 #include "tree/builder.h"
 
@@ -22,17 +21,36 @@ bool IsSpace(char c) {
 }
 
 /// Cursor over the input with line tracking for error messages.
+///
+/// Two modes share one interface: in-memory (a borrowed contiguous view,
+/// zero copies) and chunked (bytes pulled from an XmlChunkSource into an
+/// owned rolling buffer). Lookahead goes through Ensure(), which refills the
+/// buffer on demand; a *mark* pins the start of the token being accumulated
+/// so refills compact only the bytes every consumer is done with — the
+/// resident window is one chunk plus the token in flight, never the
+/// document.
 class Cursor {
  public:
-  explicit Cursor(std::string_view s) : s_(s) {}
+  explicit Cursor(std::string_view s) : win_(s), eof_(true) {}
+  explicit Cursor(const XmlChunkSource* next) : next_(next) {}
 
-  bool AtEnd() const { return pos_ >= s_.size(); }
-  char Peek() const { return s_[pos_]; }
-  char PeekAt(size_t off) const {
-    return pos_ + off < s_.size() ? s_[pos_ + off] : '\0';
+  /// Makes >= n bytes available at the read position, pulling chunks as
+  /// needed. False once the input ends before n bytes exist.
+  bool Ensure(size_t n) {
+    if (pos_ + n <= win_.size()) return true;
+    if (eof_) return false;
+    Refill(n);
+    return pos_ + n <= win_.size();
   }
+
+  bool AtEnd() { return !Ensure(1); }
+  /// Requires a preceding successful Ensure/AtEnd for the position read.
+  char Peek() const { return win_[pos_]; }
+  /// Byte `off` ahead, or '\0' past the end of input.
+  char PeekAt(size_t off) { return Ensure(off + 1) ? win_[pos_ + off] : '\0'; }
+
   void Advance() {
-    if (s_[pos_] == '\n') ++line_;
+    if (win_[pos_] == '\n') ++line_;
     ++pos_;
   }
   bool Consume(char c) {
@@ -43,33 +61,76 @@ class Cursor {
     return false;
   }
   bool ConsumePrefix(std::string_view p) {
-    if (s_.substr(pos_).substr(0, p.size()) == p) {
-      for (size_t i = 0; i < p.size(); ++i) Advance();
-      return true;
-    }
-    return false;
+    if (!Ensure(p.size()) || win_.substr(pos_, p.size()) != p) return false;
+    for (size_t i = 0; i < p.size(); ++i) Advance();
+    return true;
   }
   void SkipSpace() {
     while (!AtEnd() && IsSpace(Peek())) Advance();
   }
-  size_t pos() const { return pos_; }
   int line() const { return line_; }
-  std::string_view Slice(size_t from, size_t to) const {
-    return s_.substr(from, to - from);
+
+  /// Pins the current position as the start of a token; bytes from here on
+  /// survive refills until Take() releases the pin.
+  void Mark() {
+    XPWQO_DCHECK(!marked_);
+    marked_ = true;
+    mark_ = pos_;
+  }
+  /// The bytes accumulated since Mark(). Valid until the next refill (i.e.
+  /// consume it before advancing the cursor again).
+  std::string_view Take() {
+    XPWQO_DCHECK(marked_);
+    marked_ = false;
+    return win_.substr(mark_, pos_ - mark_);
   }
 
  private:
-  std::string_view s_;
+  void Refill(size_t n) {
+    // Drop everything before the live region (the mark if pinned, else the
+    // read position), then append chunks until n bytes are available.
+    const size_t keep = marked_ ? mark_ : pos_;
+    if (own_) {
+      buf_.erase(0, keep);
+    } else {
+      buf_.assign(win_.substr(keep));
+      own_ = true;
+    }
+    pos_ -= keep;
+    if (marked_) mark_ -= keep;
+    while (!eof_ && pos_ + n > buf_.size()) {
+      std::string_view chunk = (*next_)();
+      if (chunk.empty()) {
+        eof_ = true;
+        break;
+      }
+      buf_.append(chunk);
+    }
+    win_ = buf_;
+  }
+
+  std::string_view win_;  // the readable window (borrowed or == buf_)
+  std::string buf_;       // owned storage in chunked mode
+  const XmlChunkSource* next_ = nullptr;
   size_t pos_ = 0;
+  size_t mark_ = 0;
   int line_ = 1;
+  bool marked_ = false;
+  bool own_ = false;
+  bool eof_ = false;
 };
 
-class Parser {
+/// The event-emitting parser core. Interns labels through `alphabet` in
+/// first-occurrence order of *kept* nodes (identical to what the legacy
+/// TreeBuilder path produced, so LabelIds agree across pipelines) and
+/// forwards one event per node to `sink`.
+class EventParser {
  public:
-  Parser(std::string_view xml, const XmlParseOptions& options)
-      : cur_(xml), options_(options) {}
+  EventParser(Cursor cur, const XmlParseOptions& options, Alphabet* alphabet,
+              TreeEventSink* sink)
+      : cur_(cur), options_(options), alphabet_(alphabet), sink_(sink) {}
 
-  StatusOr<Document> Parse() {
+  Status Parse() {
     XPWQO_RETURN_IF_ERROR(SkipProlog());
     if (cur_.AtEnd() || cur_.Peek() != '<') {
       return Error("expected root element");
@@ -79,13 +140,18 @@ class Parser {
     if (!cur_.AtEnd()) {
       return Error("content after root element");
     }
-    return builder_.Finish();
+    return Status::OK();
   }
 
  private:
   Status Error(const std::string& msg) {
     return Status::ParseError("line " + std::to_string(cur_.line()) + ": " +
                               msg);
+  }
+
+  LabelId TextLabel() {
+    if (text_label_ == kNoLabel) text_label_ = alphabet_->Intern("#text");
+    return text_label_;
   }
 
   Status SkipProlog() {
@@ -133,16 +199,18 @@ class Parser {
                  std::string(terminator) + "\"");
   }
 
-  StatusOr<std::string> ParseName() {
+  /// Scans a name in place. The returned view is valid only until the
+  /// cursor moves again — consume (intern/copy) immediately.
+  StatusOr<std::string_view> ParseName() {
     if (cur_.AtEnd() || !IsNameStart(cur_.Peek())) {
-      return Error("expected name");
+      return Status(Error("expected name"));
     }
-    size_t start = cur_.pos();
+    cur_.Mark();
     while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) cur_.Advance();
-    return std::string(cur_.Slice(start, cur_.pos()));
+    return cur_.Take();
   }
 
-  /// Decodes entity and character references in `raw` into `out`.
+  /// Decodes entity and character references in `raw`, appending to `out`.
   Status DecodeText(std::string_view raw, std::string* out) {
     out->reserve(out->size() + raw.size());
     for (size_t i = 0; i < raw.size(); ++i) {
@@ -204,7 +272,11 @@ class Parser {
       if (cur_.AtEnd()) return Error("unterminated start tag");
       char c = cur_.Peek();
       if (c == '>' || c == '/') return Status::OK();
-      XPWQO_ASSIGN_OR_RETURN(std::string name, ParseName());
+      {
+        XPWQO_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+        attr_buf_.assign(1, '@');
+        attr_buf_ += name;  // copied before the cursor moves again
+      }
       cur_.SkipSpace();
       if (!cur_.Consume('=')) return Error("expected '=' after attribute");
       cur_.SkipSpace();
@@ -213,15 +285,17 @@ class Parser {
         return Error("expected quoted attribute value");
       }
       cur_.Advance();
-      size_t start = cur_.pos();
+      cur_.Mark();
       while (!cur_.AtEnd() && cur_.Peek() != quote) cur_.Advance();
-      if (cur_.AtEnd()) return Error("unterminated attribute value");
-      std::string value;
-      XPWQO_RETURN_IF_ERROR(
-          DecodeText(cur_.Slice(start, cur_.pos()), &value));
+      if (cur_.AtEnd()) {
+        cur_.Take();
+        return Error("unterminated attribute value");
+      }
+      value_buf_.clear();
+      XPWQO_RETURN_IF_ERROR(DecodeText(cur_.Take(), &value_buf_));
       cur_.Advance();  // closing quote
       if (options_.keep_attributes) {
-        builder_.AddAttribute(name, value);
+        sink_->Attribute(alphabet_->Intern(attr_buf_), value_buf_);
       }
     }
   }
@@ -233,12 +307,14 @@ class Parser {
     do {
       // At '<' of a start tag.
       if (!cur_.Consume('<')) return Error("expected '<'");
-      XPWQO_ASSIGN_OR_RETURN(std::string tag, ParseName());
-      builder_.BeginElement(tag);
+      {
+        XPWQO_ASSIGN_OR_RETURN(std::string_view tag, ParseName());
+        sink_->BeginElement(alphabet_->Intern(tag));
+      }
       XPWQO_RETURN_IF_ERROR(ParseAttributes());
       if (cur_.Consume('/')) {
         if (!cur_.Consume('>')) return Error("expected '/>'");
-        builder_.EndElement();
+        sink_->EndElement();
       } else {
         if (!cur_.Consume('>')) return Error("expected '>'");
         ++depth;
@@ -259,15 +335,15 @@ class Parser {
   StatusOr<bool> ParseContentStep(int* depth) {
     if (cur_.AtEnd()) return Status(Error("unexpected end of input"));
     if (cur_.Peek() != '<') {
-      size_t start = cur_.pos();
+      cur_.Mark();
       while (!cur_.AtEnd() && cur_.Peek() != '<') cur_.Advance();
-      std::string_view raw = cur_.Slice(start, cur_.pos());
+      std::string_view raw = cur_.Take();
       if (options_.keep_text) {
-        std::string text;
-        XPWQO_RETURN_IF_ERROR(DecodeText(raw, &text));
+        text_buf_.clear();
+        XPWQO_RETURN_IF_ERROR(DecodeText(raw, &text_buf_));
         if (!options_.skip_whitespace_text ||
-            text.find_first_not_of(" \t\r\n") != std::string::npos) {
-          builder_.AddText(text);
+            text_buf_.find_first_not_of(" \t\r\n") != std::string::npos) {
+          sink_->Text(TextLabel(), text_buf_);
         }
       }
       return false;
@@ -277,14 +353,20 @@ class Parser {
       return false;
     }
     if (cur_.ConsumePrefix("<![CDATA[")) {
-      size_t start = cur_.pos();
+      cur_.Mark();
       while (!cur_.AtEnd() && !(cur_.Peek() == ']' && cur_.PeekAt(1) == ']' &&
                                 cur_.PeekAt(2) == '>')) {
         cur_.Advance();
       }
-      if (cur_.AtEnd()) return Status(Error("unterminated CDATA"));
+      if (cur_.AtEnd()) {
+        cur_.Take();
+        return Status(Error("unterminated CDATA"));
+      }
+      // Emit before the "]]>" advances: the view must not cross a refill.
       if (options_.keep_text) {
-        builder_.AddText(cur_.Slice(start, cur_.pos()));
+        sink_->Text(TextLabel(), cur_.Take());
+      } else {
+        cur_.Take();
       }
       cur_.Advance();
       cur_.Advance();
@@ -298,12 +380,11 @@ class Parser {
     if (cur_.PeekAt(1) == '/') {
       cur_.Advance();  // '<'
       cur_.Advance();  // '/'
-      XPWQO_ASSIGN_OR_RETURN(std::string tag, ParseName());
+      XPWQO_RETURN_IF_ERROR(ParseName().status());  // tag mismatch tolerated
       cur_.SkipSpace();
       if (!cur_.Consume('>')) return Status(Error("expected '>' in end tag"));
-      builder_.EndElement();
+      sink_->EndElement();
       --*depth;
-      (void)tag;  // tag mismatch tolerated (non-validating)
       return false;
     }
     return true;  // start tag
@@ -311,26 +392,67 @@ class Parser {
 
   Cursor cur_;
   XmlParseOptions options_;
-  TreeBuilder builder_;
+  Alphabet* alphabet_;
+  TreeEventSink* sink_;
+  LabelId text_label_ = kNoLabel;  // lazily interned, legacy id order
+  std::string attr_buf_;           // reused "@name" scratch
+  std::string value_buf_;          // reused decoded attribute value
+  std::string text_buf_;           // reused decoded text content
 };
 
 }  // namespace
 
-StatusOr<Document> ParseXmlString(std::string_view xml,
-                                  const XmlParseOptions& options) {
-  return Parser(xml, options).Parse();
+Status ParseXmlEvents(std::string_view xml, const XmlParseOptions& options,
+                      Alphabet* alphabet, TreeEventSink* sink) {
+  XPWQO_CHECK(alphabet != nullptr && sink != nullptr);
+  return EventParser(Cursor(xml), options, alphabet, sink).Parse();
 }
 
-StatusOr<Document> ParseXmlFile(const std::string& path,
-                                const XmlParseOptions& options) {
+Status ParseXmlChunkEvents(const XmlChunkSource& next,
+                           const XmlParseOptions& options, Alphabet* alphabet,
+                           TreeEventSink* sink) {
+  XPWQO_CHECK(alphabet != nullptr && sink != nullptr);
+  return EventParser(Cursor(&next), options, alphabet, sink).Parse();
+}
+
+Status ParseXmlFileEvents(const std::string& path,
+                          const XmlParseOptions& options, Alphabet* alphabet,
+                          TreeEventSink* sink) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open file: " + path);
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  std::string content = ss.str();
-  return ParseXmlString(content, options);
+  std::string chunk(std::max<size_t>(options.chunk_bytes, 1), '\0');
+  XmlChunkSource next = [&in, &chunk]() -> std::string_view {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    return std::string_view(chunk.data(),
+                            static_cast<size_t>(in.gcount()));
+  };
+  return ParseXmlChunkEvents(next, options, alphabet, sink);
+}
+
+StatusOr<Document> ParseXmlString(std::string_view xml,
+                                  const XmlParseOptions& options) {
+  TreeBuilder builder(std::make_shared<Alphabet>(),
+                      EstimateNodesFromBytes(xml.size()));
+  XPWQO_RETURN_IF_ERROR(
+      ParseXmlEvents(xml, options, builder.alphabet().get(), &builder));
+  return builder.Finish();
+}
+
+StatusOr<Document> ParseXmlFile(const std::string& path,
+                                const XmlParseOptions& options) {
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  if (!probe) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  const auto bytes = static_cast<size_t>(probe.tellg());
+  probe.close();
+  TreeBuilder builder(std::make_shared<Alphabet>(),
+                      EstimateNodesFromBytes(bytes));
+  XPWQO_RETURN_IF_ERROR(
+      ParseXmlFileEvents(path, options, builder.alphabet().get(), &builder));
+  return builder.Finish();
 }
 
 }  // namespace xpwqo

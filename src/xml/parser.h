@@ -1,4 +1,4 @@
-// A small, fast, non-validating XML parser producing Documents.
+// A small, fast, non-validating XML parser producing SAX-style events.
 //
 // The paper parses XMark files with libxml2; the engine only consumes the
 // resulting tree, so this from-scratch parser is a drop-in substitute.
@@ -7,13 +7,26 @@
 // predefined entities and numeric character references. Not supported (by
 // design): DTDs, namespaces-aware processing (prefixes are kept verbatim in
 // tag names), external entities.
+//
+// The core API is event-driven: the parser interns every label once through
+// a caller-supplied Alphabet and pushes BeginElement/Attribute/Text/
+// EndElement events into a TreeEventSink, so one pass over the bytes can
+// feed any combination of builders (pointer Document, SuccinctTree,
+// LabelIndex postings) without materializing an intermediate tree. Input
+// can be a contiguous string (zero-copy) or a pull-based chunk source —
+// ParseXmlFile* streams the file through a bounded rolling buffer instead
+// of slurping it into one string. The legacy ParseXmlString/ParseXmlFile
+// APIs remain as thin adapters over a TreeBuilder sink.
 #ifndef XPWQO_XML_PARSER_H_
 #define XPWQO_XML_PARSER_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 
+#include "tree/alphabet.h"
 #include "tree/document.h"
+#include "tree/event_sink.h"
 #include "util/status.h"
 
 namespace xpwqo {
@@ -26,15 +39,43 @@ struct XmlParseOptions {
   bool keep_attributes = true;
   /// Keep text nodes (encoded as "#text" children).
   bool keep_text = true;
+  /// Rolling read size for the streaming file path. The resident window is
+  /// one chunk plus any token spanning a boundary, not the whole document.
+  size_t chunk_bytes = 1 << 20;
 };
 
-/// Parses an XML document from a string.
+/// Pulls the next chunk of input; returns an empty view at end of input.
+/// A returned view only has to stay valid until the next call.
+using XmlChunkSource = std::function<std::string_view()>;
+
+/// Parses `xml` in place (no copy), interning labels through `alphabet` and
+/// emitting one event per kept node into `sink`.
+Status ParseXmlEvents(std::string_view xml, const XmlParseOptions& options,
+                      Alphabet* alphabet, TreeEventSink* sink);
+
+/// Event-parses input pulled from `next`, buffering only the bytes a token
+/// in flight still needs (tokens may span chunk boundaries arbitrarily).
+Status ParseXmlChunkEvents(const XmlChunkSource& next,
+                           const XmlParseOptions& options, Alphabet* alphabet,
+                           TreeEventSink* sink);
+
+/// Event-parses a file, streamed in options.chunk_bytes reads.
+Status ParseXmlFileEvents(const std::string& path,
+                          const XmlParseOptions& options, Alphabet* alphabet,
+                          TreeEventSink* sink);
+
+/// Parses an XML document from a string (adapter: events -> TreeBuilder).
 StatusOr<Document> ParseXmlString(std::string_view xml,
                                   const XmlParseOptions& options = {});
 
-/// Parses an XML document from a file.
+/// Parses an XML document from a file, streaming it in chunks. The node
+/// arrays are pre-reserved from the file size.
 StatusOr<Document> ParseXmlFile(const std::string& path,
                                 const XmlParseOptions& options = {});
+
+/// Rough node-count estimate for a document of `bytes` XML bytes; used to
+/// pre-reserve builder arrays (XMark-style markup runs ~20-30 bytes/node).
+inline size_t EstimateNodesFromBytes(size_t bytes) { return bytes / 24 + 8; }
 
 }  // namespace xpwqo
 
