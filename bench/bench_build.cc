@@ -67,18 +67,30 @@ double NowMs() {
       .count();
 }
 
+/// What a load pipeline reports back from its forked child: the node count
+/// plus the label-index memory accounting (compressed postings vs the
+/// plain-vector baseline they replaced). nodes < 0 flags a failed load.
+struct LoadStats {
+  long nodes = -1;
+  size_t label_index_bytes = 0;
+  size_t label_index_vector_bytes = 0;
+};
+
 struct PhaseResult {
   std::string name;
   double ms = 0;
   double peak_delta_mb = 0;  // peak RSS growth during the load
   long nodes = 0;
+  double label_index_mb = 0;         // compressed postings
+  double label_index_vector_mb = 0;  // same lists as plain vectors
   bool ok = false;
 };
 
 /// Runs `load` in a forked child, reporting wall time, the child's peak-RSS
-/// growth over its post-fork baseline, and the node count the load saw.
+/// growth over its post-fork baseline, the node count the load saw, and the
+/// label-index memory accounting.
 PhaseResult MeasureForked(const std::string& name,
-                          const std::function<long()>& load) {
+                          const std::function<LoadStats()>& load) {
   PhaseResult result;
   result.name = name;
   int fds[2];
@@ -93,18 +105,20 @@ PhaseResult MeasureForked(const std::string& name,
     close(fds[0]);
     const long baseline_kb = PeakRssKb();
     const double start = NowMs();
-    const long nodes = load();
+    const LoadStats stats = load();
     const double ms = NowMs() - start;
     const long peak_kb = PeakRssKb();
-    double payload[3] = {ms, static_cast<double>(peak_kb - baseline_kb),
-                         static_cast<double>(nodes)};
+    double payload[5] = {ms, static_cast<double>(peak_kb - baseline_kb),
+                         static_cast<double>(stats.nodes),
+                         static_cast<double>(stats.label_index_bytes),
+                         static_cast<double>(stats.label_index_vector_bytes)};
     ssize_t written = write(fds[1], payload, sizeof(payload));
     (void)written;
     close(fds[1]);
     _exit(0);
   }
   close(fds[1]);
-  double payload[3] = {0, 0, 0};
+  double payload[5] = {0, 0, 0, 0, 0};
   ssize_t got = read(fds[0], payload, sizeof(payload));
   close(fds[0]);
   int wstatus = 0;
@@ -114,9 +128,18 @@ PhaseResult MeasureForked(const std::string& name,
     result.ms = payload[0];
     result.peak_delta_mb = payload[1] / 1024.0;
     result.nodes = static_cast<long>(payload[2]);
+    result.label_index_mb = payload[3] / 1e6;
+    result.label_index_vector_mb = payload[4] / 1e6;
     result.ok = true;
   }
   return result;
+}
+
+/// LoadStats from an engine's index-memory report.
+LoadStats StatsOfEngine(const Engine& engine) {
+  const IndexMemoryReport report = engine.IndexMemory();
+  return {engine.num_nodes(), report.label_index_bytes,
+          report.label_index_vector_bytes};
 }
 
 /// Slurps the whole file into one string, the pre-streaming read path.
@@ -129,22 +152,23 @@ StatusOr<Document> SlurpAndParse(const std::string& path) {
 }
 
 /// The pre-PR pointer load: slurp, parse, index.
-long LegacyPointerLoad(const std::string& path) {
+LoadStats LegacyPointerLoad(const std::string& path) {
   auto doc = SlurpAndParse(path);
-  if (!doc.ok()) return -1;
+  if (!doc.ok()) return {};
   TreeIndex index(*doc);
-  return doc->num_nodes();
+  const LabelIndex::MemoryStats m = index.labels().Memory();
+  return {doc->num_nodes(), m.bytes, m.vector_bytes};
 }
 
 /// The pre-PR succinct load, reproduced exactly: slurp, pointer-parse,
 /// convert, re-derive postings from the succinct label array.
-long LegacySuccinctLoad(const std::string& path) {
+LoadStats LegacySuccinctLoad(const std::string& path) {
   auto doc = SlurpAndParse(path);
-  if (!doc.ok()) return -1;
+  if (!doc.ok()) return {};
   SuccinctTree tree(*doc);
   LabelIndex postings(tree);
-  (void)postings;
-  return tree.num_nodes();
+  const LabelIndex::MemoryStats m = postings.Memory();
+  return {tree.num_nodes(), m.bytes, m.vector_bytes};
 }
 
 int Run(bool quick, const std::string& out_path) {
@@ -155,10 +179,10 @@ int Run(bool quick, const std::string& out_path) {
   // Generate + serialize in a forked child: the parent's heap stays tiny,
   // so each measurement child's baseline is clean rather than inheriting a
   // retained allocator arena that would absorb (and hide) its allocations.
-  PhaseResult gen = MeasureForked("generate", [&opt, &path]() -> long {
+  PhaseResult gen = MeasureForked("generate", [&opt, &path]() -> LoadStats {
     Document doc = GenerateXMark(opt);
     Status st = WriteXmlFile(doc, path);
-    return st.ok() ? doc.num_nodes() : -1;
+    return {st.ok() ? doc.num_nodes() : -1, 0, 0};
   });
   if (!gen.ok || gen.nodes < 0) {
     std::fprintf(stderr, "cannot generate %s\n", path.c_str());
@@ -181,24 +205,25 @@ int Run(bool quick, const std::string& out_path) {
   // boundaries and the refill path gets exercised in CI.
   const size_t chunk_bytes = quick ? size_t{4096} : size_t{1} << 20;
   std::vector<PhaseResult> results;
-  results.push_back(MeasureForked("pointer", [&path, chunk_bytes]() -> long {
-    LoadOptions load;
-    load.parse.chunk_bytes = chunk_bytes;
-    auto engine = Engine::FromXmlFile(path, load);
-    return engine.ok() ? engine->num_nodes() : -1;
-  }));
-  results.push_back(MeasureForked("pointer_legacy", [&path]() -> long {
+  results.push_back(
+      MeasureForked("pointer", [&path, chunk_bytes]() -> LoadStats {
+        LoadOptions load;
+        load.parse.chunk_bytes = chunk_bytes;
+        auto engine = Engine::FromXmlFile(path, load);
+        return engine.ok() ? StatsOfEngine(*engine) : LoadStats{};
+      }));
+  results.push_back(MeasureForked("pointer_legacy", [&path]() -> LoadStats {
     return LegacyPointerLoad(path);
   }));
   results.push_back(
-      MeasureForked("succinct_stream", [&path, chunk_bytes]() -> long {
+      MeasureForked("succinct_stream", [&path, chunk_bytes]() -> LoadStats {
         LoadOptions load;
         load.backend = TreeBackend::kSuccinct;
         load.parse.chunk_bytes = chunk_bytes;
         auto engine = Engine::FromXmlFile(path, load);
-        return engine.ok() ? engine->num_nodes() : -1;
+        return engine.ok() ? StatsOfEngine(*engine) : LoadStats{};
       }));
-  results.push_back(MeasureForked("succinct_legacy", [&path]() -> long {
+  results.push_back(MeasureForked("succinct_legacy", [&path]() -> LoadStats {
     return LegacySuccinctLoad(path);
   }));
 
@@ -207,13 +232,14 @@ int Run(bool quick, const std::string& out_path) {
   auto mb_per_s = [xml_bytes](const PhaseResult& r) {
     return r.ms > 0 ? xml_bytes / 1e6 / (r.ms / 1e3) : 0.0;
   };
-  std::printf("\n%-16s %10s %10s %12s %12s\n", "pipeline", "ms", "MB/s",
-              "peak-MB", "nodes");
+  std::printf("\n%-16s %10s %10s %12s %10s %10s %12s\n", "pipeline", "ms",
+              "MB/s", "peak-MB", "lidx-MB", "lvec-MB", "nodes");
   bool all_ok = true;
   for (const PhaseResult& r : results) {
     all_ok = all_ok && r.ok && r.nodes == nodes;
-    std::printf("%-16s %10.1f %10.1f %12.1f %12s\n", r.name.c_str(), r.ms,
-                mb_per_s(r), r.peak_delta_mb,
+    std::printf("%-16s %10.1f %10.1f %12.1f %10.2f %10.2f %12s\n",
+                r.name.c_str(), r.ms, mb_per_s(r), r.peak_delta_mb,
+                r.label_index_mb, r.label_index_vector_mb,
                 WithCommas(static_cast<uint64_t>(std::max(0L, r.nodes)))
                     .c_str());
   }
@@ -225,10 +251,18 @@ int Run(bool quick, const std::string& out_path) {
   // the "no pointer throughput regression" acceptance bar).
   const double pointer_speed_ratio =
       results[0].ms > 0 ? results[1].ms / results[0].ms : 0;
+  // Postings compression on the streamed succinct load: vector-baseline
+  // bytes over compressed bytes (the ISSUE-4 acceptance bar is >= 3x).
+  const double label_compression =
+      results[2].label_index_mb > 0
+          ? results[2].label_index_vector_mb / results[2].label_index_mb
+          : 0;
   std::printf("\npeak memory, legacy succinct load vs streamed: %.1fx\n",
               peak_ratio);
   std::printf("pointer throughput, streamed vs legacy: %.2fx\n",
               pointer_speed_ratio);
+  std::printf("label index, vector baseline vs compressed: %.2fx\n",
+              label_compression);
   if (!all_ok) std::printf("WARNING: a pipeline failed or node counts differ\n");
 
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -245,14 +279,18 @@ int Run(bool quick, const std::string& out_path) {
     const PhaseResult& r = results[i];
     std::fprintf(out,
                  "    {\"pipeline\": \"%s\", \"ms\": %.1f, "
-                 "\"mb_per_s\": %.2f, \"peak_rss_mb\": %.2f}%s\n",
+                 "\"mb_per_s\": %.2f, \"peak_rss_mb\": %.2f, "
+                 "\"label_index_mb\": %.3f, "
+                 "\"label_index_vector_mb\": %.3f}%s\n",
                  r.name.c_str(), r.ms, mb_per_s(r), r.peak_delta_mb,
+                 r.label_index_mb, r.label_index_vector_mb,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"peak_ratio_legacy_vs_stream\": %.2f,\n"
-               "  \"pointer_speed_vs_legacy\": %.2f\n}\n",
-               peak_ratio, pointer_speed_ratio);
+               "  \"pointer_speed_vs_legacy\": %.2f,\n"
+               "  \"label_index_compression\": %.2f\n}\n",
+               peak_ratio, pointer_speed_ratio, label_compression);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   std::remove(path.c_str());

@@ -58,6 +58,19 @@ int Run(bool quick, const std::string& out_path) {
   TreeIndex succinct_index(tree);
   const int repeats = quick ? 3 : 5;
 
+  // Index-memory report: the compressed postings against the plain-vector
+  // baseline they replaced, next to the succinct tree itself.
+  const LabelIndex::MemoryStats postings = succinct_index.labels().Memory();
+  std::printf(
+      "label index: %.2f MB compressed (%.2f MB as vectors, %.2fx; "
+      "%zu dense / %zu sparse labels); succinct tree: %.2f MB\n",
+      postings.bytes / 1e6, postings.vector_bytes / 1e6,
+      postings.bytes > 0
+          ? static_cast<double>(postings.vector_bytes) / postings.bytes
+          : 0.0,
+      postings.dense_labels, postings.sparse_labels,
+      tree.MemoryUsage() / 1e6);
+
   const AstaEvalOptions kNoJump{false, true, true};
   const AstaEvalOptions kJump{true, true, true};
 
@@ -122,9 +135,21 @@ int Run(bool quick, const std::string& out_path) {
                "  \"all_match\": %s,\n"
                "  \"geomean_jump_speedup\": %.3f,\n"
                "  \"geomean_succinct_vs_pointer\": %.3f,\n"
+               "  \"label_index_bytes\": %zu,\n"
+               "  \"label_index_vector_bytes\": %zu,\n"
+               "  \"label_index_compression\": %.3f,\n"
+               "  \"dense_labels\": %zu,\n  \"sparse_labels\": %zu,\n"
+               "  \"succinct_tree_bytes\": %zu,\n"
                "  \"results\": [\n",
                quick ? "true" : "false", opt.scale, doc.num_nodes(),
-               all_match ? "true" : "false", geo_jump, geo_sp);
+               all_match ? "true" : "false", geo_jump, geo_sp,
+               postings.bytes, postings.vector_bytes,
+               postings.bytes > 0
+                   ? static_cast<double>(postings.vector_bytes) /
+                         postings.bytes
+                   : 0.0,
+               postings.dense_labels, postings.sparse_labels,
+               tree.MemoryUsage());
   for (size_t i = 0; i < rows.size(); ++i) {
     const QueryResultRow& r = rows[i];
     std::fprintf(out,

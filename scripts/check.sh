@@ -14,13 +14,15 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# Sanitizer pass over the ingestion pipeline: the streaming parser and the
-# builders juggle a rolling buffer plus string_views into it, exactly the
-# kind of code ASan/UBSan catch regressions in.
+# Sanitizer pass over the ingestion pipeline and the compressed postings:
+# the streaming parser and the builders juggle a rolling buffer plus
+# string_views into it, and the posting decoders walk raw byte streams with
+# hand-rolled varint reads — exactly the kind of code ASan/UBSan catch
+# regressions in.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
@@ -33,4 +35,29 @@ for f in build/BENCH_navigation.quick.json build/BENCH_eval_succinct.quick.json 
     exit 1
   fi
 done
+
+# The index-memory report must survive from-scratch runs: the eval bench
+# carries the postings accounting at the top level, the build bench per
+# pipeline plus the compression summary.
+python3 - <<'PY'
+import json, sys
+
+ev = json.load(open("build/BENCH_eval_succinct.quick.json"))
+for key in ("label_index_bytes", "label_index_vector_bytes",
+            "label_index_compression", "dense_labels", "sparse_labels",
+            "succinct_tree_bytes"):
+    assert key in ev, f"BENCH_eval_succinct missing {key}"
+assert ev["label_index_bytes"] > 0, "empty label index reported"
+assert ev["label_index_compression"] > 1.0, \
+    f"postings larger than vectors: {ev['label_index_compression']}"
+
+bb = json.load(open("build/BENCH_build.quick.json"))
+for key in ("label_index_compression",):
+    assert key in bb, f"BENCH_build missing {key}"
+for row in bb["results"]:
+    for key in ("label_index_mb", "label_index_vector_mb"):
+        assert key in row, f"BENCH_build result {row['pipeline']} missing {key}"
+    assert row["label_index_mb"] > 0, f"{row['pipeline']}: empty label index"
+print("check.sh: index-memory fields OK")
+PY
 echo "check.sh: OK"

@@ -296,9 +296,10 @@ class AstaEvaluator {
     const Step* step = nullptr;  // kNode, from phase 1 on
     Step owned_step;             // backing storage when memoization is off
     ResultSet acc;             // kNode: Γ1; kTopmost: accumulator
-    // kTopmost: merged posting probe over the essential labels; its
-    // per-label cursors advance monotonically across the whole enumeration,
-    // so each f_t step costs amortized cursor movement, not |L| gallops.
+    // kTopmost: merged probe over the essential labels' compressed
+    // postings; its per-label cursors advance monotonically across the
+    // whole enumeration (skip-table gallops past whole delta blocks), so
+    // each f_t step costs amortized cursor movement, not |L| fresh seeks.
     LabelIndex::SetCursor cursor;
     bool early_stop = false;   // kTopmost: stop once every state accepted
   };

@@ -125,6 +125,18 @@ Engine Engine::FromDocument(Document doc, TreeBackend backend) {
   return Engine(std::move(doc), backend);
 }
 
+IndexMemoryReport Engine::IndexMemory() const {
+  IndexMemoryReport report;
+  const LabelIndex::MemoryStats postings = index_->labels().Memory();
+  report.label_index_bytes = postings.bytes;
+  report.label_index_vector_bytes = postings.vector_bytes;
+  report.dense_labels = postings.dense_labels;
+  report.sparse_labels = postings.sparse_labels;
+  report.tree_bytes = succinct_ != nullptr ? succinct_->MemoryUsage()
+                                           : doc_->MemoryUsage();
+  return report;
+}
+
 StatusOr<CompiledQuery> Engine::Compile(std::string_view xpath) const {
   CompiledQuery query;
   XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));

@@ -56,6 +56,23 @@ struct LoadOptions {
   XmlParseOptions parse;
 };
 
+/// Memory accounting of the loaded index structures, reported by the
+/// benches' JSON output. All byte counts are the frozen in-memory sizes.
+struct IndexMemoryReport {
+  size_t label_index_bytes = 0;         // compressed posting lists
+  size_t label_index_vector_bytes = 0;  // same lists as plain vectors
+  size_t dense_labels = 0;              // bitmap-backed labels
+  size_t sparse_labels = 0;             // delta-block-backed labels
+  size_t tree_bytes = 0;  // backing tree (succinct BP or pointer arrays)
+
+  double compression_ratio() const {
+    return label_index_bytes > 0
+               ? static_cast<double>(label_index_vector_bytes) /
+                     static_cast<double>(label_index_bytes)
+               : 0.0;
+  }
+};
+
 struct QueryOptions {
   EvalStrategy strategy = EvalStrategy::kOptimized;
   /// Information propagation (only meaningful for the automaton
@@ -144,6 +161,8 @@ class Engine {
   }
   /// The succinct tree, or null on the pointer backend.
   const SuccinctTree* succinct_tree() const { return succinct_.get(); }
+  /// Memory accounting of the loaded tree + label index.
+  IndexMemoryReport IndexMemory() const;
 
  private:
   Engine() = default;

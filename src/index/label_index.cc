@@ -7,64 +7,39 @@
 namespace xpwqo {
 namespace {
 
-/// Index of the first element >= lo: gallop (exponential probe) from the
-/// front, then binary-search the bracketed window. Jump enumeration probes
-/// overwhelmingly near the start of each posting list, where this is
-/// O(log(answer)) instead of O(log(list size)).
-size_t GallopLowerBound(const std::vector<NodeId>& v, NodeId lo) {
-  if (v.empty() || v.front() >= lo) return 0;
-  size_t below = 0;  // v[below] < lo
-  size_t probe = 1;
-  while (probe < v.size() && v[probe] < lo) {
-    below = probe;
-    probe <<= 1;
-  }
-  const size_t end = std::min(probe + 1, v.size());
-  return std::lower_bound(v.begin() + below + 1, v.begin() + end, lo) -
-         v.begin();
-}
-
-/// Gallop within [pos, end) from the *current* cursor position. Same probe
-/// pattern as GallopLowerBound, but anchored at pos so monotone callers pay
-/// cost proportional to how far the cursor actually moves.
-const NodeId* GallopFrom(const NodeId* pos, const NodeId* end, NodeId lo) {
-  if (pos == end || *pos >= lo) return pos;
-  size_t below = 0;  // pos[below] < lo
-  size_t probe = 1;
-  const size_t len = static_cast<size_t>(end - pos);
-  while (probe < len && pos[probe] < lo) {
-    below = probe;
-    probe <<= 1;
-  }
-  return std::lower_bound(pos + below + 1, pos + std::min(probe + 1, len),
-                          lo);
-}
-
 /// kNullNode (= -1) casts to the unsigned maximum, so min over unsigned
 /// views treats "no candidate" as larger than every real node id.
 inline uint32_t AsKey(NodeId n) { return static_cast<uint32_t>(n); }
 
 }  // namespace
 
-const std::vector<NodeId> LabelIndex::kEmpty;
+const PostingList LabelIndex::kEmptyList = [] {
+  PostingList empty;
+  empty.Freeze(0);
+  return empty;
+}();
 
 void LabelIndex::Build(const LabelId* labels, int32_t num_nodes,
                        size_t num_labels) {
   postings_.resize(num_labels);
   for (NodeId n = 0; n < num_nodes; ++n) {
-    postings_[labels[n]].push_back(n);  // ids ascend: lists stay sorted
+    postings_[labels[n]].Append(n);  // ids ascend: blocks grow in-pass
   }
+  for (PostingList& list : postings_) list.Freeze(num_nodes);
 }
 
 LabelIndex::LabelIndex(const Document& doc) {
   postings_.resize(doc.alphabet().size());
   for (NodeId n = 0; n < doc.num_nodes(); ++n) {
-    postings_[doc.label(n)].push_back(n);  // ids ascend: lists stay sorted
+    postings_[doc.label(n)].Append(n);
   }
+  for (PostingList& list : postings_) list.Freeze(doc.num_nodes());
 }
 
 LabelIndex::LabelIndex(LabelPostingsBuilder&& builder)
-    : postings_(std::move(builder.postings_)) {}
+    : postings_(std::move(builder.postings_)) {
+  for (PostingList& list : postings_) list.Freeze(builder.num_nodes());
+}
 
 LabelIndex::LabelIndex(const SuccinctTree& tree) {
   // The succinct backend stores no alphabet; size the table by the largest
@@ -78,21 +53,25 @@ LabelIndex::LabelIndex(const SuccinctTree& tree) {
 
 int32_t LabelIndex::Count(LabelId label) const {
   if (label < 0 || label >= static_cast<LabelId>(postings_.size())) return 0;
-  return static_cast<int32_t>(postings_[label].size());
+  return postings_[label].size();
 }
 
-const std::vector<NodeId>& LabelIndex::Occurrences(LabelId label) const {
+const PostingList& LabelIndex::Postings(LabelId label) const {
   if (label < 0 || label >= static_cast<LabelId>(postings_.size())) {
-    return kEmpty;
+    return kEmptyList;
   }
   return postings_[label];
 }
 
+std::vector<NodeId> LabelIndex::Occurrences(LabelId label) const {
+  std::vector<NodeId> out;
+  Postings(label).Decode(&out);
+  return out;
+}
+
 NodeId LabelIndex::FirstInRange(LabelId label, NodeId lo, NodeId hi) const {
-  const std::vector<NodeId>& list = Occurrences(label);
-  const size_t idx = GallopLowerBound(list, lo);
-  if (idx == list.size() || list[idx] >= hi) return kNullNode;
-  return list[idx];
+  const NodeId first = Postings(label).FirstAtLeast(lo);
+  return first != kNullNode && first < hi ? first : kNullNode;
 }
 
 NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
@@ -100,12 +79,9 @@ NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
   XPWQO_DCHECK(set.IsFinite());
   uint32_t best = AsKey(kNullNode);
   for (LabelId l : set.FiniteMembers()) {
-    // The scan ceiling shrinks to the best head so far, and a hit at lo is
-    // unbeatable; the merge itself is a branchless unsigned min (kNullNode's
-    // key is the unsigned maximum, so an empty best leaves hi in charge).
-    const NodeId cand =
-        FirstInRange(l, lo, static_cast<NodeId>(std::min(AsKey(hi), best)));
-    best = std::min(best, AsKey(cand));
+    // The merge is a branchless unsigned min (kNullNode's key is the
+    // unsigned maximum), and a hit at lo is unbeatable.
+    best = std::min(best, AsKey(Postings(l).FirstAtLeast(lo)));
     if (best == AsKey(lo)) break;
   }
   const NodeId first = static_cast<NodeId>(best);
@@ -113,10 +89,9 @@ NodeId LabelIndex::FirstInRange(const LabelSet& set, NodeId lo,
 }
 
 int32_t LabelIndex::CountInRange(LabelId label, NodeId lo, NodeId hi) const {
-  const std::vector<NodeId>& list = Occurrences(label);
-  auto b = std::lower_bound(list.begin(), list.end(), lo);
-  auto e = std::lower_bound(b, list.end(), hi);
-  return static_cast<int32_t>(e - b);
+  if (hi <= lo) return 0;
+  const PostingList& list = Postings(label);
+  return list.RankBelow(hi) - list.RankBelow(lo);
 }
 
 bool LabelIndex::RangeContainsAny(const LabelSet& set, NodeId lo,
@@ -132,9 +107,9 @@ LabelIndex::SetCursor::SetCursor(const LabelIndex& index,
                                  const LabelSet& set) {
   XPWQO_DCHECK(set.IsFinite());
   for (LabelId l : set.FiniteMembers()) {
-    const std::vector<NodeId>& list = index.Occurrences(l);
+    const PostingList& list = index.Postings(l);
     if (list.empty()) continue;
-    const Cursor c{list.data(), list.data() + list.size()};
+    const PostingList::Cursor c(list);
     if (count_ < kInlineCursors) {
       inline_cursors_[count_] = c;
     } else {
@@ -149,21 +124,30 @@ LabelIndex::SetCursor::SetCursor(const LabelIndex& index,
 
 NodeId LabelIndex::SetCursor::First(NodeId lo, NodeId hi) {
   uint32_t best = AsKey(kNullNode);
-  Cursor* cursors = data();
+  PostingList::Cursor* cursors = data();
   for (size_t i = 0; i < count_; ++i) {
-    Cursor& c = cursors[i];
-    c.pos = GallopFrom(c.pos, c.end, lo);
-    const NodeId head = c.pos == c.end ? kNullNode : *c.pos;
-    best = std::min(best, AsKey(head));
+    best = std::min(best, AsKey(cursors[i].SeekGE(lo)));
   }
   const NodeId first = static_cast<NodeId>(best);
   return first < hi ? first : kNullNode;
 }
 
-size_t LabelIndex::MemoryUsage() const {
-  size_t bytes = postings_.size() * sizeof(std::vector<NodeId>);
-  for (const auto& list : postings_) bytes += list.size() * sizeof(NodeId);
-  return bytes;
+LabelIndex::MemoryStats LabelIndex::Memory() const {
+  MemoryStats stats;
+  stats.bytes = postings_.size() * sizeof(PostingList);
+  stats.vector_bytes = postings_.size() * sizeof(std::vector<NodeId>);
+  for (const PostingList& list : postings_) {
+    stats.bytes += list.MemoryUsage();
+    stats.vector_bytes +=
+        list.UncompressedBytes() - sizeof(std::vector<NodeId>);
+    if (list.empty()) continue;
+    if (list.dense()) {
+      ++stats.dense_labels;
+    } else {
+      ++stats.sparse_labels;
+    }
+  }
+  return stats;
 }
 
 }  // namespace xpwqo

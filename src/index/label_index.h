@@ -4,15 +4,19 @@
 // label counts (used by the hybrid strategy to pick a starting label) are
 // O(1).
 //
-// Posting lists can be built from either tree backend: the pointer Document
-// or a SuccinctTree's label array — node ids are preorder ranks in both, so
-// the lists are identical and no pointer tree has to be materialized.
+// Posting lists are stored compressed (see index/postings.h): sparse labels
+// as 32-entry delta blocks behind a skip table, dense labels as
+// rank-indexed bitmaps — chosen per label when the index freezes. The lists
+// can be built from either tree backend (the pointer Document or a
+// SuccinctTree's label array — node ids are preorder ranks in both) or grown
+// compressed in-pass during streaming ingestion.
 #ifndef XPWQO_INDEX_LABEL_INDEX_H_
 #define XPWQO_INDEX_LABEL_INDEX_H_
 
 #include <string_view>
 #include <vector>
 
+#include "index/postings.h"
 #include "tree/document.h"
 #include "tree/event_sink.h"
 #include "tree/label_set.h"
@@ -35,8 +39,12 @@ class LabelIndex {
   /// document was built).
   int32_t Count(LabelId label) const;
 
-  /// All occurrences of `label` in document order.
-  const std::vector<NodeId>& Occurrences(LabelId label) const;
+  /// The compressed posting list of `label` (empty list for unknown ids).
+  const PostingList& Postings(LabelId label) const;
+
+  /// All occurrences of `label` in document order, decompressed. One-shot
+  /// consumers and tests; hot paths read through Postings()/SetCursor.
+  std::vector<NodeId> Occurrences(LabelId label) const;
 
   /// Smallest node id in [lo, hi) with the given label, or kNullNode.
   NodeId FirstInRange(LabelId label, NodeId lo, NodeId hi) const;
@@ -44,7 +52,7 @@ class LabelIndex {
   /// Smallest node id in [lo, hi) whose label is in `set`, or kNullNode.
   /// Requires set.IsFinite(); co-finite sets cannot be jumped to (callers
   /// fall back to stepping, as the paper's engine does). Each label probe
-  /// gallops to its posting head at or after lo; the heads merge through a
+  /// seeks its posting head at or after lo; the heads merge through a
   /// branchless unsigned min (kNullNode = -1 ranks above every real id).
   NodeId FirstInRange(const LabelSet& set, NodeId lo, NodeId hi) const;
 
@@ -52,15 +60,16 @@ class LabelIndex {
   int32_t CountInRange(LabelId label, NodeId lo, NodeId hi) const;
 
   /// True if any label of the finite `set` occurs within [lo, hi). Shares
-  /// the galloping probe with FirstInRange but stops at the first hit.
+  /// the seek with FirstInRange but stops at the first hit.
   bool RangeContainsAny(const LabelSet& set, NodeId lo, NodeId hi) const;
 
   /// Stateful merged probe over one finite LabelSet's posting lists, for
   /// enumeration loops whose lower bound only moves forward (topmost-node
   /// chains: each jump starts at the previous subtree's BinaryEnd). Each
-  /// per-label cursor advances monotonically — a gallop from its *current*
-  /// position — so a whole enumeration pays O(matches visited) amortized
-  /// list movement instead of |L| fresh front-gallops per jump.
+  /// per-label cursor advances monotonically — galloping over skip entries
+  /// past whole compressed blocks, decoding only the block it lands in — so
+  /// a whole enumeration pays O(matches visited) amortized movement instead
+  /// of |L| fresh front-seeks per jump.
   class SetCursor {
    public:
     SetCursor() = default;
@@ -71,37 +80,46 @@ class LabelIndex {
     NodeId First(NodeId lo, NodeId hi);
 
    private:
-    struct Cursor {
-      const NodeId* pos;
-      const NodeId* end;
-    };
     /// Essential-label sets are almost always tiny; an inline buffer keeps
     /// cursor construction allocation-free for them (one SetCursor is
     /// built per jump region, including regions that prove empty).
     static constexpr size_t kInlineCursors = 4;
-    Cursor* data() {
+    PostingList::Cursor* data() {
       return spill_.empty() ? inline_cursors_ : spill_.data();
     }
 
-    Cursor inline_cursors_[kInlineCursors];
+    PostingList::Cursor inline_cursors_[kInlineCursors];
     size_t count_ = 0;
-    std::vector<Cursor> spill_;  // holds ALL cursors when count_ > inline
+    // holds ALL cursors when count_ > inline
+    std::vector<PostingList::Cursor> spill_;
   };
 
-  size_t MemoryUsage() const;
+  /// Memory accounting for the index-memory report threaded through Engine
+  /// and the benches.
+  struct MemoryStats {
+    size_t bytes = 0;         // compressed postings + per-label table
+    size_t vector_bytes = 0;  // the same lists as plain vector<NodeId>
+    size_t dense_labels = 0;  // labels stored as rank-indexed bitmaps
+    size_t sparse_labels = 0;  // labels stored as delta blocks
+  };
+  MemoryStats Memory() const;
+  size_t MemoryUsage() const { return Memory().bytes; }
 
  private:
   void Build(const LabelId* labels, int32_t num_nodes, size_t num_labels);
 
-  std::vector<std::vector<NodeId>> postings_;
-  static const std::vector<NodeId> kEmpty;
+  std::vector<PostingList> postings_;
+  static const PostingList kEmptyList;
 };
 
-/// Grows per-label posting lists incrementally from TreeEventSink events:
-/// every node event appends the next preorder id to its label's list, so the
-/// lists are sorted by construction and the finished index is identical to
-/// LabelIndex(Document) / LabelIndex(SuccinctTree) — with no tree of either
-/// kind materialized. Move into LabelIndex to finish.
+/// Grows per-label compressed posting lists incrementally from
+/// TreeEventSink events: every node event appends the next preorder id to
+/// its label's list, so the lists are sorted by construction and compress
+/// in-pass (delta blocks grow as the events arrive; no uncompressed list
+/// ever exists). The finished index is identical to LabelIndex(Document) /
+/// LabelIndex(SuccinctTree) — with no tree of either kind materialized.
+/// Move into LabelIndex to finish (that is when the per-label dense/sparse
+/// representation is chosen, since it needs the final node count).
 class LabelPostingsBuilder final : public TreeEventSink {
  public:
   LabelPostingsBuilder() = default;
@@ -125,10 +143,10 @@ class LabelPostingsBuilder final : public TreeEventSink {
     if (label >= static_cast<LabelId>(postings_.size())) {
       postings_.resize(static_cast<size_t>(label) + 1);
     }
-    postings_[label].push_back(next_id_++);
+    postings_[label].Append(next_id_++);
   }
 
-  std::vector<std::vector<NodeId>> postings_;
+  std::vector<PostingList> postings_;
   NodeId next_id_ = 0;
 };
 

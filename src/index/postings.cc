@@ -1,0 +1,230 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+namespace xpwqo {
+namespace {
+
+/// Reads one LEB128 varint and advances *p.
+inline uint32_t DecodeVarint(const uint8_t** p) {
+  const uint8_t* q = *p;
+  uint32_t v = *q & 0x7F;
+  int shift = 7;
+  while (*q & 0x80) {
+    ++q;
+    v |= static_cast<uint32_t>(*q & 0x7F) << shift;
+    shift += 7;
+  }
+  *p = q + 1;
+  return v;
+}
+
+}  // namespace
+
+void PostingList::Freeze(NodeId universe, Rep rep) {
+  if (frozen_) return;
+  frozen_ = true;
+  const bool want_dense =
+      rep == Rep::kDense ||
+      (rep == Rep::kAuto && count_ > 0 && universe > 0 &&
+       static_cast<uint64_t>(count_) * kDenseInverse >=
+           static_cast<uint64_t>(universe));
+  if (!want_dense) {
+    skip_first_.shrink_to_fit();
+    skip_offset_.shrink_to_fit();
+    deltas_.shrink_to_fit();
+    return;
+  }
+  // Convert the delta blocks into a bitmap over [0, universe). Every stored
+  // id is < universe by construction (ids are preorder ranks of the same
+  // document the universe counts).
+  XPWQO_CHECK(last_ < universe);
+  bits_.Reserve(static_cast<size_t>(universe));
+  NodeId prev = -1;
+  const uint8_t* p = deltas_.data();
+  for (uint32_t i = 0; i < count_; ++i) {
+    NodeId id;
+    if ((i & (kBlockSize - 1)) == 0) {
+      const uint32_t b = i >> kBlockShift;
+      id = skip_first_[b];
+      p = deltas_.data() + skip_offset_[b];
+    } else {
+      id = prev + static_cast<NodeId>(DecodeVarint(&p));
+    }
+    bits_.Append(false, static_cast<size_t>(id - prev - 1));
+    bits_.PushBack(true);
+    prev = id;
+  }
+  bits_.Append(false, static_cast<size_t>(universe - prev - 1));
+  bits_.Freeze();
+  dense_ = true;
+  skip_first_ = {};
+  skip_offset_ = {};
+  deltas_ = {};
+}
+
+uint32_t PostingList::FindBlock(NodeId bound) const {
+  XPWQO_DCHECK(!skip_first_.empty() && skip_first_[0] <= bound);
+  return static_cast<uint32_t>(std::upper_bound(skip_first_.begin(),
+                                                skip_first_.end(), bound) -
+                               skip_first_.begin()) -
+         1;
+}
+
+NodeId PostingList::FirstAtLeast(NodeId lo) const {
+  XPWQO_DCHECK(frozen_);
+  if (count_ == 0 || last_ < lo) return kNullNode;
+  if (lo < 0) lo = 0;
+  if (dense_) {
+    // Dense lists have a hit every ~kDenseInverse bits on average, so scan
+    // a few words forward before paying the rank+select: the common probe
+    // resolves from the first loaded word. last_ >= lo guarantees a one at
+    // or after lo, so both paths are valid.
+    constexpr size_t kScanWords = 8;  // 512 bits ≈ 85 expected hits at 1/6
+    size_t w = static_cast<size_t>(lo) >> 6;
+    uint64_t word = bits_.Word(w) & (~0ULL << (lo & 63));
+    for (size_t i = 0; i < kScanWords; ++i) {
+      if (word != 0) {
+        return static_cast<NodeId>(w * 64 +
+                                   static_cast<size_t>(
+                                       std::countr_zero(word)));
+      }
+      word = bits_.Word(++w);  // zero-padded past size: stays empty
+    }
+    const size_t k = bits_.Rank1(static_cast<size_t>(lo)) + 1;
+    return static_cast<NodeId>(bits_.Select1(k));
+  }
+  if (skip_first_[0] >= lo) return skip_first_[0];
+  const uint32_t b = FindBlock(lo);
+  NodeId id = skip_first_[b];
+  if (id >= lo) return id;  // FindBlock gives first <= lo: head hit == lo
+  const uint8_t* p = deltas_.data() + skip_offset_[b];
+  const uint32_t in_block = BlockCount(b);
+  for (uint32_t i = 1; i < in_block; ++i) {
+    id += static_cast<NodeId>(DecodeVarint(&p));
+    if (id >= lo) return id;
+  }
+  // lo is past this block's last id; the answer heads the next block
+  // (FindBlock guarantees that block's first exceeds lo... see below) —
+  // and a next block exists because last_ >= lo.
+  XPWQO_DCHECK(b + 1 < NumBlocks());
+  return skip_first_[b + 1];
+}
+
+int32_t PostingList::RankBelow(NodeId hi) const {
+  XPWQO_DCHECK(frozen_);
+  if (count_ == 0 || hi <= 0) return 0;
+  if (dense_) {
+    const size_t clamped =
+        std::min(static_cast<size_t>(hi), bits_.size());
+    return static_cast<int32_t>(bits_.Rank1(clamped));
+  }
+  if (skip_first_[0] >= hi) return 0;
+  const uint32_t b = FindBlock(hi - 1);
+  NodeId id = skip_first_[b];
+  const uint8_t* p = deltas_.data() + skip_offset_[b];
+  const uint32_t in_block = BlockCount(b);
+  uint32_t below = 1;  // the block head, known < hi
+  for (uint32_t i = 1; i < in_block; ++i) {
+    id += static_cast<NodeId>(DecodeVarint(&p));
+    if (id >= hi) break;
+    ++below;
+  }
+  return static_cast<int32_t>((b << kBlockShift) + below);
+}
+
+void PostingList::Decode(std::vector<NodeId>* out) const {
+  XPWQO_DCHECK(frozen_);
+  out->clear();
+  out->reserve(count_);
+  if (dense_) {
+    for (size_t w = 0; w < bits_.NumWords(); ++w) {
+      uint64_t word = bits_.Word(w);
+      while (word != 0) {
+        out->push_back(static_cast<NodeId>(
+            w * 64 + static_cast<size_t>(std::countr_zero(word))));
+        word &= word - 1;
+      }
+    }
+    return;
+  }
+  NodeId id = kNullNode;
+  const uint8_t* p = deltas_.data();
+  for (uint32_t i = 0; i < count_; ++i) {
+    if ((i & (kBlockSize - 1)) == 0) {
+      const uint32_t b = i >> kBlockShift;
+      id = skip_first_[b];
+      p = deltas_.data() + skip_offset_[b];
+    } else {
+      id += static_cast<NodeId>(DecodeVarint(&p));
+    }
+    out->push_back(id);
+  }
+}
+
+PostingList::Cursor::Cursor(const PostingList& list) : list_(&list) {
+  XPWQO_DCHECK(list.frozen());
+  if (list.count_ == 0) return;  // cur_ stays kNullNode: born exhausted
+  if (list.dense_) {
+    cur_ = list.FirstAtLeast(0);
+    return;
+  }
+  cur_ = list.skip_first_[0];
+  next_ = list.deltas_.data() + list.skip_offset_[0];
+  index_ = 0;
+}
+
+NodeId PostingList::Cursor::SeekGE(NodeId lo) {
+  if (cur_ == kNullNode) return kNullNode;  // exhausted (sticky: lo is
+                                            // non-decreasing)
+  if (cur_ >= lo) return cur_;
+  const PostingList& list = *list_;
+  if (list.dense_) {
+    cur_ = list.FirstAtLeast(lo);  // one rank + one select, O(1)-ish
+    return cur_;
+  }
+  // Gallop over skip entries from the current block: find the largest block
+  // whose first id is <= lo without decoding anything in between.
+  const uint32_t num_blocks = list.NumBlocks();
+  uint32_t b = index_ >> kBlockShift;
+  uint32_t step = 1;
+  while (b + step < num_blocks && list.skip_first_[b + step] <= lo) {
+    b += step;
+    step <<= 1;
+  }
+  for (step >>= 1; step >= 1; step >>= 1) {
+    if (b + step < num_blocks && list.skip_first_[b + step] <= lo) b += step;
+  }
+  if (b != index_ >> kBlockShift) {
+    index_ = b << kBlockShift;
+    cur_ = list.skip_first_[b];
+    next_ = list.deltas_.data() + list.skip_offset_[b];
+    if (cur_ >= lo) return cur_;
+  }
+  // Decode forward within the run (crossing into the next block via its
+  // skip entry) until the head reaches lo.
+  while (true) {
+    ++index_;
+    if (index_ >= list.count_) {
+      cur_ = kNullNode;
+      return kNullNode;
+    }
+    if ((index_ & (kBlockSize - 1)) == 0) {
+      const uint32_t nb = index_ >> kBlockShift;
+      cur_ = list.skip_first_[nb];
+      next_ = list.deltas_.data() + list.skip_offset_[nb];
+    } else {
+      cur_ += static_cast<NodeId>(DecodeVarint(&next_));
+    }
+    if (cur_ >= lo) return cur_;
+  }
+}
+
+size_t PostingList::MemoryUsage() const {
+  if (dense_) return bits_.MemoryUsage();
+  return skip_first_.capacity() * sizeof(NodeId) +
+         skip_offset_.capacity() * sizeof(uint32_t) +
+         deltas_.capacity() * sizeof(uint8_t);
+}
+
+}  // namespace xpwqo

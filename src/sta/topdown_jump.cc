@@ -115,7 +115,8 @@ class JumpRunner {
         // Push the topmost essential nodes, then reverse the pushed range in
         // place so the stack pops them in document order. The scope boundary
         // and the merged posting cursor are hoisted out of the enumeration
-        // loop: f_t steps pay amortized cursor movement, not |L| gallops.
+        // loop: f_t steps pay amortized movement over the compressed lists
+        // (block-skipping seeks), not |L| fresh front-searches.
         const NodeId scope_end = doc_.BinaryEnd(c);
         LabelIndex::SetCursor cursor(index_.labels(), info.essential);
         const size_t mark = stack_.size();

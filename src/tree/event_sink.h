@@ -2,8 +2,9 @@
 // construction. The parser interns every label exactly once through a shared
 // Alphabet and emits id-based events; any number of sinks can consume the
 // same event stream (via TeeSink), so one pass over the bytes can build a
-// pointer Document, a SuccinctTree, and LabelIndex postings — or any subset
-// — without intermediate materialization.
+// pointer Document, a SuccinctTree, and compressed LabelIndex postings
+// (LabelPostingsBuilder grows delta blocks straight from the events) — or
+// any subset — without intermediate materialization.
 #ifndef XPWQO_TREE_EVENT_SINK_H_
 #define XPWQO_TREE_EVENT_SINK_H_
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <fstream>
 
 #include "tree/builder.h"
@@ -18,6 +19,17 @@ bool IsNameChar(char c) {
 }
 bool IsSpace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// The XML 1.0 Char production: everything a character reference may name.
+/// Excludes most C0 controls, the surrogate range (not characters at all —
+/// encoding one produces invalid UTF-8), 0xFFFE/0xFFFF, and anything above
+/// U+10FFFF.
+bool IsXmlChar(uint32_t code) {
+  return code == 0x9 || code == 0xA || code == 0xD ||
+         (code >= 0x20 && code <= 0xD7FF) ||
+         (code >= 0xE000 && code <= 0xFFFD) ||
+         (code >= 0x10000 && code <= 0x10FFFF);
 }
 
 /// Cursor over the input with line tracking for error messages.
@@ -234,12 +246,17 @@ class EventParser {
       } else if (ent == "apos") {
         out->push_back('\'');
       } else if (!ent.empty() && ent[0] == '#') {
-        long code = 0;
-        try {
-          code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
-                     ? std::stol(std::string(ent.substr(2)), nullptr, 16)
-                     : std::stol(std::string(ent.substr(1)), nullptr, 10);
-        } catch (...) {
+        // std::from_chars: allocation-free, no exceptions (works under
+        // -fno-exceptions), and it reports partial consumption instead of
+        // silently parsing a numeric prefix. An unsigned target rejects
+        // "-5" outright; oversized values surface as result_out_of_range.
+        const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+        const char* first = ent.data() + (hex ? 2 : 1);
+        const char* last = ent.data() + ent.size();
+        uint32_t code = 0;
+        const auto parsed = std::from_chars(first, last, code, hex ? 16 : 10);
+        if (parsed.ec != std::errc() || parsed.ptr != last ||
+            !IsXmlChar(code)) {
           return Error("bad character reference &" + std::string(ent) + ";");
         }
         // Encode as UTF-8.

@@ -99,7 +99,12 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
 
   std::vector<NodeId> out;
   const bool pivot_is_last = pivot + 1 == k;
-  for (NodeId c : index.labels().Occurrences(labels_[pivot])) {
+  // Stream the pivot label's compressed postings in document order; the
+  // cursor decodes one delta block at a time instead of materializing the
+  // whole list.
+  PostingList::Cursor pivot_cursor(index.labels().Postings(labels_[pivot]));
+  for (NodeId c = pivot_cursor.SeekGE(0); c != kNullNode;
+       c = pivot_cursor.SeekGE(c + 1)) {
     ++st->nodes_visited;  // the candidate itself
     // Upward: match //l_{pivot-1}/.../l1 as an ancestor subsequence,
     // greedily from the candidate up (pure parent moves, like the paper).

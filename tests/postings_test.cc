@@ -1,0 +1,247 @@
+// Property tests of the compressed PostingList: the sparse delta-block and
+// dense bitmap representations must be indistinguishable from a plain
+// sorted vector<NodeId> under every query — FirstAtLeast / RankBelow /
+// Decode / monotone Cursor seeks — across randomized densities, block
+// boundaries, and both freeze-time representation choices on the SAME data.
+#include "index/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/label_index.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace xpwqo {
+namespace {
+
+using testing_util::RandomTree;
+
+/// Sorted unique ids with roughly `density` fill over [0, universe).
+std::vector<NodeId> RandomIds(Random* rng, NodeId universe, double density) {
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < universe; ++n) {
+    if (rng->Uniform(1000000) < static_cast<uint64_t>(density * 1e6)) {
+      ids.push_back(n);
+    }
+  }
+  return ids;
+}
+
+PostingList Build(const std::vector<NodeId>& ids, NodeId universe,
+                  PostingList::Rep rep) {
+  PostingList list;
+  for (NodeId id : ids) list.Append(id);
+  list.Freeze(universe, rep);
+  return list;
+}
+
+/// Reference implementations over the raw vector.
+NodeId RefFirstAtLeast(const std::vector<NodeId>& ids, NodeId lo) {
+  auto it = std::lower_bound(ids.begin(), ids.end(), lo);
+  return it == ids.end() ? kNullNode : *it;
+}
+int32_t RefRankBelow(const std::vector<NodeId>& ids, NodeId hi) {
+  return static_cast<int32_t>(
+      std::lower_bound(ids.begin(), ids.end(), hi) - ids.begin());
+}
+
+void CheckAgainstVector(const PostingList& list,
+                        const std::vector<NodeId>& ids, NodeId universe,
+                        uint64_t seed, const char* context) {
+  ASSERT_EQ(list.size(), static_cast<int32_t>(ids.size())) << context;
+  std::vector<NodeId> decoded;
+  list.Decode(&decoded);
+  EXPECT_EQ(decoded, ids) << context;
+
+  Random rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId lo = static_cast<NodeId>(rng.Uniform(universe + 10));
+    EXPECT_EQ(list.FirstAtLeast(lo), RefFirstAtLeast(ids, lo))
+        << context << " lo=" << lo;
+    EXPECT_EQ(list.RankBelow(lo), RefRankBelow(ids, lo))
+        << context << " hi=" << lo;
+  }
+  EXPECT_EQ(list.FirstAtLeast(0),
+            ids.empty() ? kNullNode : ids.front()) << context;
+  EXPECT_EQ(list.RankBelow(universe), static_cast<int32_t>(ids.size()))
+      << context;
+
+  // Monotone cursor: random forward steps, compared to the stateless seek.
+  PostingList::Cursor cursor(list);
+  NodeId lo = 0;
+  for (int trial = 0; trial < 300 && lo <= universe; ++trial) {
+    EXPECT_EQ(cursor.SeekGE(lo), RefFirstAtLeast(ids, lo))
+        << context << " cursor lo=" << lo;
+    lo += static_cast<NodeId>(rng.Uniform(universe / 50 + 2));
+  }
+}
+
+class PostingListRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingListRandomTest, SparseDenseVectorEquivalence) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  const NodeId universe = static_cast<NodeId>(1000 + rng.Uniform(9000));
+  // Sweep sparse rare lists, block-boundary-heavy mid lists, and dense
+  // lists; force BOTH representations onto each id set so the two decoders
+  // are verified against each other, not just against the auto choice.
+  for (double density : {0.002, 0.05, 0.3, 0.8}) {
+    const std::vector<NodeId> ids = RandomIds(&rng, universe, density);
+    for (PostingList::Rep rep :
+         {PostingList::Rep::kAuto, PostingList::Rep::kSparse,
+          PostingList::Rep::kDense}) {
+      const PostingList list = Build(ids, universe, rep);
+      const std::string context =
+          "seed=" + std::to_string(seed) + " density=" +
+          std::to_string(density) + " rep=" +
+          std::to_string(static_cast<int>(rep)) +
+          (list.dense() ? " (dense)" : " (sparse)");
+      CheckAgainstVector(list, ids, universe, seed * 131 + 7,
+                         context.c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingListRandomTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  list.Freeze(100);
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.dense());
+  EXPECT_EQ(list.FirstAtLeast(0), kNullNode);
+  EXPECT_EQ(list.RankBelow(100), 0);
+  PostingList::Cursor cursor(list);
+  EXPECT_EQ(cursor.SeekGE(0), kNullNode);
+}
+
+TEST(PostingListTest, RepresentationChoice) {
+  // 1/kDenseInverse of the universe is the flip point.
+  const NodeId universe = 6000;
+  std::vector<NodeId> sparse_ids, dense_ids;
+  for (NodeId n = 0; n < universe; n += 97) sparse_ids.push_back(n);  // ~1%
+  for (NodeId n = 0; n < universe; n += 3) dense_ids.push_back(n);    // 33%
+  EXPECT_FALSE(
+      Build(sparse_ids, universe, PostingList::Rep::kAuto).dense());
+  EXPECT_TRUE(Build(dense_ids, universe, PostingList::Rep::kAuto).dense());
+}
+
+TEST(PostingListTest, ExactBlockBoundaries) {
+  // Lists of exactly 1, 127, 128, 129, 256, and 257 entries with irregular
+  // gaps: every skip/decode handoff lands on or next to a block edge.
+  for (uint32_t count :
+       {1u, PostingList::kBlockSize - 1, PostingList::kBlockSize,
+        PostingList::kBlockSize + 1, 2 * PostingList::kBlockSize,
+        2 * PostingList::kBlockSize + 1}) {
+    std::vector<NodeId> ids;
+    NodeId id = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      id += 1 + static_cast<NodeId>((i * 2654435761u) % 300);  // 1..300 gaps
+      ids.push_back(id);
+    }
+    const NodeId universe = ids.back() + 5;
+    const PostingList list = Build(ids, universe, PostingList::Rep::kSparse);
+    for (NodeId lo = 0; lo <= universe; ++lo) {
+      ASSERT_EQ(list.FirstAtLeast(lo), RefFirstAtLeast(ids, lo))
+          << "count=" << count << " lo=" << lo;
+      ASSERT_EQ(list.RankBelow(lo), RefRankBelow(ids, lo))
+          << "count=" << count << " hi=" << lo;
+    }
+    PostingList::Cursor step(list);
+    for (NodeId lo = 0; lo <= universe; ++lo) {
+      ASSERT_EQ(step.SeekGE(lo), RefFirstAtLeast(ids, lo))
+          << "count=" << count << " cursor lo=" << lo;
+    }
+  }
+}
+
+TEST(PostingListTest, LargeGapsUseMultiByteVarints) {
+  // Gaps above 2^21 need 4-byte varints; make sure encode/decode round-trip.
+  std::vector<NodeId> ids = {0, 1, 100, 1 << 20, (1 << 20) + 1, 1 << 28,
+                             (1 << 28) + (1 << 21)};
+  const NodeId universe = ids.back() + 1;
+  const PostingList list = Build(ids, universe, PostingList::Rep::kSparse);
+  std::vector<NodeId> decoded;
+  list.Decode(&decoded);
+  EXPECT_EQ(decoded, ids);
+  EXPECT_EQ(list.FirstAtLeast((1 << 20) + 2), 1 << 28);
+  EXPECT_EQ(list.RankBelow(1 << 28), 5);
+}
+
+TEST(PostingListTest, MemoryUsageBeatsVectors) {
+  // A 1%-fill list over a large universe: small deltas, so the compressed
+  // form must come in far under 4 bytes/entry.
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < 500000; n += 100) ids.push_back(n);
+  const PostingList sparse = Build(ids, 500000, PostingList::Rep::kAuto);
+  EXPECT_FALSE(sparse.dense());
+  EXPECT_LT(sparse.MemoryUsage(), sparse.UncompressedBytes() / 2);
+  // A half-fill list must pick the bitmap and also beat 4 bytes/entry.
+  std::vector<NodeId> dense_ids;
+  for (NodeId n = 0; n < 500000; n += 2) dense_ids.push_back(n);
+  const PostingList dense = Build(dense_ids, 500000, PostingList::Rep::kAuto);
+  EXPECT_TRUE(dense.dense());
+  EXPECT_LT(dense.MemoryUsage(), dense.UncompressedBytes() / 2);
+}
+
+/// LabelIndex-level equivalence on skewed random label distributions: one
+/// hot label (dense bitmap) and a tail of rare ones (delta blocks) in the
+/// same index, checked against brute-force scans.
+class LabelIndexSkewTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelIndexSkewTest, MixedRepresentationsMatchBruteForce) {
+  // num_labels = 12 over 3000 nodes: the text/hot labels go dense, the
+  // rare tail stays sparse — both decoders run inside every query below.
+  Document d = RandomTree(GetParam(), {.num_nodes = 3000, .num_labels = 12});
+  LabelIndex idx(d);
+  const LabelIndex::MemoryStats stats = idx.Memory();
+  EXPECT_GT(stats.sparse_labels + stats.dense_labels, 0u);
+
+  Random rng(GetParam() * 997 + 13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId lo = static_cast<NodeId>(rng.Uniform(d.num_nodes()));
+    const NodeId hi =
+        lo + static_cast<NodeId>(rng.Uniform(d.num_nodes() - lo + 1));
+    const LabelId l = static_cast<LabelId>(rng.Uniform(d.alphabet().size()));
+    NodeId expect_first = kNullNode;
+    int32_t expect_count = 0;
+    for (NodeId n = lo; n < hi; ++n) {
+      if (d.label(n) == l) {
+        if (expect_first == kNullNode) expect_first = n;
+        ++expect_count;
+      }
+    }
+    EXPECT_EQ(idx.FirstInRange(l, lo, hi), expect_first)
+        << "l=" << l << " [" << lo << "," << hi << ")";
+    EXPECT_EQ(idx.CountInRange(l, lo, hi), expect_count)
+        << "l=" << l << " [" << lo << "," << hi << ")";
+  }
+
+  // A mixed sparse+dense label set through the merged cursor.
+  const LabelSet set = LabelSet::Of({0, 5, 11});
+  LabelIndex::SetCursor cursor(idx, set);
+  NodeId lo = 0;
+  while (lo < d.num_nodes()) {
+    const NodeId got = cursor.First(lo, d.num_nodes());
+    NodeId expect = kNullNode;
+    for (NodeId n = lo; n < d.num_nodes(); ++n) {
+      if (set.Contains(d.label(n))) {
+        expect = n;
+        break;
+      }
+    }
+    ASSERT_EQ(got, expect) << "lo=" << lo;
+    if (got == kNullNode) break;
+    lo = got + 1 + static_cast<NodeId>(rng.Uniform(5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelIndexSkewTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace xpwqo

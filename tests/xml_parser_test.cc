@@ -74,6 +74,50 @@ TEST(XmlParserTest, NumericCharacterReferences) {
   EXPECT_EQ(d.text(1), "AB\xC3\xA9");  // "ABé" in UTF-8
 }
 
+TEST(XmlParserTest, CharacterReferenceBoundaries) {
+  // The extremes of every XML Char sub-range, with their UTF-8 encodings.
+  Document d = MustParse(
+      "<a>&#x9;&#x20;&#xD7FF;&#xE000;&#xFFFD;&#x10000;&#x10FFFF;</a>");
+  EXPECT_EQ(d.text(1),
+            "\x09\x20"
+            "\xED\x9F\xBF"          // U+D7FF
+            "\xEE\x80\x80"          // U+E000
+            "\xEF\xBF\xBD"          // U+FFFD
+            "\xF0\x90\x80\x80"      // U+10000
+            "\xF4\x8F\xBF\xBF");    // U+10FFFF
+}
+
+TEST(XmlParserTest, InvalidCharacterReferencesRejected) {
+  // Each of these used to silently emit broken UTF-8 (negative values,
+  // surrogates, beyond-Unicode code points) or parse a numeric prefix and
+  // ignore the trailing garbage. All must now be parse errors.
+  const char* const kBad[] = {
+      "&#-5;",        // negative
+      "&#x-5;",       // negative, hex
+      "&#xD800;",     // low surrogate bound
+      "&#xDFFF;",     // high surrogate bound
+      "&#x110000;",   // above U+10FFFF
+      "&#1114112;",   // above U+10FFFF, decimal
+      "&#12abc;",     // trailing garbage after a decimal prefix
+      "&#x41Q;",      // trailing garbage after a hex prefix
+      "&#;",          // no digits
+      "&#x;",         // no hex digits
+      "&#xFFFE;",     // non-character excluded by the Char production
+      "&#0;",         // NUL
+      "&#8;",         // C0 control outside {9, A, D}
+      "&#99999999999999999999;",  // overflow
+  };
+  for (const char* ref : kBad) {
+    const std::string in_text = std::string("<a>") + ref + "</a>";
+    auto r = ParseXmlString(in_text);
+    EXPECT_FALSE(r.ok()) << in_text;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << in_text;
+    // The same reference inside an attribute value must fail identically.
+    const std::string in_attr = std::string("<a t=\"") + ref + "\"/>";
+    EXPECT_FALSE(ParseXmlString(in_attr).ok()) << in_attr;
+  }
+}
+
 TEST(XmlParserTest, EntityInAttribute) {
   Document d = MustParse("<a t=\"x&amp;y\"/>");
   EXPECT_EQ(d.text(1), "x&y");

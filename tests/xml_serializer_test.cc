@@ -58,6 +58,51 @@ TEST(XmlSerializerTest, TextRoundTrip) {
   EXPECT_EQ(d2.text(2), d.text(2));
 }
 
+TEST(XmlSerializerTest, SerializeParseSerializeFixpoint) {
+  // serialize(parse(x)) must be a fixpoint: parsing it again and
+  // re-serializing yields the identical byte string, and the documents
+  // agree node-for-node (labels, structure, text). Exercises attribute
+  // quoting, entity escaping round-trips, and character references.
+  const char* const kCorpus[] = {
+      "<a/>",
+      "<a><b><c/><d/></b><e><f/></e></a>",
+      "<a>hello <b>world</b></a>",
+      "<item id=\"i1\" class='x'><name/></item>",
+      "<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>",
+      "<a>&#65;&#x42;&#233;</a>",
+      "<a t=\"x&amp;y\"/>",
+      "<a t='it&apos;s &quot;quoted&quot;'><b u=\"&lt;&gt;&amp;\"/></a>",
+      "<a><![CDATA[<not> &parsed;]]></a>",
+      "<r><m x=\"1\" y=\"2\">text &amp; more<d><e>leaf</e></d></m><t/></r>",
+      "<a>&#x10FFFF;&#xE000; mixed &amp; escaped</a>",
+  };
+  for (const char* xml : kCorpus) {
+    auto first = ParseXmlString(xml);
+    ASSERT_TRUE(first.ok()) << xml << ": " << first.status();
+    const std::string once = SerializeXml(*first);
+    auto second = ParseXmlString(once);
+    ASSERT_TRUE(second.ok()) << once << ": " << second.status();
+    const std::string twice = SerializeXml(*second);
+    EXPECT_EQ(once, twice) << "input: " << xml;
+    ASSERT_EQ(first->num_nodes(), second->num_nodes()) << xml;
+    for (NodeId n = 0; n < first->num_nodes(); ++n) {
+      EXPECT_EQ(first->label(n), second->label(n)) << xml << " node " << n;
+      EXPECT_EQ(first->text(n), second->text(n)) << xml << " node " << n;
+      EXPECT_EQ(first->parent(n), second->parent(n)) << xml << " node " << n;
+    }
+  }
+}
+
+TEST(XmlSerializerTest, RandomTreeSerializationIsFixpoint) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Document d = RandomTree(seed, {.num_nodes = 120, .num_labels = 6});
+    const std::string once = SerializeXml(d);
+    auto reparsed = ParseXmlString(once);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(SerializeXml(*reparsed), once) << "seed " << seed;
+  }
+}
+
 TEST(XmlSerializerTest, WriteFile) {
   Document d = TreeOf("a(b)");
   std::string path = ::testing::TempDir() + "/xpwqo_ser_test.xml";
