@@ -9,6 +9,7 @@
 //   --quick  small document + fewer repeats (CI smoke run)
 //   --out    where to write the JSON report (default BENCH_eval_succinct.json)
 // XPWQO_SCALE overrides the document scale (default 0.2).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +18,8 @@
 
 #include "asta/eval.h"
 #include "bench_util.h"
+#include "core/cursor.h"
+#include "core/prepared_query.h"
 #include "index/succinct_tree.h"
 #include "index/tree_index.h"
 #include "util/strings.h"
@@ -27,6 +30,28 @@
 
 namespace xpwqo {
 namespace {
+
+/// One LIMIT-k measurement through the streaming ResultCursor.
+struct LimitPoint {
+  size_t k = 0;
+  double us = 0;          // open cursor + pull k results
+  int64_t visited = 0;    // nodes driven up to the k-th match
+  size_t returned = 0;
+};
+
+/// The serving-latency series: first-match and LIMIT-k times over
+/// jump-friendly descendant chains, where the cursor's region streaming
+/// stops after the region containing the k-th match.
+struct LimitSeriesRow {
+  const char* id;
+  const char* xpath;
+  double first_match_us = 0;
+  double full_ms = 0;
+  int64_t full_visited = 0;
+  size_t selected = 0;
+  bool prefix_ok = true;  // truncated drains are prefixes of the full run
+  LimitPoint points[3];
+};
 
 struct QueryResultRow {
   const char* id;
@@ -109,6 +134,76 @@ int Run(bool quick, const std::string& out_path) {
         row.match ? "" : "  MISMATCH");
   }
 
+  // ------------------------------------------------------------ LIMIT-k
+  // The serving series: open a streaming cursor, pull k results, stop. The
+  // interesting numbers are the first-match latency vs. the full-run time
+  // and the visited-node counts scaling with k instead of with |D|.
+  const struct {
+    const char* id;
+    const char* xpath;
+  } kLimitQueries[] = {
+      {"L1", "//listitem//keyword"},
+      {"L2", "//keyword"},
+      {"L3", "//parlist//listitem"},
+  };
+  const size_t kLimits[3] = {1, 10, 1000};
+  std::vector<LimitSeriesRow> limit_rows;
+  std::printf("\nLIMIT-k via ResultCursor (succinct backend, optimized):\n");
+  for (const auto& lq : kLimitQueries) {
+    auto prepared = PreparedQuery::Prepare(lq.xpath, doc.alphabet_ptr());
+    if (!prepared.ok()) continue;
+    LimitSeriesRow row;
+    row.id = lq.id;
+    row.xpath = lq.xpath;
+
+    AstaEvalResult full;
+    row.full_ms = bench::BestOfMs(
+        [&] {
+          full = EvalAstaSuccinct(prepared->asta(), tree, &succinct_index,
+                                  kJump);
+        },
+        repeats);
+    row.full_visited = full.stats.nodes_visited;
+    row.selected = full.nodes.size();
+
+    const internal::CursorContext ctx{nullptr, &tree, &succinct_index};
+    const QueryOptions opts;  // optimized
+    for (size_t i = 0; i < 3; ++i) {
+      const size_t k = kLimits[i];
+      LimitPoint& point = row.points[i];
+      point.k = k;
+      std::vector<NodeId> head;
+      point.us =
+          1000.0 * bench::BestOfMs(
+                       [&] {
+                         auto impl = internal::MakeCursorImpl(
+                             ctx, *prepared, opts, /*allow_streaming=*/true);
+                         ResultCursor cursor(std::move(*impl));
+                         head = cursor.Drain(k);
+                         point.visited =
+                             cursor.TakeStats().eval.nodes_visited;
+                       },
+                       repeats);
+      point.returned = head.size();
+      row.prefix_ok =
+          row.prefix_ok &&
+          head.size() == std::min(k, full.nodes.size()) &&
+          std::equal(head.begin(), head.end(), full.nodes.begin());
+    }
+    row.first_match_us = row.points[0].us;
+    all_match = all_match && row.prefix_ok;
+    limit_rows.push_back(row);
+
+    std::printf(
+        "%-4s first match %8.1f us (%lld visited)  k=10 %8.1f us  "
+        "k=1000 %8.1f us  full %8.3f ms (%lld visited, %zu nodes)%s\n",
+        row.id, row.first_match_us,
+        static_cast<long long>(row.points[0].visited), row.points[1].us,
+        row.points[2].us, row.full_ms,
+        static_cast<long long>(row.full_visited), row.selected,
+        row.prefix_ok ? "" : "  PREFIX MISMATCH");
+  }
+
   double log_jump = 0, log_sp = 0;
   for (const QueryResultRow& r : rows) {
     log_jump += std::log(r.jump_speedup());
@@ -161,6 +256,27 @@ int Run(bool quick, const std::string& out_path) {
                  r.pointer_jump_ms, r.jump_speedup(), r.selected,
                  r.match ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"limit_series\": [\n");
+  for (size_t i = 0; i < limit_rows.size(); ++i) {
+    const LimitSeriesRow& r = limit_rows[i];
+    std::fprintf(out,
+                 "    {\"query\": \"%s\", \"xpath\": \"%s\", "
+                 "\"first_match_us\": %.3f, \"full_ms\": %.4f, "
+                 "\"full_visited\": %lld, \"selected\": %zu, "
+                 "\"prefix_ok\": %s,\n     \"limits\": [",
+                 r.id, r.xpath, r.first_match_us, r.full_ms,
+                 static_cast<long long>(r.full_visited), r.selected,
+                 r.prefix_ok ? "true" : "false");
+    for (size_t j = 0; j < 3; ++j) {
+      const LimitPoint& p = r.points[j];
+      std::fprintf(out,
+                   "{\"k\": %zu, \"us\": %.3f, \"visited\": %lld, "
+                   "\"returned\": %zu}%s",
+                   p.k, p.us, static_cast<long long>(p.visited),
+                   p.returned, j + 1 < 3 ? ", " : "");
+    }
+    std::fprintf(out, "]}%s\n", i + 1 < limit_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -1,12 +1,14 @@
-// Quickstart: parse an XML string, run XPath queries, inspect results.
+// Quickstart: the serving-oriented API in one file — a Collection of
+// documents behind one shared alphabet, a PreparedQuery compiled once, and
+// streaming ResultCursors with LIMIT-k early termination.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/engine.h"
+#include "core/collection.h"
 
 int main() {
-  const char* xml = R"(
+  const char* databases_xml = R"(
     <library>
       <shelf topic="databases">
         <book><title>Query Processing</title><year>2010</year></book>
@@ -16,42 +18,83 @@ int main() {
         <book><title>Succinct Structures</title><year>2009</year></book>
       </shelf>
     </library>)";
+  const char* archive_xml = R"(
+    <library>
+      <shelf topic="archive">
+        <book><title>Staircase Join</title><year>2003</year></book>
+        <book><title>Holistic Twig Joins</title><year>2002</year></book>
+      </shelf>
+    </library>)";
 
-  auto engine = xpwqo::Engine::FromXmlString(xml);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 engine.status().ToString().c_str());
+  // One collection, one alphabet, many documents — each on the backend of
+  // its choice (the archive stays succinct: ~2 bits/node topology).
+  xpwqo::Collection library;
+  xpwqo::LoadOptions succinct;
+  succinct.backend = xpwqo::TreeBackend::kSuccinct;
+  auto s1 = library.AddXmlString("current", databases_xml);
+  auto s2 = library.AddXmlString("archive", archive_xml, succinct);
+  if (!s1.ok() || !s2.ok()) {
+    std::fprintf(stderr, "load error: %s\n",
+                 (s1.ok() ? s2 : s1).ToString().c_str());
     return 1;
   }
 
-  const char* queries[] = {
-      "//book/title",                 // every title
-      "//book[year]/title",           // titles of dated books
-      "/library/shelf[@topic]",       // shelves with a topic attribute
-      "//shelf[book[year]]//title",   // titles on shelves with dated books
-  };
-  for (const char* q : queries) {
-    auto result = engine->Run(q);
-    if (!result.ok()) {
-      std::fprintf(stderr, "query error: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s  ->  %zu node(s)\n", q, result->nodes.size());
-    for (xpwqo::NodeId n : result->nodes) {
-      std::printf("    %s\n", engine->document().PathTo(n).c_str());
+  // Compile once, run everywhere: the prepared query binds to every
+  // document of the collection (prepared statements, XPath edition).
+  auto titles = library.Prepare("//book/title");
+  if (!titles.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 titles.status().ToString().c_str());
+    return 1;
+  }
+  auto all = library.RunAll(*titles);
+  if (!all.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 all.status().ToString().c_str());
+    return 1;
+  }
+  for (const xpwqo::CollectionResult& row : *all) {
+    std::printf("%-8s -> %zu title(s)\n", row.name.c_str(),
+                row.result.nodes.size());
+  }
+
+  // Cursors pull results one at a time in document order; stopping early
+  // stops the evaluation — LIMIT 1 never sweeps the rest of the tree.
+  auto first_dated = library.Prepare("//book//year");
+  if (!first_dated.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 first_dated.status().ToString().c_str());
+    return 1;
+  }
+  auto cursor = library.OpenCursor("current", *first_dated);
+  if (cursor.ok()) {
+    xpwqo::NodeId n = cursor->Next();
+    const xpwqo::Engine* current = library.Find("current");
+    if (n != xpwqo::kNullNode) {
+      std::printf("first dated book: %s (visited %lld nodes, streaming=%s)\n",
+                  current->document().PathTo(n).c_str(),
+                  static_cast<long long>(
+                      cursor->TakeStats().eval.nodes_visited),
+                  cursor->streaming() ? "yes" : "no");
     }
   }
 
-  // Compiled queries are reusable, and every evaluation strategy of the
-  // paper is one option away:
-  auto compiled = engine->Compile("//book/title");
+  // The classic single-document API is unchanged underneath — and every
+  // evaluation strategy of the paper is one option away. The string
+  // overload caches compilations, so re-running a query string skips
+  // parse + compile (stats report the cache hits).
+  const xpwqo::Engine* engine = library.Find("current");
   xpwqo::QueryOptions naive;
   naive.strategy = xpwqo::EvalStrategy::kNaive;
-  auto slow = engine->Run(*compiled, naive);
-  auto fast = engine->Run(*compiled);  // optimized: jumping + memoization
-  std::printf("\nnaive visited %lld nodes, optimized visited %lld\n",
-              static_cast<long long>(slow->stats.nodes_visited),
-              static_cast<long long>(fast->stats.nodes_visited));
+  auto slow = engine->Run("//book/title", naive);
+  auto fast = engine->Run("//book/title");  // optimized: jumping + memo
+  if (slow.ok() && fast.ok()) {
+    std::printf(
+        "naive visited %lld nodes, optimized visited %lld, "
+        "query cache hits so far: %lld\n",
+        static_cast<long long>(slow->stats.nodes_visited),
+        static_cast<long long>(fast->stats.nodes_visited),
+        static_cast<long long>(fast->stats.query_cache_hits));
+  }
   return 0;
 }

@@ -2,12 +2,16 @@
 //
 //   $ ./examples/xpath_grep '<query>' <file.xml> [--paths|--xml|--count]
 //                            [--strategy naive|jumping|memoized|optimized|
-//                                        hybrid|baseline] [--explain] [--stats]
+//                                        hybrid|baseline]
+//                            [--limit N] [--explain] [--stats]
 //
-// Prints matching nodes (as paths, serialized XML, or a count). --explain
-// dumps the compiled automaton and its jump classification; --stats reports
-// how much of the document the run touched.
+// Prints matching nodes (as paths, serialized XML, or a count). Results
+// pull through a streaming ResultCursor, so --limit N stops the evaluation
+// after the N-th match instead of sweeping the document — --stats shows how
+// little of the tree a limited run touched. --explain dumps the compiled
+// automaton and its jump classification.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -22,7 +26,8 @@ int Usage() {
       stderr,
       "usage: xpath_grep '<query>' <file.xml> [--paths|--xml|--count]\n"
       "                  [--strategy "
-      "naive|jumping|memoized|optimized|hybrid|baseline]\n");
+      "naive|jumping|memoized|optimized|hybrid|baseline]\n"
+      "                  [--limit N] [--explain] [--stats]\n");
   return 2;
 }
 
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
   enum { kPaths, kXml, kCount } mode = kPaths;
   bool explain = false;
   bool stats = false;
+  size_t limit = static_cast<size_t>(-1);
   xpwqo::QueryOptions options;
   for (int i = 3; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--paths")) {
@@ -47,6 +53,11 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--limit") && i + 1 < argc) {
+      char* end = nullptr;
+      long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) return Usage();
+      limit = static_cast<size_t>(n);
     } else if (!std::strcmp(argv[i], "--strategy") && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "naive") {
@@ -74,40 +85,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  if (explain) {
-    auto text = xpwqo::ExplainQuery(*engine, query);
-    if (!text.ok()) {
-      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s\n", text->c_str());
-  }
-  auto result = engine->Run(query, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+  auto compiled = engine->Compile(query);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 compiled.status().ToString().c_str());
     return 1;
   }
-  if (stats) {
-    std::fprintf(stderr, "%s\n",
-                 xpwqo::FormatStats(result->stats,
-                                    engine->document().num_nodes())
-                     .c_str());
+  if (explain) {
+    std::printf("%s\n", xpwqo::ExplainQuery(*engine, *compiled).c_str());
   }
-  switch (mode) {
-    case kCount:
-      std::printf("%zu\n", result->nodes.size());
-      break;
-    case kPaths:
-      for (xpwqo::NodeId n : result->nodes) {
+  auto cursor = engine->OpenCursor(*compiled, options);
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "error: %s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  size_t count = 0;
+  while (count < limit) {
+    const xpwqo::NodeId n = cursor->Next();
+    if (n == xpwqo::kNullNode) break;
+    ++count;
+    switch (mode) {
+      case kCount:
+        break;
+      case kPaths:
         std::printf("%s\n", engine->document().PathTo(n).c_str());
-      }
-      break;
-    case kXml:
-      for (xpwqo::NodeId n : result->nodes) {
+        break;
+      case kXml:
         std::printf("%s\n",
                     xpwqo::SerializeXml(engine->document(), {}, n).c_str());
-      }
-      break;
+        break;
+    }
+  }
+  if (mode == kCount) std::printf("%zu\n", count);
+  if (stats) {
+    const xpwqo::CursorStats cs = cursor->TakeStats();
+    std::fprintf(stderr, "%s\n",
+                 xpwqo::FormatStats(cs.eval,
+                                    engine->document().num_nodes())
+                     .c_str());
+    std::fprintf(stderr, "streaming: %s\n",
+                 cursor->streaming() ? "yes" : "no");
   }
   return 0;
 }

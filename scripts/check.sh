@@ -14,15 +14,24 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# Sanitizer pass over the ingestion pipeline and the compressed postings:
-# the streaming parser and the builders juggle a rolling buffer plus
-# string_views into it, and the posting decoders walk raw byte streams with
-# hand-rolled varint reads — exactly the kind of code ASan/UBSan catch
-# regressions in.
+# The examples are tier-1 API surface: they must build (src/core/ compiles
+# with -Wall -Wextra -Werror, so an API wart that leaks a warning into the
+# serving layer is a build failure) and the quickstart must run clean.
+./build/quickstart > /dev/null
+printf '<r><a><k/></a><a><k/><k/></a></r>' > build/check_smoke.xml
+test "$(./build/xpath_grep '//k' build/check_smoke.xml --count)" = "3"
+test "$(./build/xpath_grep '//k' build/check_smoke.xml --count --limit 2)" = "2"
+
+# Sanitizer pass over the ingestion pipeline, the compressed postings, and
+# the serving API: the streaming parser and the builders juggle a rolling
+# buffer plus string_views into it, the posting decoders walk raw byte
+# streams with hand-rolled varint reads, and the cursor tests include the
+# two-thread shared-PreparedQuery smoke test — exactly the kind of code
+# ASan/UBSan catch regressions in.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
@@ -50,6 +59,23 @@ for key in ("label_index_bytes", "label_index_vector_bytes",
 assert ev["label_index_bytes"] > 0, "empty label index reported"
 assert ev["label_index_compression"] > 1.0, \
     f"postings larger than vectors: {ev['label_index_compression']}"
+
+# The LIMIT-k serving series: cursors must emit exact prefixes of the full
+# run, and the visited-node counters must scale with k, not with |D| —
+# LIMIT-1 may not sweep the document.
+assert ev.get("limit_series"), "BENCH_eval_succinct missing limit_series"
+for row in ev["limit_series"]:
+    q = row["query"]
+    for key in ("first_match_us", "full_ms", "full_visited", "limits"):
+        assert key in row, f"limit_series {q} missing {key}"
+    assert row["first_match_us"] > 0, f"{q}: empty first-match timing"
+    assert row["prefix_ok"], f"{q}: truncated drain was not a prefix"
+    visits = [p["visited"] for p in row["limits"]]
+    assert visits == sorted(visits), f"{q}: visited not monotone in k"
+    assert visits[-1] <= row["full_visited"], f"{q}: limit visited > full"
+    assert visits[0] < row["full_visited"], \
+        f"{q}: LIMIT-1 swept the document ({visits[0]} vs " \
+        f"{row['full_visited']} visited)"
 
 bb = json.load(open("build/BENCH_build.quick.json"))
 for key in ("label_index_compression",):

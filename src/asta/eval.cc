@@ -74,6 +74,11 @@ class AstaEvaluator {
 
   AstaEvalResult Run() { return RunAt(tree_.root()); }
 
+  /// The automaton analysis driving this evaluator's jump decisions (the
+  /// region stream consults the same instance so its top-level partition
+  /// uses exactly the rule Enter applies).
+  const TdaAnalysis& tda() const { return tda_; }
+
   AstaEvalResult RunAt(NodeId start) {
     AstaEvalResult out;
     if (start == kNullNode) return out;
@@ -476,6 +481,128 @@ class AstaEvaluator {
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// AstaRegionStream: lazy region-by-region driving of the evaluator above.
+
+struct AstaRegionStream::Impl {
+  virtual ~Impl() = default;
+  virtual bool NextRegion(std::vector<NodeId>* out) = 0;
+  virtual void SkipTo(NodeId target) = 0;
+  virtual const AstaEvalStats& stats() const = 0;
+  virtual bool streaming() const = 0;
+};
+
+namespace {
+
+template <typename TreeView>
+class RegionStreamImpl final : public AstaRegionStream::Impl {
+ public:
+  RegionStreamImpl(const Asta& asta, TreeView view, const TreeIndex* index,
+                   const AstaEvalOptions& options)
+      : view_(view), eval_(asta, view_, index, options) {
+    const NodeId root = view_.root();
+    if (root == kNullNode) {
+      done_ = true;
+      return;
+    }
+    // Mirror the evaluator's top-level Enter: when the top determinized set
+    // jumps on both children and the root label is non-essential, the
+    // topmost essential nodes partition the result-bearing subtrees.
+    if (options.jumping && index != nullptr) {
+      const JumpInfo jump = eval_.tda().JumpFor(asta.TopMask());
+      if (jump.kind == LoopKind::kBoth &&
+          !jump.essential.Contains(view_.label(root))) {
+        streaming_ = true;
+        scope_end_ = view_.BinaryEnd(root);
+        cursor_ = LabelIndex::SetCursor(index->labels(), jump.essential);
+        next_lo_ = root + 1;
+        return;
+      }
+    }
+    single_root_ = root;
+  }
+
+  bool NextRegion(std::vector<NodeId>* out) override {
+    if (done_) return false;
+    if (!streaming_) {
+      done_ = true;
+      AstaEvalResult r = eval_.RunAt(single_root_);
+      stats_ = r.stats;
+      out->insert(out->end(), r.nodes.begin(), r.nodes.end());
+      return true;
+    }
+    NodeId m = cursor_.First(next_lo_, scope_end_);
+    ++enum_jumps_;
+    // Regions whose whole span precedes the seek target contain no wanted
+    // match; step over them without driving the automaton.
+    while (m != kNullNode && view_.BinaryEnd(m) <= skip_to_) {
+      m = cursor_.First(view_.BinaryEnd(m), scope_end_);
+      ++enum_jumps_;
+    }
+    if (m == kNullNode) {
+      done_ = true;
+      return false;
+    }
+    next_lo_ = view_.BinaryEnd(m);
+    AstaEvalResult r = eval_.RunAt(m);  // cumulative stats (shared evaluator)
+    stats_ = r.stats;
+    out->insert(out->end(), r.nodes.begin(), r.nodes.end());
+    return true;
+  }
+
+  void SkipTo(NodeId target) override {
+    skip_to_ = std::max(skip_to_, target);
+  }
+
+  const AstaEvalStats& stats() const override {
+    merged_ = stats_;
+    merged_.jumps += enum_jumps_;
+    return merged_;
+  }
+
+  bool streaming() const override { return streaming_; }
+
+ private:
+  const TreeView view_;
+  AstaEvaluator<TreeView> eval_;  // persists: memo tables span regions
+  bool streaming_ = false;
+  bool done_ = false;
+  NodeId single_root_ = kNullNode;
+  NodeId scope_end_ = kNullNode;
+  NodeId next_lo_ = 0;
+  NodeId skip_to_ = 0;
+  int64_t enum_jumps_ = 0;
+  LabelIndex::SetCursor cursor_;
+  AstaEvalStats stats_;
+  mutable AstaEvalStats merged_;
+};
+
+}  // namespace
+
+AstaRegionStream::AstaRegionStream(const Asta& asta, const Document& doc,
+                                   const TreeIndex* index,
+                                   const AstaEvalOptions& options)
+    : impl_(std::make_unique<RegionStreamImpl<PointerTreeView>>(
+          asta, PointerTreeView{&doc}, index, options)) {}
+
+AstaRegionStream::AstaRegionStream(const Asta& asta, const SuccinctTree& tree,
+                                   const TreeIndex* index,
+                                   const AstaEvalOptions& options)
+    : impl_(std::make_unique<RegionStreamImpl<SuccinctTreeView>>(
+          asta, SuccinctTreeView{&tree}, index, options)) {}
+
+AstaRegionStream::AstaRegionStream(AstaRegionStream&&) noexcept = default;
+AstaRegionStream& AstaRegionStream::operator=(AstaRegionStream&&) noexcept =
+    default;
+AstaRegionStream::~AstaRegionStream() = default;
+
+bool AstaRegionStream::streaming() const { return impl_->streaming(); }
+bool AstaRegionStream::NextRegion(std::vector<NodeId>* out) {
+  return impl_->NextRegion(out);
+}
+void AstaRegionStream::SkipTo(NodeId target) { impl_->SkipTo(target); }
+const AstaEvalStats& AstaRegionStream::stats() const { return impl_->stats(); }
 
 AstaEvalResult EvalAsta(const Asta& asta, const Document& doc,
                         const TreeIndex* index,

@@ -15,6 +15,7 @@
 #ifndef XPWQO_ASTA_EVAL_H_
 #define XPWQO_ASTA_EVAL_H_
 
+#include <memory>
 #include <vector>
 
 #include "asta/asta.h"
@@ -48,6 +49,10 @@ struct AstaEvalStats {
   /// Distinct determinized state sets seen (size of the tda on-the-fly
   /// construction).
   int64_t interned_sets = 0;
+  /// Hits served by the engine's compiled-query LRU when the run came in
+  /// through the string overload (cumulative per engine; the evaluators
+  /// themselves leave this 0).
+  int64_t query_cache_hits = 0;
 };
 
 struct AstaEvalResult {
@@ -86,6 +91,55 @@ AstaEvalResult EvalAstaSuccinct(const Asta& asta, const SuccinctTree& tree,
 AstaEvalResult EvalAstaSuccinctAt(const Asta& asta, const SuccinctTree& tree,
                                   const TreeIndex* index, NodeId start,
                                   const AstaEvalOptions& options = {});
+
+/// Incremental, document-order evaluation: when the automaton's top
+/// determinized set jumps (LoopKind::kBoth with a finite essential set and a
+/// non-essential root label), the document decomposes into the disjoint
+/// binary subtrees of the topmost essential nodes, enumerated in document
+/// order. Each NextRegion() call evaluates exactly one such region and
+/// appends its matches (ascending, all beyond earlier regions), so a LIMIT-k
+/// consumer stops jumping after the region containing the k-th match instead
+/// of sweeping the document. One evaluator instance persists across regions,
+/// so memo tables and interned state sets are shared exactly as in a
+/// monolithic run.
+///
+/// Soundness caveat: a region's marks are emitted as final, which requires
+/// an automaton where every created mark survives to an accepted top state.
+/// That holds for predicate-free XPath compilations (selection queries never
+/// reject a tree and their formulas are positive) — the condition
+/// PreparedQuery::streamable() checks. For other automata, or when the top
+/// set cannot jump, the stream degenerates to a single region that is the
+/// plain full run (streaming() returns false), which is always correct.
+class AstaRegionStream {
+ public:
+  AstaRegionStream(const Asta& asta, const Document& doc,
+                   const TreeIndex* index, const AstaEvalOptions& options = {});
+  AstaRegionStream(const Asta& asta, const SuccinctTree& tree,
+                   const TreeIndex* index, const AstaEvalOptions& options = {});
+  AstaRegionStream(AstaRegionStream&&) noexcept;
+  AstaRegionStream& operator=(AstaRegionStream&&) noexcept;
+  ~AstaRegionStream();
+
+  /// True when the document decomposes into more than one lazily-enumerated
+  /// region; false when NextRegion runs the whole document at once.
+  bool streaming() const;
+
+  /// Appends the next region's matches to `out` (possibly none — a region
+  /// may prove empty). Returns false when the enumeration is exhausted.
+  bool NextRegion(std::vector<NodeId>* out);
+
+  /// Regions ending at or before `target` are skipped without evaluation
+  /// (their matches all precede `target`). Lower bounds must not decrease.
+  void SkipTo(NodeId target);
+
+  /// Cumulative work so far (evaluator counters plus enumeration jumps).
+  const AstaEvalStats& stats() const;
+
+  struct Impl;  // backend-templated implementations live in eval.cc
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xpwqo
 

@@ -24,6 +24,8 @@ class BaselineEvaluator {
     return out;
   }
 
+  StatusOr<NodeSet> EvalMask(const Path& path) { return EvalFromRoot(path); }
+
  private:
   void Touch(int64_t n) {
     if (stats_ != nullptr) stats_->nodes_touched += n;
@@ -241,6 +243,15 @@ StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(const Path& path,
     return Status::InvalidArgument("empty path");
   }
   return BaselineEvaluator(doc, stats).Eval(path);
+}
+
+StatusOr<std::vector<bool>> EvalNodeSetBaselineMask(const Path& path,
+                                                    const Document& doc,
+                                                    BaselineStats* stats) {
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  return BaselineEvaluator(doc, stats).EvalMask(path);
 }
 
 StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(const std::string& xpath,

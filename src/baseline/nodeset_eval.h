@@ -28,6 +28,13 @@ struct BaselineStats {
 StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(
     const Path& path, const Document& doc, BaselineStats* stats = nullptr);
 
+/// The raw selection mask, indexed by NodeId. Same bulk step passes as
+/// EvalNodeSetBaseline (the set-at-a-time algorithm cannot skip them), but
+/// extraction is the caller's: the cursor API scans the mask lazily, so a
+/// LIMIT-k consumer never materializes the full result vector.
+StatusOr<std::vector<bool>> EvalNodeSetBaselineMask(
+    const Path& path, const Document& doc, BaselineStats* stats = nullptr);
+
 /// Convenience: parse + evaluate.
 StatusOr<std::vector<NodeId>> EvalNodeSetBaseline(
     const std::string& xpath, const Document& doc,

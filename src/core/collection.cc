@@ -1,0 +1,71 @@
+#include "core/collection.h"
+
+#include <utility>
+
+namespace xpwqo {
+namespace {
+
+Status DuplicateName(const std::string& name) {
+  return Status::InvalidArgument("collection already has a document named '" +
+                                 name + "'");
+}
+
+}  // namespace
+
+Status Collection::AddXmlFile(std::string name, const std::string& path,
+                              LoadOptions options) {
+  if (by_name_.count(name) > 0) return DuplicateName(name);
+  options.alphabet = alphabet_;
+  XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlFile(path, options));
+  by_name_.emplace(name, engines_.size());
+  names_.push_back(std::move(name));
+  engines_.push_back(std::make_unique<Engine>(std::move(engine)));
+  return Status::OK();
+}
+
+Status Collection::AddXmlString(std::string name, std::string_view xml,
+                                LoadOptions options) {
+  if (by_name_.count(name) > 0) return DuplicateName(name);
+  options.alphabet = alphabet_;
+  XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlString(xml, options));
+  by_name_.emplace(name, engines_.size());
+  names_.push_back(std::move(name));
+  engines_.push_back(std::make_unique<Engine>(std::move(engine)));
+  return Status::OK();
+}
+
+const Engine* Collection::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : engines_[it->second].get();
+}
+
+StatusOr<const Engine*> Collection::Get(std::string_view name) const {
+  const Engine* engine = Find(name);
+  if (engine == nullptr) {
+    return Status::NotFound("no document named '" + std::string(name) +
+                            "' in the collection");
+  }
+  return engine;
+}
+
+StatusOr<ResultCursor> Collection::OpenCursor(
+    std::string_view name, const PreparedQuery& query,
+    const QueryOptions& options) const {
+  XPWQO_ASSIGN_OR_RETURN(const Engine* engine, Get(name));
+  return engine->OpenCursor(query, options);
+}
+
+StatusOr<std::vector<CollectionResult>> Collection::RunAll(
+    const PreparedQuery& query, const QueryOptions& options) const {
+  std::vector<CollectionResult> out;
+  out.reserve(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    CollectionResult row;
+    row.name = names_[i];
+    XPWQO_ASSIGN_OR_RETURN(row.result, engines_[i]->Run(query, options));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,87 @@
+// Collection: many named documents behind one shared Alphabet — the
+// multi-tenant serving shape. Documents load through the same streaming
+// ingestion pipelines as a standalone Engine (pointer or succinct backend,
+// per document), but intern their labels into the collection's alphabet, so
+// a query prepared once binds to every document, including documents added
+// after the query was prepared (new labels get fresh ids; the compiled
+// label sets stay valid).
+//
+// Thread-safety contract: Add*/Prepare mutate the shared alphabet and must
+// be serialized (load + prepare phase). Once loaded, the collection is
+// const-thread-safe: concurrent Run/RunAll/OpenCursor across any documents
+// and threads are safe.
+#ifndef XPWQO_CORE_COLLECTION_H_
+#define XPWQO_CORE_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace xpwqo {
+
+/// One document's results in a collection-wide run.
+struct CollectionResult {
+  std::string name;
+  QueryResult result;
+};
+
+class Collection {
+ public:
+  Collection() : alphabet_(std::make_shared<Alphabet>()) {}
+  /// Adopts an existing alphabet (e.g. to share it beyond the collection).
+  explicit Collection(std::shared_ptr<Alphabet> alphabet)
+      : alphabet_(std::move(alphabet)) {}
+
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+
+  const std::shared_ptr<Alphabet>& alphabet_ptr() const { return alphabet_; }
+
+  /// Loads a document under `name` (which must be new). `options.backend`
+  /// picks the representation per document; `options.alphabet` is
+  /// overridden with the collection's.
+  Status AddXmlFile(std::string name, const std::string& path,
+                    LoadOptions options = {});
+  Status AddXmlString(std::string name, std::string_view xml,
+                      LoadOptions options = {});
+
+  /// Compiles a query against the shared alphabet; the result binds to
+  /// every document of the collection (current and future).
+  StatusOr<PreparedQuery> Prepare(std::string_view xpath) const {
+    return PreparedQuery::Prepare(xpath, alphabet_);
+  }
+
+  /// The engine serving `name`, or null. Engine addresses are stable across
+  /// later Add* calls.
+  const Engine* Find(std::string_view name) const;
+  /// Same, but a NotFound status instead of null.
+  StatusOr<const Engine*> Get(std::string_view name) const;
+
+  size_t size() const { return engines_.size(); }
+  bool empty() const { return engines_.empty(); }
+  /// Document names in insertion order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Opens a streaming cursor over one document's results.
+  StatusOr<ResultCursor> OpenCursor(std::string_view name,
+                                    const PreparedQuery& query,
+                                    const QueryOptions& options = {}) const;
+
+  /// Runs a prepared query over every document, in insertion order.
+  StatusOr<std::vector<CollectionResult>> RunAll(
+      const PreparedQuery& query, const QueryOptions& options = {}) const;
+
+ private:
+  std::shared_ptr<Alphabet> alphabet_;
+  std::vector<std::string> names_;                  // insertion order
+  std::vector<std::unique_ptr<Engine>> engines_;    // parallel to names_
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_CORE_COLLECTION_H_

@@ -1,0 +1,253 @@
+#include "core/cursor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "asta/eval.h"
+#include "baseline/nodeset_eval.h"
+#include "index/tree_index.h"
+#include "tree/document.h"
+#include "xpath/hybrid.h"
+
+namespace xpwqo {
+namespace internal {
+namespace {
+
+/// A fully-materialized result: one batch, classic Run semantics.
+class EagerImpl final : public CursorImpl {
+ public:
+  EagerImpl(std::vector<NodeId> nodes, CursorStats stats)
+      : nodes_(std::move(nodes)), stats_(std::move(stats)) {}
+
+  bool NextBatch(std::vector<NodeId>* out) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    out->insert(out->end(), nodes_.begin(), nodes_.end());
+    return true;
+  }
+  bool streaming() const override { return false; }
+  void ReportStats(CursorStats* stats) const override { *stats = stats_; }
+
+ private:
+  std::vector<NodeId> nodes_;
+  CursorStats stats_;
+  bool emitted_ = false;
+};
+
+/// Baseline: the step passes run at construction (set-at-a-time evaluation
+/// cannot skip them), but the final mask is scanned lazily.
+class BaselineMaskImpl final : public CursorImpl {
+ public:
+  BaselineMaskImpl(std::vector<bool> mask, BaselineStats stats)
+      : mask_(std::move(mask)), stats_(stats) {}
+
+  bool NextBatch(std::vector<NodeId>* out) override {
+    constexpr size_t kBatch = 64;
+    size_t found = 0;
+    while (pos_ < mask_.size() && found < kBatch) {
+      if (mask_[pos_]) {
+        out->push_back(static_cast<NodeId>(pos_));
+        ++found;
+      }
+      ++pos_;
+    }
+    return found > 0;
+  }
+  void SkipHint(NodeId target) override {
+    if (target > 0) pos_ = std::max(pos_, static_cast<size_t>(target));
+  }
+  bool streaming() const override { return true; }
+  void ReportStats(CursorStats* stats) const override {
+    stats->baseline = stats_;
+    stats->streaming = true;
+  }
+
+ private:
+  std::vector<bool> mask_;
+  size_t pos_ = 0;
+  BaselineStats stats_;
+};
+
+/// Region streaming over the (predicate-free) automaton run.
+class RegionImpl final : public CursorImpl {
+ public:
+  explicit RegionImpl(AstaRegionStream stream) : stream_(std::move(stream)) {}
+
+  bool NextBatch(std::vector<NodeId>* out) override {
+    return stream_.NextRegion(out);
+  }
+  void SkipHint(NodeId target) override { stream_.SkipTo(target); }
+  bool streaming() const override { return stream_.streaming(); }
+  void ReportStats(CursorStats* stats) const override {
+    stats->eval = stream_.stats();
+    stats->streaming = stream_.streaming();
+  }
+
+ private:
+  AstaRegionStream stream_;
+};
+
+/// Candidate streaming over a hybrid plan.
+class HybridImpl final : public CursorImpl {
+ public:
+  explicit HybridImpl(HybridStream stream) : stream_(std::move(stream)) {}
+
+  bool NextBatch(std::vector<NodeId>* out) override {
+    return stream_.NextBatch(out);
+  }
+  void SkipHint(NodeId target) override { stream_.SkipTo(target); }
+  bool streaming() const override { return stream_.streaming(); }
+  void ReportStats(CursorStats* stats) const override {
+    stats->hybrid = stream_.stats();
+    stats->used_hybrid = true;
+    stats->streaming = stream_.streaming();
+  }
+
+ private:
+  HybridStream stream_;
+};
+
+AstaEvalOptions EvalOptionsFor(const QueryOptions& options) {
+  AstaEvalOptions eval;
+  switch (options.strategy) {
+    case EvalStrategy::kNaive:
+      eval = {false, false, false};
+      break;
+    case EvalStrategy::kJumping:
+      eval = {true, false, false};
+      break;
+    case EvalStrategy::kMemoized:
+      eval = {false, true, false};
+      break;
+    default:  // kOptimized and the hybrid fallback
+      eval = {true, true, true};
+      break;
+  }
+  eval.info_propagation = eval.info_propagation && options.info_propagation;
+  return eval;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
+    const CursorContext& ctx, const PreparedQuery& query,
+    const QueryOptions& options, bool allow_streaming) {
+  if (options.strategy == EvalStrategy::kBaseline) {
+    if (ctx.doc == nullptr) {
+      return Status::InvalidArgument(
+          "baseline strategy requires the pointer Document; this engine "
+          "was streamed straight into the succinct backend");
+    }
+    BaselineStats stats;
+    XPWQO_ASSIGN_OR_RETURN(
+        std::vector<bool> mask,
+        EvalNodeSetBaselineMask(query.path(), *ctx.doc, &stats));
+    return std::unique_ptr<CursorImpl>(
+        new BaselineMaskImpl(std::move(mask), stats));
+  }
+
+  if (options.strategy == EvalStrategy::kHybrid && query.hybrid() != nullptr) {
+    const HybridPlan& plan = *query.hybrid();
+    if (allow_streaming) {
+      HybridStream stream = ctx.tree != nullptr
+                                ? HybridStream(plan, *ctx.tree, *ctx.index)
+                                : HybridStream(plan, *ctx.doc, *ctx.index);
+      return std::unique_ptr<CursorImpl>(new HybridImpl(std::move(stream)));
+    }
+    CursorStats stats;
+    stats.used_hybrid = true;
+    StatusOr<std::vector<NodeId>> nodes =
+        ctx.tree != nullptr ? plan.Run(*ctx.tree, *ctx.index, &stats.hybrid)
+                            : plan.Run(*ctx.doc, *ctx.index, &stats.hybrid);
+    XPWQO_RETURN_IF_ERROR(nodes.status());
+    return std::unique_ptr<CursorImpl>(
+        new EagerImpl(std::move(nodes).value(), std::move(stats)));
+  }
+
+  // Automaton strategies (and the hybrid fallback when no plan applies).
+  const AstaEvalOptions eval = EvalOptionsFor(options);
+  const TreeIndex* index = eval.jumping ? ctx.index : nullptr;
+  if (allow_streaming && query.streamable() && eval.jumping &&
+      index != nullptr) {
+    AstaRegionStream stream =
+        ctx.tree != nullptr
+            ? AstaRegionStream(query.asta(), *ctx.tree, index, eval)
+            : AstaRegionStream(query.asta(), *ctx.doc, index, eval);
+    return std::unique_ptr<CursorImpl>(new RegionImpl(std::move(stream)));
+  }
+  AstaEvalResult r = ctx.tree != nullptr
+                         ? EvalAstaSuccinct(query.asta(), *ctx.tree, index,
+                                            eval)
+                         : EvalAsta(query.asta(), *ctx.doc, index, eval);
+  CursorStats stats;
+  stats.eval = r.stats;
+  return std::unique_ptr<CursorImpl>(
+      new EagerImpl(std::move(r.nodes), std::move(stats)));
+}
+
+}  // namespace internal
+
+ResultCursor::ResultCursor(std::unique_ptr<internal::CursorImpl> impl,
+                           std::shared_ptr<const PreparedQuery> retained,
+                           int64_t cache_hits)
+    : impl_(std::move(impl)),
+      retained_(std::move(retained)),
+      cache_hits_(cache_hits) {}
+
+NodeId ResultCursor::Next() {
+  while (pos_ >= buffer_.size()) {
+    if (done_) return kNullNode;
+    buffer_.clear();
+    pos_ = 0;
+    if (!impl_->NextBatch(&buffer_)) {
+      done_ = true;
+      return kNullNode;
+    }
+  }
+  ++returned_;
+  return buffer_[pos_++];
+}
+
+NodeId ResultCursor::SeekGe(NodeId target) {
+  for (;;) {
+    while (pos_ < buffer_.size()) {
+      const NodeId n = buffer_[pos_++];
+      if (n >= target) {
+        ++returned_;
+        return n;
+      }
+    }
+    if (done_) return kNullNode;
+    impl_->SkipHint(target);
+    buffer_.clear();
+    pos_ = 0;
+    if (!impl_->NextBatch(&buffer_)) {
+      done_ = true;
+      return kNullNode;
+    }
+  }
+}
+
+std::vector<NodeId> ResultCursor::Drain() {
+  return Drain(static_cast<size_t>(-1));
+}
+
+std::vector<NodeId> ResultCursor::Drain(size_t limit) {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < limit; ++i) {
+    const NodeId n = Next();
+    if (n == kNullNode) break;
+    out.push_back(n);
+  }
+  return out;
+}
+
+CursorStats ResultCursor::TakeStats() const {
+  CursorStats stats;
+  impl_->ReportStats(&stats);
+  stats.returned = returned_;
+  stats.eval.query_cache_hits = cache_hits_;
+  return stats;
+}
+
+}  // namespace xpwqo

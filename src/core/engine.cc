@@ -1,14 +1,13 @@
 #include "core/engine.h"
 
 #include <fstream>
+#include <list>
+#include <mutex>
+#include <utility>
 
-#include "baseline/nodeset_eval.h"
 #include "index/label_index.h"
 #include "index/succinct_builder.h"
-#include "tree/builder.h"
 #include "tree/event_sink.h"
-#include "xpath/compile.h"
-#include "xpath/parser.h"
 
 namespace xpwqo {
 namespace {
@@ -22,23 +21,43 @@ size_t FileSizeOrZero(const std::string& path) {
 
 }  // namespace
 
-const char* EvalStrategyName(EvalStrategy strategy) {
-  switch (strategy) {
-    case EvalStrategy::kNaive:
-      return "naive";
-    case EvalStrategy::kJumping:
-      return "jumping";
-    case EvalStrategy::kMemoized:
-      return "memoized";
-    case EvalStrategy::kOptimized:
-      return "optimized";
-    case EvalStrategy::kHybrid:
-      return "hybrid";
-    case EvalStrategy::kBaseline:
-      return "baseline";
+/// Small LRU of string-compiled queries. Serving traffic repeats a handful
+/// of query shapes; 32 slots covers the paper's whole workload several
+/// times over, and the linear scan is noise next to one parse + compile.
+class PreparedQueryCache {
+ public:
+  static constexpr size_t kCapacity = 32;
+
+  std::shared_ptr<const PreparedQuery> Lookup(std::string_view xpath) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == xpath) {
+        entries_.splice(entries_.begin(), entries_, it);
+        ++hits_;
+        return entries_.front().second;
+      }
+    }
+    return nullptr;
   }
-  return "?";
-}
+
+  void Insert(std::string xpath,
+              std::shared_ptr<const PreparedQuery> query) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace_front(std::move(xpath), std::move(query));
+    if (entries_.size() > kCapacity) entries_.pop_back();
+  }
+
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int64_t hits_ = 0;
+  std::list<std::pair<std::string, std::shared_ptr<const PreparedQuery>>>
+      entries_;
+};
 
 const char* TreeBackendName(TreeBackend backend) {
   switch (backend) {
@@ -50,11 +69,15 @@ const char* TreeBackendName(TreeBackend backend) {
   return "?";
 }
 
-std::string CompiledQuery::ToString() const { return xpwqo::ToString(path_); }
+Engine::Engine() : cache_(std::make_unique<PreparedQueryCache>()) {}
 
-Engine::Engine(Document doc, TreeBackend backend)
-    : alphabet_(doc.alphabet_ptr()),
-      doc_(std::make_unique<Document>(std::move(doc))) {
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+Engine::~Engine() = default;
+
+Engine::Engine(Document doc, TreeBackend backend) : Engine() {
+  alphabet_ = doc.alphabet_ptr();
+  doc_ = std::make_unique<Document>(std::move(doc));
   if (backend == TreeBackend::kSuccinct) {
     succinct_ = std::make_unique<SuccinctTree>(*doc_);
     index_ = std::make_unique<TreeIndex>(*succinct_);
@@ -64,11 +87,11 @@ Engine::Engine(Document doc, TreeBackend backend)
 }
 
 StatusOr<Engine> Engine::LoadSuccinct(
-    size_t input_bytes,
+    size_t input_bytes, std::shared_ptr<Alphabet> alphabet,
     const std::function<Status(Alphabet*, TreeEventSink*)>& parse) {
   // One parse feeds the parenthesis/label builder and the posting-list
   // builder side by side; no pointer Document exists at any point.
-  auto alphabet = std::make_shared<Alphabet>();
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
   SuccinctBuilder tree;
   LabelPostingsBuilder postings;
   TeeSink tee{&tree, &postings};
@@ -86,12 +109,13 @@ StatusOr<Engine> Engine::FromXmlFile(const std::string& path,
                                      const LoadOptions& options) {
   if (options.backend == TreeBackend::kSuccinct) {
     return LoadSuccinct(
-        FileSizeOrZero(path),
+        FileSizeOrZero(path), options.alphabet,
         [&path, &options](Alphabet* alphabet, TreeEventSink* sink) {
           return ParseXmlFileEvents(path, options.parse, alphabet, sink);
         });
   }
-  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlFile(path, options.parse));
+  XPWQO_ASSIGN_OR_RETURN(Document doc,
+                         ParseXmlFile(path, options.parse, options.alphabet));
   return Engine(std::move(doc), TreeBackend::kPointer);
 }
 
@@ -99,11 +123,13 @@ StatusOr<Engine> Engine::FromXmlString(std::string_view xml,
                                        const LoadOptions& options) {
   if (options.backend == TreeBackend::kSuccinct) {
     return LoadSuccinct(
-        xml.size(), [xml, &options](Alphabet* alphabet, TreeEventSink* sink) {
+        xml.size(), options.alphabet,
+        [xml, &options](Alphabet* alphabet, TreeEventSink* sink) {
           return ParseXmlEvents(xml, options.parse, alphabet, sink);
         });
   }
-  XPWQO_ASSIGN_OR_RETURN(Document doc, ParseXmlString(xml, options.parse));
+  XPWQO_ASSIGN_OR_RETURN(
+      Document doc, ParseXmlString(xml, options.parse, options.alphabet));
   return Engine(std::move(doc), TreeBackend::kPointer);
 }
 
@@ -137,81 +163,86 @@ IndexMemoryReport Engine::IndexMemory() const {
   return report;
 }
 
-StatusOr<CompiledQuery> Engine::Compile(std::string_view xpath) const {
-  CompiledQuery query;
-  XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));
-  Alphabet* alphabet = alphabet_.get();
-  XPWQO_ASSIGN_OR_RETURN(query.asta_, CompileToAsta(query.path_, alphabet));
-  if (IsHybridEvaluable(query.path_)) {
-    XPWQO_ASSIGN_OR_RETURN(HybridPlan plan,
-                           HybridPlan::Make(query.path_, alphabet));
-    query.hybrid_ = std::make_unique<HybridPlan>(std::move(plan));
-  }
-  return query;
+StatusOr<PreparedQuery> Engine::Compile(std::string_view xpath) const {
+  return PreparedQuery::Prepare(xpath, alphabet_);
 }
 
-StatusOr<QueryResult> Engine::Run(const CompiledQuery& query,
+internal::CursorContext Engine::Context() const {
+  internal::CursorContext ctx;
+  ctx.doc = doc_.get();
+  ctx.tree = succinct_.get();
+  ctx.index = index_.get();
+  return ctx;
+}
+
+StatusOr<std::shared_ptr<const PreparedQuery>> Engine::PrepareCached(
+    std::string_view xpath) const {
+  if (std::shared_ptr<const PreparedQuery> hit = cache_->Lookup(xpath)) {
+    return hit;
+  }
+  XPWQO_ASSIGN_OR_RETURN(PreparedQuery query,
+                         PreparedQuery::Prepare(xpath, alphabet_));
+  auto shared = std::make_shared<const PreparedQuery>(std::move(query));
+  cache_->Insert(std::string(xpath), shared);
+  return shared;
+}
+
+StatusOr<ResultCursor> Engine::OpenCursor(const PreparedQuery& query,
+                                          const QueryOptions& options) const {
+  if (query.alphabet_ptr() != alphabet_) {
+    return Status::InvalidArgument(
+        "query was prepared against a different alphabet; prepare it "
+        "through this engine (or its collection)");
+  }
+  XPWQO_ASSIGN_OR_RETURN(
+      std::unique_ptr<internal::CursorImpl> impl,
+      internal::MakeCursorImpl(Context(), query, options,
+                               /*allow_streaming=*/true));
+  return ResultCursor(std::move(impl));
+}
+
+StatusOr<ResultCursor> Engine::OpenCursor(std::string_view xpath,
+                                          const QueryOptions& options) const {
+  XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
+                         PrepareCached(xpath));
+  XPWQO_ASSIGN_OR_RETURN(
+      std::unique_ptr<internal::CursorImpl> impl,
+      internal::MakeCursorImpl(Context(), *query, options,
+                               /*allow_streaming=*/true));
+  return ResultCursor(std::move(impl), std::move(query), cache_->hits());
+}
+
+StatusOr<QueryResult> Engine::Run(const PreparedQuery& query,
                                   const QueryOptions& options) const {
+  if (query.alphabet_ptr() != alphabet_) {
+    return Status::InvalidArgument(
+        "query was prepared against a different alphabet; prepare it "
+        "through this engine (or its collection)");
+  }
+  // Run is "drain the cursor" with streaming off: every strategy executes
+  // its classic one-shot evaluation, so results, statistics and performance
+  // are identical to the pre-cursor API.
+  XPWQO_ASSIGN_OR_RETURN(
+      std::unique_ptr<internal::CursorImpl> impl,
+      internal::MakeCursorImpl(Context(), query, options,
+                               /*allow_streaming=*/false));
+  ResultCursor cursor(std::move(impl));
   QueryResult out;
-  switch (options.strategy) {
-    case EvalStrategy::kBaseline: {
-      if (doc_ == nullptr) {
-        return Status::InvalidArgument(
-            "baseline strategy requires the pointer Document; this engine "
-            "was streamed straight into the succinct backend");
-      }
-      XPWQO_ASSIGN_OR_RETURN(out.nodes,
-                             EvalNodeSetBaseline(query.path(), *doc_));
-      return out;
-    }
-    case EvalStrategy::kHybrid: {
-      if (query.hybrid_ != nullptr) {
-        if (succinct_ != nullptr) {
-          XPWQO_ASSIGN_OR_RETURN(
-              out.nodes, query.hybrid_->Run(*succinct_, *index_, &out.hybrid));
-        } else {
-          XPWQO_ASSIGN_OR_RETURN(
-              out.nodes, query.hybrid_->Run(*doc_, *index_, &out.hybrid));
-        }
-        out.used_hybrid = true;
-        return out;
-      }
-      break;  // fall through to optimized
-    }
-    default:
-      break;
-  }
-  AstaEvalOptions eval;
-  switch (options.strategy) {
-    case EvalStrategy::kNaive:
-      eval = {false, false, false};
-      break;
-    case EvalStrategy::kJumping:
-      eval = {true, false, false};
-      break;
-    case EvalStrategy::kMemoized:
-      eval = {false, true, false};
-      break;
-    default:  // kOptimized and hybrid fallback
-      eval = {true, true, true};
-      break;
-  }
-  eval.info_propagation =
-      eval.info_propagation && options.info_propagation;
-  const TreeIndex* index = eval.jumping ? index_.get() : nullptr;
-  AstaEvalResult r =
-      succinct_ != nullptr
-          ? EvalAstaSuccinct(query.asta(), *succinct_, index, eval)
-          : EvalAsta(query.asta(), *doc_, index, eval);
-  out.nodes = std::move(r.nodes);
-  out.stats = r.stats;
+  out.nodes = cursor.Drain();
+  const CursorStats stats = cursor.TakeStats();
+  out.stats = stats.eval;
+  out.hybrid = stats.hybrid;
+  out.used_hybrid = stats.used_hybrid;
   return out;
 }
 
 StatusOr<QueryResult> Engine::Run(std::string_view xpath,
                                   const QueryOptions& options) const {
-  XPWQO_ASSIGN_OR_RETURN(CompiledQuery query, Compile(xpath));
-  return Run(query, options);
+  XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
+                         PrepareCached(xpath));
+  StatusOr<QueryResult> result = Run(*query, options);
+  if (result.ok()) result->stats.query_cache_hits = cache_->hits();
+  return result;
 }
 
 }  // namespace xpwqo

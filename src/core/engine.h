@@ -1,10 +1,38 @@
-// Engine: the library's public entry point. Owns a document representation
-// (pointer or succinct), its jump index, and query compilation; dispatches
-// to the evaluation strategies.
+// Engine: one document plus its index — the per-document slice of the
+// serving surface. Queries are prepared once (PreparedQuery), results pull
+// through a streaming ResultCursor, and many engines sharing one Alphabet
+// form a Collection (collection.h) that a single prepared query spans.
+//
+//   Collection library;
+//   XPWQO_RETURN_IF_ERROR(library.AddXmlFile("2024", "sales-2024.xml"));
+//   XPWQO_RETURN_IF_ERROR(
+//       library.AddXmlFile("2025", "sales-2025.xml",
+//                          {.backend = TreeBackend::kSuccinct}));
+//   // Compile once against the shared alphabet, run on every document:
+//   XPWQO_ASSIGN_OR_RETURN(PreparedQuery q,
+//                          library.Prepare("//listitem//keyword"));
+//   for (const std::string& name : library.names()) {
+//     XPWQO_ASSIGN_OR_RETURN(ResultCursor cursor,
+//                            library.OpenCursor(name, q));
+//     for (NodeId n = cursor.Next(); n != kNullNode; n = cursor.Next()) {
+//       ...  // stop any time: LIMIT-k never sweeps the rest of the tree
+//     }
+//   }
+//
+// Single-document usage keeps the classic one-liners; the string overload
+// of Run caches compilations in a small LRU, so repeated query strings stop
+// recompiling:
 //
 //   XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlFile("doc.xml"));
 //   XPWQO_ASSIGN_OR_RETURN(QueryResult r, engine.Run("//listitem//keyword"));
-//   for (NodeId n : r.nodes) std::cout << engine.document().PathTo(n);
+//
+// Thread-safety: a loaded Engine is const-thread-safe — concurrent Run()
+// and cursors are fine, including through the string overload (the query
+// cache is internally locked), with one caveat: compiling a *new* query
+// interns labels into the shared Alphabet, which must not race with other
+// compilations or document loads on the same alphabet. Prepare the query
+// set up front (or warm the cache single-threaded) and the serving phase is
+// lock-free reads.
 #ifndef XPWQO_CORE_ENGINE_H_
 #define XPWQO_CORE_ENGINE_H_
 
@@ -13,27 +41,16 @@
 #include <string>
 #include <string_view>
 
-#include "asta/eval.h"
+#include "core/cursor.h"
+#include "core/prepared_query.h"
+#include "core/query.h"
 #include "index/tree_index.h"
 #include "tree/document.h"
 #include "util/status.h"
 #include "xml/parser.h"
 #include "xpath/ast.h"
-#include "xpath/hybrid.h"
 
 namespace xpwqo {
-
-/// How to evaluate a query. The first four correspond to Figure 4's series.
-enum class EvalStrategy {
-  kNaive,      // Algorithm 4.1 as written: no jumping, no memoization
-  kJumping,    // relevant-node jumping only
-  kMemoized,   // memoization only
-  kOptimized,  // jumping + memoization + information propagation (default)
-  kHybrid,     // start-anywhere (falls back to kOptimized when inapplicable)
-  kBaseline,   // step-wise node-set evaluation (the MonetDB stand-in)
-};
-
-const char* EvalStrategyName(EvalStrategy strategy);
 
 /// Which tree representation the engine evaluates on. The pointer backend
 /// is the default; the succinct backend keeps the topology in ~2 bits/node
@@ -54,6 +71,10 @@ const char* TreeBackendName(TreeBackend backend);
 struct LoadOptions {
   TreeBackend backend = TreeBackend::kPointer;
   XmlParseOptions parse;
+  /// Intern labels through this alphabet instead of a fresh private one —
+  /// the Collection path: every document of a collection shares one
+  /// alphabet so one PreparedQuery binds to all of them.
+  std::shared_ptr<Alphabet> alphabet;
 };
 
 /// Memory accounting of the loaded index structures, reported by the
@@ -73,37 +94,11 @@ struct IndexMemoryReport {
   }
 };
 
-struct QueryOptions {
-  EvalStrategy strategy = EvalStrategy::kOptimized;
-  /// Information propagation (only meaningful for the automaton
-  /// strategies; Figure 4's four series keep it off except kOptimized).
-  bool info_propagation = true;
-};
+/// Compatibility name: Engine::Compile has always returned a reusable
+/// compiled query; it is now the same object the serving API prepares.
+using CompiledQuery = PreparedQuery;
 
-struct QueryResult {
-  /// Selected nodes in document order, duplicate-free.
-  std::vector<NodeId> nodes;
-  /// Automaton statistics (zero for kBaseline).
-  AstaEvalStats stats;
-  /// Hybrid statistics (only set when the hybrid strategy actually ran).
-  HybridStats hybrid;
-  bool used_hybrid = false;
-};
-
-/// A parsed and compiled query, reusable across runs on the same engine.
-class CompiledQuery {
- public:
-  const Path& path() const { return path_; }
-  const Asta& asta() const { return asta_; }
-  /// Unparsed canonical form.
-  std::string ToString() const;
-
- private:
-  friend class Engine;
-  Path path_;
-  Asta asta_;
-  std::unique_ptr<HybridPlan> hybrid_;  // null if not hybrid-evaluable
-};
+class PreparedQueryCache;
 
 /// One document plus its index; immutable after construction, cheap to move.
 class Engine {
@@ -125,17 +120,34 @@ class Engine {
   static Engine FromDocument(Document doc,
                              TreeBackend backend = TreeBackend::kPointer);
 
-  Engine(Engine&&) = default;
-  Engine& operator=(Engine&&) = default;
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();
 
-  /// Parses and compiles an XPath expression of the supported fragment.
-  StatusOr<CompiledQuery> Compile(std::string_view xpath) const;
+  /// Parses and compiles an XPath expression of the supported fragment
+  /// against this engine's alphabet (equivalent to PreparedQuery::Prepare).
+  StatusOr<PreparedQuery> Compile(std::string_view xpath) const;
 
-  /// Runs a compiled query.
-  StatusOr<QueryResult> Run(const CompiledQuery& query,
+  /// Opens a streaming cursor over the query's results. The query must
+  /// have been prepared against this engine's alphabet; it and the engine
+  /// must outlive the cursor.
+  StatusOr<ResultCursor> OpenCursor(const PreparedQuery& query,
+                                    const QueryOptions& options = {}) const;
+
+  /// String convenience: compiles through the engine's LRU query cache and
+  /// hands the cursor shared ownership of the compilation.
+  StatusOr<ResultCursor> OpenCursor(std::string_view xpath,
+                                    const QueryOptions& options = {}) const;
+
+  /// Runs a compiled query to completion (drains an eager cursor — the
+  /// classic materialized API).
+  StatusOr<QueryResult> Run(const PreparedQuery& query,
                             const QueryOptions& options = {}) const;
 
-  /// Parses, compiles and runs in one call.
+  /// Parses, compiles and runs in one call. Compilations are cached in a
+  /// small LRU keyed by the query string, so repeated calls stop paying
+  /// parse + compile; QueryResult::stats::query_cache_hits reports the
+  /// cache's cumulative hits.
   StatusOr<QueryResult> Run(std::string_view xpath,
                             const QueryOptions& options = {}) const;
 
@@ -165,17 +177,24 @@ class Engine {
   IndexMemoryReport IndexMemory() const;
 
  private:
-  Engine() = default;
+  Engine();
   Engine(Document doc, TreeBackend backend);
   /// Shared streamed-succinct load path of the FromXml* entry points.
   static StatusOr<Engine> LoadSuccinct(
-      size_t input_bytes,
+      size_t input_bytes, std::shared_ptr<Alphabet> alphabet,
       const std::function<Status(Alphabet*, TreeEventSink*)>& parse);
+  /// Cache-through compilation of a query string.
+  StatusOr<std::shared_ptr<const PreparedQuery>> PrepareCached(
+      std::string_view xpath) const;
+  internal::CursorContext Context() const;
 
   std::shared_ptr<Alphabet> alphabet_;
   std::unique_ptr<Document> doc_;  // null on streaming-succinct loads
   std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
   std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured
+  /// LRU of string-compiled queries (internally locked; see the class
+  /// comment for the new-query interning caveat).
+  mutable std::unique_ptr<PreparedQueryCache> cache_;
 };
 
 }  // namespace xpwqo

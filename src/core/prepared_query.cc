@@ -1,0 +1,42 @@
+#include "core/prepared_query.h"
+
+#include "sta/minimize.h"
+#include "xpath/compile.h"
+#include "xpath/compile_sta.h"
+#include "xpath/parser.h"
+
+namespace xpwqo {
+
+StatusOr<PreparedQuery> PreparedQuery::Prepare(
+    std::string_view xpath, const std::shared_ptr<Alphabet>& alphabet) {
+  if (alphabet == nullptr) {
+    return Status::InvalidArgument("Prepare requires a non-null alphabet");
+  }
+  PreparedQuery query;
+  query.alphabet_ = alphabet;
+  XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));
+  XPWQO_ASSIGN_OR_RETURN(query.asta_,
+                         CompileToAsta(query.path_, alphabet.get()));
+  if (IsHybridEvaluable(query.path_)) {
+    XPWQO_ASSIGN_OR_RETURN(HybridPlan plan,
+                           HybridPlan::Make(query.path_, alphabet.get()));
+    query.hybrid_ = std::make_unique<HybridPlan>(std::move(plan));
+  }
+  if (IsTdstaCompilable(query.path_)) {
+    XPWQO_ASSIGN_OR_RETURN(Sta sta,
+                           CompileToTdsta(query.path_, alphabet.get()));
+    query.tdsta_ = std::make_unique<Sta>(MinimizeTopDown(sta));
+  }
+  query.streamable_ = true;
+  for (const Step& step : query.path_.steps) {
+    if (!step.predicates.empty()) {
+      query.streamable_ = false;
+      break;
+    }
+  }
+  return query;
+}
+
+std::string PreparedQuery::ToString() const { return xpwqo::ToString(path_); }
+
+}  // namespace xpwqo

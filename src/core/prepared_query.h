@@ -1,0 +1,72 @@
+// PreparedQuery: an XPath string parsed and compiled exactly once against a
+// shared Alphabet — the serving-side "prepared statement". Holds every plan
+// the engines can run: the Path AST, the ASTA (all Figure-4 strategies), the
+// minimal TDSTA of the restricted fragment (the optimal jumping run of
+// Theorem 3.1), and a HybridPlan for descendant chains. A prepared query is
+// immutable after Prepare() and bindable to any document or Engine built
+// over the same Alphabet — compile once, run on every shard.
+//
+// Thread-safety contract: Prepare() interns the query's name tests into the
+// shared Alphabet and must not race with other Prepare()/document loads on
+// that alphabet. Afterwards the object is const-thread-safe: concurrent
+// Run()/ResultCursor evaluations of one PreparedQuery are safe (evaluation
+// state lives in the evaluators, never in the query).
+#ifndef XPWQO_CORE_PREPARED_QUERY_H_
+#define XPWQO_CORE_PREPARED_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "asta/asta.h"
+#include "sta/sta.h"
+#include "tree/alphabet.h"
+#include "util/status.h"
+#include "xpath/ast.h"
+#include "xpath/hybrid.h"
+
+namespace xpwqo {
+
+class PreparedQuery {
+ public:
+  /// Parses and compiles `xpath` against `alphabet` (which must be
+  /// non-null; new name tests are interned into it).
+  static StatusOr<PreparedQuery> Prepare(
+      std::string_view xpath, const std::shared_ptr<Alphabet>& alphabet);
+
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+
+  const Path& path() const { return path_; }
+  const Asta& asta() const { return asta_; }
+  /// Start-anywhere plan, or null when the path is not a //-chain.
+  const HybridPlan* hybrid() const { return hybrid_.get(); }
+  /// Minimal TDSTA of the restricted fragment (drives TopDownJumpRun), or
+  /// null when the path needs alternation.
+  const Sta* tdsta() const { return tdsta_.get(); }
+  /// True when a ResultCursor can emit matches incrementally: the path has
+  /// no predicates, so every automaton mark is final the moment its region
+  /// completes (selection queries of this shape never reject a tree).
+  bool streamable() const { return streamable_; }
+  /// The alphabet the query was compiled against; evaluation requires the
+  /// document to share it.
+  const std::shared_ptr<Alphabet>& alphabet_ptr() const { return alphabet_; }
+  /// Unparsed canonical form.
+  std::string ToString() const;
+
+ private:
+  friend class Engine;  // Engine::Compile fills the same fields
+
+  PreparedQuery() = default;
+
+  std::shared_ptr<Alphabet> alphabet_;
+  Path path_;
+  Asta asta_;
+  std::unique_ptr<HybridPlan> hybrid_;  // null if not hybrid-evaluable
+  std::unique_ptr<Sta> tdsta_;          // null if not TDSTA-compilable
+  bool streamable_ = false;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_CORE_PREPARED_QUERY_H_

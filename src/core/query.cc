@@ -1,0 +1,23 @@
+#include "core/query.h"
+
+namespace xpwqo {
+
+const char* EvalStrategyName(EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kNaive:
+      return "naive";
+    case EvalStrategy::kJumping:
+      return "jumping";
+    case EvalStrategy::kMemoized:
+      return "memoized";
+    case EvalStrategy::kOptimized:
+      return "optimized";
+    case EvalStrategy::kHybrid:
+      return "hybrid";
+    case EvalStrategy::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace xpwqo

@@ -1,0 +1,63 @@
+// Query execution types shared by the serving surface (Engine, ResultCursor,
+// Collection): the evaluation strategies of Figure 4, per-run options, and
+// the result/statistics structs every execution path reports into.
+#ifndef XPWQO_CORE_QUERY_H_
+#define XPWQO_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asta/eval.h"
+#include "baseline/nodeset_eval.h"
+#include "tree/types.h"
+#include "xpath/hybrid.h"
+
+namespace xpwqo {
+
+/// How to evaluate a query. The first four correspond to Figure 4's series.
+enum class EvalStrategy {
+  kNaive,      // Algorithm 4.1 as written: no jumping, no memoization
+  kJumping,    // relevant-node jumping only
+  kMemoized,   // memoization only
+  kOptimized,  // jumping + memoization + information propagation (default)
+  kHybrid,     // start-anywhere (falls back to kOptimized when inapplicable)
+  kBaseline,   // step-wise node-set evaluation (the MonetDB stand-in)
+};
+
+const char* EvalStrategyName(EvalStrategy strategy);
+
+struct QueryOptions {
+  EvalStrategy strategy = EvalStrategy::kOptimized;
+  /// Information propagation (only meaningful for the automaton
+  /// strategies; Figure 4's four series keep it off except kOptimized).
+  bool info_propagation = true;
+};
+
+struct QueryResult {
+  /// Selected nodes in document order, duplicate-free.
+  std::vector<NodeId> nodes;
+  /// Automaton statistics (zero for kBaseline).
+  AstaEvalStats stats;
+  /// Hybrid statistics (only set when the hybrid strategy actually ran).
+  HybridStats hybrid;
+  bool used_hybrid = false;
+};
+
+/// Work accounting of one cursor, reported by ResultCursor::TakeStats().
+/// For streaming cursors the counters cover only the portion of the
+/// document actually driven — the whole point of LIMIT-k evaluation.
+struct CursorStats {
+  AstaEvalStats eval;       // automaton strategies (zero for kBaseline)
+  HybridStats hybrid;       // only set when the hybrid strategy ran
+  BaselineStats baseline;   // only set for kBaseline
+  bool used_hybrid = false;
+  /// True when results were produced incrementally (region/pivot streaming
+  /// or lazy mask extraction) rather than drained from one full run.
+  bool streaming = false;
+  /// Nodes handed out by Next()/SeekGe() so far.
+  int64_t returned = 0;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_CORE_QUERY_H_

@@ -65,10 +65,12 @@ std::vector<StateJumpInfo> ClassifyStates(const Sta& sta) {
 template <typename TreeView>
 class JumpRunner {
  public:
-  JumpRunner(const Sta& sta, const TreeView& doc, const TreeIndex& index)
+  JumpRunner(const Sta& sta, const TreeView& doc, const TreeIndex& index,
+             const JumpRunOptions& options)
       : sta_(sta),
         doc_(doc),
         index_(index),
+        options_(options),
         infos_(ClassifyStates(sta)),
         sink_(FindTopDownSink(sta)) {}
 
@@ -79,9 +81,17 @@ class JumpRunner {
     result_ = &out;
     failed_ = false;
     // relevant_nodes at the root, then depth-first; the explicit stack holds
-    // pending (node, state) visits in reverse document order.
+    // pending (node, state) visits in reverse document order. Visits pop in
+    // document order, so the selected list grows in document order and the
+    // max_selected cut keeps exactly the first k selections of the run.
     EnterChild(doc_.root(), sta_.tops()[0]);
     while (!stack_.empty() && !failed_) {
+      if (options_.max_selected >= 0 &&
+          static_cast<int64_t>(out.selected.size()) >=
+              options_.max_selected) {
+        out.truncated = true;
+        break;
+      }
       auto [n, q] = stack_.back();
       stack_.pop_back();
       Visit(n, q);
@@ -182,6 +192,7 @@ class JumpRunner {
   const Sta& sta_;
   const TreeView& doc_;
   const TreeIndex& index_;
+  JumpRunOptions options_;
   std::vector<StateJumpInfo> infos_;
   StateId sink_;
   std::vector<std::pair<NodeId, StateId>> stack_;
@@ -192,15 +203,17 @@ class JumpRunner {
 }  // namespace
 
 JumpRunResult TopDownJumpRun(const Sta& sta, const Document& doc,
-                             const TreeIndex& index) {
+                             const TreeIndex& index,
+                             const JumpRunOptions& options) {
   PointerTreeView view{&doc};
-  return JumpRunner<PointerTreeView>(sta, view, index).Run();
+  return JumpRunner<PointerTreeView>(sta, view, index, options).Run();
 }
 
 JumpRunResult TopDownJumpRun(const Sta& sta, const SuccinctTree& tree,
-                             const TreeIndex& index) {
+                             const TreeIndex& index,
+                             const JumpRunOptions& options) {
   SuccinctTreeView view{&tree};
-  return JumpRunner<SuccinctTreeView>(sta, view, index).Run();
+  return JumpRunner<SuccinctTreeView>(sta, view, index, options).Run();
 }
 
 }  // namespace xpwqo

@@ -30,10 +30,25 @@ struct JumpRunStats {
   int64_t jumps = 0;
 };
 
+/// Early-termination controls for a jumping run.
+struct JumpRunOptions {
+  /// Stop the run once this many selected nodes have been found (< 0: run
+  /// to completion). The jumping drive visits candidates in document order,
+  /// so on an accepting run the truncated `selected` is exactly the first k
+  /// of the full run — the LIMIT-k path. Truncation skips the acceptance
+  /// check of the rest of the tree, so it is only meaningful for automata
+  /// that accept every tree (XPath selection compilations do: a selection
+  /// query never rejects a document, it selects an empty set).
+  int64_t max_selected = -1;
+};
+
 /// Result of a jumping run: `states[n]` is the run state for visited nodes,
 /// kNoState for skipped ones.
 struct JumpRunResult {
   bool accepting = false;
+  /// True when the run stopped at JumpRunOptions::max_selected before
+  /// draining its work list (acceptance of the remainder is assumed).
+  bool truncated = false;
   std::vector<StateId> states;
   std::vector<NodeId> visited;   // document order
   std::vector<NodeId> selected;  // document order
@@ -44,12 +59,14 @@ struct JumpRunResult {
 /// (minimality is what makes the visited set tight; correctness holds for
 /// any deterministic complete automaton).
 JumpRunResult TopDownJumpRun(const Sta& sta, const Document& doc,
-                             const TreeIndex& index);
+                             const TreeIndex& index,
+                             const JumpRunOptions& options = {});
 
 /// Same, over the succinct backend (`index` should be succinct-backed so
 /// the jump primitives resolve through the BP kernels).
 JumpRunResult TopDownJumpRun(const Sta& sta, const SuccinctTree& tree,
-                             const TreeIndex& index);
+                             const TreeIndex& index,
+                             const JumpRunOptions& options = {});
 
 }  // namespace xpwqo
 

@@ -449,8 +449,10 @@ Status ParseXmlFileEvents(const std::string& path,
 }
 
 StatusOr<Document> ParseXmlString(std::string_view xml,
-                                  const XmlParseOptions& options) {
-  TreeBuilder builder(std::make_shared<Alphabet>(),
+                                  const XmlParseOptions& options,
+                                  std::shared_ptr<Alphabet> alphabet) {
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  TreeBuilder builder(std::move(alphabet),
                       EstimateNodesFromBytes(xml.size()));
   XPWQO_RETURN_IF_ERROR(
       ParseXmlEvents(xml, options, builder.alphabet().get(), &builder));
@@ -458,15 +460,16 @@ StatusOr<Document> ParseXmlString(std::string_view xml,
 }
 
 StatusOr<Document> ParseXmlFile(const std::string& path,
-                                const XmlParseOptions& options) {
+                                const XmlParseOptions& options,
+                                std::shared_ptr<Alphabet> alphabet) {
   std::ifstream probe(path, std::ios::binary | std::ios::ate);
   if (!probe) {
     return Status::NotFound("cannot open file: " + path);
   }
   const auto bytes = static_cast<size_t>(probe.tellg());
   probe.close();
-  TreeBuilder builder(std::make_shared<Alphabet>(),
-                      EstimateNodesFromBytes(bytes));
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  TreeBuilder builder(std::move(alphabet), EstimateNodesFromBytes(bytes));
   XPWQO_RETURN_IF_ERROR(
       ParseXmlFileEvents(path, options, builder.alphabet().get(), &builder));
   return builder.Finish();

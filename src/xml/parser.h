@@ -21,6 +21,7 @@
 #define XPWQO_XML_PARSER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -65,13 +66,17 @@ Status ParseXmlFileEvents(const std::string& path,
                           TreeEventSink* sink);
 
 /// Parses an XML document from a string (adapter: events -> TreeBuilder).
+/// `alphabet` interns the labels when given (documents of a Collection
+/// share one); null means a fresh private alphabet.
 StatusOr<Document> ParseXmlString(std::string_view xml,
-                                  const XmlParseOptions& options = {});
+                                  const XmlParseOptions& options = {},
+                                  std::shared_ptr<Alphabet> alphabet = nullptr);
 
 /// Parses an XML document from a file, streaming it in chunks. The node
 /// arrays are pre-reserved from the file size.
 StatusOr<Document> ParseXmlFile(const std::string& path,
-                                const XmlParseOptions& options = {});
+                                const XmlParseOptions& options = {},
+                                std::shared_ptr<Alphabet> alphabet = nullptr);
 
 /// Rough node-count estimate for a document of `bytes` XML bytes; used to
 /// pre-reserve builder arrays (XMark-style markup runs ~20-30 bytes/node).

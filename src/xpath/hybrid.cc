@@ -1,6 +1,7 @@
 #include "xpath/hybrid.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "xpath/compile.h"
 
@@ -58,6 +59,31 @@ AstaEvalResult EvalOnAt(const Asta& asta, const SuccinctTreeView& view,
   return EvalAstaSuccinctAt(asta, *view.tree, index, start, opts);
 }
 
+/// Pivot choice shared by the eager and streaming drivers: the step with
+/// the rarest label (earliest wins ties).
+size_t PickPivot(const std::vector<LabelId>& labels, const TreeIndex& index) {
+  size_t pivot = 0;
+  for (size_t i = 1; i < labels.size(); ++i) {
+    if (index.Count(labels[i]) < index.Count(labels[pivot])) pivot = i;
+  }
+  return pivot;
+}
+
+/// Upward prefix check shared by both drivers: matches //l_{pivot-1}/.../l1
+/// as an ancestor subsequence, greedily from the candidate up (pure parent
+/// moves, like the paper). Counts each step into `nodes_visited`.
+template <typename TreeView>
+bool PrefixMatches(const TreeView& view, const std::vector<LabelId>& labels,
+                   size_t pivot, NodeId candidate, int64_t* nodes_visited) {
+  size_t need = pivot;  // labels[need-1] is the next one to find
+  for (NodeId p = view.Parent(candidate); p != kNullNode && need > 0;
+       p = view.Parent(p)) {
+    ++*nodes_visited;
+    if (view.label(p) == labels[need - 1]) --need;
+  }
+  return need == 0;
+}
+
 }  // namespace
 
 StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
@@ -77,10 +103,7 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
                                                   const TreeIndex& index,
                                                   HybridStats* stats) const {
   const size_t k = labels_.size();
-  size_t pivot = 0;
-  for (size_t i = 1; i < k; ++i) {
-    if (index.Count(labels_[i]) < index.Count(labels_[pivot])) pivot = i;
-  }
+  const size_t pivot = PickPivot(labels_, index);
   HybridStats local;
   HybridStats* st = stats != nullptr ? stats : &local;
   st->pivot = static_cast<int>(pivot);
@@ -106,15 +129,7 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
   for (NodeId c = pivot_cursor.SeekGE(0); c != kNullNode;
        c = pivot_cursor.SeekGE(c + 1)) {
     ++st->nodes_visited;  // the candidate itself
-    // Upward: match //l_{pivot-1}/.../l1 as an ancestor subsequence,
-    // greedily from the candidate up (pure parent moves, like the paper).
-    size_t need = pivot;  // labels_[need-1] is the next one to find
-    for (NodeId p = doc.Parent(c); p != kNullNode && need > 0;
-         p = doc.Parent(p)) {
-      ++st->nodes_visited;
-      if (doc.label(p) == labels_[need - 1]) --need;
-    }
-    if (need > 0) continue;
+    if (!PrefixMatches(doc, labels_, pivot, c, &st->nodes_visited)) continue;
     if (pivot_is_last) {
       out.push_back(c);
       continue;
@@ -133,5 +148,141 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// HybridStream: the same plan, driven candidate by candidate.
+
+struct HybridStream::Impl {
+  virtual ~Impl() = default;
+  virtual bool NextBatch(std::vector<NodeId>* out) = 0;
+  virtual void SkipTo(NodeId target) = 0;
+  virtual bool streaming() const = 0;
+  virtual const HybridStats& stats() const = 0;
+};
+
+namespace {
+
+AstaRegionStream MakeRegionStream(const Asta& asta, const PointerTreeView& v,
+                                  const TreeIndex& index,
+                                  const AstaEvalOptions& opts) {
+  return AstaRegionStream(asta, *v.doc, &index, opts);
+}
+AstaRegionStream MakeRegionStream(const Asta& asta, const SuccinctTreeView& v,
+                                  const TreeIndex& index,
+                                  const AstaEvalOptions& opts) {
+  return AstaRegionStream(asta, *v.tree, &index, opts);
+}
+
+template <typename TreeView>
+class HybridStreamImpl final : public HybridStream::Impl {
+ public:
+  HybridStreamImpl(const HybridPlan& plan, TreeView view,
+                   const TreeIndex& index)
+      : plan_(&plan), view_(view), index_(&index) {
+    const std::vector<LabelId>& labels = plan.labels();
+    const size_t k = labels.size();
+    const size_t pivot = PickPivot(labels, index);
+    stats_.pivot = static_cast<int>(pivot);
+    stats_.pivot_count = index.Count(labels[pivot]);
+    pivot_ = pivot;
+    pivot_is_last_ = pivot + 1 == k;
+    if (pivot == 0) {
+      // First label rarest: start-anywhere degenerates to the regular
+      // top-down run — stream it region by region (hybrid-evaluable paths
+      // are predicate-free, so region emission is final).
+      full_.emplace(MakeRegionStream(plan.full_asta(), view_, index, opts_));
+      return;
+    }
+    pivot_cursor_ = PostingList::Cursor(index.labels().Postings(labels[pivot]));
+  }
+
+  bool NextBatch(std::vector<NodeId>* out) override {
+    if (full_.has_value()) {
+      const bool more = full_->NextRegion(out);
+      stats_.nodes_visited = full_->stats().nodes_visited;
+      return more;
+    }
+    const std::vector<LabelId>& labels = plan_->labels();
+    for (;;) {
+      NodeId c = pivot_cursor_.SeekGE(pos_);
+      if (c == kNullNode) return false;
+      pos_ = c + 1;
+      // Subsumed by the last passed candidate's subtree evaluation.
+      if (!pivot_is_last_ && c < cover_end_) continue;
+      // All of this candidate's matches would precede the seek target.
+      if (pivot_is_last_ ? c < skip_to_ : view_.XmlEnd(c) <= skip_to_) {
+        continue;
+      }
+      ++stats_.nodes_visited;  // the candidate itself
+      if (!PrefixMatches(view_, labels, pivot_, c, &stats_.nodes_visited)) {
+        continue;
+      }
+      if (pivot_is_last_) {
+        out->push_back(c);
+        return true;
+      }
+      cover_end_ = view_.XmlEnd(c);
+      NodeId below = view_.Left(c);
+      if (below == kNullNode) continue;
+      AstaEvalResult sub =
+          EvalOnAt(plan_->suffix_asta(pivot_), view_, index_, below, opts_);
+      stats_.nodes_visited += sub.stats.nodes_visited;
+      if (sub.nodes.empty()) continue;
+      out->insert(out->end(), sub.nodes.begin(), sub.nodes.end());
+      return true;
+    }
+  }
+
+  void SkipTo(NodeId target) override {
+    if (full_.has_value()) {
+      full_->SkipTo(target);
+      return;
+    }
+    skip_to_ = std::max(skip_to_, target);
+  }
+
+  bool streaming() const override {
+    return full_.has_value() ? full_->streaming() : true;
+  }
+
+  const HybridStats& stats() const override { return stats_; }
+
+ private:
+  const HybridPlan* plan_;
+  const TreeView view_;
+  const TreeIndex* index_;
+  const AstaEvalOptions opts_;  // jumping + memoization + info propagation
+  size_t pivot_ = 0;
+  bool pivot_is_last_ = false;
+  std::optional<AstaRegionStream> full_;  // pivot == 0 degeneration
+  PostingList::Cursor pivot_cursor_;
+  NodeId pos_ = 0;        // next posting lower bound
+  NodeId cover_end_ = 0;  // XmlEnd of the last passed candidate
+  NodeId skip_to_ = 0;
+  HybridStats stats_;
+};
+
+}  // namespace
+
+HybridStream::HybridStream(const HybridPlan& plan, const Document& doc,
+                           const TreeIndex& index)
+    : impl_(std::make_unique<HybridStreamImpl<PointerTreeView>>(
+          plan, PointerTreeView{&doc}, index)) {}
+
+HybridStream::HybridStream(const HybridPlan& plan, const SuccinctTree& tree,
+                           const TreeIndex& index)
+    : impl_(std::make_unique<HybridStreamImpl<SuccinctTreeView>>(
+          plan, SuccinctTreeView{&tree}, index)) {}
+
+HybridStream::HybridStream(HybridStream&&) noexcept = default;
+HybridStream& HybridStream::operator=(HybridStream&&) noexcept = default;
+HybridStream::~HybridStream() = default;
+
+bool HybridStream::NextBatch(std::vector<NodeId>* out) {
+  return impl_->NextBatch(out);
+}
+void HybridStream::SkipTo(NodeId target) { impl_->SkipTo(target); }
+bool HybridStream::streaming() const { return impl_->streaming(); }
+const HybridStats& HybridStream::stats() const { return impl_->stats(); }
 
 }  // namespace xpwqo

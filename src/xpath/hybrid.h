@@ -11,6 +11,9 @@
 #ifndef XPWQO_XPATH_HYBRID_H_
 #define XPWQO_XPATH_HYBRID_H_
 
+#include <memory>
+#include <vector>
+
 #include "asta/eval.h"
 #include "index/tree_index.h"
 #include "util/status.h"
@@ -49,6 +52,15 @@ class HybridPlan {
                                     const TreeIndex& index,
                                     HybridStats* stats = nullptr) const;
 
+  /// The chain's labels, one per step (read-only plan introspection; the
+  /// streaming cursor drives the pivot enumeration through these).
+  const std::vector<LabelId>& labels() const { return labels_; }
+  /// The whole-chain automaton (the pivot == 0 degenerate case).
+  const Asta& full_asta() const { return full_asta_; }
+  /// The suffix automaton below pivot `p`. Requires 0 < p < labels().size()
+  /// - 1 (the last step has no suffix; pivot 0 uses full_asta()).
+  const Asta& suffix_asta(size_t p) const { return suffix_astas_[p]; }
+
  private:
   HybridPlan() = default;
 
@@ -63,6 +75,48 @@ class HybridPlan {
   /// a plan works across documents with different counts.
   std::vector<Asta> suffix_astas_;
   Asta full_asta_;  // for the pivot == 0 fallback
+};
+
+/// Pull-based drive of a HybridPlan: pivot occurrences stream from the
+/// compressed postings in document order; each passed candidate's prefix
+/// check and suffix evaluation happen on demand, so a LIMIT-k consumer pays
+/// for the candidates up to the k-th match only. Batches arrive in document
+/// order, duplicate-free: a candidate nested inside an already-passed
+/// pivot's subtree is skipped outright — its prefix necessarily matches
+/// through the outer candidate's ancestors and its suffix matches are a
+/// subset of the outer subtree evaluation (for a final-step pivot the nested
+/// candidate is itself a match and streams on its own).
+///
+/// When the pivot degenerates to step 0 the stream delegates to an
+/// AstaRegionStream over the full-chain automaton.
+class HybridStream {
+ public:
+  HybridStream(const HybridPlan& plan, const Document& doc,
+               const TreeIndex& index);
+  HybridStream(const HybridPlan& plan, const SuccinctTree& tree,
+               const TreeIndex& index);
+  HybridStream(HybridStream&&) noexcept;
+  HybridStream& operator=(HybridStream&&) noexcept;
+  ~HybridStream();
+
+  /// Appends the next batch of matches (one candidate's worth; possibly
+  /// empty when the candidate fails). Returns false when exhausted.
+  bool NextBatch(std::vector<NodeId>* out);
+
+  /// Candidates whose matches all precede `target` are skipped without the
+  /// ancestor walk or suffix evaluation. Lower bounds must not decrease.
+  void SkipTo(NodeId target);
+
+  /// True when matches are produced incrementally (always, except a
+  /// pivot-0 degeneration whose region stream cannot decompose).
+  bool streaming() const;
+
+  const HybridStats& stats() const;
+
+  struct Impl;  // backend-templated implementations live in hybrid.cc
+
+ private:
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace xpwqo

@@ -1,0 +1,134 @@
+// Collection tests: many documents behind one shared alphabet, one
+// PreparedQuery spanning all of them (including documents loaded after the
+// query was prepared), per-document cursors, and the error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/collection.h"
+
+namespace xpwqo {
+namespace {
+
+constexpr const char* kShelfA = R"(<library>
+  <shelf><book><title>Automata</title><keyword>trees</keyword></book></shelf>
+  <shelf><book><title>Indexes</title></book></shelf>
+</library>)";
+
+constexpr const char* kShelfB = R"(<library>
+  <shelf><book><keyword>succinct</keyword><keyword>xpath</keyword></book>
+  </shelf>
+</library>)";
+
+constexpr const char* kShelfC = R"(<archive>
+  <box><book><keyword>legacy</keyword></book></box>
+</archive>)";
+
+TEST(CollectionTest, SharedAlphabetSpansDocumentsAndBackends) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  LoadOptions succinct;
+  succinct.backend = TreeBackend::kSuccinct;
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB, succinct).ok());
+  EXPECT_EQ(library.size(), 2u);
+  EXPECT_EQ(library.names(), (std::vector<std::string>{"a", "b"}));
+
+  const Engine* a = library.Find("a");
+  const Engine* b = library.Find("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->alphabet_ptr(), library.alphabet_ptr());
+  EXPECT_EQ(b->alphabet_ptr(), library.alphabet_ptr());
+  EXPECT_EQ(a->backend(), TreeBackend::kPointer);
+  EXPECT_EQ(b->backend(), TreeBackend::kSuccinct);
+  // One interning of "book" across both documents.
+  EXPECT_NE(library.alphabet_ptr()->Find("book"), kNoLabel);
+
+  auto query = library.Prepare("//book//keyword");
+  ASSERT_TRUE(query.ok());
+  auto all = library.RunAll(*query);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].name, "a");
+  EXPECT_EQ((*all)[0].result.nodes.size(), 1u);
+  EXPECT_EQ((*all)[1].name, "b");
+  EXPECT_EQ((*all)[1].result.nodes.size(), 2u);
+}
+
+TEST(CollectionTest, PreparedBeforeLoadingStillBinds) {
+  // The serving pattern: the query set is prepared at startup; documents
+  // arrive later. Labels the query interned get reused by the loaders.
+  Collection library;
+  auto query = library.Prepare("//book//keyword");
+  ASSERT_TRUE(query.ok());
+  auto empty = library.RunAll(*query);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  ASSERT_TRUE(library.AddXmlString("c", kShelfC).ok());
+  auto all = library.RunAll(*query);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].result.nodes.size(), 2u);
+  EXPECT_EQ((*all)[1].result.nodes.size(), 1u);
+}
+
+TEST(CollectionTest, PerDocumentCursors) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  LoadOptions succinct;
+  succinct.backend = TreeBackend::kSuccinct;
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB, succinct).ok());
+  auto query = library.Prepare("//keyword");
+  ASSERT_TRUE(query.ok());
+  size_t total = 0;
+  for (const std::string& name : library.names()) {
+    auto cursor = library.OpenCursor(name, *query);
+    ASSERT_TRUE(cursor.ok()) << name;
+    std::vector<NodeId> nodes = cursor->Drain();
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+    total += nodes.size();
+  }
+  EXPECT_EQ(total, 3u);
+  // LIMIT-1 per document: the multi-tenant "first hit anywhere" probe.
+  auto cursor = library.OpenCursor("b", *query);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_NE(cursor->Next(), kNullNode);
+}
+
+TEST(CollectionTest, ErrorPaths) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  // Duplicate names are rejected, the original stays.
+  EXPECT_EQ(library.AddXmlString("a", kShelfB).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(library.size(), 1u);
+  // Broken XML never registers a document.
+  EXPECT_FALSE(library.AddXmlString("broken", "<a><b></a>").ok());
+  EXPECT_EQ(library.size(), 1u);
+  EXPECT_EQ(library.Find("broken"), nullptr);
+  // Missing names: null from Find, NotFound from Get/OpenCursor.
+  EXPECT_EQ(library.Find("nope"), nullptr);
+  EXPECT_EQ(library.Get("nope").status().code(), StatusCode::kNotFound);
+  auto query = library.Prepare("//book");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(library.OpenCursor("nope", *query).status().code(),
+            StatusCode::kNotFound);
+  // A query prepared on a different collection's alphabet is rejected.
+  Collection other;
+  ASSERT_TRUE(other.AddXmlString("a", kShelfA).ok());
+  auto foreign = other.Prepare("//book");
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(library.RunAll(*foreign).ok());
+}
+
+TEST(CollectionTest, MissingFilePropagates) {
+  Collection library;
+  EXPECT_EQ(library.AddXmlFile("gone", "/no/such/file.xml").code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(library.empty());
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -4,12 +4,19 @@
 //  - the ASTA evaluator in all four Figure 4 configurations (+ info-prop),
 //  - the succinct-tree backend,
 //  - the hybrid strategy (when applicable),
-//  - minimal TDSTAs with full and jumping runs (when compilable).
+//  - minimal TDSTAs with full and jumping runs (when compilable),
+//  - the ResultCursor over every strategy on both backends, fully drained
+//    and truncated (the streaming early-termination paths must emit exactly
+//    a document-order prefix of the classic run).
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "asta/eval.h"
 #include "baseline/nodeset_eval.h"
+#include "core/cursor.h"
 #include "core/engine.h"
+#include "core/prepared_query.h"
 #include "query_gen.h"
 #include "sta/minimize.h"
 #include "sta/run.h"
@@ -27,6 +34,50 @@ namespace {
 using testing_util::QueryGenOptions;
 using testing_util::RandomQuery;
 using testing_util::RandomTree;
+
+/// Cursor-vs-Run parity over one backend context: the full drain must equal
+/// the classic result and a truncated drain must be its document-order
+/// prefix, for every strategy the context supports.
+void CheckCursors(const internal::CursorContext& ctx,
+                  const PreparedQuery& query,
+                  const std::vector<NodeId>& expect, const char* backend) {
+  const EvalStrategy strategies[] = {
+      EvalStrategy::kNaive,     EvalStrategy::kJumping,
+      EvalStrategy::kMemoized,  EvalStrategy::kOptimized,
+      EvalStrategy::kHybrid,    EvalStrategy::kBaseline,
+  };
+  for (EvalStrategy s : strategies) {
+    if (s == EvalStrategy::kBaseline && ctx.doc == nullptr) continue;
+    QueryOptions opts;
+    opts.strategy = s;
+    auto full_impl = internal::MakeCursorImpl(ctx, query, opts,
+                                              /*allow_streaming=*/true);
+    ASSERT_TRUE(full_impl.ok()) << backend << " " << EvalStrategyName(s);
+    ResultCursor full(std::move(*full_impl));
+    ASSERT_EQ(full.Drain(), expect)
+        << backend << " cursor " << EvalStrategyName(s);
+
+    const size_t k = std::min<size_t>(3, expect.size() + 1);
+    auto head_impl = internal::MakeCursorImpl(ctx, query, opts,
+                                              /*allow_streaming=*/true);
+    ASSERT_TRUE(head_impl.ok());
+    ResultCursor head(std::move(*head_impl));
+    std::vector<NodeId> first = head.Drain(k);
+    ASSERT_EQ(first.size(), std::min(k, expect.size()));
+    ASSERT_TRUE(std::equal(first.begin(), first.end(), expect.begin()))
+        << backend << " truncated cursor " << EvalStrategyName(s);
+
+    if (!expect.empty()) {
+      const NodeId target = expect[expect.size() / 2];
+      auto seek_impl = internal::MakeCursorImpl(ctx, query, opts,
+                                                /*allow_streaming=*/true);
+      ASSERT_TRUE(seek_impl.ok());
+      ResultCursor seek(std::move(*seek_impl));
+      ASSERT_EQ(seek.SeekGe(target), target)
+          << backend << " SeekGe " << EvalStrategyName(s);
+    }
+  }
+}
 
 void CheckAllEngines(const Document& doc, const std::string& query) {
   SCOPED_TRACE(query);
@@ -79,7 +130,26 @@ void CheckAllEngines(const Document& doc, const std::string& query) {
     ASSERT_EQ(jump.selected, *expect) << "tdsta jumping run";
     JumpRunResult sjump = TopDownJumpRun(minimal, tree, succinct_index);
     ASSERT_EQ(sjump.selected, *expect) << "tdsta succinct jumping run";
+    if (jump.accepting) {
+      // LIMIT-k truncation: the early-stopped run must agree with the full
+      // run's document-order prefix (meaningful on accepting runs only).
+      JumpRunOptions limit;
+      limit.max_selected = 2;
+      JumpRunResult head = TopDownJumpRun(minimal, doc, index, limit);
+      ASSERT_EQ(head.selected.size(), std::min<size_t>(2, expect->size()));
+      ASSERT_TRUE(std::equal(head.selected.begin(), head.selected.end(),
+                             expect->begin()))
+          << "tdsta truncated jumping run";
+    }
   }
+
+  // The serving surface: cursors over every strategy, on both backends.
+  auto prepared = PreparedQuery::Prepare(query, doc.alphabet_ptr());
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  internal::CursorContext pointer_ctx{&doc, nullptr, &index};
+  internal::CursorContext succinct_ctx{nullptr, &tree, &succinct_index};
+  CheckCursors(pointer_ctx, *prepared, *expect, "pointer");
+  CheckCursors(succinct_ctx, *prepared, *expect, "succinct");
 }
 
 class CrossEngineRandomTest : public ::testing::TestWithParam<uint64_t> {};
