@@ -3,11 +3,32 @@
 // streaming ResultCursors with LIMIT-k early termination.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --save-index DIR   # also persist the library
+//   $ ./examples/quickstart --index DIR        # reopen it: no XML parsing
+//
+// The persistence pair demonstrates the crash-proof index format: saving
+// writes one checksummed image per document plus a manifest, reopening
+// maps images lazily on first query.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
 
 #include "core/collection.h"
+#include "persist/index_image.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string save_dir;
+  std::string index_dir;
+  if (argc == 3 && !std::strcmp(argv[1], "--save-index")) {
+    save_dir = argv[2];
+  } else if (argc == 3 && !std::strcmp(argv[1], "--index")) {
+    index_dir = argv[2];
+  } else if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: quickstart [--save-index DIR | --index DIR]\n");
+    return 2;
+  }
   const char* databases_xml = R"(
     <library>
       <shelf topic="databases">
@@ -27,16 +48,39 @@ int main() {
     </library>)";
 
   // One collection, one alphabet, many documents — each on the backend of
-  // its choice (the archive stays succinct: ~2 bits/node topology).
+  // its choice (the archive stays succinct: ~2 bits/node topology). With
+  // --index the whole library reopens from saved images instead: each
+  // document mmaps on its first query.
   xpwqo::Collection library;
-  xpwqo::LoadOptions succinct;
-  succinct.backend = xpwqo::TreeBackend::kSuccinct;
-  auto s1 = library.AddXmlString("current", databases_xml);
-  auto s2 = library.AddXmlString("archive", archive_xml, succinct);
-  if (!s1.ok() || !s2.ok()) {
-    std::fprintf(stderr, "load error: %s\n",
-                 (s1.ok() ? s2 : s1).ToString().c_str());
-    return 1;
+  if (!index_dir.empty()) {
+    auto reopened = xpwqo::OpenCollection(index_dir);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "open error: %s\n",
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    library = std::move(*reopened);
+    std::printf("reopened %zu document(s) from %s\n", library.size(),
+                index_dir.c_str());
+  } else {
+    xpwqo::LoadOptions succinct;
+    succinct.backend = xpwqo::TreeBackend::kSuccinct;
+    auto s1 = library.AddXmlString("current", databases_xml);
+    auto s2 = library.AddXmlString("archive", archive_xml, succinct);
+    if (!s1.ok() || !s2.ok()) {
+      std::fprintf(stderr, "load error: %s\n",
+                   (s1.ok() ? s2 : s1).ToString().c_str());
+      return 1;
+    }
+  }
+  if (!save_dir.empty()) {
+    const xpwqo::Status saved = xpwqo::SaveCollection(library, save_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved the library to %s (reopen with --index)\n",
+                save_dir.c_str());
   }
 
   // Compile once, run everywhere: the prepared query binds to every
@@ -72,7 +116,7 @@ int main() {
     const xpwqo::Engine* current = library.Find("current");
     if (n != xpwqo::kNullNode) {
       std::printf("first dated book: %s (visited %lld nodes, streaming=%s)\n",
-                  current->document().PathTo(n).c_str(),
+                  current->PathTo(n).c_str(),
                   static_cast<long long>(
                       cursor->TakeStats().eval.nodes_visited),
                   cursor->streaming() ? "yes" : "no");

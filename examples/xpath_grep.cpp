@@ -1,15 +1,22 @@
-// xpath_grep: command-line XPath search over an XML file.
+// xpath_grep: command-line XPath search over an XML file or a saved index.
 //
 //   $ ./examples/xpath_grep '<query>' <file.xml> [--paths|--xml|--count]
 //                            [--strategy naive|jumping|memoized|optimized|
 //                                        hybrid|baseline]
 //                            [--limit N] [--explain] [--stats]
+//                            [--save-index DIR]
+//   $ ./examples/xpath_grep '<query>' --index DIR [...]
 //
 // Prints matching nodes (as paths, serialized XML, or a count). Results
 // pull through a streaming ResultCursor, so --limit N stops the evaluation
 // after the N-th match instead of sweeping the document — --stats shows how
 // little of the tree a limited run touched. --explain dumps the compiled
 // automaton and its jump classification.
+//
+// --save-index DIR writes the loaded document's index image into DIR;
+// --index DIR (in place of the XML file) reopens it with one mmap instead
+// of re-parsing the XML. Image engines are structural: --xml (which needs
+// the text content the image does not store) is rejected for them.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +24,7 @@
 
 #include "core/engine.h"
 #include "core/explain.h"
+#include "persist/index_image.h"
 #include "xml/serializer.h"
 
 namespace {
@@ -27,7 +35,9 @@ int Usage() {
       "usage: xpath_grep '<query>' <file.xml> [--paths|--xml|--count]\n"
       "                  [--strategy "
       "naive|jumping|memoized|optimized|hybrid|baseline]\n"
-      "                  [--limit N] [--explain] [--stats]\n");
+      "                  [--limit N] [--explain] [--stats]\n"
+      "                  [--save-index DIR]\n"
+      "       xpath_grep '<query>' --index DIR [options as above]\n");
   return 2;
 }
 
@@ -36,13 +46,23 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string query = argv[1];
-  std::string file = argv[2];
+  std::string file;
+  std::string index_dir;
+  std::string save_dir;
+  int first_option = 3;
+  if (!std::strcmp(argv[2], "--index")) {
+    if (argc < 4) return Usage();
+    index_dir = argv[3];
+    first_option = 4;
+  } else {
+    file = argv[2];
+  }
   enum { kPaths, kXml, kCount } mode = kPaths;
   bool explain = false;
   bool stats = false;
   size_t limit = static_cast<size_t>(-1);
   xpwqo::QueryOptions options;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = first_option; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--paths")) {
       mode = kPaths;
     } else if (!std::strcmp(argv[i], "--xml")) {
@@ -53,6 +73,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--save-index") && i + 1 < argc) {
+      save_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--limit") && i + 1 < argc) {
       char* end = nullptr;
       long n = std::strtol(argv[++i], &end, 10);
@@ -80,10 +102,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto engine = xpwqo::Engine::FromXmlFile(file);
+  if (!index_dir.empty() && mode == kXml) {
+    std::fprintf(stderr,
+                 "error: --xml needs the document text, which a saved "
+                 "index image does not store; use --paths or --count\n");
+    return 2;
+  }
+  auto engine = index_dir.empty() ? xpwqo::Engine::FromXmlFile(file)
+                                  : xpwqo::OpenIndexImage(index_dir);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
+  }
+  if (!save_dir.empty()) {
+    const xpwqo::Status saved = xpwqo::SaveIndexImage(*engine, save_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved index image to %s\n", save_dir.c_str());
   }
   auto compiled = engine->Compile(query);
   if (!compiled.ok()) {
@@ -108,7 +145,7 @@ int main(int argc, char** argv) {
       case kCount:
         break;
       case kPaths:
-        std::printf("%s\n", engine->document().PathTo(n).c_str());
+        std::printf("%s\n", engine->PathTo(n).c_str());
         break;
       case kXml:
         std::printf("%s\n",
@@ -120,9 +157,7 @@ int main(int argc, char** argv) {
   if (stats) {
     const xpwqo::CursorStats cs = cursor->TakeStats();
     std::fprintf(stderr, "%s\n",
-                 xpwqo::FormatStats(cs.eval,
-                                    engine->document().num_nodes())
-                     .c_str());
+                 xpwqo::FormatStats(cs.eval, engine->num_nodes()).c_str());
     std::fprintf(stderr, "streaming: %s\n",
                  cursor->streaming() ? "yes" : "no");
   }

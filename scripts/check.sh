@@ -14,24 +14,57 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
-# The examples are tier-1 API surface: they must build (src/core/ compiles
-# with -Wall -Wextra -Werror, so an API wart that leaks a warning into the
-# serving layer is a build failure) and the quickstart must run clean.
+# The examples are tier-1 API surface: they must build (src/core/,
+# src/persist/ and src/util/ compile with -Wall -Wextra -Werror, so an API
+# wart that leaks a warning into the serving layer is a build failure) and
+# the quickstart must run clean.
 ./build/quickstart > /dev/null
 printf '<r><a><k/></a><a><k/><k/></a></r>' > build/check_smoke.xml
 test "$(./build/xpath_grep '//k' build/check_smoke.xml --count)" = "3"
 test "$(./build/xpath_grep '//k' build/check_smoke.xml --count --limit 2)" = "2"
+
+# Persistence round-trip through the example binaries: save an index image
+# from XML, reopen it via mmap, and require identical answers; same for a
+# whole collection through quickstart.
+rm -rf build/check_smoke_idx build/check_smoke_lib
+./build/xpath_grep '//k' build/check_smoke.xml --save-index build/check_smoke_idx \
+  --count 2> /dev/null > /dev/null
+test "$(./build/xpath_grep '//k' --index build/check_smoke_idx --count)" = "3"
+test "$(./build/xpath_grep '//k' --index build/check_smoke_idx --count --limit 2)" = "2"
+./build/quickstart --save-index build/check_smoke_lib > /dev/null
+diff <(./build/quickstart) <(./build/quickstart --index build/check_smoke_lib \
+  | tail -n +2)
+
+# A damaged image must fail with a clean corruption error, never serve:
+# flip one byte in the middle of the saved image and expect a non-zero
+# exit mentioning corruption.
+python3 - <<'PY'
+with open("build/check_smoke_idx/index.xpq", "r+b") as f:
+    data = bytearray(f.read())
+    data[len(data) // 2] ^= 0xFF
+    f.seek(0)
+    f.write(data)
+PY
+if ./build/xpath_grep '//k' --index build/check_smoke_idx --count \
+     2> build/check_corrupt.err; then
+  echo "check.sh: corrupt image was served" >&2
+  exit 1
+fi
+grep -qi "corruption" build/check_corrupt.err
 
 # Sanitizer pass over the ingestion pipeline, the compressed postings, and
 # the serving API: the streaming parser and the builders juggle a rolling
 # buffer plus string_views into it, the posting decoders walk raw byte
 # streams with hand-rolled varint reads, and the cursor tests include the
 # two-thread shared-PreparedQuery smoke test — exactly the kind of code
-# ASan/UBSan catch regressions in.
+# ASan/UBSan catch regressions in. The Persist* suites are the corruption
+# sweep: every byte of a saved image flipped, truncations at every section
+# boundary, structural faults behind valid checksums — all of it must fail
+# with clean Status objects and zero sanitizer reports.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
@@ -78,12 +111,16 @@ for row in ev["limit_series"]:
         f"{row['full_visited']} visited)"
 
 bb = json.load(open("build/BENCH_build.quick.json"))
-for key in ("label_index_compression",):
+for key in ("label_index_compression", "image_open_speedup_vs_rebuild"):
     assert key in bb, f"BENCH_build missing {key}"
 for row in bb["results"]:
-    for key in ("label_index_mb", "label_index_vector_mb"):
+    for key in ("label_index_mb", "label_index_vector_mb", "first_query_us"):
         assert key in row, f"BENCH_build result {row['pipeline']} missing {key}"
     assert row["label_index_mb"] > 0, f"{row['pipeline']}: empty label index"
+pipelines = {row["pipeline"] for row in bb["results"]}
+assert "image_open" in pipelines, "BENCH_build missing the image_open series"
+assert bb["image_open_speedup_vs_rebuild"] > 1.0, \
+    f"image open no faster than rebuild: {bb['image_open_speedup_vs_rebuild']}"
 print("check.sh: index-memory fields OK")
 PY
 echo "check.sh: OK"

@@ -20,6 +20,7 @@ Status Collection::AddXmlFile(std::string name, const std::string& path,
   by_name_.emplace(name, engines_.size());
   names_.push_back(std::move(name));
   engines_.push_back(std::make_unique<Engine>(std::move(engine)));
+  loaders_.emplace_back();
   return Status::OK();
 }
 
@@ -31,21 +32,46 @@ Status Collection::AddXmlString(std::string name, std::string_view xml,
   by_name_.emplace(name, engines_.size());
   names_.push_back(std::move(name));
   engines_.push_back(std::make_unique<Engine>(std::move(engine)));
+  loaders_.emplace_back();
   return Status::OK();
+}
+
+Status Collection::AddLazy(std::string name, LazyLoader loader) {
+  if (by_name_.count(name) > 0) return DuplicateName(name);
+  if (!loader) {
+    return Status::InvalidArgument("AddLazy requires a loader for '" + name +
+                                   "'");
+  }
+  by_name_.emplace(name, engines_.size());
+  names_.push_back(std::move(name));
+  engines_.emplace_back();  // loads on first touch
+  loaders_.push_back(std::move(loader));
+  return Status::OK();
+}
+
+StatusOr<const Engine*> Collection::Ensure(size_t i) const {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  if (engines_[i] != nullptr) return engines_[i].get();
+  XPWQO_ASSIGN_OR_RETURN(Engine engine, loaders_[i](alphabet_));
+  engines_[i] = std::make_unique<Engine>(std::move(engine));
+  loaders_[i] = nullptr;  // the closed-over image bytes can go
+  return engines_[i].get();
 }
 
 const Engine* Collection::Find(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
-  return it == by_name_.end() ? nullptr : engines_[it->second].get();
+  if (it == by_name_.end()) return nullptr;
+  StatusOr<const Engine*> engine = Ensure(it->second);
+  return engine.ok() ? *engine : nullptr;
 }
 
 StatusOr<const Engine*> Collection::Get(std::string_view name) const {
-  const Engine* engine = Find(name);
-  if (engine == nullptr) {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
     return Status::NotFound("no document named '" + std::string(name) +
                             "' in the collection");
   }
-  return engine;
+  return Ensure(it->second);
 }
 
 StatusOr<ResultCursor> Collection::OpenCursor(
@@ -62,7 +88,8 @@ StatusOr<std::vector<CollectionResult>> Collection::RunAll(
   for (size_t i = 0; i < engines_.size(); ++i) {
     CollectionResult row;
     row.name = names_[i];
-    XPWQO_ASSIGN_OR_RETURN(row.result, engines_[i]->Run(query, options));
+    XPWQO_ASSIGN_OR_RETURN(const Engine* engine, Ensure(i));
+    XPWQO_ASSIGN_OR_RETURN(row.result, engine->Run(query, options));
     out.push_back(std::move(row));
   }
   return out;

@@ -6,14 +6,26 @@
 // after the query was prepared (new labels get fresh ids; the compiled
 // label sets stay valid).
 //
+// Documents can also be registered *lazily* (AddLazy): the slot holds a
+// loader instead of an engine, and the first query against the document —
+// Get/Find/OpenCursor/RunAll — runs the loader. The persist layer registers
+// saved index images this way, so opening a large collection costs one
+// manifest read and each document's mmap happens on first touch. A loader
+// failure (kCorruption/kIoError) surfaces through the querying call and the
+// slot stays loadable, so a transient I/O error can be retried.
+//
 // Thread-safety contract: Add*/Prepare mutate the shared alphabet and must
 // be serialized (load + prepare phase). Once loaded, the collection is
 // const-thread-safe: concurrent Run/RunAll/OpenCursor across any documents
-// and threads are safe.
+// and threads are safe — with the lazy caveat that a first touch interns
+// the image's labels into the shared alphabet under the collection's lazy
+// mutex, which must not race with Prepare/Add on other threads.
 #ifndef XPWQO_CORE_COLLECTION_H_
 #define XPWQO_CORE_COLLECTION_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -49,16 +61,28 @@ class Collection {
   Status AddXmlString(std::string name, std::string_view xml,
                       LoadOptions options = {});
 
+  /// Loads an engine on demand, interning into the alphabet it is given
+  /// (always the collection's).
+  using LazyLoader =
+      std::function<StatusOr<Engine>(std::shared_ptr<Alphabet>)>;
+
+  /// Registers `name` (which must be new) to load through `loader` on
+  /// first query. The persist layer composes these from saved index
+  /// images; any deferred construction that can fail with a Status fits.
+  Status AddLazy(std::string name, LazyLoader loader);
+
   /// Compiles a query against the shared alphabet; the result binds to
   /// every document of the collection (current and future).
   StatusOr<PreparedQuery> Prepare(std::string_view xpath) const {
     return PreparedQuery::Prepare(xpath, alphabet_);
   }
 
-  /// The engine serving `name`, or null. Engine addresses are stable across
-  /// later Add* calls.
+  /// The engine serving `name`, or null — for unknown names AND for lazy
+  /// documents whose load fails (use Get for the load Status). Engine
+  /// addresses are stable across later Add* calls.
   const Engine* Find(std::string_view name) const;
-  /// Same, but a NotFound status instead of null.
+  /// Same, but a Status instead of null: NotFound for unknown names,
+  /// kCorruption/kIoError when a lazy document fails to load.
   StatusOr<const Engine*> Get(std::string_view name) const;
 
   size_t size() const { return engines_.size(); }
@@ -76,10 +100,21 @@ class Collection {
       const PreparedQuery& query, const QueryOptions& options = {}) const;
 
  private:
+  /// Returns slot i's engine, running its lazy loader first if needed.
+  /// Const because first-touch loading is observable only as latency; the
+  /// lazy mutex serializes concurrent first touches.
+  StatusOr<const Engine*> Ensure(size_t i) const;
+
   std::shared_ptr<Alphabet> alphabet_;
-  std::vector<std::string> names_;                  // insertion order
-  std::vector<std::unique_ptr<Engine>> engines_;    // parallel to names_
+  std::vector<std::string> names_;  // insertion order
+  // Parallel to names_. A slot is either loaded (engine set, loader empty)
+  // or lazy (engine null, loader set); a failed lazy load keeps the loader
+  // so the next touch retries.
+  mutable std::vector<std::unique_ptr<Engine>> engines_;
+  mutable std::vector<LazyLoader> loaders_;
   std::unordered_map<std::string, size_t> by_name_;
+  mutable std::unique_ptr<std::mutex> lazy_mu_ =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace xpwqo

@@ -151,6 +151,33 @@ Engine Engine::FromDocument(Document doc, TreeBackend backend) {
   return Engine(std::move(doc), backend);
 }
 
+Engine Engine::FromImageParts(std::shared_ptr<Alphabet> alphabet,
+                              std::unique_ptr<SuccinctTree> tree,
+                              LabelIndex labels,
+                              std::shared_ptr<const void> backing) {
+  Engine engine;
+  engine.alphabet_ = std::move(alphabet);
+  engine.backing_ = std::move(backing);
+  engine.succinct_ = std::move(tree);
+  engine.index_ = std::make_unique<TreeIndex>(*engine.succinct_,
+                                              std::move(labels));
+  return engine;
+}
+
+std::string Engine::PathTo(NodeId n) const {
+  if (doc_ != nullptr) return doc_->PathTo(n);
+  std::vector<NodeId> chain;
+  for (NodeId cur = n; cur != kNullNode; cur = succinct_->parent(cur)) {
+    chain.push_back(cur);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out += "/";
+    out += alphabet_->Name(succinct_->label(*it));
+  }
+  return out.empty() ? "/" : out;
+}
+
 IndexMemoryReport Engine::IndexMemory() const {
   IndexMemoryReport report;
   const LabelIndex::MemoryStats postings = index_->labels().Memory();

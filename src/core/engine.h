@@ -120,6 +120,16 @@ class Engine {
   static Engine FromDocument(Document doc,
                              TreeBackend backend = TreeBackend::kPointer);
 
+  /// Assembles a succinct-backend engine from persistent-image parts: a
+  /// SuccinctTree and LabelIndex whose raw bytes live inside `backing`
+  /// (the mapped image), which the engine keeps alive for its lifetime.
+  /// The persist loader (persist/index_image.h) validates everything
+  /// before calling this.
+  static Engine FromImageParts(std::shared_ptr<Alphabet> alphabet,
+                               std::unique_ptr<SuccinctTree> tree,
+                               LabelIndex labels,
+                               std::shared_ptr<const void> backing);
+
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
   ~Engine();
@@ -173,6 +183,9 @@ class Engine {
   }
   /// The succinct tree, or null on the pointer backend.
   const SuccinctTree* succinct_tree() const { return succinct_.get(); }
+  /// Root-to-node label path such as "/site/regions/item", on either
+  /// backend (diagnostics; the examples print match locations with it).
+  std::string PathTo(NodeId n) const;
   /// Memory accounting of the loaded tree + label index.
   IndexMemoryReport IndexMemory() const;
 
@@ -189,6 +202,10 @@ class Engine {
   internal::CursorContext Context() const;
 
   std::shared_ptr<Alphabet> alphabet_;
+  /// Keeps the mapped index image alive for image-opened engines; the
+  /// structures below read straight out of it, so it is declared first
+  /// (destroyed last). Null for built engines.
+  std::shared_ptr<const void> backing_;
   std::unique_ptr<Document> doc_;  // null on streaming-succinct loads
   std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
   std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured

@@ -1,6 +1,7 @@
 #include "index/bit_vector.h"
 
 #include <algorithm>
+#include <utility>
 
 #ifdef __BMI2__
 #include <immintrin.h>
@@ -36,6 +37,48 @@ inline int SelectInWord(uint64_t word, uint64_t k) {
 
 }  // namespace
 
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this == &other) return *this;
+  words_ = std::move(other.words_);
+  rank_ = std::move(other.rank_);
+  select1_hint_ = std::move(other.select1_hint_);
+  select0_hint_ = std::move(other.select0_hint_);
+  select1_sub_ = std::move(other.select1_sub_);
+  select0_sub_ = std::move(other.select0_sub_);
+  size_ = other.size_;
+  num_words_ = other.num_words_;
+  total_ones_ = other.total_ones_;
+  frozen_ = other.frozen_;
+  external_ = other.external_;
+  // Moving the vector transfers its heap buffer, so the source's data_
+  // stays valid here in owned mode; re-deriving keeps the invariant
+  // explicit either way.
+  data_ = external_ ? other.data_ : words_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.frozen_ = false;
+  return *this;
+}
+
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this == &other) return *this;
+  words_ = other.words_;
+  rank_ = other.rank_;
+  select1_hint_ = other.select1_hint_;
+  select0_hint_ = other.select0_hint_;
+  select1_sub_ = other.select1_sub_;
+  select0_sub_ = other.select0_sub_;
+  size_ = other.size_;
+  num_words_ = other.num_words_;
+  total_ones_ = other.total_ones_;
+  frozen_ = other.frozen_;
+  external_ = other.external_;
+  // An external copy shares the mapped words; an owned copy must point at
+  // its own freshly copied buffer, not the source's.
+  data_ = external_ ? other.data_ : words_.data();
+  return *this;
+}
+
 void BitVector::Append(bool bit, size_t count) {
   XPWQO_DCHECK(!frozen_);
   // Fill word-at-a-time: finish the current partial word, then write whole
@@ -49,6 +92,7 @@ void BitVector::Append(bool bit, size_t count) {
     size_ += 64;
     count -= 64;
   }
+  data_ = words_.data();
   while (count > 0) {
     PushBack(bit);
     --count;
@@ -62,9 +106,31 @@ void BitVector::Freeze() {
   // Pad one zero word so Rank1(size()) may read words_[size()/64] when
   // size() is a multiple of 64.
   words_.push_back(0);
+  data_ = words_.data();
+  BuildDirectories();
+}
 
+BitVector BitVector::FromExternal(const uint64_t* words, size_t size_bits) {
+  BitVector v;
+  v.size_ = size_bits;
+  v.num_words_ = (size_bits + 63) / 64;
+  v.data_ = words;
+  v.external_ = true;
+  v.frozen_ = true;
+  v.BuildDirectories();
+  return v;
+}
+
+void BitVector::SerializeWordsTo(std::string* out) const {
+  XPWQO_DCHECK(frozen_);
+  out->append(reinterpret_cast<const char*>(data_),
+              (num_words_ + 1) * sizeof(uint64_t));
+}
+
+void BitVector::BuildDirectories() {
+  const size_t total_words = num_words_ + 1;  // + the zero pad word
   const size_t num_blocks =
-      (words_.size() + kWordsPerBlock - 1) / kWordsPerBlock;
+      (total_words + kWordsPerBlock - 1) / kWordsPerBlock;
   rank_.assign(2 * num_blocks, 0);
   size_t ones = 0;
   for (size_t b = 0; b < num_blocks; ++b) {
@@ -74,7 +140,7 @@ void BitVector::Freeze() {
     for (size_t t = 0; t < kWordsPerBlock; ++t) {
       if (t != 0) packed |= in_block << (9 * (t - 1));
       const size_t w = b * kWordsPerBlock + t;
-      if (w < words_.size()) in_block += std::popcount(words_[w]);
+      if (w < total_words) in_block += std::popcount(data_[w]);
     }
     rank_[2 * b + 1] = packed;
     ones += in_block;
@@ -169,7 +235,7 @@ size_t BitVector::Select1(size_t k) const {
   while (t < kWordsPerBlock - 1 && ((packed >> (9 * t)) & 0x1FF) < rem) ++t;
   if (t != 0) rem -= (packed >> (9 * (t - 1))) & 0x1FF;
   const size_t w = lo * kWordsPerBlock + t;
-  return 64 * w + SelectInWord(words_[w], rem);
+  return 64 * w + SelectInWord(data_[w], rem);
 }
 
 size_t BitVector::Select0(size_t k) const {
@@ -206,11 +272,13 @@ size_t BitVector::Select0(size_t k) const {
   }
   if (t != 0) rem -= 64 * t - ((packed >> (9 * (t - 1))) & 0x1FF);
   const size_t w = lo * kWordsPerBlock + t;
-  return 64 * w + SelectInWord(~words_[w], rem);
+  return 64 * w + SelectInWord(~data_[w], rem);
 }
 
 size_t BitVector::MemoryUsage() const {
-  return words_.size() * sizeof(uint64_t) + rank_.size() * sizeof(uint64_t) +
+  const size_t word_bytes =
+      (frozen_ ? num_words_ + 1 : words_.size()) * sizeof(uint64_t);
+  return word_bytes + rank_.size() * sizeof(uint64_t) +
          (select1_hint_.size() + select0_hint_.size()) * sizeof(uint32_t) +
          (select1_sub_.size() + select0_sub_.size()) * sizeof(uint64_t);
 }

@@ -18,6 +18,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #ifdef __BMI2__
@@ -31,14 +32,27 @@ namespace xpwqo {
 /// An immutable bit sequence with rank/select support. Construction is
 /// two-phase: append bits, then Freeze() to build the rank/select directory.
 /// Rank is O(1); select is O(log(superblocks per sample)) + O(1).
+///
+/// The bit words live either in an owned vector (the build path) or behind
+/// an external pointer into a memory-mapped index image (FromExternal); the
+/// rank/select directories are always owned and rebuilt in-memory on load —
+/// they are small and derivable, so the on-disk image stores only the raw
+/// words (see SerializeWordsTo).
 class BitVector {
  public:
   BitVector() = default;
+  BitVector(BitVector&& other) noexcept { *this = std::move(other); }
+  BitVector& operator=(BitVector&& other) noexcept;
+  BitVector(const BitVector& other) { *this = other; }
+  BitVector& operator=(const BitVector& other);
 
   /// Appends one bit. Only valid before Freeze().
   void PushBack(bool bit) {
     XPWQO_DCHECK(!frozen_);
-    if ((size_ & 63) == 0) words_.push_back(0);
+    if ((size_ & 63) == 0) {
+      words_.push_back(0);
+      data_ = words_.data();
+    }
     if (bit) words_.back() |= (1ULL << (size_ & 63));
     ++size_;
   }
@@ -52,12 +66,31 @@ class BitVector {
   /// Builds the rank/select directory. Idempotent.
   void Freeze();
 
+  /// Wraps `words` — the raw bit words as written by SerializeWordsTo:
+  /// ceil(size_bits/64) data words plus one zero pad word, 8-byte aligned —
+  /// without copying, and builds the rank/select directories in-memory.
+  /// The pointed-to memory must outlive the BitVector (the persist layer
+  /// keeps the whole mapped image alive through the Engine).
+  static BitVector FromExternal(const uint64_t* words, size_t size_bits);
+
+  /// Bytes SerializeWordsTo appends for a vector of `size_bits` bits.
+  static size_t SerializedWordBytes(size_t size_bits) {
+    return ((size_bits + 63) / 64 + 1) * sizeof(uint64_t);
+  }
+
+  /// Appends the raw bit words (data words + the zero pad word) to `out`.
+  /// Requires Freeze(). Byte-for-byte deterministic: an external vector
+  /// re-serializes to exactly the bytes it wraps.
+  void SerializeWordsTo(std::string* out) const;
+
   size_t size() const { return size_; }
   bool frozen() const { return frozen_; }
+  /// True when the words live in external (mapped) memory.
+  bool external() const { return external_; }
 
   bool Get(size_t i) const {
     XPWQO_DCHECK(i < size_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (data_[i >> 6] >> (i & 63)) & 1;
   }
 
   /// Number of 1-bits in [0, i). Requires Freeze(); i <= size(). O(1): one
@@ -73,9 +106,9 @@ class BitVector {
     // on the single unused top bit of the packed word — always zero.
     const uint64_t rel = (rank_[2 * b + 1] >> (9 * ((t + 7) & 7))) & 0x1FF;
 #ifdef __BMI2__
-    const uint64_t prefix = _bzhi_u64(words_[w], static_cast<uint32_t>(i & 63));
+    const uint64_t prefix = _bzhi_u64(data_[w], static_cast<uint32_t>(i & 63));
 #else
-    const uint64_t prefix = words_[w] & ((1ULL << (i & 63)) - 1);
+    const uint64_t prefix = data_[w] & ((1ULL << (i & 63)) - 1);
 #endif
     return static_cast<size_t>(rank_[2 * b] + rel) + std::popcount(prefix);
   }
@@ -91,7 +124,7 @@ class BitVector {
   size_t CountOnes() const { return total_ones_; }
 
   /// Raw 64-bit word (padded with zeros past size()).
-  uint64_t Word(size_t w) const { return words_[w]; }
+  uint64_t Word(size_t w) const { return data_[w]; }
   size_t NumWords() const { return num_words_; }
 
   /// Bytes used by the bits plus the rank/select directory.
@@ -111,7 +144,15 @@ class BitVector {
     return static_cast<uint64_t>(b) * kWordsPerBlock * 64 - rank_[2 * b];
   }
 
+  /// Rebuilds the rank and select directories from data_/size_ (the shared
+  /// tail of Freeze() and FromExternal()).
+  void BuildDirectories();
+
   std::vector<uint64_t> words_;  // one zero pad word appended by Freeze()
+  // All reads go through data_: words_.data() in owned mode, a pointer into
+  // a mapped image in external mode. PushBack keeps it in sync across
+  // vector reallocations.
+  const uint64_t* data_ = nullptr;
   // Two entries per 512-bit superblock: [2b] = absolute ones before the
   // superblock, [2b+1] = seven packed 9-bit cumulative word counts.
   std::vector<uint64_t> rank_;
@@ -128,6 +169,7 @@ class BitVector {
   size_t num_words_ = 0;  // data words, excluding the pad word
   size_t total_ones_ = 0;
   bool frozen_ = false;
+  bool external_ = false;  // words live in mapped memory, not words_
 };
 
 }  // namespace xpwqo

@@ -1,6 +1,8 @@
 #include "index/label_index.h"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "index/succinct_tree.h"
 
@@ -44,11 +46,70 @@ LabelIndex::LabelIndex(LabelPostingsBuilder&& builder)
 LabelIndex::LabelIndex(const SuccinctTree& tree) {
   // The succinct backend stores no alphabet; size the table by the largest
   // label present (queries for labels interned later just return empty).
-  const std::vector<LabelId>& labels = tree.label_array();
+  const std::span<const LabelId> labels = tree.label_array();
   LabelId max_label = -1;
   for (LabelId l : labels) max_label = std::max(max_label, l);
   Build(labels.data(), tree.num_nodes(),
         static_cast<size_t>(max_label + 1));
+}
+
+void LabelIndex::SerializeTo(std::string* out) const {
+  const size_t base = out->size();
+  const uint32_t num_lists = static_cast<uint32_t>(postings_.size());
+  const uint32_t zero = 0;
+  out->append(reinterpret_cast<const char*>(&num_lists), sizeof(num_lists));
+  out->append(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  // Reserve the directory, fill it after the payloads land.
+  const size_t dir_pos = out->size();
+  out->append((static_cast<size_t>(num_lists) + 1) * sizeof(uint64_t), '\0');
+  std::vector<uint64_t> offsets;
+  offsets.reserve(static_cast<size_t>(num_lists) + 1);
+  for (const PostingList& list : postings_) {
+    offsets.push_back(out->size() - base);
+    list.SerializeTo(out);
+  }
+  offsets.push_back(out->size() - base);
+  std::memcpy(out->data() + dir_pos, offsets.data(),
+              offsets.size() * sizeof(uint64_t));
+}
+
+StatusOr<LabelIndex> LabelIndex::FromImage(const uint8_t* data, size_t size,
+                                           NodeId num_nodes) {
+  XPWQO_DCHECK((reinterpret_cast<uintptr_t>(data) & 7) == 0);
+  const auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("label index: ") + what);
+  };
+  if (size < 8 || (size & 7) != 0) return corrupt("bad payload size");
+  uint32_t num_lists, reserved;
+  std::memcpy(&num_lists, data, sizeof(num_lists));
+  std::memcpy(&reserved, data + 4, sizeof(reserved));
+  if (reserved != 0) return corrupt("nonzero reserved field");
+  // num_lists is attacker-sized before validation: bound the directory
+  // arithmetic by the payload itself before touching it.
+  if (num_lists > (size - 8) / sizeof(uint64_t)) {
+    return corrupt("directory exceeds payload");
+  }
+  const size_t payload_start =
+      8 + (static_cast<size_t>(num_lists) + 1) * sizeof(uint64_t);
+  if (payload_start > size) return corrupt("directory exceeds payload");
+  const uint64_t* dir = reinterpret_cast<const uint64_t*>(data + 8);
+  if (dir[0] != payload_start) return corrupt("first list offset mismatch");
+  if (dir[num_lists] != size) return corrupt("directory end mismatch");
+  LabelIndex index;
+  index.postings_.reserve(num_lists);
+  for (uint32_t i = 0; i < num_lists; ++i) {
+    const uint64_t off = dir[i];
+    const uint64_t end = dir[i + 1];
+    if ((off & 7) != 0 || end < off || end > size) {
+      return corrupt("list offsets not monotone");
+    }
+    XPWQO_ASSIGN_OR_RETURN(
+        PostingList list,
+        PostingList::FromImage(data + off, static_cast<size_t>(end - off),
+                               num_nodes));
+    index.postings_.push_back(std::move(list));
+  }
+  return index;
 }
 
 int32_t LabelIndex::Count(LabelId label) const {

@@ -35,9 +35,30 @@ class LabelIndex {
   /// Adopts posting lists grown incrementally during streaming ingestion.
   explicit LabelIndex(LabelPostingsBuilder&& builder);
 
+  /// Appends the index's persistent-image payload to `out`: {u32 list
+  /// count, u32 zero}, an offset directory of list-count + 1 u64 byte
+  /// offsets (relative to the payload start; entry i+1 doubles as entry
+  /// i's end, the final entry is the payload size), then each list's
+  /// PostingList::SerializeTo bytes, every one 8-byte aligned.
+  /// Deterministic: an index loaded via FromImage re-serializes
+  /// byte-identically.
+  void SerializeTo(std::string* out) const;
+
+  /// Wraps an image payload written by SerializeTo; the posting lists read
+  /// straight from the mapped bytes, which must outlive the index. `data`
+  /// must be 8-byte aligned and `num_nodes` the owning document's node
+  /// count. Validates the directory (alignment, monotone offsets inside
+  /// the payload) and every list's shape; violations return kCorruption.
+  static StatusOr<LabelIndex> FromImage(const uint8_t* data, size_t size,
+                                        NodeId num_nodes);
+
   /// Number of occurrences of `label` (0 for labels interned after the
   /// document was built).
   int32_t Count(LabelId label) const;
+
+  /// Number of stored posting lists (labels at or past this have zero
+  /// occurrences; the persist loader cross-checks totals through it).
+  size_t NumLists() const { return postings_.size(); }
 
   /// The compressed posting list of `label` (empty list for unknown ids).
   const PostingList& Postings(LabelId label) const;
@@ -106,6 +127,8 @@ class LabelIndex {
   size_t MemoryUsage() const { return Memory().bytes; }
 
  private:
+  LabelIndex() = default;  // FromImage populates the lists itself
+
   void Build(const LabelId* labels, int32_t num_nodes, size_t num_labels);
 
   std::vector<PostingList> postings_;

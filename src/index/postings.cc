@@ -1,6 +1,7 @@
 #include "index/postings.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace xpwqo {
 namespace {
@@ -21,6 +22,73 @@ inline uint32_t DecodeVarint(const uint8_t** p) {
 
 }  // namespace
 
+void PostingList::SyncViews() {
+  if (external_) return;
+  skip_first_v_ = skip_first_.data();
+  skip_offset_v_ = skip_offset_.data();
+  deltas_v_ = deltas_.data();
+  num_blocks_ = static_cast<uint32_t>(skip_first_.size());
+  delta_bytes_ = static_cast<uint32_t>(deltas_.size());
+}
+
+PostingList& PostingList::operator=(PostingList&& other) noexcept {
+  if (this == &other) return *this;
+  skip_first_ = std::move(other.skip_first_);
+  skip_offset_ = std::move(other.skip_offset_);
+  deltas_ = std::move(other.deltas_);
+  bits_ = std::move(other.bits_);
+  num_blocks_ = other.num_blocks_;
+  delta_bytes_ = other.delta_bytes_;
+  count_ = other.count_;
+  last_ = other.last_;
+  dense_ = other.dense_;
+  frozen_ = other.frozen_;
+  external_ = other.external_;
+  // An external list's views stay aimed at the mapped image; an owned
+  // list's views must follow its own (just-moved-in) buffers.
+  if (external_) {
+    skip_first_v_ = other.skip_first_v_;
+    skip_offset_v_ = other.skip_offset_v_;
+    deltas_v_ = other.deltas_v_;
+  } else {
+    SyncViews();
+  }
+  other.skip_first_v_ = nullptr;
+  other.skip_offset_v_ = nullptr;
+  other.deltas_v_ = nullptr;
+  other.num_blocks_ = 0;
+  other.delta_bytes_ = 0;
+  other.count_ = 0;
+  other.last_ = kNullNode;
+  other.dense_ = false;
+  other.frozen_ = false;
+  other.external_ = false;
+  return *this;
+}
+
+PostingList& PostingList::operator=(const PostingList& other) {
+  if (this == &other) return *this;
+  skip_first_ = other.skip_first_;
+  skip_offset_ = other.skip_offset_;
+  deltas_ = other.deltas_;
+  bits_ = other.bits_;
+  num_blocks_ = other.num_blocks_;
+  delta_bytes_ = other.delta_bytes_;
+  count_ = other.count_;
+  last_ = other.last_;
+  dense_ = other.dense_;
+  frozen_ = other.frozen_;
+  external_ = other.external_;
+  if (external_) {
+    skip_first_v_ = other.skip_first_v_;
+    skip_offset_v_ = other.skip_offset_v_;
+    deltas_v_ = other.deltas_v_;
+  } else {
+    SyncViews();
+  }
+  return *this;
+}
+
 void PostingList::Freeze(NodeId universe, Rep rep) {
   if (frozen_) return;
   frozen_ = true;
@@ -33,6 +101,7 @@ void PostingList::Freeze(NodeId universe, Rep rep) {
     skip_first_.shrink_to_fit();
     skip_offset_.shrink_to_fit();
     deltas_.shrink_to_fit();
+    SyncViews();
     return;
   }
   // Convert the delta blocks into a bitmap over [0, universe). Every stored
@@ -61,13 +130,126 @@ void PostingList::Freeze(NodeId universe, Rep rep) {
   skip_first_ = {};
   skip_offset_ = {};
   deltas_ = {};
+  SyncViews();
+}
+
+void PostingList::SerializeTo(std::string* out) const {
+  XPWQO_DCHECK(frozen_);
+  const auto put_u32 = [out](uint32_t v) {
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  // An empty list always writes the sparse shape: the dense flag would
+  // carry no payload, and normalizing keeps serialize(FromImage(x)) == x.
+  const bool dense = dense_ && count_ > 0;
+  put_u32(count_);
+  put_u32(dense ? 1u : 0u);
+  put_u32(static_cast<uint32_t>(last_));
+  put_u32(dense ? 0u : delta_bytes_);
+  if (count_ == 0) return;
+  if (dense) {
+    const uint64_t size_bits = bits_.size();
+    out->append(reinterpret_cast<const char*>(&size_bits), sizeof(size_bits));
+    bits_.SerializeWordsTo(out);
+    return;
+  }
+  out->append(reinterpret_cast<const char*>(skip_first_v_),
+              static_cast<size_t>(num_blocks_) * sizeof(NodeId));
+  out->append(reinterpret_cast<const char*>(skip_offset_v_),
+              static_cast<size_t>(num_blocks_) * sizeof(uint32_t));
+  out->append(reinterpret_cast<const char*>(deltas_v_), delta_bytes_);
+  out->append((8 - (delta_bytes_ & 7)) & 7, '\0');
+}
+
+StatusOr<PostingList> PostingList::FromImage(const uint8_t* data, size_t size,
+                                             NodeId universe) {
+  XPWQO_DCHECK((reinterpret_cast<uintptr_t>(data) & 7) == 0);
+  const auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("posting list: ") + what);
+  };
+  if (size < 16 || (size & 7) != 0) return corrupt("bad payload size");
+  uint32_t count, flags, last_raw, aux;
+  std::memcpy(&count, data, sizeof(count));
+  std::memcpy(&flags, data + 4, sizeof(flags));
+  std::memcpy(&last_raw, data + 8, sizeof(last_raw));
+  std::memcpy(&aux, data + 12, sizeof(aux));
+  if (flags > 1) return corrupt("unknown flags");
+  PostingList list;
+  list.frozen_ = true;
+  list.external_ = true;
+  if (count == 0) {
+    if (flags != 0 || aux != 0 || size != 16 ||
+        last_raw != static_cast<uint32_t>(kNullNode)) {
+      return corrupt("malformed empty list");
+    }
+    return list;
+  }
+  const NodeId last = static_cast<NodeId>(last_raw);
+  if (last < 0 || last >= universe) return corrupt("last id outside universe");
+  if (count > static_cast<uint32_t>(universe)) {
+    return corrupt("count exceeds universe");
+  }
+  list.count_ = count;
+  list.last_ = last;
+  if (flags & 1) {
+    if (aux != 0) return corrupt("dense list with delta bytes");
+    if (size < 24) return corrupt("truncated bitmap");
+    uint64_t size_bits;
+    std::memcpy(&size_bits, data + 16, sizeof(size_bits));
+    if (size_bits != static_cast<uint64_t>(universe)) {
+      return corrupt("bitmap universe mismatch");
+    }
+    if (size != 24 + BitVector::SerializedWordBytes(size_bits)) {
+      return corrupt("bitmap size mismatch");
+    }
+    list.bits_ = BitVector::FromExternal(
+        reinterpret_cast<const uint64_t*>(data + 24), size_bits);
+    if (list.bits_.CountOnes() != count) {
+      return corrupt("bitmap population mismatch");
+    }
+    if (!list.bits_.Get(static_cast<size_t>(last)) ||
+        list.bits_.Rank1(static_cast<size_t>(last)) != count - 1) {
+      return corrupt("bitmap disagrees with last id");
+    }
+    list.dense_ = true;
+    return list;
+  }
+  const uint32_t nb = (count + kBlockSize - 1) >> kBlockShift;
+  const size_t fixed = 16 + static_cast<size_t>(nb) * 8;
+  const size_t padded = (fixed + aux + 7) & ~size_t{7};
+  if (size != padded) return corrupt("sparse size mismatch");
+  list.num_blocks_ = nb;
+  list.delta_bytes_ = aux;
+  list.skip_first_v_ = reinterpret_cast<const NodeId*>(data + 16);
+  list.skip_offset_v_ =
+      reinterpret_cast<const uint32_t*>(data + 16 + nb * sizeof(NodeId));
+  list.deltas_v_ = data + fixed;
+  // The skip tables steer every seek, so malformed ones would walk the
+  // reader out of the delta stream: demand strictly increasing block heads
+  // inside the universe and monotone in-range delta offsets. The delta
+  // bytes themselves are shaped by count-bounded decoding and covered by
+  // the caller's checksum, so they need no structural scan.
+  NodeId prev_first = kNullNode;
+  for (uint32_t b = 0; b < nb; ++b) {
+    const NodeId first = list.skip_first_v_[b];
+    if (first <= prev_first || first >= universe) {
+      return corrupt("skip heads not increasing inside universe");
+    }
+    prev_first = first;
+    const uint32_t off = list.skip_offset_v_[b];
+    if (off > aux || (b == 0 ? off != 0 : off < list.skip_offset_v_[b - 1])) {
+      return corrupt("skip offsets not monotone");
+    }
+  }
+  if (last < prev_first) return corrupt("last id precedes final block head");
+  return list;
 }
 
 uint32_t PostingList::FindBlock(NodeId bound) const {
-  XPWQO_DCHECK(!skip_first_.empty() && skip_first_[0] <= bound);
-  return static_cast<uint32_t>(std::upper_bound(skip_first_.begin(),
-                                                skip_first_.end(), bound) -
-                               skip_first_.begin()) -
+  XPWQO_DCHECK(num_blocks_ > 0 && skip_first_v_[0] <= bound);
+  return static_cast<uint32_t>(
+             std::upper_bound(skip_first_v_, skip_first_v_ + num_blocks_,
+                              bound) -
+             skip_first_v_) -
          1;
 }
 
@@ -94,11 +276,11 @@ NodeId PostingList::FirstAtLeast(NodeId lo) const {
     const size_t k = bits_.Rank1(static_cast<size_t>(lo)) + 1;
     return static_cast<NodeId>(bits_.Select1(k));
   }
-  if (skip_first_[0] >= lo) return skip_first_[0];
+  if (skip_first_v_[0] >= lo) return skip_first_v_[0];
   const uint32_t b = FindBlock(lo);
-  NodeId id = skip_first_[b];
+  NodeId id = skip_first_v_[b];
   if (id >= lo) return id;  // FindBlock gives first <= lo: head hit == lo
-  const uint8_t* p = deltas_.data() + skip_offset_[b];
+  const uint8_t* p = deltas_v_ + skip_offset_v_[b];
   const uint32_t in_block = BlockCount(b);
   for (uint32_t i = 1; i < in_block; ++i) {
     id += static_cast<NodeId>(DecodeVarint(&p));
@@ -108,7 +290,7 @@ NodeId PostingList::FirstAtLeast(NodeId lo) const {
   // (FindBlock guarantees that block's first exceeds lo... see below) —
   // and a next block exists because last_ >= lo.
   XPWQO_DCHECK(b + 1 < NumBlocks());
-  return skip_first_[b + 1];
+  return skip_first_v_[b + 1];
 }
 
 int32_t PostingList::RankBelow(NodeId hi) const {
@@ -119,10 +301,10 @@ int32_t PostingList::RankBelow(NodeId hi) const {
         std::min(static_cast<size_t>(hi), bits_.size());
     return static_cast<int32_t>(bits_.Rank1(clamped));
   }
-  if (skip_first_[0] >= hi) return 0;
+  if (skip_first_v_[0] >= hi) return 0;
   const uint32_t b = FindBlock(hi - 1);
-  NodeId id = skip_first_[b];
-  const uint8_t* p = deltas_.data() + skip_offset_[b];
+  NodeId id = skip_first_v_[b];
+  const uint8_t* p = deltas_v_ + skip_offset_v_[b];
   const uint32_t in_block = BlockCount(b);
   uint32_t below = 1;  // the block head, known < hi
   for (uint32_t i = 1; i < in_block; ++i) {
@@ -149,12 +331,12 @@ void PostingList::Decode(std::vector<NodeId>* out) const {
     return;
   }
   NodeId id = kNullNode;
-  const uint8_t* p = deltas_.data();
+  const uint8_t* p = deltas_v_;
   for (uint32_t i = 0; i < count_; ++i) {
     if ((i & (kBlockSize - 1)) == 0) {
       const uint32_t b = i >> kBlockShift;
-      id = skip_first_[b];
-      p = deltas_.data() + skip_offset_[b];
+      id = skip_first_v_[b];
+      p = deltas_v_ + skip_offset_v_[b];
     } else {
       id += static_cast<NodeId>(DecodeVarint(&p));
     }
@@ -169,8 +351,8 @@ PostingList::Cursor::Cursor(const PostingList& list) : list_(&list) {
     cur_ = list.FirstAtLeast(0);
     return;
   }
-  cur_ = list.skip_first_[0];
-  next_ = list.deltas_.data() + list.skip_offset_[0];
+  cur_ = list.skip_first_v_[0];
+  next_ = list.deltas_v_ + list.skip_offset_v_[0];
   index_ = 0;
 }
 
@@ -188,17 +370,17 @@ NodeId PostingList::Cursor::SeekGE(NodeId lo) {
   const uint32_t num_blocks = list.NumBlocks();
   uint32_t b = index_ >> kBlockShift;
   uint32_t step = 1;
-  while (b + step < num_blocks && list.skip_first_[b + step] <= lo) {
+  while (b + step < num_blocks && list.skip_first_v_[b + step] <= lo) {
     b += step;
     step <<= 1;
   }
   for (step >>= 1; step >= 1; step >>= 1) {
-    if (b + step < num_blocks && list.skip_first_[b + step] <= lo) b += step;
+    if (b + step < num_blocks && list.skip_first_v_[b + step] <= lo) b += step;
   }
   if (b != index_ >> kBlockShift) {
     index_ = b << kBlockShift;
-    cur_ = list.skip_first_[b];
-    next_ = list.deltas_.data() + list.skip_offset_[b];
+    cur_ = list.skip_first_v_[b];
+    next_ = list.deltas_v_ + list.skip_offset_v_[b];
     if (cur_ >= lo) return cur_;
   }
   // Decode forward within the run (crossing into the next block via its
@@ -211,8 +393,8 @@ NodeId PostingList::Cursor::SeekGE(NodeId lo) {
     }
     if ((index_ & (kBlockSize - 1)) == 0) {
       const uint32_t nb = index_ >> kBlockShift;
-      cur_ = list.skip_first_[nb];
-      next_ = list.deltas_.data() + list.skip_offset_[nb];
+      cur_ = list.skip_first_v_[nb];
+      next_ = list.deltas_v_ + list.skip_offset_v_[nb];
     } else {
       cur_ += static_cast<NodeId>(DecodeVarint(&next_));
     }
@@ -222,6 +404,13 @@ NodeId PostingList::Cursor::SeekGE(NodeId lo) {
 
 size_t PostingList::MemoryUsage() const {
   if (dense_) return bits_.MemoryUsage();
+  if (frozen_) {
+    // Views make frozen size exact whether the bytes are owned (shrunk to
+    // fit at Freeze) or mapped.
+    return static_cast<size_t>(num_blocks_) *
+               (sizeof(NodeId) + sizeof(uint32_t)) +
+           delta_bytes_;
+  }
   return skip_first_.capacity() * sizeof(NodeId) +
          skip_offset_.capacity() * sizeof(uint32_t) +
          deltas_.capacity() * sizeof(uint8_t);

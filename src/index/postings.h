@@ -31,11 +31,14 @@
 #define XPWQO_INDEX_POSTINGS_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "index/bit_vector.h"
 #include "tree/types.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace xpwqo {
 
@@ -53,6 +56,10 @@ class PostingList {
   enum class Rep { kAuto, kSparse, kDense };
 
   PostingList() = default;
+  PostingList(PostingList&& other) noexcept { *this = std::move(other); }
+  PostingList& operator=(PostingList&& other) noexcept;
+  PostingList(const PostingList& other) { *this = other; }
+  PostingList& operator=(const PostingList& other);
 
   /// Appends an id strictly greater than every previous one. Compresses
   /// in-pass: only the current block tail state lives outside the encoded
@@ -78,6 +85,25 @@ class PostingList {
   /// Picks the representation (bitmap needs the id universe — the document's
   /// node count) and makes the list immutable. Idempotent.
   void Freeze(NodeId universe, Rep rep = Rep::kAuto);
+
+  /// Appends the frozen list's persistent-image payload to `out`: a 16-byte
+  /// header {u32 count, u32 flags (bit0 = dense), u32 last, u32 aux}, then
+  /// for dense lists {u64 size_bits, raw bitmap words incl. pad}, for
+  /// sparse lists {skip_first[nb] i32, skip_offset[nb] u32, delta bytes},
+  /// zero-padded to an 8-byte multiple (aux = delta byte count for sparse,
+  /// 0 for dense; nb = ceil(count / kBlockSize)). Deterministic: a list
+  /// loaded via FromImage re-serializes byte-identically.
+  void SerializeTo(std::string* out) const;
+
+  /// Wraps an image payload written by SerializeTo without copying: the
+  /// skip tables / delta stream / bitmap words stay in the mapped bytes,
+  /// which must outlive the list. `data` must be 8-byte aligned and
+  /// `universe` the owning document's node count. Shape and bounds are
+  /// validated (sizes, monotone skip tables, ids inside the universe) and
+  /// violations return kCorruption; byte-level integrity is the caller's
+  /// checksum responsibility.
+  static StatusOr<PostingList> FromImage(const uint8_t* data, size_t size,
+                                         NodeId universe);
 
   int32_t size() const { return static_cast<int32_t>(count_); }
   bool empty() const { return count_ == 0; }
@@ -128,9 +154,7 @@ class PostingList {
  private:
   friend class Cursor;
 
-  uint32_t NumBlocks() const {
-    return static_cast<uint32_t>(skip_first_.size());
-  }
+  uint32_t NumBlocks() const { return num_blocks_; }
   /// Ids stored in block b (only the last block can be partial).
   uint32_t BlockCount(uint32_t b) const {
     return b + 1 < NumBlocks() ? kBlockSize
@@ -141,17 +165,31 @@ class PostingList {
   /// where a current position to gallop from exists).
   uint32_t FindBlock(NodeId bound) const;
 
-  // Sparse representation; doubles as the pre-Freeze growing state.
+  /// Points the frozen-reader views at the owned vectors (no-op for
+  /// external lists, whose views target the mapped image).
+  void SyncViews();
+
+  // Sparse representation; doubles as the pre-Freeze growing state. Owned
+  // storage only — empty for external (image-backed) lists.
   std::vector<NodeId> skip_first_;     // per block: first id
   std::vector<uint32_t> skip_offset_;  // per block: delta-stream start
   std::vector<uint8_t> deltas_;        // varint gaps, kBlockSize-1 per block
   // Dense representation (frozen bitmaps only).
   BitVector bits_;
 
+  // Frozen readers go through these views: the vectors above in built mode,
+  // pointers into the mapped image in external mode.
+  const NodeId* skip_first_v_ = nullptr;
+  const uint32_t* skip_offset_v_ = nullptr;
+  const uint8_t* deltas_v_ = nullptr;
+  uint32_t num_blocks_ = 0;
+  uint32_t delta_bytes_ = 0;
+
   uint32_t count_ = 0;
   NodeId last_ = kNullNode;  // largest appended id
   bool dense_ = false;
   bool frozen_ = false;
+  bool external_ = false;  // views target mapped memory, not the vectors
 };
 
 }  // namespace xpwqo

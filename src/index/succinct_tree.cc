@@ -8,7 +8,17 @@
 namespace xpwqo {
 
 SuccinctTree::SuccinctTree(BitVector bits, std::vector<LabelId> labels) {
-  Adopt(std::move(bits), std::move(labels));
+  labels_ = std::move(labels);
+  labels_v_ = labels_.data();
+  num_nodes_ = static_cast<int32_t>(labels_.size());
+  Adopt(std::move(bits));
+}
+
+SuccinctTree::SuccinctTree(BitVector external_bits, const LabelId* labels,
+                           size_t num_nodes) {
+  labels_v_ = labels;
+  num_nodes_ = static_cast<int32_t>(num_nodes);
+  Adopt(std::move(external_bits));
 }
 
 SuccinctTree::SuccinctTree(const Document& doc) {
@@ -38,17 +48,19 @@ SuccinctTree::SuccinctTree(const Document& doc) {
     }
     std::reverse(stack.begin() + base, stack.end());
   }
-  Adopt(builder.TakeBits(), builder.TakeLabels());
+  labels_ = builder.TakeLabels();
+  labels_v_ = labels_.data();
+  num_nodes_ = static_cast<int32_t>(labels_.size());
+  Adopt(builder.TakeBits());
   XPWQO_CHECK(num_nodes() == doc.num_nodes());
 }
 
-void SuccinctTree::Adopt(BitVector bits, std::vector<LabelId> labels) {
+void SuccinctTree::Adopt(BitVector bits) {
   bp_ = std::move(bits);
-  labels_ = std::move(labels);
-  bp_.Freeze();
+  bp_.Freeze();  // no-op when the bits arrive frozen (external mode)
   ops_ = BalancedParens(&bp_);
-  XPWQO_CHECK(bp_.CountOnes() == labels_.size());
-  XPWQO_CHECK(bp_.size() == 2 * labels_.size());
+  XPWQO_CHECK(bp_.CountOnes() == static_cast<size_t>(num_nodes_));
+  XPWQO_CHECK(bp_.size() == 2 * static_cast<size_t>(num_nodes_));
 }
 
 NodeId SuccinctTree::parent(NodeId n) const {
@@ -97,7 +109,7 @@ int SuccinctTree::Depth(NodeId n) const {
 
 size_t SuccinctTree::MemoryUsage() const {
   return bp_.MemoryUsage() + ops_.MemoryUsage() +
-         labels_.size() * sizeof(LabelId);
+         static_cast<size_t>(num_nodes_) * sizeof(LabelId);
 }
 
 }  // namespace xpwqo

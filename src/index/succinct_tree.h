@@ -6,6 +6,7 @@
 #ifndef XPWQO_INDEX_SUCCINCT_TREE_H_
 #define XPWQO_INDEX_SUCCINCT_TREE_H_
 
+#include <span>
 #include <vector>
 
 #include "index/balanced_parens.h"
@@ -28,17 +29,32 @@ class SuccinctTree {
   /// SuccinctBuilder. Freezes the bits and builds the rank/rmM directories.
   SuccinctTree(BitVector bits, std::vector<LabelId> labels);
 
+  /// Wraps image-backed parts without copying: `external_bits` is a frozen
+  /// BitVector over mapped BP words (BitVector::FromExternal) and `labels`
+  /// the preorder label array inside the same mapped image, which must
+  /// outlive the tree. The persist reader has already checksummed the bytes
+  /// and validated the shape (bits.size() == 2 * num_nodes,
+  /// bits.CountOnes() == num_nodes); only the in-memory rank/rmM
+  /// directories are built here.
+  SuccinctTree(BitVector external_bits, const LabelId* labels,
+               size_t num_nodes);
+
   SuccinctTree(const SuccinctTree&) = delete;
   SuccinctTree& operator=(const SuccinctTree&) = delete;
   SuccinctTree(SuccinctTree&&) = delete;
 
-  int32_t num_nodes() const { return static_cast<int32_t>(labels_.size()); }
+  int32_t num_nodes() const { return num_nodes_; }
   NodeId root() const { return num_nodes() == 0 ? kNullNode : 0; }
 
-  LabelId label(NodeId n) const { return labels_[n]; }
+  LabelId label(NodeId n) const { return labels_v_[n]; }
   /// The raw preorder label array (LabelIndex builds its posting lists
-  /// straight from this, no pointer tree needed).
-  const std::vector<LabelId>& label_array() const { return labels_; }
+  /// straight from this, no pointer tree needed; the persist writer
+  /// serializes it verbatim). May view mapped image memory.
+  std::span<const LabelId> label_array() const {
+    return {labels_v_, static_cast<size_t>(num_nodes_)};
+  }
+  /// The frozen BP bit sequence (the persist writer serializes its words).
+  const BitVector& bp_bits() const { return bp_; }
   NodeId parent(NodeId n) const;
   NodeId first_child(NodeId n) const;
   NodeId next_sibling(NodeId n) const;
@@ -61,9 +77,10 @@ class SuccinctTree {
   size_t MemoryUsage() const;
 
  private:
-  /// Shared adoption path of both constructors: move the parts in, freeze,
-  /// build the BP directory.
-  void Adopt(BitVector bits, std::vector<LabelId> labels);
+  /// Shared adoption tail of every constructor: move the bits in, freeze
+  /// (a no-op for already-frozen external bits), build the BP directory.
+  /// The caller has set labels_v_/num_nodes_ first.
+  void Adopt(BitVector bits);
 
   /// BP position of the open paren of preorder node n.
   int64_t Pos(NodeId n) const {
@@ -76,7 +93,11 @@ class SuccinctTree {
 
   BitVector bp_;
   BalancedParens ops_;
-  std::vector<LabelId> labels_;
+  std::vector<LabelId> labels_;  // owned-mode storage; empty when mapped
+  // Label reads go through the view: labels_.data() in owned mode, a
+  // pointer into the mapped image in external mode.
+  const LabelId* labels_v_ = nullptr;
+  int32_t num_nodes_ = 0;
 };
 
 }  // namespace xpwqo

@@ -1,0 +1,60 @@
+#include "persist/corruptor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "persist/fs_util.h"
+#include "util/check.h"
+
+namespace xpwqo {
+namespace persist {
+
+StatusOr<Corruptor> Corruptor::Load(const std::string& path) {
+  XPWQO_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return Corruptor(std::move(bytes));
+}
+
+Corruptor& Corruptor::FlipByte(size_t offset, uint8_t mask) {
+  XPWQO_CHECK(offset < bytes_.size());
+  bytes_[offset] = static_cast<char>(
+      static_cast<uint8_t>(bytes_[offset]) ^ mask);
+  return *this;
+}
+
+Corruptor& Corruptor::FlipBit(size_t bit_offset) {
+  return FlipByte(bit_offset / 8,
+                  static_cast<uint8_t>(1u << (bit_offset % 8)));
+}
+
+Corruptor& Corruptor::Truncate(size_t new_size) {
+  XPWQO_CHECK(new_size <= bytes_.size());
+  bytes_.resize(new_size);
+  return *this;
+}
+
+Corruptor& Corruptor::Extend(size_t extra) {
+  bytes_.append(extra, '\0');
+  return *this;
+}
+
+Corruptor& Corruptor::ZeroRange(size_t offset, size_t length) {
+  const size_t begin = std::min(offset, bytes_.size());
+  const size_t end = std::min(offset + length, bytes_.size());
+  std::fill(bytes_.begin() + begin, bytes_.begin() + end, '\0');
+  return *this;
+}
+
+Corruptor& Corruptor::SwapRanges(size_t a, size_t b, size_t length) {
+  XPWQO_CHECK(a + length <= bytes_.size() && b + length <= bytes_.size());
+  std::swap_ranges(bytes_.begin() + a, bytes_.begin() + a + length,
+                   bytes_.begin() + b);
+  return *this;
+}
+
+Status Corruptor::WriteTo(const std::string& path) const {
+  return WriteFileAtomic(path, bytes_);
+}
+
+}  // namespace persist
+}  // namespace xpwqo

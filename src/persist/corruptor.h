@@ -1,0 +1,53 @@
+// Corruptor: deterministic fault injection for saved index images. The
+// fault tests (and the check-script corruption sweep) load an image's
+// bytes, damage them in a precisely targeted way — flip one byte of one
+// section, truncate at a section boundary, zero the header, swap two
+// section offsets — write the damaged image back, and assert that Open
+// fails with a clean kCorruption naming what broke, never a crash.
+#ifndef XPWQO_PERSIST_CORRUPTOR_H_
+#define XPWQO_PERSIST_CORRUPTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace xpwqo {
+namespace persist {
+
+class Corruptor {
+ public:
+  /// Starts from the bytes of a saved image file.
+  static StatusOr<Corruptor> Load(const std::string& path);
+  /// Starts from in-memory image bytes (e.g. SerializeIndexImage output).
+  explicit Corruptor(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  size_t size() const { return bytes_.size(); }
+  const std::string& bytes() const { return bytes_; }
+
+  /// XORs the byte at `offset` with `mask` (default flips every bit).
+  Corruptor& FlipByte(size_t offset, uint8_t mask = 0xFF);
+  /// Flips a single bit.
+  Corruptor& FlipBit(size_t bit_offset);
+  /// Cuts the image to its first `new_size` bytes.
+  Corruptor& Truncate(size_t new_size);
+  /// Grows the image with `extra` zero bytes.
+  Corruptor& Extend(size_t extra);
+  /// Zeroes `length` bytes starting at `offset` (clamped to the image).
+  Corruptor& ZeroRange(size_t offset, size_t length);
+  /// Swaps two same-length byte ranges (e.g. two section-table offsets).
+  Corruptor& SwapRanges(size_t a, size_t b, size_t length);
+
+  /// Writes the damaged bytes over `path` (atomically, like the real
+  /// writer — the faults under test are in the bytes, not the I/O).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace persist
+}  // namespace xpwqo
+
+#endif  // XPWQO_PERSIST_CORRUPTOR_H_

@@ -1,0 +1,90 @@
+#include "persist/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace xpwqo {
+namespace persist {
+namespace {
+
+Status IoErrorFor(const char* op, const std::string& path) {
+  return Status::IoError(std::string(op) + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError("'" + dir + "' exists and is not a directory");
+  }
+  return IoErrorFor("mkdir", dir);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoErrorFor("open", tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = IoErrorFor("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Durability before visibility: the bytes reach the disk before the
+  // rename publishes them, so the final name never holds a torn image.
+  if (::fsync(fd) != 0) {
+    const Status status = IoErrorFor("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    const Status status = IoErrorFor("close", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = IoErrorFor("rename", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("open failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed for '" + path + "'");
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace persist
+}  // namespace xpwqo

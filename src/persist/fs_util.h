@@ -1,0 +1,29 @@
+// Small POSIX file helpers for the persist layer. Everything returns the
+// persistence error taxonomy: kIoError for OS failures (message carries
+// the operation, path and errno text).
+#ifndef XPWQO_PERSIST_FS_UTIL_H_
+#define XPWQO_PERSIST_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xpwqo {
+namespace persist {
+
+/// mkdir -p of a single level: ok when `dir` already exists as a directory.
+Status EnsureDir(const std::string& dir);
+
+/// Writes `bytes` to `path` through a sibling temp file, fsync and rename,
+/// so a crash mid-write never leaves a torn file under the final name.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads a whole regular file (the manifest / corruptor path — images are
+/// mapped, not read).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace persist
+}  // namespace xpwqo
+
+#endif  // XPWQO_PERSIST_FS_UTIL_H_

@@ -1,0 +1,102 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#ifdef __SSE4_2__
+#include <nmmintrin.h>
+#endif
+
+namespace xpwqo {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+/// Slice-by-8 tables, computed once at compile time (C++20 constexpr).
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[s][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = MakeTables();
+
+// The hardware path shadows this on SSE4.2 hosts; it stays compiled (not
+// preprocessed away) so a portable-build breakage surfaces on every host.
+[[maybe_unused]] uint32_t Crc32cSoftware(const uint8_t* p, size_t n,
+                                         uint32_t crc) {
+  // Slice-by-8: one 64-bit load and eight table lookups per 8 input bytes.
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;
+    crc = kTables.t[7][chunk & 0xFF] ^ kTables.t[6][(chunk >> 8) & 0xFF] ^
+          kTables.t[5][(chunk >> 16) & 0xFF] ^
+          kTables.t[4][(chunk >> 24) & 0xFF] ^
+          kTables.t[3][(chunk >> 32) & 0xFF] ^
+          kTables.t[2][(chunk >> 40) & 0xFF] ^
+          kTables.t[1][(chunk >> 48) & 0xFF] ^ kTables.t[0][chunk >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#ifdef __SSE4_2__
+uint32_t Crc32cHardware(const uint8_t* p, size_t n, uint32_t crc) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    c = _mm_crc32_u64(c, chunk);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+  }
+  return c32;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+#ifdef __SSE4_2__
+  crc = Crc32cHardware(p, n, crc);
+#else
+  crc = Crc32cSoftware(p, n, crc);
+#endif
+  return ~crc;
+}
+
+uint32_t Crc32cMasked(const void* data, size_t n) {
+  const uint32_t crc = Crc32c(data, n);
+  // RocksDB's mask: rotate right by 15 bits and add a constant.
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+}  // namespace xpwqo

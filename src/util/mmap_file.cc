@@ -1,0 +1,71 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xpwqo {
+namespace {
+
+Status IoErrorFor(const char* op, const std::string& path) {
+  return Status::IoError(std::string(op) + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoErrorFor("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = IoErrorFor("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("'" + path + "' is not a regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MmapFile(nullptr, 0);
+  }
+  // MAP_POPULATE prefaults the whole mapping in one go: the readers
+  // validate every byte immediately after opening, and batched prefault is
+  // several times cheaper than taking ~1 soft fault per 4 KB page.
+  int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  flags |= MAP_POPULATE;
+#endif
+  void* mapped = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+  // The fd can close immediately: the mapping keeps the pages.
+  ::close(fd);
+  if (mapped == MAP_FAILED) return IoErrorFor("mmap", path);
+  return MmapFile(static_cast<const uint8_t*>(mapped), size);
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace xpwqo

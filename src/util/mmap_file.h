@@ -1,0 +1,51 @@
+// MmapFile: RAII read-only memory mapping, the substrate of the persistent
+// index image. Open failures surface as kIoError; a successfully opened
+// mapping exposes the file bytes as one contiguous const span whose size is
+// the file size at open time. The mapping is private and read-only — the
+// index fixup never writes through it.
+//
+// Contract: the bytes are only guaranteed readable while the backing file
+// keeps (at least) its open-time size. Truncating a file that another
+// process has mapped is outside the API contract (as it is for every
+// mmap-based store — LMDB, LevelDB's table readers); the image reader
+// defends against files that were already truncated or shrunk before (or
+// between) opens with bounds checks everywhere, never with trust in stored
+// offsets.
+#ifndef XPWQO_UTIL_MMAP_FILE_H_
+#define XPWQO_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace xpwqo {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file opens successfully with
+  /// size() == 0 and data() == nullptr (validation layers reject it with a
+  /// proper Corruption status instead of a raw mmap error).
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_UTIL_MMAP_FILE_H_

@@ -23,6 +23,14 @@ enum class StatusCode {
   kUnimplemented,
   kOutOfRange,
   kInternal,
+  /// Persistent data failed validation: bad magic, checksum mismatch,
+  /// truncated or inconsistent on-disk structures. The data is untrusted;
+  /// the caller should fall back to a rebuild from the source of truth.
+  kCorruption,
+  /// The operating system failed an I/O operation (open/stat/mmap/write).
+  /// Unlike kCorruption the data itself is not implicated; retrying or
+  /// fixing permissions may succeed.
+  kIoError,
 };
 
 /// Human-readable name of a status code (e.g. "ParseError").
@@ -53,6 +61,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -27,6 +27,34 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, PersistenceCodesCarryMessageAndName) {
+  // The persistence layer's error taxonomy: corrupted data vs failed I/O
+  // are distinct codes so callers can rebuild vs retry.
+  Status corrupt = Status::Corruption("section 'bp_bits' checksum mismatch");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.ToString(),
+            "Corruption: section 'bp_bits' checksum mismatch");
+  Status io = Status::IoError("open failed: permission denied");
+  EXPECT_FALSE(io.ok());
+  EXPECT_EQ(io.ToString(), "IoError: open failed: permission denied");
+  EXPECT_FALSE(corrupt == io);
+}
+
+TEST(StatusTest, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
 }
 
 TEST(StatusTest, CopyPreservesContents) {

@@ -6,6 +6,7 @@
 // XMark document round-tripped through the serializer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <iterator>
 #include <memory>
@@ -94,7 +95,9 @@ void ExpectSameSuccinct(const SuccinctTree& streamed,
                         const SuccinctTree& legacy,
                         const std::string& context) {
   ASSERT_EQ(streamed.num_nodes(), legacy.num_nodes()) << context;
-  EXPECT_EQ(streamed.label_array(), legacy.label_array()) << context;
+  EXPECT_TRUE(std::ranges::equal(streamed.label_array(),
+                                 legacy.label_array()))
+      << context;
   for (NodeId n = 0; n < streamed.num_nodes(); ++n) {
     EXPECT_EQ(streamed.parent(n), legacy.parent(n)) << context << " " << n;
     EXPECT_EQ(streamed.first_child(n), legacy.first_child(n))
