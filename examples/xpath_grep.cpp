@@ -3,20 +3,24 @@
 //   $ ./examples/xpath_grep '<query>' <file.xml> [--paths|--xml|--count]
 //                            [--strategy naive|jumping|memoized|optimized|
 //                                        hybrid|baseline]
-//                            [--limit N] [--explain] [--stats]
-//                            [--save-index DIR]
+//                            [--limit N] [--deadline-ms N] [--explain]
+//                            [--stats] [--save-index DIR]
 //   $ ./examples/xpath_grep '<query>' --index DIR [...]
 //
 // Prints matching nodes (as paths, serialized XML, or a count). Results
 // pull through a streaming ResultCursor, so --limit N stops the evaluation
 // after the N-th match instead of sweeping the document — --stats shows how
-// little of the tree a limited run touched. --explain dumps the compiled
-// automaton and its jump classification.
+// little of the tree a limited run touched. --deadline-ms N runs the query
+// under a QueryContext wall-clock deadline: the evaluation hot loops check
+// it every few thousand visited nodes and a blown deadline exits with a
+// "deadline exceeded" error instead of finishing the sweep. --explain dumps
+// the compiled automaton and its jump classification.
 //
 // --save-index DIR writes the loaded document's index image into DIR;
 // --index DIR (in place of the XML file) reopens it with one mmap instead
 // of re-parsing the XML. Image engines are structural: --xml (which needs
 // the text content the image does not store) is rejected for them.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "core/engine.h"
 #include "core/explain.h"
 #include "persist/index_image.h"
+#include "serve/query_context.h"
 #include "xml/serializer.h"
 
 namespace {
@@ -35,8 +40,8 @@ int Usage() {
       "usage: xpath_grep '<query>' <file.xml> [--paths|--xml|--count]\n"
       "                  [--strategy "
       "naive|jumping|memoized|optimized|hybrid|baseline]\n"
-      "                  [--limit N] [--explain] [--stats]\n"
-      "                  [--save-index DIR]\n"
+      "                  [--limit N] [--deadline-ms N] [--explain]\n"
+      "                  [--stats] [--save-index DIR]\n"
       "       xpath_grep '<query>' --index DIR [options as above]\n");
   return 2;
 }
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool stats = false;
   size_t limit = static_cast<size_t>(-1);
+  long deadline_ms = -1;
   xpwqo::QueryOptions options;
   for (int i = first_option; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--paths")) {
@@ -80,6 +86,11 @@ int main(int argc, char** argv) {
       long n = std::strtol(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0' || n < 0) return Usage();
       limit = static_cast<size_t>(n);
+    } else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc) {
+      char* end = nullptr;
+      long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n <= 0) return Usage();
+      deadline_ms = n;
     } else if (!std::strcmp(argv[i], "--strategy") && i + 1 < argc) {
       std::string s = argv[++i];
       if (s == "naive") {
@@ -131,6 +142,14 @@ int main(int argc, char** argv) {
   if (explain) {
     std::printf("%s\n", xpwqo::ExplainQuery(*engine, *compiled).c_str());
   }
+  xpwqo::QueryContext context;  // keeps the cancel flag alive for the run
+  xpwqo::ExecControl control;
+  if (deadline_ms > 0) {
+    context = xpwqo::QueryContext::WithTimeout(
+        std::chrono::milliseconds(deadline_ms));
+    control = context.MakeControl();
+    options.control = &control;
+  }
   auto cursor = engine->OpenCursor(*compiled, options);
   if (!cursor.ok()) {
     std::fprintf(stderr, "error: %s\n", cursor.status().ToString().c_str());
@@ -152,6 +171,11 @@ int main(int argc, char** argv) {
                     xpwqo::SerializeXml(engine->document(), {}, n).c_str());
         break;
     }
+  }
+  const xpwqo::Status run_status = cursor->status();
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", run_status.ToString().c_str());
+    return 1;
   }
   if (mode == kCount) std::printf("%zu\n", count);
   if (stats) {

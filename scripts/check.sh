@@ -22,6 +22,7 @@ cmake --build build -j"$(nproc)"
 printf '<r><a><k/></a><a><k/><k/></a></r>' > build/check_smoke.xml
 test "$(./build/xpath_grep '//k' build/check_smoke.xml --count)" = "3"
 test "$(./build/xpath_grep '//k' build/check_smoke.xml --count --limit 2)" = "2"
+test "$(./build/xpath_grep '//k' build/check_smoke.xml --count --deadline-ms 5000)" = "3"
 
 # Persistence round-trip through the example binaries: save an index image
 # from XML, reopen it via mmap, and require identical answers; same for a
@@ -64,14 +65,25 @@ grep -qi "corruption" build/check_corrupt.err
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*'
+
+# ThreadSanitizer pass over the serving runtime: the thread pool, the
+# shared query cache, the lazy-load/quarantine paths and the lock-free
+# stats are exactly where a release-mode race would hide. The ServingStress
+# suites run N client threads with mixed deadlines, cancellations and an
+# unhealthy shard mix against one runtime, plus a concurrent VerifyAll
+# scrubber — TSan must come back clean.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=thread
+cmake --build build-tsan -j"$(nproc)" --target xpwqo_tests
+./build-tsan/xpwqo_tests --gtest_filter='ServingStress*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
 ./build/bench_build --quick --out build/BENCH_build.quick.json
+./build/bench_serving --quick --out build/BENCH_serving.quick.json
 
 for f in build/BENCH_navigation.quick.json build/BENCH_eval_succinct.quick.json \
-         build/BENCH_build.quick.json; do
+         build/BENCH_build.quick.json build/BENCH_serving.quick.json; do
   if ! python3 -m json.tool "$f" > /dev/null; then
     echo "check.sh: $f is not valid JSON" >&2
     exit 1
@@ -121,6 +133,22 @@ pipelines = {row["pipeline"] for row in bb["results"]}
 assert "image_open" in pipelines, "BENCH_build missing the image_open series"
 assert bb["image_open_speedup_vs_rebuild"] > 1.0, \
     f"image open no faster than rebuild: {bb['image_open_speedup_vs_rebuild']}"
-print("check.sh: index-memory fields OK")
+
+# The serving bench: overload must degrade gracefully — the 4x phase sheds
+# with retryable errors instead of queueing without bound, admitted jobs
+# keep a bounded p99 (well under a second even fully oversubscribed), and
+# the admission/outcome accounting balances in every phase.
+sv = json.load(open("build/BENCH_serving.quick.json"))
+assert sv.get("accounting_ok"), "serving accounting identity broken"
+phases = {p["multiplier"]: p for p in sv["overload"]}
+assert set(phases) == {1, 2, 4}, f"overload phases wrong: {sorted(phases)}"
+for mult, p in phases.items():
+    assert p["submitted"] > 0, f"{mult}x: no jobs submitted"
+    assert p["ok"] > 0, f"{mult}x: no jobs completed"
+    assert 0 < p["p99_us"] < 1_000_000, f"{mult}x: p99 unbounded: {p['p99_us']}"
+    assert p["shed"] + p["ok"] + p["deadline_exceeded"] + p["cancelled"] \
+        <= p["submitted"], f"{mult}x: outcome counts exceed submissions"
+assert phases[4]["shed"] > 0, "4x overload did not shed"
+print("check.sh: index-memory and serving fields OK")
 PY
 echo "check.sh: OK"

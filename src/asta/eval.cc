@@ -67,7 +67,8 @@ class AstaEvaluator {
         index_(index),
         options_(options),
         tda_(asta),
-        num_states_(asta.num_states()) {
+        num_states_(asta.num_states()),
+        monitor_(options.control) {
     XPWQO_CHECK(asta.finalized());
     if (options_.jumping) XPWQO_CHECK(index_ != nullptr);
   }
@@ -84,14 +85,17 @@ class AstaEvaluator {
     if (start == kNullNode) return out;
     SetId s0 = InternMask(asta_.TopMask());
     ResultSet gamma = Drive(start, s0);
-    NodeList all;
-    for (StateId q : asta_.tops()) {
-      if (gamma.accepted.Get(q)) {
-        out.accepted = true;
-        all = arena_.Union(all, gamma.MarksOf(q));
+    out.interrupt = monitor_.stop_code();
+    if (out.interrupt == StatusCode::kOk) {
+      NodeList all;
+      for (StateId q : asta_.tops()) {
+        if (gamma.accepted.Get(q)) {
+          out.accepted = true;
+          all = arena_.Union(all, gamma.MarksOf(q));
+        }
       }
+      out.nodes = arena_.Materialize(all);
     }
-    out.nodes = arena_.Materialize(all);
     out.stats = stats_;
     out.stats.interned_sets = static_cast<int64_t>(sets_.size());
     return out;
@@ -390,6 +394,15 @@ class AstaEvaluator {
         switch (f.phase) {
           case 0: {
             ++stats_.nodes_visited;
+            if (monitor_.Charge()) {
+              // Deadline / cancel / budget tripped: abandon the drive.
+              // Frames are cleared so the next while test exits; a later
+              // RunAt on the same evaluator (region streaming) keeps
+              // reporting the stop through monitor_.stopped().
+              frames_.clear();
+              ret_ = ResultSet(num_states_);
+              continue;
+            }
             if (options_.memoize) {
               f.step = &GetStep(f.set, tree_.label(f.node));
             } else {
@@ -478,6 +491,7 @@ class AstaEvaluator {
   std::deque<Frame> frames_;
   ResultSet ret_;
   AstaEvalStats stats_;
+  ExecMonitor monitor_;
 };
 
 }  // namespace
@@ -491,6 +505,7 @@ struct AstaRegionStream::Impl {
   virtual void SkipTo(NodeId target) = 0;
   virtual const AstaEvalStats& stats() const = 0;
   virtual bool streaming() const = 0;
+  virtual StatusCode interrupt() const = 0;
 };
 
 namespace {
@@ -529,6 +544,10 @@ class RegionStreamImpl final : public AstaRegionStream::Impl {
       done_ = true;
       AstaEvalResult r = eval_.RunAt(single_root_);
       stats_ = r.stats;
+      if (r.interrupt != StatusCode::kOk) {
+        interrupt_ = r.interrupt;  // partial region: never emitted
+        return false;
+      }
       out->insert(out->end(), r.nodes.begin(), r.nodes.end());
       return true;
     }
@@ -547,6 +566,11 @@ class RegionStreamImpl final : public AstaRegionStream::Impl {
     next_lo_ = view_.BinaryEnd(m);
     AstaEvalResult r = eval_.RunAt(m);  // cumulative stats (shared evaluator)
     stats_ = r.stats;
+    if (r.interrupt != StatusCode::kOk) {
+      interrupt_ = r.interrupt;  // partial region: never emitted
+      done_ = true;
+      return false;
+    }
     out->insert(out->end(), r.nodes.begin(), r.nodes.end());
     return true;
   }
@@ -563,6 +587,8 @@ class RegionStreamImpl final : public AstaRegionStream::Impl {
 
   bool streaming() const override { return streaming_; }
 
+  StatusCode interrupt() const override { return interrupt_; }
+
  private:
   const TreeView view_;
   AstaEvaluator<TreeView> eval_;  // persists: memo tables span regions
@@ -573,6 +599,7 @@ class RegionStreamImpl final : public AstaRegionStream::Impl {
   NodeId next_lo_ = 0;
   NodeId skip_to_ = 0;
   int64_t enum_jumps_ = 0;
+  StatusCode interrupt_ = StatusCode::kOk;
   LabelIndex::SetCursor cursor_;
   AstaEvalStats stats_;
   mutable AstaEvalStats merged_;
@@ -603,6 +630,7 @@ bool AstaRegionStream::NextRegion(std::vector<NodeId>* out) {
 }
 void AstaRegionStream::SkipTo(NodeId target) { impl_->SkipTo(target); }
 const AstaEvalStats& AstaRegionStream::stats() const { return impl_->stats(); }
+StatusCode AstaRegionStream::interrupt() const { return impl_->interrupt(); }
 
 AstaEvalResult EvalAsta(const Asta& asta, const Document& doc,
                         const TreeIndex* index,

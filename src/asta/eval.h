@@ -22,6 +22,7 @@
 #include "asta/result_set.h"
 #include "asta/tda.h"
 #include "index/tree_index.h"
+#include "util/exec_control.h"
 
 namespace xpwqo {
 
@@ -33,6 +34,11 @@ struct AstaEvalOptions {
   /// Evaluate formulas after the first child to prune the second child's
   /// state set and enforce one-witness predicate semantics (§4.4).
   bool info_propagation = true;
+  /// Deadline / cancellation / visited-node budget, or null for ungoverned
+  /// evaluation (the default; costs one decrement per visited node). On a
+  /// trip the run stops mid-drive and AstaEvalResult::interrupt carries
+  /// the code; the partial node set must be discarded.
+  const ExecControl* control = nullptr;
 };
 
 struct AstaEvalStats {
@@ -61,6 +67,10 @@ struct AstaEvalResult {
   /// Selected nodes, document order, duplicate-free.
   std::vector<NodeId> nodes;
   AstaEvalStats stats;
+  /// kOk for a completed run; kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted when ExecControl stopped it early. An interrupted
+  /// result's `nodes` and `accepted` are partial garbage — discard them.
+  StatusCode interrupt = StatusCode::kOk;
 };
 
 /// Evaluates `asta` (finalized) over the document. `index` may be null when
@@ -134,6 +144,11 @@ class AstaRegionStream {
 
   /// Cumulative work so far (evaluator counters plus enumeration jumps).
   const AstaEvalStats& stats() const;
+
+  /// kOk until an ExecControl limit stops a region evaluation; then the
+  /// stop code. Once set, NextRegion() returns false (the partial region
+  /// is never emitted).
+  StatusCode interrupt() const;
 
   struct Impl;  // backend-templated implementations live in eval.cc
 

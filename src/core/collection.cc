@@ -17,10 +17,12 @@ Status Collection::AddXmlFile(std::string name, const std::string& path,
   if (by_name_.count(name) > 0) return DuplicateName(name);
   options.alphabet = alphabet_;
   XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlFile(path, options));
+  engine.set_query_cache(cache_);
   by_name_.emplace(name, engines_.size());
   names_.push_back(std::move(name));
   engines_.push_back(std::make_unique<Engine>(std::move(engine)));
   loaders_.emplace_back();
+  health_.emplace_back();
   return Status::OK();
 }
 
@@ -29,10 +31,12 @@ Status Collection::AddXmlString(std::string name, std::string_view xml,
   if (by_name_.count(name) > 0) return DuplicateName(name);
   options.alphabet = alphabet_;
   XPWQO_ASSIGN_OR_RETURN(Engine engine, Engine::FromXmlString(xml, options));
+  engine.set_query_cache(cache_);
   by_name_.emplace(name, engines_.size());
   names_.push_back(std::move(name));
   engines_.push_back(std::make_unique<Engine>(std::move(engine)));
   loaders_.emplace_back();
+  health_.emplace_back();
   return Status::OK();
 }
 
@@ -46,13 +50,16 @@ Status Collection::AddLazy(std::string name, LazyLoader loader) {
   names_.push_back(std::move(name));
   engines_.emplace_back();  // loads on first touch
   loaders_.push_back(std::move(loader));
+  health_.emplace_back();
   return Status::OK();
 }
 
 StatusOr<const Engine*> Collection::Ensure(size_t i) const {
   std::lock_guard<std::mutex> lock(*lazy_mu_);
+  if (!health_[i].ok()) return health_[i];
   if (engines_[i] != nullptr) return engines_[i].get();
   XPWQO_ASSIGN_OR_RETURN(Engine engine, loaders_[i](alphabet_));
+  engine.set_query_cache(cache_);
   engines_[i] = std::make_unique<Engine>(std::move(engine));
   loaders_[i] = nullptr;  // the closed-over image bytes can go
   return engines_[i].get();
@@ -74,11 +81,37 @@ StatusOr<const Engine*> Collection::Get(std::string_view name) const {
   return Ensure(it->second);
 }
 
+StatusOr<std::shared_ptr<const PreparedQuery>> Collection::PrepareCached(
+    std::string_view xpath) const {
+  if (std::shared_ptr<const PreparedQuery> hit = cache_->Lookup(xpath)) {
+    return hit;
+  }
+  // Compile under the lazy mutex: a fresh compilation interns labels into
+  // the shared alphabet, which must not race with a lazy load doing the
+  // same. (A duplicate compile between Lookup and here is harmless — both
+  // results are valid, one wins the cache.)
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  XPWQO_ASSIGN_OR_RETURN(PreparedQuery query,
+                         PreparedQuery::Prepare(xpath, alphabet_));
+  auto shared = std::make_shared<const PreparedQuery>(std::move(query));
+  cache_->Insert(std::string(xpath), shared);
+  return shared;
+}
+
 StatusOr<ResultCursor> Collection::OpenCursor(
     std::string_view name, const PreparedQuery& query,
     const QueryOptions& options) const {
   XPWQO_ASSIGN_OR_RETURN(const Engine* engine, Get(name));
   return engine->OpenCursor(query, options);
+}
+
+StatusOr<ResultCursor> Collection::OpenCursor(
+    std::string_view name, std::string_view xpath,
+    const QueryOptions& options) const {
+  XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
+                         PrepareCached(xpath));
+  XPWQO_ASSIGN_OR_RETURN(const Engine* engine, Get(name));
+  return engine->OpenCursor(std::move(query), options);
 }
 
 StatusOr<std::vector<CollectionResult>> Collection::RunAll(
@@ -93,6 +126,55 @@ StatusOr<std::vector<CollectionResult>> Collection::RunAll(
     out.push_back(std::move(row));
   }
   return out;
+}
+
+VerifyReport Collection::VerifyAll() const {
+  // Snapshot the loaded, healthy slots under the lock; the expensive CRC
+  // sweeps run outside it so queries keep flowing. Engine objects are
+  // stable (the unique_ptrs never reseat once loaded) and quarantine never
+  // destroys them, so the borrowed pointers stay valid.
+  struct Candidate {
+    size_t index;
+    const Engine* engine;
+  };
+  std::vector<Candidate> candidates;
+  VerifyReport report;
+  {
+    std::lock_guard<std::mutex> lock(*lazy_mu_);
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      if (!health_[i].ok()) {
+        // Already quarantined: report it, but don't re-scrub — corruption
+        // under a live mapping is not recoverable in place.
+        report.rows.push_back({names_[i], health_[i]});
+        continue;
+      }
+      if (engines_[i] == nullptr) continue;  // untouched lazy slot
+      candidates.push_back({i, engines_[i].get()});
+    }
+  }
+  for (const Candidate& c : candidates) {
+    Status status = c.engine->Verify();
+    ++report.checked;
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(*lazy_mu_);
+      if (health_[c.index].ok()) {
+        health_[c.index] = status;
+        ++report.quarantined;
+      }
+    }
+    report.rows.push_back({names_[c.index], std::move(status)});
+  }
+  return report;
+}
+
+Status Collection::Health(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + std::string(name) +
+                            "' in the collection");
+  }
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  return health_[it->second];
 }
 
 }  // namespace xpwqo

@@ -41,6 +41,19 @@ struct CollectionResult {
   QueryResult result;
 };
 
+/// Outcome of Collection::VerifyAll: one row per document that was actually
+/// checked (loaded documents only — lazy slots that were never touched have
+/// no mapped bytes to scrub).
+struct VerifyReport {
+  struct Row {
+    std::string name;
+    Status status;  // OK, or the kCorruption that quarantined the document
+  };
+  std::vector<Row> rows;
+  size_t checked = 0;
+  size_t quarantined = 0;  // newly quarantined by this sweep
+};
+
 class Collection {
  public:
   Collection() : alphabet_(std::make_shared<Alphabet>()) {}
@@ -77,6 +90,18 @@ class Collection {
     return PreparedQuery::Prepare(xpath, alphabet_);
   }
 
+  /// Cache-through compilation against the collection's shared query cache:
+  /// one compilation per query string per collection, whichever document it
+  /// is later run on. Safe to call concurrently with queries — a miss
+  /// interns labels under the same lock that serializes lazy loads.
+  StatusOr<std::shared_ptr<const PreparedQuery>> PrepareCached(
+      std::string_view xpath) const;
+
+  /// The shared compilation LRU (installed into every engine the collection
+  /// creates); its hit/miss counters aggregate across the collection and
+  /// feed the serving stats snapshot.
+  const std::shared_ptr<QueryCache>& query_cache() const { return cache_; }
+
   /// The engine serving `name`, or null — for unknown names AND for lazy
   /// documents whose load fails (use Get for the load Status). Engine
   /// addresses are stable across later Add* calls.
@@ -95,9 +120,31 @@ class Collection {
                                     const PreparedQuery& query,
                                     const QueryOptions& options = {}) const;
 
+  /// String convenience: compiles through the shared query cache, then
+  /// opens the cursor; the cursor keeps the compilation alive.
+  StatusOr<ResultCursor> OpenCursor(std::string_view name,
+                                    std::string_view xpath,
+                                    const QueryOptions& options = {}) const;
+
   /// Runs a prepared query over every document, in insertion order.
   StatusOr<std::vector<CollectionResult>> RunAll(
       const PreparedQuery& query, const QueryOptions& options = {}) const;
+
+  /// Background scrub: re-verifies every currently-loaded document's
+  /// backing bytes (Engine::Verify — a CRC sweep over the mapped image for
+  /// image-opened engines). A document that fails is *quarantined*: its
+  /// engine object stays alive (queries already running against it are
+  /// unaffected at the memory level, though their answers are untrusted),
+  /// but Find returns null and Get/OpenCursor return the kCorruption from
+  /// the failed check, while healthy documents keep serving. Untouched lazy
+  /// slots are skipped — they have no mapped bytes yet. Safe to call
+  /// concurrently with queries; it holds no lock while checksumming.
+  VerifyReport VerifyAll() const;
+
+  /// The quarantine Status for `name`: OK when healthy (or never checked),
+  /// the failing kCorruption once VerifyAll quarantined it, NotFound for
+  /// unknown names.
+  Status Health(std::string_view name) const;
 
  private:
   /// Returns slot i's engine, running its lazy loader first if needed.
@@ -106,12 +153,17 @@ class Collection {
   StatusOr<const Engine*> Ensure(size_t i) const;
 
   std::shared_ptr<Alphabet> alphabet_;
+  std::shared_ptr<QueryCache> cache_ = std::make_shared<QueryCache>();
   std::vector<std::string> names_;  // insertion order
   // Parallel to names_. A slot is either loaded (engine set, loader empty)
   // or lazy (engine null, loader set); a failed lazy load keeps the loader
   // so the next touch retries.
   mutable std::vector<std::unique_ptr<Engine>> engines_;
   mutable std::vector<LazyLoader> loaders_;
+  // Parallel to names_: OK, or the kCorruption that quarantined the slot.
+  // Guarded by lazy_mu_ (reads and writes are cheap; the expensive CRC
+  // sweep in VerifyAll runs outside the lock).
+  mutable std::vector<Status> health_;
   std::unordered_map<std::string, size_t> by_name_;
   mutable std::unique_ptr<std::mutex> lazy_mu_ =
       std::make_unique<std::mutex>();

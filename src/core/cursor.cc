@@ -82,6 +82,9 @@ class RegionImpl final : public CursorImpl {
     stats->eval = stream_.stats();
     stats->streaming = stream_.streaming();
   }
+  Status status() const override {
+    return InterruptToStatus(stream_.interrupt());
+  }
 
  private:
   AstaRegionStream stream_;
@@ -101,6 +104,9 @@ class HybridImpl final : public CursorImpl {
     stats->hybrid = stream_.stats();
     stats->used_hybrid = true;
     stats->streaming = stream_.streaming();
+  }
+  Status status() const override {
+    return InterruptToStatus(stream_.interrupt());
   }
 
  private:
@@ -124,6 +130,7 @@ AstaEvalOptions EvalOptionsFor(const QueryOptions& options) {
       break;
   }
   eval.info_propagation = eval.info_propagation && options.info_propagation;
+  eval.control = options.control;
   return eval;
 }
 
@@ -149,16 +156,18 @@ StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
   if (options.strategy == EvalStrategy::kHybrid && query.hybrid() != nullptr) {
     const HybridPlan& plan = *query.hybrid();
     if (allow_streaming) {
-      HybridStream stream = ctx.tree != nullptr
-                                ? HybridStream(plan, *ctx.tree, *ctx.index)
-                                : HybridStream(plan, *ctx.doc, *ctx.index);
+      HybridStream stream =
+          ctx.tree != nullptr
+              ? HybridStream(plan, *ctx.tree, *ctx.index, options.control)
+              : HybridStream(plan, *ctx.doc, *ctx.index, options.control);
       return std::unique_ptr<CursorImpl>(new HybridImpl(std::move(stream)));
     }
     CursorStats stats;
     stats.used_hybrid = true;
     StatusOr<std::vector<NodeId>> nodes =
-        ctx.tree != nullptr ? plan.Run(*ctx.tree, *ctx.index, &stats.hybrid)
-                            : plan.Run(*ctx.doc, *ctx.index, &stats.hybrid);
+        ctx.tree != nullptr
+            ? plan.Run(*ctx.tree, *ctx.index, &stats.hybrid, options.control)
+            : plan.Run(*ctx.doc, *ctx.index, &stats.hybrid, options.control);
     XPWQO_RETURN_IF_ERROR(nodes.status());
     return std::unique_ptr<CursorImpl>(
         new EagerImpl(std::move(nodes).value(), std::move(stats)));
@@ -179,6 +188,7 @@ StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
                          ? EvalAstaSuccinct(query.asta(), *ctx.tree, index,
                                             eval)
                          : EvalAsta(query.asta(), *ctx.doc, index, eval);
+  if (r.interrupt != StatusCode::kOk) return InterruptToStatus(r.interrupt);
   CursorStats stats;
   stats.eval = r.stats;
   return std::unique_ptr<CursorImpl>(
@@ -189,14 +199,19 @@ StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
 
 ResultCursor::ResultCursor(std::unique_ptr<internal::CursorImpl> impl,
                            std::shared_ptr<const PreparedQuery> retained,
-                           int64_t cache_hits)
+                           int64_t cache_hits, const ExecControl* control)
     : impl_(std::move(impl)),
       retained_(std::move(retained)),
-      cache_hits_(cache_hits) {}
+      cache_hits_(cache_hits),
+      monitor_(control) {}
 
 NodeId ResultCursor::Next() {
+  if (done_) return kNullNode;
+  if (monitor_.Charge()) {
+    done_ = true;
+    return kNullNode;
+  }
   while (pos_ >= buffer_.size()) {
-    if (done_) return kNullNode;
     buffer_.clear();
     pos_ = 0;
     if (!impl_->NextBatch(&buffer_)) {
@@ -209,6 +224,11 @@ NodeId ResultCursor::Next() {
 }
 
 NodeId ResultCursor::SeekGe(NodeId target) {
+  if (done_) return kNullNode;
+  if (monitor_.Charge()) {
+    done_ = true;
+    return kNullNode;
+  }
   for (;;) {
     while (pos_ < buffer_.size()) {
       const NodeId n = buffer_[pos_++];
@@ -217,7 +237,6 @@ NodeId ResultCursor::SeekGe(NodeId target) {
         return n;
       }
     }
-    if (done_) return kNullNode;
     impl_->SkipHint(target);
     buffer_.clear();
     pos_ = 0;
@@ -248,6 +267,11 @@ CursorStats ResultCursor::TakeStats() const {
   stats.returned = returned_;
   stats.eval.query_cache_hits = cache_hits_;
   return stats;
+}
+
+Status ResultCursor::status() const {
+  if (monitor_.stopped()) return monitor_.ToStatus();
+  return impl_->status();
 }
 
 }  // namespace xpwqo

@@ -52,6 +52,9 @@ class CursorImpl {
   virtual bool streaming() const = 0;
   /// Writes the producer-side counters (eval/hybrid/baseline stats).
   virtual void ReportStats(CursorStats* stats) const = 0;
+  /// OK, or the ExecControl stop reason once a governed producer was
+  /// interrupted (after which NextBatch keeps returning false).
+  virtual Status status() const { return Status::OK(); }
 };
 
 /// The engine internals a cursor evaluates against (non-owning).
@@ -76,10 +79,14 @@ class ResultCursor {
  public:
   /// Wraps a producer. `retained` optionally keeps a shared compilation
   /// alive for the cursor's lifetime (string-opened cursors); `cache_hits`
-  /// seeds CursorStats::eval::query_cache_hits.
+  /// seeds CursorStats::eval::query_cache_hits. `control` (usually the one
+  /// from QueryOptions, non-owning) additionally charges one unit per
+  /// returned node, so pulls over already-materialized batches still
+  /// observe deadlines and cancellation.
   explicit ResultCursor(std::unique_ptr<internal::CursorImpl> impl,
                         std::shared_ptr<const PreparedQuery> retained = nullptr,
-                        int64_t cache_hits = 0);
+                        int64_t cache_hits = 0,
+                        const ExecControl* control = nullptr);
   ResultCursor(ResultCursor&&) = default;
   ResultCursor& operator=(ResultCursor&&) = default;
 
@@ -107,6 +114,13 @@ class ResultCursor {
   /// driven.
   CursorStats TakeStats() const;
 
+  /// OK while results flow. When a QueryOptions::control limit trips
+  /// mid-stream, Next()/SeekGe() return kNullNode and this reports why
+  /// (kDeadlineExceeded / kCancelled / kResourceExhausted) — the
+  /// distinction between "exhausted" and "stopped". Results already handed
+  /// out remain valid; the tail was never produced.
+  Status status() const;
+
  private:
   std::unique_ptr<internal::CursorImpl> impl_;
   std::shared_ptr<const PreparedQuery> retained_;
@@ -115,6 +129,7 @@ class ResultCursor {
   bool done_ = false;
   int64_t returned_ = 0;
   int64_t cache_hits_ = 0;
+  ExecMonitor monitor_;  // per-returned-node charge (ungoverned when null)
 };
 
 }  // namespace xpwqo

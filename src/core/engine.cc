@@ -1,8 +1,6 @@
 #include "core/engine.h"
 
 #include <fstream>
-#include <list>
-#include <mutex>
 #include <utility>
 
 #include "index/label_index.h"
@@ -21,44 +19,6 @@ size_t FileSizeOrZero(const std::string& path) {
 
 }  // namespace
 
-/// Small LRU of string-compiled queries. Serving traffic repeats a handful
-/// of query shapes; 32 slots covers the paper's whole workload several
-/// times over, and the linear scan is noise next to one parse + compile.
-class PreparedQueryCache {
- public:
-  static constexpr size_t kCapacity = 32;
-
-  std::shared_ptr<const PreparedQuery> Lookup(std::string_view xpath) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first == xpath) {
-        entries_.splice(entries_.begin(), entries_, it);
-        ++hits_;
-        return entries_.front().second;
-      }
-    }
-    return nullptr;
-  }
-
-  void Insert(std::string xpath,
-              std::shared_ptr<const PreparedQuery> query) {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.emplace_front(std::move(xpath), std::move(query));
-    if (entries_.size() > kCapacity) entries_.pop_back();
-  }
-
-  int64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  int64_t hits_ = 0;
-  std::list<std::pair<std::string, std::shared_ptr<const PreparedQuery>>>
-      entries_;
-};
-
 const char* TreeBackendName(TreeBackend backend) {
   switch (backend) {
     case TreeBackend::kPointer:
@@ -69,7 +29,7 @@ const char* TreeBackendName(TreeBackend backend) {
   return "?";
 }
 
-Engine::Engine() : cache_(std::make_unique<PreparedQueryCache>()) {}
+Engine::Engine() : cache_(std::make_shared<QueryCache>()) {}
 
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
@@ -225,18 +185,33 @@ StatusOr<ResultCursor> Engine::OpenCursor(const PreparedQuery& query,
       std::unique_ptr<internal::CursorImpl> impl,
       internal::MakeCursorImpl(Context(), query, options,
                                /*allow_streaming=*/true));
-  return ResultCursor(std::move(impl));
+  return ResultCursor(std::move(impl), nullptr, 0, options.control);
 }
 
 StatusOr<ResultCursor> Engine::OpenCursor(std::string_view xpath,
                                           const QueryOptions& options) const {
   XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
                          PrepareCached(xpath));
+  return OpenCursor(std::move(query), options);
+}
+
+StatusOr<ResultCursor> Engine::OpenCursor(
+    std::shared_ptr<const PreparedQuery> query,
+    const QueryOptions& options) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("OpenCursor requires a non-null query");
+  }
+  if (query->alphabet_ptr() != alphabet_) {
+    return Status::InvalidArgument(
+        "query was prepared against a different alphabet; prepare it "
+        "through this engine (or its collection)");
+  }
   XPWQO_ASSIGN_OR_RETURN(
       std::unique_ptr<internal::CursorImpl> impl,
       internal::MakeCursorImpl(Context(), *query, options,
                                /*allow_streaming=*/true));
-  return ResultCursor(std::move(impl), std::move(query), cache_->hits());
+  return ResultCursor(std::move(impl), std::move(query), cache_->hits(),
+                      options.control);
 }
 
 StatusOr<QueryResult> Engine::Run(const PreparedQuery& query,

@@ -44,6 +44,7 @@
 #include "core/cursor.h"
 #include "core/prepared_query.h"
 #include "core/query.h"
+#include "core/query_cache.h"
 #include "index/tree_index.h"
 #include "tree/document.h"
 #include "util/status.h"
@@ -98,8 +99,6 @@ struct IndexMemoryReport {
 /// compiled query; it is now the same object the serving API prepares.
 using CompiledQuery = PreparedQuery;
 
-class PreparedQueryCache;
-
 /// One document plus its index; immutable after construction, cheap to move.
 class Engine {
  public:
@@ -149,6 +148,12 @@ class Engine {
   StatusOr<ResultCursor> OpenCursor(std::string_view xpath,
                                     const QueryOptions& options = {}) const;
 
+  /// Shared-compilation overload: the cursor co-owns `query`, so the
+  /// caller may drop its reference (Collection's string overload and the
+  /// serving runtime open cursors this way).
+  StatusOr<ResultCursor> OpenCursor(std::shared_ptr<const PreparedQuery> query,
+                                    const QueryOptions& options = {}) const;
+
   /// Runs a compiled query to completion (drains an eager cursor — the
   /// classic materialized API).
   StatusOr<QueryResult> Run(const PreparedQuery& query,
@@ -189,6 +194,29 @@ class Engine {
   /// Memory accounting of the loaded tree + label index.
   IndexMemoryReport IndexMemory() const;
 
+  /// The string-compilation LRU this engine compiles through. Private by
+  /// default; Collection replaces it with one cache shared across all its
+  /// engines so a query string compiles once per collection, not per shard.
+  const std::shared_ptr<QueryCache>& query_cache() const { return cache_; }
+  void set_query_cache(std::shared_ptr<QueryCache> cache) {
+    XPWQO_CHECK(cache != nullptr);
+    cache_ = std::move(cache);
+  }
+
+  /// Integrity verification hook: re-validates the engine's backing bytes
+  /// (CRC sweep over the mapped index image for image-opened engines).
+  /// Returns OK for engines without persistent backing — there is nothing
+  /// to scrub. kCorruption means the backing storage changed under the
+  /// mapping; the engine's answers are untrusted.
+  Status Verify() const {
+    return verifier_ ? verifier_() : Status::OK();
+  }
+  /// Installs the verifier (the persist image-open path does; core itself
+  /// never depends on the persist layer).
+  void set_verifier(std::function<Status()> verifier) {
+    verifier_ = std::move(verifier);
+  }
+
  private:
   Engine();
   Engine(Document doc, TreeBackend backend);
@@ -210,8 +238,11 @@ class Engine {
   std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
   std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured
   /// LRU of string-compiled queries (internally locked; see the class
-  /// comment for the new-query interning caveat).
-  mutable std::unique_ptr<PreparedQueryCache> cache_;
+  /// comment for the new-query interning caveat). Shared with the owning
+  /// Collection when there is one.
+  std::shared_ptr<QueryCache> cache_;
+  /// Backing-bytes re-validation, installed by the persist open path.
+  std::function<Status()> verifier_;
 };
 
 }  // namespace xpwqo

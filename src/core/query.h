@@ -31,6 +31,13 @@ struct QueryOptions {
   /// Information propagation (only meaningful for the automaton
   /// strategies; Figure 4's four series keep it off except kOptimized).
   bool info_propagation = true;
+  /// Deadline / cancellation / visited-node budget for this run, or null
+  /// for ungoverned evaluation (the default). Must outlive the run (and
+  /// the cursor, for OpenCursor). Enforced by the automaton and hybrid
+  /// strategies; the baseline's set-at-a-time passes stay ungoverned.
+  /// Eager runs that trip return the error Status directly; cursors stop
+  /// and report it through ResultCursor::status().
+  const ExecControl* control = nullptr;
 };
 
 struct QueryResult {

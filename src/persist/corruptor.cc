@@ -1,6 +1,10 @@
 #include "persist/corruptor.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -54,6 +58,30 @@ Corruptor& Corruptor::SwapRanges(size_t a, size_t b, size_t length) {
 
 Status Corruptor::WriteTo(const std::string& path) const {
   return WriteFileAtomic(path, bytes_);
+}
+
+Status Corruptor::WriteInPlace(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IoError("open('" + path +
+                           "') for in-place corruption: " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes_.size()) {
+    const ssize_t n = ::pwrite(fd, bytes_.data() + written,
+                               bytes_.size() - written,
+                               static_cast<off_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("pwrite('" + path + "'): " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::OK();
 }
 
 }  // namespace persist

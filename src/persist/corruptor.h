@@ -43,6 +43,14 @@ class Corruptor {
   /// writer — the faults under test are in the bytes, not the I/O).
   Status WriteTo(const std::string& path) const;
 
+  /// Overwrites `path` IN PLACE — same inode, direct pwrite, no
+  /// temp-and-rename. WriteTo's rename makes the damage invisible to a
+  /// process that already mapped the old inode; this variant is for the
+  /// live-mapping scrub tests, where the point is that an *existing*
+  /// mapping observes the bytes changing underneath it. The sizes must
+  /// match (in-place rewrites cannot shrink or grow a mapped file safely).
+  Status WriteInPlace(const std::string& path) const;
+
  private:
   std::string bytes_;
 };

@@ -349,8 +349,18 @@ StatusOr<Engine> OpenMappedIndexImage(MmapFile file,
   }
 
   auto backing = std::make_shared<MmapFile>(std::move(file));
-  return Engine::FromImageParts(std::move(alphabet), std::move(tree),
-                                std::move(index), std::move(backing));
+  Engine engine =
+      Engine::FromImageParts(std::move(alphabet), std::move(tree),
+                             std::move(index), backing);
+  // Scrub hook for Collection::VerifyAll: re-run the full structural +
+  // checksum validation over the live mapping. Captures the backing by
+  // value, so the bytes outlive any engine move.
+  engine.set_verifier([backing]() -> Status {
+    StatusOr<CheckedImage> check =
+        ValidateIndexImage(backing->data(), backing->size());
+    return check.status();
+  });
+  return engine;
 }
 
 StatusOr<Engine> OpenIndexImageFile(const std::string& path,

@@ -1,0 +1,99 @@
+// QueryContext: the per-request resource envelope of the serving runtime —
+// a deadline, a shareable cancellation token, and a visited-node budget.
+// It is the user-facing wrapper over util/exec_control.h: the runtime turns
+// a context into ExecControl values for the evaluators, checks the deadline
+// at admission and before execution, and bounds retry backoff by it.
+//
+//   CancelToken cancel;
+//   ServeRequest req;
+//   req.context = QueryContext::WithTimeout(std::chrono::milliseconds(50));
+//   req.context.cancel = cancel;
+//   auto ticket = runtime.Submit(query, req);
+//   ... cancel.Cancel();  // from any thread
+#ifndef XPWQO_SERVE_QUERY_CONTEXT_H_
+#define XPWQO_SERVE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/exec_control.h"
+
+namespace xpwqo {
+
+/// A cooperative cancellation flag, shared by value: every copy refers to
+/// the same flag, so the submitter keeps one copy and Cancel() from any
+/// thread stops every evaluation governed by it within one check interval.
+/// Cancellation is one-way — there is no reset.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// The raw flag for ExecControl::cancel (stable for the token's life).
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The resource envelope one request runs under. Value type; the runtime
+/// copies it into the job, so the caller's context object need not outlive
+/// the request (the shared cancel flag does, via the token's copies).
+struct QueryContext {
+  using Clock = ExecControl::Clock;
+
+  /// Absolute deadline; time_point::max() means none. Checked at
+  /// admission, again when a worker picks the job up (queue time counts
+  /// against it), and amortized inside the evaluation loops.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  /// Cancellation token (optional — a default-constructed token that
+  /// nobody cancels is free).
+  CancelToken cancel;
+
+  /// Visited-node budget for the whole request, spent across the
+  /// documents it fans out to; < 0 means unlimited.
+  int64_t max_visited = -1;
+
+  /// Amortization constant for the in-loop checks (ExecControl's
+  /// kDefaultCheckInterval unless overridden).
+  int32_t check_interval = ExecControl::kDefaultCheckInterval;
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+  bool expired() const {
+    return has_deadline() && Clock::now() >= deadline;
+  }
+
+  /// A context whose deadline is `timeout` from now.
+  template <typename Rep, typename Period>
+  static QueryContext WithTimeout(
+      std::chrono::duration<Rep, Period> timeout) {
+    QueryContext ctx;
+    ctx.deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(timeout);
+    return ctx;
+  }
+
+  /// The evaluator-facing view. `budget` caps max_visited (the runtime
+  /// passes the remaining budget as work moves across documents); pass
+  /// max_visited to keep it whole. The returned control borrows the cancel
+  /// flag — keep the context (or any token copy) alive past the run.
+  ExecControl MakeControl(int64_t budget) const {
+    ExecControl control;
+    control.deadline = deadline;
+    control.cancel = cancel.flag();
+    control.max_visited = budget;
+    control.check_interval = check_interval;
+    return control;
+  }
+  ExecControl MakeControl() const { return MakeControl(max_visited); }
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_SERVE_QUERY_CONTEXT_H_

@@ -1,0 +1,115 @@
+// Serving statistics: per-outcome counters and log2-bucketed histograms,
+// all lock-free on the write path (relaxed atomic increments — the serving
+// hot path never takes a stats lock and never blocks on a reader).
+// Snapshot() materializes a plain-struct copy for reporting; concurrent
+// snapshots are approximate across counters (each counter individually
+// consistent), which is the usual contract for serving metrics.
+#ifndef XPWQO_SERVE_STATS_H_
+#define XPWQO_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace xpwqo {
+
+/// A histogram of non-negative 64-bit values in power-of-two buckets:
+/// bucket i counts values in [2^(i-1), 2^i) (bucket 0 counts zeros).
+/// Record() is one relaxed fetch_add — safe from any number of threads.
+class ConcurrentHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t value) {
+    const uint64_t v = value > 0 ? static_cast<uint64_t>(value) : 0;
+    const int bucket = v == 0 ? 0 : 64 - __builtin_clzll(v);
+    buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<int64_t>(v), std::memory_order_relaxed);
+  }
+
+  std::array<int64_t, kBuckets> Buckets() const {
+    std::array<int64_t, kBuckets> out;
+    for (int i = 0; i < kBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// A materialized histogram (from ConcurrentHistogram::Buckets()).
+struct HistogramSnapshot {
+  std::array<int64_t, ConcurrentHistogram::kBuckets> buckets{};
+  int64_t count = 0;
+  int64_t sum = 0;
+
+  explicit HistogramSnapshot() = default;
+  explicit HistogramSnapshot(const ConcurrentHistogram& h)
+      : buckets(h.Buckets()), sum(h.sum()) {
+    for (int64_t b : buckets) count += b;
+  }
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// The upper bound of the bucket containing quantile `q` in [0, 1] — a
+  /// conservative (within 2x) percentile estimate, which is what log2
+  /// buckets buy: O(1) memory, lock-free writes, bounded relative error.
+  int64_t Percentile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    int64_t rank = static_cast<int64_t>(q * static_cast<double>(count - 1));
+    for (int i = 0; i < ConcurrentHistogram::kBuckets; ++i) {
+      rank -= buckets[i];
+      if (rank < 0) {
+        return i == 0 ? 0 : (int64_t{1} << i) - 1;  // bucket upper bound
+      }
+    }
+    return (int64_t{1} << (ConcurrentHistogram::kBuckets - 1));
+  }
+};
+
+/// One snapshot of the runtime's counters (ServingRuntime::Stats()).
+struct ServingStatsSnapshot {
+  // Admission.
+  int64_t submitted = 0;  // Submit() calls
+  int64_t admitted = 0;   // entered the queue
+  int64_t shed = 0;       // refused at admission (queue full / shutdown)
+
+  // Outcomes of admitted jobs (submitted == shed + sum of outcomes once
+  // drained; in-flight jobs account for the difference meanwhile).
+  int64_t ok = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t cancelled = 0;
+  int64_t resource_exhausted = 0;  // visited-node budget exhaustion
+  int64_t corruption = 0;          // all documents quarantined/corrupt
+  int64_t io_error = 0;
+  int64_t other_error = 0;
+
+  // Work details.
+  int64_t retries = 0;           // per-document retry attempts
+  int64_t docs_failed = 0;       // per-document failures inside ok jobs
+  int64_t query_cache_hits = 0;  // collection compile cache (cumulative)
+  int64_t query_cache_misses = 0;
+
+  HistogramSnapshot latency_us;      // per-job wall latency, microseconds
+  HistogramSnapshot visited_nodes;   // per-job visited-node totals
+
+  int64_t outcome_total() const {
+    return ok + deadline_exceeded + cancelled + resource_exhausted +
+           corruption + io_error + other_error;
+  }
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_SERVE_STATS_H_

@@ -72,7 +72,8 @@ class JumpRunner {
         index_(index),
         options_(options),
         infos_(ClassifyStates(sta)),
-        sink_(FindTopDownSink(sta)) {}
+        sink_(FindTopDownSink(sta)),
+        monitor_(options.control) {}
 
   JumpRunResult Run() {
     XPWQO_CHECK(sta_.tops().size() == 1);
@@ -95,6 +96,16 @@ class JumpRunner {
       auto [n, q] = stack_.back();
       stack_.pop_back();
       Visit(n, q);
+    }
+    if (monitor_.stopped()) {
+      // The partial run is not a valid partial mapping; return an empty
+      // result carrying only the stop code and the work done so far.
+      JumpRunStats stats = out.stats;
+      out = JumpRunResult{};
+      out.states.assign(doc_.num_nodes(), kNoState);
+      out.stats = stats;
+      out.interrupt = monitor_.stop_code();
+      return out;
     }
     if (failed_) {
       out = JumpRunResult{};
@@ -167,6 +178,10 @@ class JumpRunner {
     result_->states[n] = q;
     result_->visited.push_back(n);
     ++result_->stats.nodes_visited;
+    if (monitor_.Charge()) {
+      stack_.clear();  // drain the work list; Run() reports the stop code
+      return;
+    }
     if (sta_.Selects(q, doc_.label(n))) result_->selected.push_back(n);
     auto [q1, q2] = sta_.Destination(q, doc_.label(n));
     if (q1 == sink_ || q2 == sink_) {
@@ -197,6 +212,7 @@ class JumpRunner {
   StateId sink_;
   std::vector<std::pair<NodeId, StateId>> stack_;
   JumpRunResult* result_ = nullptr;
+  ExecMonitor monitor_;
   bool failed_ = false;
 };
 

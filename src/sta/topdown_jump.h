@@ -21,6 +21,7 @@
 #include "index/tree_index.h"
 #include "sta/run.h"
 #include "sta/sta.h"
+#include "util/exec_control.h"
 
 namespace xpwqo {
 
@@ -40,6 +41,10 @@ struct JumpRunOptions {
   /// that accept every tree (XPath selection compilations do: a selection
   /// query never rejects a document, it selects an empty set).
   int64_t max_selected = -1;
+  /// Deadline / cancellation / visited-node budget, or null for ungoverned
+  /// runs. On a trip the run stops and JumpRunResult::interrupt carries the
+  /// code; the partial run is garbage and must be discarded.
+  const ExecControl* control = nullptr;
 };
 
 /// Result of a jumping run: `states[n]` is the run state for visited nodes,
@@ -53,6 +58,10 @@ struct JumpRunResult {
   std::vector<NodeId> visited;   // document order
   std::vector<NodeId> selected;  // document order
   JumpRunStats stats;
+  /// kOk for a completed run; kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted when JumpRunOptions::control stopped it early. An
+  /// interrupted result's other fields are partial garbage — discard them.
+  StatusCode interrupt = StatusCode::kOk;
 };
 
 /// Runs Algorithm B.1. `sta` must be top-down deterministic and complete

@@ -1,0 +1,52 @@
+#include "util/exec_control.h"
+
+namespace xpwqo {
+
+bool ExecMonitor::CheckNow() {
+  if (stop_ != StatusCode::kOk) {
+    until_check_ = 0;
+    return true;
+  }
+  if (control_ == nullptr) {
+    until_check_ = std::numeric_limits<int64_t>::max();
+    return false;
+  }
+  // The countdown just completed one full stride.
+  charged_ += stride_;
+  if (control_->cancel != nullptr &&
+      control_->cancel->load(std::memory_order_relaxed)) {
+    stop_ = StatusCode::kCancelled;
+  } else if (control_->has_deadline() &&
+             ExecControl::Clock::now() >= control_->deadline) {
+    stop_ = StatusCode::kDeadlineExceeded;
+  } else if (control_->max_visited >= 0 &&
+             charged_ >= control_->max_visited) {
+    stop_ = StatusCode::kResourceExhausted;
+  }
+  if (stop_ != StatusCode::kOk) {
+    until_check_ = 0;
+    return true;
+  }
+  stride_ = NextStride();
+  until_check_ = stride_;
+  return false;
+}
+
+Status InterruptToStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled by its cancellation token");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline expired mid-evaluation");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("visited-node budget exhausted");
+    default:
+      return Status::Internal("unexpected evaluator interrupt code");
+  }
+}
+
+Status ExecMonitor::ToStatus() const { return InterruptToStatus(stop_); }
+
+}  // namespace xpwqo

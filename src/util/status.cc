@@ -22,8 +22,24 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

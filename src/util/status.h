@@ -31,10 +31,31 @@ enum class StatusCode {
   /// Unlike kCorruption the data itself is not implicated; retrying or
   /// fixing permissions may succeed.
   kIoError,
+  /// The query's deadline expired before evaluation finished. The partial
+  /// work is discarded; re-running with the same deadline would expire the
+  /// same way, so the status is not retryable — the caller must widen the
+  /// deadline (or narrow the query).
+  kDeadlineExceeded,
+  /// A capacity limit was hit: the admission queue was full, the
+  /// concurrent-query cap was reached, or a visited-node budget ran out.
+  /// Overload is transient by nature, so the status is retryable — backing
+  /// off and resubmitting is the expected reaction to load shedding.
+  kResourceExhausted,
+  /// The caller cancelled the query through its cancellation token. Not
+  /// retryable: cancellation is a decision, not a failure.
+  kCancelled,
 };
 
 /// Human-readable name of a status code (e.g. "ParseError").
 const char* StatusCodeName(StatusCode code);
+
+/// True for failures where retrying the same operation can plausibly
+/// succeed: kIoError (transient OS failures — the persist layer keeps lazy
+/// loaders retryable for exactly this) and kResourceExhausted (overload
+/// shedding — back off and resubmit). Everything else is deterministic
+/// (kCorruption needs a rebuild, kDeadlineExceeded a wider deadline,
+/// kCancelled was a decision), so a retry would only repeat the failure.
+bool IsRetryable(StatusCode code);
 
 /// The result of an operation that can fail. Cheap to copy when OK (a single
 /// word); error details live behind a pointer.
@@ -68,6 +89,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -96,6 +126,10 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+inline bool IsRetryable(const Status& status) {
+  return IsRetryable(status.code());
 }
 
 /// Either a value of type T or an error Status. Never holds an OK status

@@ -88,20 +88,23 @@ bool PrefixMatches(const TreeView& view, const std::vector<LabelId>& labels,
 
 StatusOr<std::vector<NodeId>> HybridPlan::Run(const Document& doc,
                                               const TreeIndex& index,
-                                              HybridStats* stats) const {
-  return RunImpl(PointerTreeView{&doc}, index, stats);
+                                              HybridStats* stats,
+                                              const ExecControl* control) const {
+  return RunImpl(PointerTreeView{&doc}, index, stats, control);
 }
 
 StatusOr<std::vector<NodeId>> HybridPlan::Run(const SuccinctTree& tree,
                                               const TreeIndex& index,
-                                              HybridStats* stats) const {
-  return RunImpl(SuccinctTreeView{&tree}, index, stats);
+                                              HybridStats* stats,
+                                              const ExecControl* control) const {
+  return RunImpl(SuccinctTreeView{&tree}, index, stats, control);
 }
 
 template <typename TreeView>
 StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
                                                   const TreeIndex& index,
-                                                  HybridStats* stats) const {
+                                                  HybridStats* stats,
+                                                  const ExecControl* control) const {
   const size_t k = labels_.size();
   const size_t pivot = PickPivot(labels_, index);
   HybridStats local;
@@ -115,9 +118,27 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
     // The first label is the rarest: start anywhere degenerates to the
     // regular run from the pivot occurrences downward — which is the plain
     // top-down evaluation.
+    opts.control = control;
     AstaEvalResult r = EvalOn(full_asta_, doc, &index, opts);
     st->nodes_visited = r.stats.nodes_visited;
+    if (r.interrupt != StatusCode::kOk) return InterruptToStatus(r.interrupt);
     return std::move(r.nodes);
+  }
+
+  // Governance of the candidate loop: the monitor covers deadline and
+  // cancellation at one charge per candidate (the ancestor walk is bounded
+  // by the document depth, and the suffix runs carry their own checks via
+  // `sub_control`); the visited-node budget is enforced exactly against
+  // st->nodes_visited, with the remainder handed to each suffix run.
+  const int64_t budget = control != nullptr ? control->max_visited : -1;
+  ExecControl cand_control;
+  ExecControl sub_control;
+  ExecMonitor monitor;
+  if (control != nullptr) {
+    cand_control = *control;
+    cand_control.max_visited = -1;
+    monitor.Reset(&cand_control);
+    sub_control = *control;
   }
 
   std::vector<NodeId> out;
@@ -129,6 +150,12 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
   for (NodeId c = pivot_cursor.SeekGE(0); c != kNullNode;
        c = pivot_cursor.SeekGE(c + 1)) {
     ++st->nodes_visited;  // the candidate itself
+    if (control != nullptr) {
+      if (monitor.Charge()) return monitor.ToStatus();
+      if (budget >= 0 && st->nodes_visited >= budget) {
+        return InterruptToStatus(StatusCode::kResourceExhausted);
+      }
+    }
     if (!PrefixMatches(doc, labels_, pivot, c, &st->nodes_visited)) continue;
     if (pivot_is_last) {
       out.push_back(c);
@@ -138,9 +165,22 @@ StatusOr<std::vector<NodeId>> HybridPlan::RunImpl(const TreeView& doc,
     // descendants (binary subtree of its first child).
     NodeId below = doc.Left(c);
     if (below == kNullNode) continue;
+    if (control != nullptr) {
+      if (budget >= 0) {
+        const int64_t left = budget - st->nodes_visited;
+        if (left <= 0) {
+          return InterruptToStatus(StatusCode::kResourceExhausted);
+        }
+        sub_control.max_visited = left;
+      }
+      opts.control = &sub_control;
+    }
     AstaEvalResult sub =
         EvalOnAt(suffix_astas_[pivot], doc, &index, below, opts);
     st->nodes_visited += sub.stats.nodes_visited;
+    if (sub.interrupt != StatusCode::kOk) {
+      return InterruptToStatus(sub.interrupt);
+    }
     out.insert(out.end(), sub.nodes.begin(), sub.nodes.end());
   }
   // Nested pivots can produce duplicates and out-of-order runs.
@@ -158,6 +198,7 @@ struct HybridStream::Impl {
   virtual void SkipTo(NodeId target) = 0;
   virtual bool streaming() const = 0;
   virtual const HybridStats& stats() const = 0;
+  virtual StatusCode interrupt() const = 0;
 };
 
 namespace {
@@ -177,7 +218,7 @@ template <typename TreeView>
 class HybridStreamImpl final : public HybridStream::Impl {
  public:
   HybridStreamImpl(const HybridPlan& plan, TreeView view,
-                   const TreeIndex& index)
+                   const TreeIndex& index, const ExecControl* control)
       : plan_(&plan), view_(view), index_(&index) {
     const std::vector<LabelId>& labels = plan.labels();
     const size_t k = labels.size();
@@ -186,20 +227,38 @@ class HybridStreamImpl final : public HybridStream::Impl {
     stats_.pivot_count = index.Count(labels[pivot]);
     pivot_ = pivot;
     pivot_is_last_ = pivot + 1 == k;
+    if (control != nullptr) {
+      // Same split as the eager driver: deadline + cancellation amortized
+      // at one charge per candidate, budget enforced exactly against
+      // stats_.nodes_visited with the remainder handed to suffix runs.
+      governed_ = true;
+      budget_ = control->max_visited;
+      cand_control_ = *control;
+      cand_control_.max_visited = -1;
+      monitor_.Reset(&cand_control_);
+      sub_control_ = *control;
+      opts_.control = &sub_control_;
+    }
     if (pivot == 0) {
       // First label rarest: start-anywhere degenerates to the regular
       // top-down run — stream it region by region (hybrid-evaluable paths
-      // are predicate-free, so region emission is final).
-      full_.emplace(MakeRegionStream(plan.full_asta(), view_, index, opts_));
+      // are predicate-free, so region emission is final). The full-chain
+      // region stream takes the whole control, budget included.
+      AstaEvalOptions full_opts = opts_;
+      full_opts.control = control;
+      full_.emplace(MakeRegionStream(plan.full_asta(), view_, index,
+                                     full_opts));
       return;
     }
     pivot_cursor_ = PostingList::Cursor(index.labels().Postings(labels[pivot]));
   }
 
   bool NextBatch(std::vector<NodeId>* out) override {
+    if (interrupt_ != StatusCode::kOk) return false;
     if (full_.has_value()) {
       const bool more = full_->NextRegion(out);
       stats_.nodes_visited = full_->stats().nodes_visited;
+      interrupt_ = full_->interrupt();
       return more;
     }
     const std::vector<LabelId>& labels = plan_->labels();
@@ -214,6 +273,16 @@ class HybridStreamImpl final : public HybridStream::Impl {
         continue;
       }
       ++stats_.nodes_visited;  // the candidate itself
+      if (governed_) {
+        if (monitor_.Charge()) {
+          interrupt_ = monitor_.stop_code();
+          return false;
+        }
+        if (budget_ >= 0 && stats_.nodes_visited >= budget_) {
+          interrupt_ = StatusCode::kResourceExhausted;
+          return false;
+        }
+      }
       if (!PrefixMatches(view_, labels, pivot_, c, &stats_.nodes_visited)) {
         continue;
       }
@@ -224,9 +293,21 @@ class HybridStreamImpl final : public HybridStream::Impl {
       cover_end_ = view_.XmlEnd(c);
       NodeId below = view_.Left(c);
       if (below == kNullNode) continue;
+      if (governed_ && budget_ >= 0) {
+        const int64_t left = budget_ - stats_.nodes_visited;
+        if (left <= 0) {
+          interrupt_ = StatusCode::kResourceExhausted;
+          return false;
+        }
+        sub_control_.max_visited = left;
+      }
       AstaEvalResult sub =
           EvalOnAt(plan_->suffix_asta(pivot_), view_, index_, below, opts_);
       stats_.nodes_visited += sub.stats.nodes_visited;
+      if (sub.interrupt != StatusCode::kOk) {
+        interrupt_ = sub.interrupt;  // partial batch: never emitted
+        return false;
+      }
       if (sub.nodes.empty()) continue;
       out->insert(out->end(), sub.nodes.begin(), sub.nodes.end());
       return true;
@@ -247,13 +328,21 @@ class HybridStreamImpl final : public HybridStream::Impl {
 
   const HybridStats& stats() const override { return stats_; }
 
+  StatusCode interrupt() const override { return interrupt_; }
+
  private:
   const HybridPlan* plan_;
   const TreeView view_;
   const TreeIndex* index_;
-  const AstaEvalOptions opts_;  // jumping + memoization + info propagation
+  AstaEvalOptions opts_;  // jumping + memoization + info propagation
   size_t pivot_ = 0;
   bool pivot_is_last_ = false;
+  bool governed_ = false;
+  int64_t budget_ = -1;
+  ExecControl cand_control_;  // deadline + cancel, one charge per candidate
+  ExecControl sub_control_;   // handed to suffix runs, budget = remainder
+  ExecMonitor monitor_;
+  StatusCode interrupt_ = StatusCode::kOk;
   std::optional<AstaRegionStream> full_;  // pivot == 0 degeneration
   PostingList::Cursor pivot_cursor_;
   NodeId pos_ = 0;        // next posting lower bound
@@ -265,14 +354,14 @@ class HybridStreamImpl final : public HybridStream::Impl {
 }  // namespace
 
 HybridStream::HybridStream(const HybridPlan& plan, const Document& doc,
-                           const TreeIndex& index)
+                           const TreeIndex& index, const ExecControl* control)
     : impl_(std::make_unique<HybridStreamImpl<PointerTreeView>>(
-          plan, PointerTreeView{&doc}, index)) {}
+          plan, PointerTreeView{&doc}, index, control)) {}
 
 HybridStream::HybridStream(const HybridPlan& plan, const SuccinctTree& tree,
-                           const TreeIndex& index)
+                           const TreeIndex& index, const ExecControl* control)
     : impl_(std::make_unique<HybridStreamImpl<SuccinctTreeView>>(
-          plan, SuccinctTreeView{&tree}, index)) {}
+          plan, SuccinctTreeView{&tree}, index, control)) {}
 
 HybridStream::HybridStream(HybridStream&&) noexcept = default;
 HybridStream& HybridStream::operator=(HybridStream&&) noexcept = default;
@@ -284,5 +373,6 @@ bool HybridStream::NextBatch(std::vector<NodeId>* out) {
 void HybridStream::SkipTo(NodeId target) { impl_->SkipTo(target); }
 bool HybridStream::streaming() const { return impl_->streaming(); }
 const HybridStats& HybridStream::stats() const { return impl_->stats(); }
+StatusCode HybridStream::interrupt() const { return impl_->interrupt(); }
 
 }  // namespace xpwqo

@@ -40,17 +40,22 @@ class HybridPlan {
   /// Builds a plan. Fails if the path shape is not hybrid-evaluable.
   static StatusOr<HybridPlan> Make(const Path& path, Alphabet* alphabet);
 
-  /// Runs the plan. Results are sorted and duplicate-free.
+  /// Runs the plan. Results are sorted and duplicate-free. With a non-null
+  /// `control`, the run stops early on deadline / cancellation / budget and
+  /// returns the corresponding error Status (kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted).
   StatusOr<std::vector<NodeId>> Run(const Document& doc,
                                     const TreeIndex& index,
-                                    HybridStats* stats = nullptr) const;
+                                    HybridStats* stats = nullptr,
+                                    const ExecControl* control = nullptr) const;
 
   /// Same, over the succinct backend: the upward walk uses BP parent moves
   /// and the downward suffix run uses the succinct jumping evaluator.
   /// `index` should be succinct-backed.
   StatusOr<std::vector<NodeId>> Run(const SuccinctTree& tree,
                                     const TreeIndex& index,
-                                    HybridStats* stats = nullptr) const;
+                                    HybridStats* stats = nullptr,
+                                    const ExecControl* control = nullptr) const;
 
   /// The chain's labels, one per step (read-only plan introspection; the
   /// streaming cursor drives the pivot enumeration through these).
@@ -67,7 +72,8 @@ class HybridPlan {
   template <typename TreeView>
   StatusOr<std::vector<NodeId>> RunImpl(const TreeView& view,
                                         const TreeIndex& index,
-                                        HybridStats* stats) const;
+                                        HybridStats* stats,
+                                        const ExecControl* control) const;
 
   std::vector<LabelId> labels_;  // one per step
   /// Suffix automata: suffix_astas_[p] covers steps p+1.. (empty Asta when
@@ -91,10 +97,13 @@ class HybridPlan {
 /// AstaRegionStream over the full-chain automaton.
 class HybridStream {
  public:
+  /// `control` (optional) governs the pull: candidates charge the monitor
+  /// and suffix evaluations run under the remaining budget. Must outlive
+  /// the stream.
   HybridStream(const HybridPlan& plan, const Document& doc,
-               const TreeIndex& index);
+               const TreeIndex& index, const ExecControl* control = nullptr);
   HybridStream(const HybridPlan& plan, const SuccinctTree& tree,
-               const TreeIndex& index);
+               const TreeIndex& index, const ExecControl* control = nullptr);
   HybridStream(HybridStream&&) noexcept;
   HybridStream& operator=(HybridStream&&) noexcept;
   ~HybridStream();
@@ -112,6 +121,11 @@ class HybridStream {
   bool streaming() const;
 
   const HybridStats& stats() const;
+
+  /// kOk until an ExecControl limit stops the pull; then the stop code.
+  /// Once set, NextBatch() returns false (partial batches are never
+  /// emitted).
+  StatusCode interrupt() const;
 
   struct Impl;  // backend-templated implementations live in hybrid.cc
 

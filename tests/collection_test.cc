@@ -123,6 +123,29 @@ TEST(CollectionTest, ErrorPaths) {
   EXPECT_FALSE(library.RunAll(*foreign).ok());
 }
 
+TEST(CollectionTest, PrepareCachedCompilesOncePerCollection) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  auto first = library.PrepareCached("//book//keyword");
+  ASSERT_TRUE(first.ok());
+  auto second = library.PrepareCached("//book//keyword");
+  ASSERT_TRUE(second.ok());
+  // Same compilation object — compiled once per collection, not per call
+  // (and not per document, as the old per-engine cache did).
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(library.query_cache()->misses(), 1u);
+  EXPECT_EQ(library.query_cache()->hits(), 1u);
+  // The string OpenCursor convenience goes through the same cache.
+  auto cursor = library.OpenCursor("a", "//book//keyword");
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(library.query_cache()->hits(), 2u);
+  EXPECT_EQ(cursor->Drain().size(), 1u);
+  // Compile errors are not cached.
+  EXPECT_FALSE(library.PrepareCached("//(((").ok());
+  EXPECT_EQ(library.query_cache()->size(), 1u);
+}
+
 TEST(CollectionTest, MissingFilePropagates) {
   Collection library;
   EXPECT_EQ(library.AddXmlFile("gone", "/no/such/file.xml").code(),

@@ -1,0 +1,154 @@
+// ExecMonitor unit tests: the amortized governance primitive the
+// evaluators charge their visited nodes against. The contract under test:
+// a null control never stops, budgets trip within one check interval
+// (exactly at the budget when the stride is clamped), cancellation and
+// deadlines are observed at the next check, trips are sticky, and the
+// priority on simultaneous trips is cancel > deadline > budget.
+#include "util/exec_control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace xpwqo {
+namespace {
+
+int64_t ChargesUntilStop(ExecMonitor& monitor, int64_t cap) {
+  for (int64_t i = 1; i <= cap; ++i) {
+    if (monitor.Charge()) return i;
+  }
+  return -1;
+}
+
+TEST(ExecMonitorTest, NullControlNeverStops) {
+  ExecMonitor monitor(nullptr);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(monitor.Charge());
+  }
+  EXPECT_FALSE(monitor.stopped());
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kOk);
+  EXPECT_TRUE(monitor.ToStatus().ok());
+}
+
+TEST(ExecMonitorTest, UnlimitedControlNeverStops) {
+  ExecControl control;  // no deadline, no cancel, no budget
+  ExecMonitor monitor(&control);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(monitor.Charge());
+  }
+  EXPECT_FALSE(monitor.stopped());
+}
+
+TEST(ExecMonitorTest, BudgetTripsExactlyAtTheBudget) {
+  // The stride clamps to the remaining budget, so the trip lands on the
+  // budget itself, not at the next multiple of the check interval.
+  for (const int64_t budget : {1, 2, 7, 100, 1000, 1500}) {
+    ExecControl control;
+    control.max_visited = budget;
+    control.check_interval = 64;
+    ExecMonitor monitor(&control);
+    EXPECT_EQ(ChargesUntilStop(monitor, 10000), budget) << budget;
+    EXPECT_EQ(monitor.stop_code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ExecMonitorTest, ZeroBudgetTripsOnFirstCharge) {
+  ExecControl control;
+  control.max_visited = 0;
+  ExecMonitor monitor(&control);
+  EXPECT_TRUE(monitor.Charge());
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecMonitorTest, CancellationObservedWithinOneInterval) {
+  std::atomic<bool> cancel{false};
+  ExecControl control;
+  control.cancel = &cancel;
+  control.check_interval = 32;
+  ExecMonitor monitor(&control);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(monitor.Charge());
+  }
+  cancel.store(true, std::memory_order_relaxed);
+  const int64_t charges = ChargesUntilStop(monitor, 1000);
+  ASSERT_GT(charges, 0);
+  EXPECT_LE(charges, control.check_interval);
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kCancelled);
+}
+
+TEST(ExecMonitorTest, ExpiredDeadlineTripsAtTheFirstCheck) {
+  ExecControl control;
+  control.deadline = ExecControl::Clock::now() - std::chrono::milliseconds(1);
+  control.check_interval = 16;
+  ExecMonitor monitor(&control);
+  const int64_t charges = ChargesUntilStop(monitor, 1000);
+  ASSERT_GT(charges, 0);
+  EXPECT_LE(charges, control.check_interval);
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecMonitorTest, StopIsSticky) {
+  ExecControl control;
+  control.max_visited = 5;
+  ExecMonitor monitor(&control);
+  ASSERT_EQ(ChargesUntilStop(monitor, 100), 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(monitor.Charge());
+    EXPECT_EQ(monitor.stop_code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ExecMonitorTest, CancelWinsOverDeadlineWinsOverBudget) {
+  std::atomic<bool> cancel{true};
+  ExecControl all;
+  all.cancel = &cancel;
+  all.deadline = ExecControl::Clock::now() - std::chrono::milliseconds(1);
+  all.max_visited = 0;
+  ExecMonitor monitor(&all);
+  ASSERT_TRUE(monitor.Charge());
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kCancelled);
+
+  ExecControl no_cancel = all;
+  no_cancel.cancel = nullptr;
+  monitor.Reset(&no_cancel);
+  ASSERT_TRUE(monitor.Charge());
+  EXPECT_EQ(monitor.stop_code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecMonitorTest, ResetRearms) {
+  ExecControl control;
+  control.max_visited = 3;
+  ExecMonitor monitor(&control);
+  ASSERT_EQ(ChargesUntilStop(monitor, 100), 3);
+  monitor.Reset(&control);
+  EXPECT_FALSE(monitor.stopped());
+  EXPECT_EQ(ChargesUntilStop(monitor, 100), 3);
+  monitor.Reset(nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(monitor.Charge());
+  }
+}
+
+TEST(ExecMonitorTest, ToStatusMapsTheStopCode) {
+  ExecControl control;
+  control.max_visited = 1;
+  ExecMonitor monitor(&control);
+  ASSERT_TRUE(monitor.Charge());
+  const Status status = monitor.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(status.message().empty());
+}
+
+TEST(InterruptToStatusTest, MapsEveryInterruptCode) {
+  EXPECT_TRUE(InterruptToStatus(StatusCode::kOk).ok());
+  EXPECT_EQ(InterruptToStatus(StatusCode::kCancelled).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(InterruptToStatus(StatusCode::kDeadlineExceeded).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(InterruptToStatus(StatusCode::kResourceExhausted).code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace xpwqo

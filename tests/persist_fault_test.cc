@@ -22,6 +22,7 @@
 #include "persist/fs_util.h"
 #include "persist/image_format.h"
 #include "persist/index_image.h"
+#include "serve/serving_runtime.h"
 #include "util/crc32c.h"
 #include "xml/serializer.h"
 #include "test_util.h"
@@ -369,6 +370,72 @@ TEST_F(CollectionFaultTest, CorruptDocumentDegradesOnlyItself) {
   auto rerun = (*recovered)->Run("//y");
   ASSERT_TRUE(rerun.ok());
   EXPECT_EQ(rerun->nodes.size(), 1u);
+}
+
+TEST_F(CollectionFaultTest, VerifyAllQuarantinesInPlaceCorruption) {
+  auto opened = OpenCollection(dir_);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // Touch both documents so both images are live mappings.
+  ASSERT_TRUE(opened->Get("a").ok());
+  ASSERT_TRUE(opened->Get("b").ok());
+  const VerifyReport clean = opened->VerifyAll();
+  EXPECT_EQ(clean.checked, 2u);
+  EXPECT_EQ(clean.quarantined, 0u);
+
+  // Damage document a's image *in place* — same inode, so the bytes under
+  // the live mapping change (WriteTo's atomic rename would create a new
+  // inode, leave the old one mapped, and the scrub would see nothing).
+  const std::string image_path = dir_ + "/doc00000.xpq";
+  auto pristine = persist::ReadFileToString(image_path);
+  ASSERT_TRUE(pristine.ok());
+  auto corruptor = Corruptor::Load(image_path);
+  ASSERT_TRUE(corruptor.ok());
+  ASSERT_TRUE(corruptor->FlipByte(pristine->size() / 2)
+                  .WriteInPlace(image_path)
+                  .ok());
+
+  const VerifyReport report = opened->VerifyAll();
+  EXPECT_EQ(report.checked, 2u);
+  ASSERT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].name, "a");
+  EXPECT_EQ(report.rows[0].status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(report.rows[1].status.ok());
+
+  // The quarantined document refuses to serve; the healthy one keeps going.
+  EXPECT_EQ(opened->Find("a"), nullptr);
+  EXPECT_EQ(opened->Get("a").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(opened->Health("a").code(), StatusCode::kCorruption);
+  EXPECT_TRUE(opened->Health("b").ok());
+  auto good = opened->Get("b");
+  ASSERT_TRUE(good.ok()) << good.status();
+  auto result = (*good)->Run("//y");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->nodes.size(), 2u);
+
+  // Quarantine is sticky: the next sweep reports the slot without
+  // re-scrubbing it — a corrupted live mapping is not recoverable in
+  // place, even after the file on disk is restored.
+  ASSERT_TRUE(persist::WriteFileAtomic(image_path, *pristine).ok());
+  const VerifyReport again = opened->VerifyAll();
+  EXPECT_EQ(again.checked, 1u);
+  EXPECT_EQ(again.quarantined, 0u);
+  ASSERT_EQ(again.rows.size(), 2u);
+  EXPECT_EQ(again.rows[0].name, "a");
+  EXPECT_EQ(again.rows[0].status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(opened->Get("a").status().code(), StatusCode::kCorruption);
+
+  // End to end through the serving runtime: the quarantined shard fails
+  // its row with kCorruption while the healthy one serves the job.
+  ServingRuntime runtime(&*opened);
+  auto served = runtime.Execute("//y");
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(served->status.ok()) << served->status;
+  ASSERT_EQ(served->documents.size(), 2u);
+  EXPECT_EQ(served->documents[0].status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(served->documents[1].status.ok());
+  EXPECT_EQ(served->documents[1].nodes.size(), 2u);
+  EXPECT_EQ(runtime.Stats().docs_failed, 1);
 }
 
 }  // namespace

@@ -1,0 +1,437 @@
+// ServingRuntime tests: correctness parity with Collection::RunAll, then
+// every governance path — deadlines (in-flight and queued), cooperative
+// cancellation, visited-node budgets, admission-control shedding, retry
+// with backoff over flaky lazy loaders — and the stats invariants.
+#include "serve/serving_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/collection.h"
+#include "xmark/generator.h"
+#include "xml/serializer.h"
+
+namespace xpwqo {
+namespace {
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr const char* kShelfA = R"(<library>
+  <shelf><book><title>Automata</title><keyword>trees</keyword></book></shelf>
+  <shelf><book><title>Indexes</title></book></shelf>
+</library>)";
+
+constexpr const char* kShelfB = R"(<library>
+  <shelf><book><keyword>succinct</keyword><keyword>xpath</keyword></book>
+  </shelf>
+</library>)";
+
+/// A latch the blocking lazy loaders park on, so tests can hold the
+/// single worker busy deterministically (no sleeps as synchronization):
+/// WaitReached() returns once a worker is parked inside the loader (so the
+/// queue in front of it is observably empty), Open() releases it.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  bool reached = false;
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void WaitOpen() {
+    std::unique_lock<std::mutex> lock(mu);
+    reached = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void WaitReached() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return reached; });
+  }
+};
+
+Collection::LazyLoader GatedLoader(std::shared_ptr<Gate> gate,
+                                   std::string xml) {
+  return [gate = std::move(gate),
+          xml = std::move(xml)](std::shared_ptr<Alphabet> alphabet)
+             -> StatusOr<Engine> {
+    gate->WaitOpen();
+    LoadOptions options;
+    options.alphabet = std::move(alphabet);
+    return Engine::FromXmlString(xml, options);
+  };
+}
+
+TEST(ServingRuntimeTest, ExecuteMatchesRunAll) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  LoadOptions succinct;
+  succinct.backend = TreeBackend::kSuccinct;
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB, succinct).ok());
+
+  auto prepared = library.Prepare("//book//keyword");
+  ASSERT_TRUE(prepared.ok());
+  auto expected = library.RunAll(*prepared);
+  ASSERT_TRUE(expected.ok());
+
+  ServingRuntime runtime(&library);
+  auto served = runtime.Execute("//book//keyword");
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(served->status.ok()) << served->status;
+  ASSERT_EQ(served->documents.size(), expected->size());
+  for (size_t i = 0; i < served->documents.size(); ++i) {
+    EXPECT_EQ(served->documents[i].name, (*expected)[i].name);
+    EXPECT_TRUE(served->documents[i].status.ok());
+    EXPECT_EQ(served->documents[i].nodes, (*expected)[i].result.nodes);
+  }
+  EXPECT_GT(served->latency.count(), 0);
+}
+
+TEST(ServingRuntimeTest, LimitCapsNodesAcrossDocuments) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  ServingRuntime runtime(&library);
+
+  ServeRequest request;
+  request.limit = 2;  // doc a has 1 keyword, doc b has 2 — the cap spans both
+  auto result = runtime.Execute("//keyword", request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(result->total_nodes(), 2);
+}
+
+TEST(ServingRuntimeTest, InvalidQueryAndNullQuery) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ServingRuntime runtime(&library);
+  // A compile error surfaces from the string Submit, before any job runs.
+  EXPECT_FALSE(runtime.Submit("//(((").ok());
+  // A null prepared query is a finished InvalidArgument job.
+  ServingRuntime::Ticket ticket =
+      runtime.Submit(std::shared_ptr<const PreparedQuery>());
+  EXPECT_EQ(ticket.Wait().status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServingRuntimeTest, ExpiredContextIsRefusedBeforeAdmission) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ServingRuntime runtime(&library);
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+
+  ServeRequest request;
+  request.context.deadline =
+      QueryContext::Clock::now() - std::chrono::milliseconds(1);
+  ServingRuntime::Ticket ticket = runtime.Submit(*query, request);
+  EXPECT_TRUE(ticket.Ready());  // finished on arrival, never queued
+  EXPECT_EQ(ticket.Wait().status.code(), StatusCode::kDeadlineExceeded);
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.admitted, 0);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+}
+
+TEST(ServingRuntimeTest, BudgetExhaustionFailsTheJob) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  ServingRuntime runtime(&library);
+
+  ServeRequest request;
+  request.context.max_visited = 3;  // far below one document's sweep
+  auto result = runtime.Execute("//book//keyword", request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(runtime.Stats().resource_exhausted, 1);
+}
+
+TEST(ServingRuntimeTest, ShedsWhenQueueIsFull) {
+  auto gate = std::make_shared<Gate>();
+  Collection library;
+  ASSERT_TRUE(library.AddLazy("slow", GatedLoader(gate, kShelfA)).ok());
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+
+  ServingRuntimeOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;
+  ServingRuntime runtime(&library, options);
+
+  // Job 1 occupies the worker (parked on the gate — WaitReached makes the
+  // dequeue observable), job 2 fills the one-slot queue; job 3 must be
+  // shed immediately with a retryable kResourceExhausted.
+  ServingRuntime::Ticket running = runtime.Submit(*query);
+  gate->WaitReached();
+  ServingRuntime::Ticket queued = runtime.Submit(*query);
+  ServingRuntime::Ticket third = runtime.Submit(*query);
+  EXPECT_TRUE(third.Ready());  // shed jobs finish on arrival
+  const ServeResult& shed_result = third.Wait();
+  EXPECT_EQ(shed_result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(shed_result.status));
+  gate->Open();
+  EXPECT_TRUE(running.Wait().status.ok());
+  EXPECT_TRUE(queued.Wait().status.ok());
+  runtime.Shutdown();
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.shed + stats.outcome_total(), stats.submitted);
+}
+
+TEST(ServingRuntimeTest, QueueTimeCountsAgainstTheDeadline) {
+  auto gate = std::make_shared<Gate>();
+  Collection library;
+  ASSERT_TRUE(library.AddLazy("slow", GatedLoader(gate, kShelfA)).ok());
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+
+  ServingRuntimeOptions options;
+  options.num_threads = 1;
+  ServingRuntime runtime(&library, options);
+
+  ServingRuntime::Ticket blocker = runtime.Submit(*query);
+  gate->WaitReached();
+  ServeRequest request;
+  request.context = QueryContext::WithTimeout(milliseconds(20));
+  ServingRuntime::Ticket queued = runtime.Submit(*query, request);
+  std::this_thread::sleep_for(milliseconds(40));  // let the deadline lapse
+  gate->Open();
+  EXPECT_TRUE(blocker.Wait().status.ok());
+  EXPECT_EQ(queued.Wait().status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServingRuntimeTest, CancelStopsAQueuedJob) {
+  auto gate = std::make_shared<Gate>();
+  Collection library;
+  ASSERT_TRUE(library.AddLazy("slow", GatedLoader(gate, kShelfA)).ok());
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+
+  ServingRuntimeOptions options;
+  options.num_threads = 1;
+  ServingRuntime runtime(&library, options);
+
+  ServingRuntime::Ticket blocker = runtime.Submit(*query);
+  gate->WaitReached();
+  ServingRuntime::Ticket queued = runtime.Submit(*query);
+  queued.Cancel();
+  gate->Open();
+  EXPECT_TRUE(blocker.Wait().status.ok());
+  EXPECT_EQ(queued.Wait().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(runtime.Stats().cancelled, 1);
+}
+
+TEST(ServingRuntimeTest, RetryRecoversFromFlakyLoader) {
+  auto failures = std::make_shared<std::atomic<int>>(2);
+  Collection library;
+  ASSERT_TRUE(library
+                  .AddLazy("flaky",
+                           [failures](std::shared_ptr<Alphabet> alphabet)
+                               -> StatusOr<Engine> {
+                             if (failures->fetch_sub(1) > 0) {
+                               return Status::IoError("transient open");
+                             }
+                             LoadOptions options;
+                             options.alphabet = std::move(alphabet);
+                             return Engine::FromXmlString(kShelfA, options);
+                           })
+                  .ok());
+
+  ServingRuntimeOptions options;
+  options.max_attempts = 3;
+  options.retry_backoff = microseconds(50);
+  ServingRuntime runtime(&library, options);
+  auto result = runtime.Execute("//keyword");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status;
+  ASSERT_EQ(result->documents.size(), 1u);
+  EXPECT_TRUE(result->documents[0].status.ok());
+  EXPECT_EQ(result->documents[0].attempts, 3);
+  EXPECT_EQ(result->documents[0].nodes.size(), 1u);
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.docs_failed, 0);
+}
+
+TEST(ServingRuntimeTest, CorruptDocumentFailsAloneHealthyOnesServe) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("good", kShelfB).ok());
+  ASSERT_TRUE(library
+                  .AddLazy("bad",
+                           [](std::shared_ptr<Alphabet>) -> StatusOr<Engine> {
+                             return Status::Corruption("checksum mismatch");
+                           })
+                  .ok());
+
+  ServingRuntime runtime(&library);
+  auto result = runtime.Execute("//keyword");
+  ASSERT_TRUE(result.ok());
+  // The job completes: corruption is a document condition, not a job one.
+  ASSERT_TRUE(result->status.ok()) << result->status;
+  ASSERT_EQ(result->documents.size(), 2u);
+  EXPECT_TRUE(result->documents[0].status.ok());
+  EXPECT_EQ(result->documents[0].nodes.size(), 2u);
+  EXPECT_EQ(result->documents[1].status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(result->documents[1].attempts, 1);  // deterministic, no retry
+  EXPECT_EQ(runtime.Stats().docs_failed, 1);
+}
+
+TEST(ServingRuntimeTest, AllDocumentsFailingFailsTheJob) {
+  Collection library;
+  ASSERT_TRUE(library
+                  .AddLazy("bad",
+                           [](std::shared_ptr<Alphabet>) -> StatusOr<Engine> {
+                             return Status::Corruption("checksum mismatch");
+                           })
+                  .ok());
+  ServingRuntime runtime(&library);
+  auto result = runtime.Execute("//keyword");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(runtime.Stats().corruption, 1);
+}
+
+TEST(ServingRuntimeTest, SharedQueryCacheCompilesOnce) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  ServingRuntime runtime(&library);
+  for (int i = 0; i < 4; ++i) {
+    auto result = runtime.Execute("//book//keyword");
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->status.ok());
+  }
+  const ServingStatsSnapshot stats = runtime.Stats();
+  // One compilation for the whole collection, reused across submissions
+  // and across both documents of each job.
+  EXPECT_EQ(stats.query_cache_misses, 1);
+  EXPECT_EQ(stats.query_cache_hits, 3);
+}
+
+TEST(ServingRuntimeTest, StatsAccountingBalancesOnceDrained) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ServingRuntime runtime(&library);
+  std::vector<ServingRuntime::Ticket> tickets;
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(runtime.Submit(*query));
+  }
+  for (ServingRuntime::Ticket& ticket : tickets) ticket.Wait();
+  runtime.Shutdown();
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.submitted, 16);
+  EXPECT_EQ(stats.shed + stats.outcome_total(), stats.submitted);
+  EXPECT_EQ(stats.ok, 16);
+  EXPECT_EQ(stats.latency_us.count, 16);
+  EXPECT_GE(stats.latency_us.Percentile(0.99), stats.latency_us.Percentile(0.5));
+}
+
+TEST(ServingRuntimeTest, SubmitAfterShutdownSheds) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ServingRuntime runtime(&library);
+  runtime.Shutdown();
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+  ServingRuntime::Ticket ticket = runtime.Submit(*query);
+  EXPECT_EQ(ticket.Wait().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(runtime.Stats().shed, 1);
+}
+
+/// The acceptance test from the issue: a 1 ms deadline against the
+/// ~1.15M-node XMark shard (a multi-millisecond full sweep ungoverned)
+/// must come back as kDeadlineExceeded within single-digit milliseconds —
+/// the amortized in-loop checks stop the sweep, not the result drain.
+class ServingDeadlineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    XMarkOptions options;
+    options.scale = 0.2;  // ~1.15M nodes
+    Document doc = GenerateXMark(options);
+    library_ = new Collection();
+    LoadOptions load;
+    load.backend = TreeBackend::kSuccinct;
+    ASSERT_TRUE(
+        library_->AddXmlString("xmark", SerializeXml(doc), load).ok());
+  }
+  static void TearDownTestSuite() {
+    delete library_;
+    library_ = nullptr;
+  }
+  static Collection* library_;
+};
+
+Collection* ServingDeadlineTest::library_ = nullptr;
+
+TEST_F(ServingDeadlineTest, OneMillisecondDeadlineStopsTheSweepFast) {
+  ServingRuntime runtime(library_);
+  auto query = library_->PrepareCached("//listitem//keyword");
+  ASSERT_TRUE(query.ok());
+
+  // Warm up: the ungoverned sweep must be slow enough for the deadline to
+  // be meaningful (otherwise the test proves nothing).
+  ServeResult full = runtime.Execute(*query);
+  ASSERT_TRUE(full.status.ok()) << full.status;
+  ASSERT_GT(full.total_nodes(), 0);
+  ASSERT_GT(full.latency, milliseconds(2))
+      << "XMark sweep too fast for a 1 ms deadline to bite";
+
+  // Take the best of a few runs: the bound is about the runtime's stopping
+  // latency, and a loaded CI machine can stall any single run.
+  microseconds best = microseconds::max();
+  StatusCode code = StatusCode::kOk;
+  for (int i = 0; i < 5; ++i) {
+    ServeRequest request;
+    request.context = QueryContext::WithTimeout(milliseconds(1));
+    ServeResult result = runtime.Execute(*query, request);
+    if (result.latency < best) {
+      best = result.latency;
+      code = result.status.code();
+    }
+  }
+  EXPECT_EQ(code, StatusCode::kDeadlineExceeded);
+  EXPECT_LE(best, milliseconds(5)) << "stopped in " << best.count() << "us";
+}
+
+TEST_F(ServingDeadlineTest, CancellationStopsARunningSweep) {
+  ServingRuntime runtime(library_);
+  auto query = library_->PrepareCached("//listitem//keyword");
+  ASSERT_TRUE(query.ok());
+  ServingRuntime::Ticket ticket = runtime.Submit(*query);
+  ticket.Cancel();  // lands while queued or mid-sweep; both must stop it
+  EXPECT_EQ(ticket.Wait().status.code(), StatusCode::kCancelled);
+}
+
+TEST_F(ServingDeadlineTest, BudgetBoundsVisitedNodes) {
+  ServingRuntime runtime(library_);
+  auto query = library_->PrepareCached("//listitem//keyword");
+  ASSERT_TRUE(query.ok());
+  ServeRequest request;
+  request.context.max_visited = 10000;
+  ServeResult result = runtime.Execute(*query, request);
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  // Enforcement is exact-ish: the evaluators stop within one check
+  // interval of the budget.
+  EXPECT_LE(result.total_visited,
+            request.context.max_visited + ExecControl::kDefaultCheckInterval);
+}
+
+}  // namespace
+}  // namespace xpwqo

@@ -1,0 +1,185 @@
+// Multi-threaded serving stress: N client threads hammer one runtime with
+// mixed deadlines, mid-flight cancellations, visited-node budgets and an
+// intentionally unhealthy shard mix (one corrupt document, one flaky one),
+// while another thread runs VerifyAll scrubs. scripts/check.sh runs this
+// suite under ThreadSanitizer (-DXPWQO_SANITIZE=thread, --gtest_filter=
+// ServingStress*): the assertions here are the accounting invariants; the
+// data-race coverage is TSan's.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/collection.h"
+#include "serve/serving_runtime.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+
+namespace xpwqo {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+std::string StressXml(uint64_t seed) {
+  testing_util::RandomTreeOptions options;
+  options.num_nodes = 4000;
+  options.num_labels = 4;
+  return SerializeXml(testing_util::RandomTree(seed, options));
+}
+
+TEST(ServingStressTest, ConcurrentClientsMixedOutcomes) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("p0", StressXml(11)).ok());
+  LoadOptions succinct;
+  succinct.backend = TreeBackend::kSuccinct;
+  ASSERT_TRUE(library.AddXmlString("p1", StressXml(12), succinct).ok());
+  // One shard that is corrupt every time, and one that fails the first
+  // touch with a retryable kIoError and then loads.
+  ASSERT_TRUE(library
+                  .AddLazy("corrupt",
+                           [](std::shared_ptr<Alphabet>) -> StatusOr<Engine> {
+                             return Status::Corruption("stress: bad image");
+                           })
+                  .ok());
+  auto flaky_failures = std::make_shared<std::atomic<int>>(1);
+  ASSERT_TRUE(
+      library
+          .AddLazy("flaky",
+                   [flaky_failures](std::shared_ptr<Alphabet> alphabet)
+                       -> StatusOr<Engine> {
+                     if (flaky_failures->fetch_sub(1) > 0) {
+                       return Status::IoError("stress: transient open");
+                     }
+                     LoadOptions options;
+                     options.alphabet = std::move(alphabet);
+                     return Engine::FromXmlString(StressXml(13), options);
+                   })
+          .ok());
+
+  ServingRuntimeOptions options;
+  options.num_threads = 4;
+  options.max_queue = 8;
+  options.max_attempts = 3;
+  options.retry_backoff = microseconds(100);
+  ServingRuntime runtime(&library, options);
+
+  const char* kQueries[] = {"//a//b", "//b", "//a//c//a", "//c"};
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 30;
+
+  std::atomic<int64_t> waited{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto query = library.PrepareCached(kQueries[(t + i) % 4]);
+        ASSERT_TRUE(query.ok());
+        ServeRequest request;
+        switch (i % 4) {
+          case 0:  // unconstrained
+            break;
+          case 1:  // tight deadline — some expire queued, some mid-sweep
+            request.context = QueryContext::WithTimeout(microseconds(200));
+            break;
+          case 2:  // tiny budget
+            request.context.max_visited = 64;
+            break;
+          case 3:  // cancelled mid-flight
+            break;
+        }
+        ServingRuntime::Ticket ticket = runtime.Submit(*query, request);
+        if (i % 4 == 3) ticket.Cancel();
+        const ServeResult& result = ticket.Wait();
+        // Every outcome must be one of the runtime's documented codes.
+        switch (result.status.code()) {
+          case StatusCode::kOk:
+          case StatusCode::kDeadlineExceeded:
+          case StatusCode::kCancelled:
+          case StatusCode::kResourceExhausted:
+          case StatusCode::kCorruption:
+          case StatusCode::kIoError:
+            break;
+          default:
+            ADD_FAILURE() << "unexpected outcome: " << result.status;
+        }
+        waited.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // A scrubber sweeping the collection while it serves: VerifyAll holds no
+  // lock during the checksum work, so it must coexist with the clients.
+  std::atomic<bool> stop_scrub{false};
+  std::thread scrubber([&] {
+    while (!stop_scrub.load(std::memory_order_relaxed)) {
+      const VerifyReport report = library.VerifyAll();
+      EXPECT_EQ(report.quarantined, 0u);  // nothing actually corrupt on disk
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  });
+
+  for (std::thread& client : clients) client.join();
+  stop_scrub.store(true, std::memory_order_relaxed);
+  scrubber.join();
+  runtime.Shutdown();
+
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(waited.load(), kClients * kPerClient);
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  // The accounting identity: every submitted job was either shed at
+  // admission or finished with exactly one outcome.
+  EXPECT_EQ(stats.shed + stats.outcome_total(), stats.submitted);
+  EXPECT_GT(stats.ok, 0);
+  // The flaky shard recovered on a retry at most max_attempts deep.
+  EXPECT_LE(flaky_failures->load(), 0);
+  // Every PrepareCached call was either a hit or a miss, and nearly all
+  // were hits (concurrent first lookups can each count a miss, so the
+  // miss count is >= the 4 distinct queries, not ==).
+  EXPECT_GE(stats.query_cache_misses, 4);
+  EXPECT_EQ(stats.query_cache_hits + stats.query_cache_misses,
+            kClients * kPerClient);
+  // Latency histograms cover executed jobs (shed and dead-on-arrival jobs
+  // never start, so they record no latency).
+  EXPECT_LE(stats.latency_us.count, stats.outcome_total());
+}
+
+TEST(ServingStressTest, SubmitWaitRacesWithShutdown) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("p0", StressXml(21)).ok());
+  auto query = library.PrepareCached("//a//b");
+  ASSERT_TRUE(query.ok());
+
+  ServingRuntimeOptions options;
+  options.num_threads = 2;
+  options.max_queue = 4;
+  ServingRuntime runtime(&library, options);
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        ServingRuntime::Ticket ticket = runtime.Submit(*query);
+        const ServeResult& result = ticket.Wait();
+        // After shutdown starts, submissions shed; before, they serve.
+        EXPECT_TRUE(result.status.ok() ||
+                    result.status.code() == StatusCode::kResourceExhausted)
+            << result.status;
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(2));
+  runtime.Shutdown();  // races with in-flight Submit/Wait — must be clean
+  for (std::thread& client : clients) client.join();
+
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.shed + stats.outcome_total(), stats.submitted);
+}
+
+}  // namespace
+}  // namespace xpwqo

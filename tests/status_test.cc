@@ -44,6 +44,40 @@ TEST(StatusTest, PersistenceCodesCarryMessageAndName) {
   EXPECT_FALSE(corrupt == io);
 }
 
+TEST(StatusTest, ServingCodesCarryCodeAndName) {
+  // The serving layer's taxonomy: governance trips each get their own code
+  // so the runtime can tell "retry later" from "this query is done".
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+}
+
+TEST(StatusTest, IsRetryableMatchesTheTaxonomy) {
+  // Retryable: transient conditions where the same call may succeed later
+  // (a failed I/O, a momentarily full queue). Not retryable: conditions a
+  // bare retry cannot fix — corrupt bytes need a rebuild, an expired
+  // deadline or cancelled token belongs to a request that is already over.
+  EXPECT_TRUE(IsRetryable(Status::IoError("transient")));
+  EXPECT_TRUE(IsRetryable(Status::ResourceExhausted("queue full")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("bad bytes")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("missing")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(IsRetryable(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryable(StatusCode::kUnimplemented));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+}
+
 TEST(StatusTest, StatusCodeNameCoversEveryCode) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
@@ -55,6 +89,11 @@ TEST(StatusTest, StatusCodeNameCoversEveryCode) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(StatusTest, CopyPreservesContents) {
