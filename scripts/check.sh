@@ -65,17 +65,30 @@ grep -qi "corruption" build/check_corrupt.err
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:StructuralScan*:BulkLoad*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*'
 
-# ThreadSanitizer pass over the serving runtime: the thread pool, the
-# shared query cache, the lazy-load/quarantine paths and the lock-free
-# stats are exactly where a release-mode race would hide. The ServingStress
-# suites run N client threads with mixed deadlines, cancellations and an
-# unhealthy shard mix against one runtime, plus a concurrent VerifyAll
-# scrubber — TSan must come back clean.
+# The same ingestion suites again with every SIMD path compiled out
+# (-DXPWQO_FORCE_SCALAR=ON drops the SSE4.2/AVX2/BMI2 gates): the scalar
+# scanner and the un-accelerated rank/select paths must pass the identical
+# parity and parser tests under ASan/UBSan. This is the build CI falls back
+# to on machines without the extensions, so it gets the same scrutiny.
+cmake -B build-scalar -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXPWQO_SANITIZE=ON -DXPWQO_FORCE_SCALAR=ON
+cmake --build build-scalar -j"$(nproc)" --target xpwqo_tests
+./build-scalar/xpwqo_tests \
+  --gtest_filter='XmlParser*:StreamingBuild*:StructuralScan*:BulkLoad*:SuccinctTree*:BitVector*:BalancedParens*'
+
+# ThreadSanitizer pass over the serving runtime and the bulk loader: the
+# thread pool, the shared query cache, the lazy-load/quarantine paths and
+# the lock-free stats are exactly where a release-mode race would hide. The
+# ServingStress suites run N client threads with mixed deadlines,
+# cancellations and an unhealthy shard mix against one runtime, plus a
+# concurrent VerifyAll scrubber; BulkLoadStress races LoadAll's parser
+# fan-out (shared-alphabet interning) against concurrent PrepareCached
+# compilations — TSan must come back clean.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target xpwqo_tests
-./build-tsan/xpwqo_tests --gtest_filter='ServingStress*'
+./build-tsan/xpwqo_tests --gtest_filter='ServingStress*:BulkLoadStress*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
@@ -133,6 +146,34 @@ pipelines = {row["pipeline"] for row in bb["results"]}
 assert "image_open" in pipelines, "BENCH_build missing the image_open series"
 assert bb["image_open_speedup_vs_rebuild"] > 1.0, \
     f"image open no faster than rebuild: {bb['image_open_speedup_vs_rebuild']}"
+
+# The two-stage ingestion series. Stage-1 structural scanning alone must
+# be strictly faster than the full parse+build pipeline it feeds — if the
+# scanner ever drops below end-to-end throughput it has become the
+# bottleneck rather than the accelerator.
+assert "hardware_threads" in bb, "BENCH_build missing hardware_threads"
+ss = bb["simd_scan"]
+assert ss["kernel"], "simd_scan missing its kernel name"
+assert ss["entries"] > 0, "simd_scan produced an empty tape"
+stream = next(r for r in bb["results"] if r["pipeline"] == "succinct_stream")
+assert ss["mb_per_s"] > stream["mb_per_s"], \
+    f"scan ({ss['mb_per_s']} MB/s) slower than full build " \
+    f"({stream['mb_per_s']} MB/s)"
+
+# The bulk loader: all four thread counts present, every shard loaded in
+# every run, and — when the machine actually has the cores — parsing
+# independent shards in parallel must scale (>= 1.5x at 4 threads).
+bl = bb["bulk_load"]
+assert bl["all_rows_ok"], "a bulk_load run failed or dropped shards"
+series = bl["series"]
+assert [r["threads"] for r in series] == [1, 2, 4, 8], \
+    f"bulk_load thread counts wrong: {[r['threads'] for r in series]}"
+for r in series:
+    assert r["ms"] > 0 and r["mb_per_s"] > 0, f"empty bulk_load row: {r}"
+if bb["hardware_threads"] >= 4:
+    four = next(r for r in series if r["threads"] == 4)
+    assert four["speedup"] >= 1.5, \
+        f"bulk_load speedup at 4 threads only {four['speedup']}x"
 
 # The serving bench: overload must degrade gracefully — the 4x phase sheds
 # with retryable errors instead of queueing without bound, admitted jobs

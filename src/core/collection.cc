@@ -1,5 +1,7 @@
 #include "core/collection.h"
 
+#include <atomic>
+#include <thread>
 #include <utility>
 
 namespace xpwqo {
@@ -38,6 +40,86 @@ Status Collection::AddXmlString(std::string name, std::string_view xml,
   loaders_.emplace_back();
   health_.emplace_back();
   return Status::OK();
+}
+
+Collection::BulkLoadReport Collection::LoadAll(
+    const std::vector<BulkLoadSpec>& specs, unsigned threads) {
+  BulkLoadReport report;
+  report.rows.resize(specs.size());
+  if (specs.empty()) return report;
+
+  // Pre-flight serially: duplicate names (against the collection AND within
+  // the batch) fail their row before any worker starts, so workers never
+  // contend for a name.
+  std::vector<StatusOr<Engine>> parsed;
+  std::vector<bool> admitted(specs.size(), false);
+  parsed.reserve(specs.size());
+  std::unordered_map<std::string, size_t> batch_names;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    report.rows[i].name = specs[i].name;
+    parsed.emplace_back(Status::Internal("not parsed"));
+    if (by_name_.count(specs[i].name) > 0 ||
+        !batch_names.emplace(specs[i].name, i).second) {
+      report.rows[i].status = DuplicateName(specs[i].name);
+      continue;
+    }
+    admitted[i] = true;
+  }
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<size_t>(threads, specs.size()));
+
+  // Fan out: each worker claims the next unparsed spec and parses it into
+  // its slot. Workers share nothing but the alphabet (internally
+  // synchronized) — per-document builders, parsers, and result slots are
+  // worker-private, so a malformed shard fails only its own row.
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      if (!admitted[i]) continue;
+      LoadOptions options = specs[i].options;
+      options.alphabet = alphabet_;
+      parsed[i] = Engine::FromXmlFile(specs[i].path, options);
+    }
+  };
+  if (threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge serially, in spec order, so registration order (and therefore
+  // names()/RunAll order) is deterministic regardless of which worker
+  // finished first.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!admitted[i]) continue;
+    if (!parsed[i].ok()) {
+      report.rows[i].status = parsed[i].status();
+      continue;
+    }
+    Engine engine = std::move(parsed[i]).value();
+    engine.set_query_cache(cache_);
+    by_name_.emplace(specs[i].name, engines_.size());
+    names_.push_back(specs[i].name);
+    engines_.push_back(std::make_unique<Engine>(std::move(engine)));
+    loaders_.emplace_back();
+    health_.emplace_back();
+  }
+  for (const BulkLoadReport::Row& row : report.rows) {
+    if (row.status.ok()) {
+      ++report.loaded;
+    } else {
+      ++report.failed;
+    }
+  }
+  return report;
 }
 
 Status Collection::AddLazy(std::string name, LazyLoader loader) {

@@ -74,6 +74,43 @@ class Collection {
   Status AddXmlString(std::string name, std::string_view xml,
                       LoadOptions options = {});
 
+  /// One document of a bulk load: the name it registers under, the XML file
+  /// to parse, and per-document load options (backend etc. — the alphabet is
+  /// always overridden with the collection's).
+  struct BulkLoadSpec {
+    std::string name;
+    std::string path;
+    LoadOptions options;
+  };
+
+  /// Outcome of LoadAll: one row per spec, in spec order, each carrying the
+  /// per-document load Status. A failed document never aborts the batch.
+  struct BulkLoadReport {
+    struct Row {
+      std::string name;
+      Status status;
+    };
+    std::vector<Row> rows;
+    size_t loaded = 0;  // rows with an OK status (documents now queryable)
+    size_t failed = 0;
+  };
+
+  /// Parallel bulk ingestion: parses the documents on up to `threads`
+  /// worker threads (clamped to the spec count; 0 means the hardware
+  /// concurrency) and registers every successfully parsed document. All
+  /// parses intern through the collection's shared thread-safe Alphabet —
+  /// interning is the only synchronized point between workers. Documents
+  /// that fail (missing file, malformed XML, duplicate name) get their
+  /// Status in the report and are skipped; the rest load normally.
+  ///
+  /// Safe to run concurrently with Prepare/PrepareCached — compilation
+  /// interns through the same thread-safe alphabet the workers do. Like
+  /// Add*, registration must not race with queries or other mutating calls
+  /// (the load + prepare phase contract above); the new documents become
+  /// visible only after all workers finish, in spec order.
+  BulkLoadReport LoadAll(const std::vector<BulkLoadSpec>& specs,
+                         unsigned threads = 0);
+
   /// Loads an engine on demand, interning into the alphabet it is given
   /// (always the collection's).
   using LazyLoader =

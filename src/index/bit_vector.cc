@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#ifdef __BMI2__
+#ifdef XPWQO_CPU_BMI2
 #include <immintrin.h>
 #endif
 
@@ -12,7 +12,7 @@ namespace {
 
 /// Position (0-based) of the k-th set bit of `word`, k in [1, popcount].
 inline int SelectInWord(uint64_t word, uint64_t k) {
-#ifdef __BMI2__
+#ifdef XPWQO_CPU_BMI2
   // Deposit a single bit at the k-th set position, then locate it.
   return std::countr_zero(_pdep_u64(1ULL << (k - 1), word));
 #else

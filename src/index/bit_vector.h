@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#ifdef __BMI2__
+#ifdef XPWQO_CPU_BMI2
 #include <immintrin.h>
 #endif
 
@@ -105,7 +105,7 @@ class BitVector {
     // the superblock. For t == 0 the shift amount becomes 63, which lands
     // on the single unused top bit of the packed word — always zero.
     const uint64_t rel = (rank_[2 * b + 1] >> (9 * ((t + 7) & 7))) & 0x1FF;
-#ifdef __BMI2__
+#ifdef XPWQO_CPU_BMI2
     const uint64_t prefix = _bzhi_u64(data_[w], static_cast<uint32_t>(i & 63));
 #else
     const uint64_t prefix = data_[w] & ((1ULL << (i & 63)) - 1);

@@ -3,7 +3,7 @@
 #include <array>
 #include <cstring>
 
-#ifdef __SSE4_2__
+#ifdef XPWQO_CPU_SSE42
 #include <nmmintrin.h>
 #endif
 
@@ -62,7 +62,7 @@ constexpr Tables kTables = MakeTables();
   return crc;
 }
 
-#ifdef __SSE4_2__
+#ifdef XPWQO_CPU_SSE42
 uint32_t Crc32cHardware(const uint8_t* p, size_t n, uint32_t crc) {
   uint64_t c = crc;
   while (n >= 8) {
@@ -85,7 +85,7 @@ uint32_t Crc32cHardware(const uint8_t* p, size_t n, uint32_t crc) {
 uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   crc = ~crc;
-#ifdef __SSE4_2__
+#ifdef XPWQO_CPU_SSE42
   crc = Crc32cHardware(p, n, crc);
 #else
   crc = Crc32cSoftware(p, n, crc);

@@ -1,0 +1,74 @@
+#include "xml/chunk_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xpwqo {
+
+ChunkPipeline::ChunkPipeline(ReadFn read, size_t chunk_bytes)
+    : read_(std::move(read)), chunk_bytes_(std::max<size_t>(chunk_bytes, 1)) {
+  producer_ = std::thread([this] { Produce(); });
+}
+
+ChunkPipeline::~ChunkPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  producer_.join();
+}
+
+void ChunkPipeline::Produce() {
+  uint64_t base = 0;
+  while (true) {
+    const size_t slot = next_fill_ % 2;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this, slot] { return !filled_[slot] || stop_; });
+      if (stop_) return;
+    }
+    // The slot is exclusively the producer's until it is marked filled; the
+    // read and the scan both run without the lock held.
+    Chunk& chunk = slots_[slot];
+    chunk.bytes.resize(chunk_bytes_);
+    const size_t n = read_(chunk.bytes.data(), chunk_bytes_);
+    chunk.bytes.resize(n);
+    chunk.tape.Clear();
+    chunk.base = base;
+    if (n > 0) {
+      ScanStructural(chunk.bytes.data(), n, base, &chunk.tape);
+      base += n;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      filled_[slot] = true;
+    }
+    cv_.notify_all();
+    if (n == 0) return;  // the empty chunk is the end-of-input marker
+    ++next_fill_;
+  }
+}
+
+const ChunkPipeline::Chunk* ChunkPipeline::Pull() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (eof_published_) return nullptr;
+  if (have_outstanding_) {
+    // Release the chunk the consumer was holding back to the producer.
+    filled_[(next_pull_ - 1) % 2] = false;
+    have_outstanding_ = false;
+    cv_.notify_all();
+  }
+  const size_t slot = next_pull_ % 2;
+  cv_.wait(lock, [this, slot] { return filled_[slot]; });
+  const Chunk& chunk = slots_[slot];
+  if (chunk.bytes.empty()) {
+    eof_published_ = true;  // leave the slot filled; producer has exited
+    return nullptr;
+  }
+  have_outstanding_ = true;
+  ++next_pull_;
+  return &chunk;
+}
+
+}  // namespace xpwqo

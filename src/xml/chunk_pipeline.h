@@ -1,0 +1,70 @@
+// The overlap between the two ingestion stages: a double-buffered queue of
+// prescanned chunks. A producer thread reads the next chunk of input and
+// runs the SIMD structural scanner over it while the consumer (the event
+// parser) is still building events from the previous chunk — so stage-1
+// scan + file I/O and stage-2 event building proceed concurrently on
+// multi-core hosts, and degenerate to simple hand-off on one core.
+//
+// Exactly two slots: the consumer owns at most one chunk at a time (the
+// rolling-window cursor copies the bytes it still needs into its own
+// buffer), the producer fills the other. Pull() blocks until the next chunk
+// is scanned; the producer blocks once it is a full chunk ahead.
+#ifndef XPWQO_XML_CHUNK_PIPELINE_H_
+#define XPWQO_XML_CHUNK_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "xml/structural_scan.h"
+
+namespace xpwqo {
+
+class ChunkPipeline {
+ public:
+  /// Fills `buf[0, cap)` with the next input bytes; returns the count read,
+  /// 0 at end of input. Called only from the producer thread.
+  using ReadFn = std::function<size_t(char* buf, size_t cap)>;
+
+  /// One prescanned chunk. `tape` offsets are absolute stream offsets
+  /// (`base` is the stream offset of bytes[0]).
+  struct Chunk {
+    std::string bytes;
+    StructuralTape tape;
+    uint64_t base = 0;
+  };
+
+  ChunkPipeline(ReadFn read, size_t chunk_bytes);
+  ~ChunkPipeline();
+
+  ChunkPipeline(const ChunkPipeline&) = delete;
+  ChunkPipeline& operator=(const ChunkPipeline&) = delete;
+
+  /// The next chunk in stream order, or nullptr at end of input (repeated
+  /// calls keep returning nullptr). The returned chunk is owned by the
+  /// pipeline and stays valid until the next Pull() call.
+  const Chunk* Pull();
+
+ private:
+  void Produce();
+
+  ReadFn read_;
+  const size_t chunk_bytes_;
+  Chunk slots_[2];
+  bool filled_[2] = {false, false};
+  size_t next_fill_ = 0;  // producer's slot index
+  size_t next_pull_ = 0;  // consumer's slot index
+  bool have_outstanding_ = false;  // consumer holds slots_[prev pull]
+  bool eof_published_ = false;     // producer delivered the empty chunk
+  bool stop_ = false;              // destructor tear-down
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread producer_;
+};
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XML_CHUNK_PIPELINE_H_

@@ -43,6 +43,11 @@ struct XmlParseOptions {
   /// Rolling read size for the streaming file path. The resident window is
   /// one chunk plus any token spanning a boundary, not the whole document.
   size_t chunk_bytes = 1 << 20;
+  /// File parsing only: run the structural scanner on a producer thread
+  /// that reads and prescans the next chunk while this thread builds events
+  /// from the current one. Event stream and errors are identical either
+  /// way; disable to force single-threaded operation.
+  bool pipelined_scan = true;
 };
 
 /// Pulls the next chunk of input; returns an empty view at end of input.

@@ -1,0 +1,280 @@
+#include "xml/structural_scan.h"
+
+#include <array>
+#include <bit>
+
+#if defined(XPWQO_CPU_SSE42)
+#include <emmintrin.h>  // 16-byte compares (SSE2 ops, SSE4.2-gated build)
+#endif
+#if defined(XPWQO_CPU_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace xpwqo {
+namespace {
+
+// Byte-class bits for the scalar kernel's 256-entry table.
+enum : uint8_t {
+  kBitLt = 1,
+  kBitGt = 2,
+  kBitAmp = 4,
+  kBitQuote = 8,
+  kBitNl = 16,
+};
+
+constexpr std::array<uint8_t, 256> MakeClassTable() {
+  std::array<uint8_t, 256> t{};
+  t[static_cast<unsigned char>('<')] = kBitLt;
+  t[static_cast<unsigned char>('>')] = kBitGt;
+  t[static_cast<unsigned char>('&')] = kBitAmp;
+  t[static_cast<unsigned char>('"')] = kBitQuote;
+  t[static_cast<unsigned char>('\'')] = kBitQuote;
+  t[static_cast<unsigned char>('\n')] = kBitNl;
+  return t;
+}
+constexpr std::array<uint8_t, 256> kClassTable = MakeClassTable();
+
+/// Per-block class masks: bit i set when byte i belongs to the class. The
+/// SIMD kernels fill one of these per 32/64-byte block; extraction into the
+/// tape vectors is shared.
+struct BlockMasks {
+  uint64_t lt = 0, gt = 0, amp = 0, quote = 0, nl = 0;
+};
+
+void ScanScalar(const char* data, size_t n, uint64_t base,
+                StructuralTape* tape);
+
+/// Appends `add` uninitialized-but-about-to-be-written slots and returns the
+/// write pointer. Growing once per batch (not per entry) keeps the
+/// extraction loop free of capacity checks.
+inline uint64_t* Grow(std::vector<uint64_t>* v, int add) {
+  const size_t old = v->size();
+  v->resize(old + static_cast<size_t>(add));
+  return v->data() + old;
+}
+
+/// Unchecked bit extraction: the caller Grow()-ed popcount(mask) slots.
+inline uint64_t* ExtractTo(uint64_t mask, uint64_t base, uint64_t* p) {
+  while (mask != 0) {
+    *p++ = base + static_cast<unsigned>(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return p;
+}
+
+/// Batched scan driver shared by the SIMD kernels. `block(ptr)` classifies
+/// one 64-byte block into BlockMasks. Masks are buffered for a super-block,
+/// each tape vector grows once by the popcount total, and extraction then
+/// runs with raw unchecked stores — per-entry vector bookkeeping was the
+/// dominant scan cost, not the SIMD compares.
+template <typename BlockFn>
+void ScanBatched(const char* data, size_t n, uint64_t base,
+                 StructuralTape* tape, BlockFn block) {
+  constexpr size_t kSuper = 512;  // 64-byte blocks per batch (32 KB input)
+  std::array<BlockMasks, kSuper> masks;
+  size_t i = 0;
+  while (i + 64 <= n) {
+    const size_t nblocks = std::min(kSuper, (n - i) / 64);
+    int c_lt = 0, c_gt = 0, c_amp = 0, c_quote = 0, c_nl = 0;
+    for (size_t b = 0; b < nblocks; ++b) {
+      masks[b] = block(data + i + 64 * b);
+      c_lt += std::popcount(masks[b].lt);
+      c_gt += std::popcount(masks[b].gt);
+      c_amp += std::popcount(masks[b].amp);
+      c_quote += std::popcount(masks[b].quote);
+      c_nl += std::popcount(masks[b].nl);
+    }
+    uint64_t* p_lt = Grow(&tape->lt, c_lt);
+    uint64_t* p_gt = Grow(&tape->gt, c_gt);
+    uint64_t* p_amp = Grow(&tape->amp, c_amp);
+    uint64_t* p_quote = Grow(&tape->quote, c_quote);
+    uint64_t* p_nl = Grow(&tape->nl, c_nl);
+    for (size_t b = 0; b < nblocks; ++b) {
+      const uint64_t bb = base + i + 64 * b;
+      p_lt = ExtractTo(masks[b].lt, bb, p_lt);
+      p_gt = ExtractTo(masks[b].gt, bb, p_gt);
+      p_amp = ExtractTo(masks[b].amp, bb, p_amp);
+      p_quote = ExtractTo(masks[b].quote, bb, p_quote);
+      p_nl = ExtractTo(masks[b].nl, bb, p_nl);
+    }
+    i += nblocks * 64;
+  }
+  ScanScalar(data + i, n - i, base + i, tape);
+}
+
+void ScanScalar(const char* data, size_t n, uint64_t base,
+                StructuralTape* tape) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t cls = kClassTable[static_cast<unsigned char>(data[i])];
+    if (cls == 0) continue;
+    const uint64_t off = base + i;
+    switch (cls) {
+      case kBitLt:
+        tape->lt.push_back(off);
+        break;
+      case kBitGt:
+        tape->gt.push_back(off);
+        break;
+      case kBitAmp:
+        tape->amp.push_back(off);
+        break;
+      case kBitQuote:
+        tape->quote.push_back(off);
+        break;
+      default:
+        tape->nl.push_back(off);
+        break;
+    }
+  }
+}
+
+#if defined(XPWQO_CPU_SSE42)
+void ScanSse(const char* data, size_t n, uint64_t base,
+             StructuralTape* tape) {
+  const __m128i lt = _mm_set1_epi8('<');
+  const __m128i gt = _mm_set1_epi8('>');
+  const __m128i amp = _mm_set1_epi8('&');
+  const __m128i dq = _mm_set1_epi8('"');
+  const __m128i sq = _mm_set1_epi8('\'');
+  const __m128i nl = _mm_set1_epi8('\n');
+  // Four 16-byte lanes per extraction block, so the bit-extraction loop
+  // amortizes over 64 bytes just like the AVX2 kernel.
+  ScanBatched(data, n, base, tape, [&](const char* p) {
+    BlockMasks m;
+    for (int lane = 0; lane < 4; ++lane) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16 * lane));
+      const int shift = 16 * lane;
+      m.lt |= static_cast<uint64_t>(
+                  _mm_movemask_epi8(_mm_cmpeq_epi8(v, lt)))
+              << shift;
+      m.gt |= static_cast<uint64_t>(
+                  _mm_movemask_epi8(_mm_cmpeq_epi8(v, gt)))
+              << shift;
+      m.amp |= static_cast<uint64_t>(
+                   _mm_movemask_epi8(_mm_cmpeq_epi8(v, amp)))
+               << shift;
+      m.quote |= static_cast<uint64_t>(_mm_movemask_epi8(_mm_or_si128(
+                     _mm_cmpeq_epi8(v, dq), _mm_cmpeq_epi8(v, sq))))
+                 << shift;
+      m.nl |= static_cast<uint64_t>(
+                  _mm_movemask_epi8(_mm_cmpeq_epi8(v, nl)))
+              << shift;
+    }
+    return m;
+  });
+}
+#endif  // XPWQO_CPU_SSE42
+
+#if defined(XPWQO_CPU_AVX2)
+void ScanAvx2(const char* data, size_t n, uint64_t base,
+              StructuralTape* tape) {
+  const __m256i lt = _mm256_set1_epi8('<');
+  const __m256i gt = _mm256_set1_epi8('>');
+  const __m256i amp = _mm256_set1_epi8('&');
+  const __m256i dq = _mm256_set1_epi8('"');
+  const __m256i sq = _mm256_set1_epi8('\'');
+  const __m256i nl = _mm256_set1_epi8('\n');
+  ScanBatched(data, n, base, tape, [&](const char* p) {
+    BlockMasks m;
+    for (int lane = 0; lane < 2; ++lane) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(p + 32 * lane));
+      const int shift = 32 * lane;
+      m.lt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                  _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, lt))))
+              << shift;
+      m.gt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                  _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, gt))))
+              << shift;
+      m.amp |= static_cast<uint64_t>(static_cast<uint32_t>(
+                   _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, amp))))
+               << shift;
+      m.quote |=
+          static_cast<uint64_t>(static_cast<uint32_t>(_mm256_movemask_epi8(
+              _mm256_or_si256(_mm256_cmpeq_epi8(v, dq),
+                              _mm256_cmpeq_epi8(v, sq)))))
+          << shift;
+      m.nl |= static_cast<uint64_t>(static_cast<uint32_t>(
+                  _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, nl))))
+              << shift;
+    }
+    return m;
+  });
+}
+#endif  // XPWQO_CPU_AVX2
+
+ScanKernel DetectKernel() {
+#if defined(XPWQO_CPU_AVX2)
+  if (__builtin_cpu_supports("avx2")) return ScanKernel::kAvx2;
+#endif
+#if defined(XPWQO_CPU_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return ScanKernel::kSse;
+#endif
+  return ScanKernel::kScalar;
+}
+
+}  // namespace
+
+const char* ScanKernelName(ScanKernel kernel) {
+  switch (kernel) {
+    case ScanKernel::kScalar:
+      return "scalar";
+    case ScanKernel::kSse:
+      return "sse";
+    case ScanKernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ScanKernelAvailable(ScanKernel kernel) {
+  switch (kernel) {
+    case ScanKernel::kScalar:
+      return true;
+    case ScanKernel::kSse:
+#if defined(XPWQO_CPU_SSE42)
+      return __builtin_cpu_supports("sse4.2");
+#else
+      return false;
+#endif
+    case ScanKernel::kAvx2:
+#if defined(XPWQO_CPU_AVX2)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+ScanKernel ActiveScanKernel() {
+  static const ScanKernel kernel = DetectKernel();
+  return kernel;
+}
+
+void ScanStructural(const char* data, size_t n, uint64_t base,
+                    StructuralTape* tape) {
+  ScanStructuralWith(ActiveScanKernel(), data, n, base, tape);
+}
+
+void ScanStructuralWith(ScanKernel kernel, const char* data, size_t n,
+                        uint64_t base, StructuralTape* tape) {
+  switch (kernel) {
+#if defined(XPWQO_CPU_AVX2)
+    case ScanKernel::kAvx2:
+      ScanAvx2(data, n, base, tape);
+      return;
+#endif
+#if defined(XPWQO_CPU_SSE42)
+    case ScanKernel::kSse:
+      ScanSse(data, n, base, tape);
+      return;
+#endif
+    default:
+      ScanScalar(data, n, base, tape);
+      return;
+  }
+}
+
+}  // namespace xpwqo

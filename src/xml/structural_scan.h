@@ -1,0 +1,80 @@
+// Stage 1 of the two-stage ingestion pipeline: a SIMD structural scanner.
+//
+// The scanner sweeps raw XML bytes once and records the *stream offsets* of
+// the five byte classes the event parser navigates by — '<', '>', '&',
+// quotes ('"' or '\''), and '\n' — into a compact tape of sorted offset
+// vectors. Stage 2 (xml/parser.cc) consumes the tape instead of inspecting
+// bytes one at a time: a text run is "jump to the next '<'", an attribute
+// value is "jump to the next matching quote", entity decoding is skipped
+// entirely when no '&' lies inside a run, and line numbers for error
+// messages come from counting tape entries rather than per-byte bookkeeping.
+//
+// Kernels: AVX2 (32-byte compares), SSE2-class 16-byte compares (gated with
+// the SSE4.2 CPU block the CRC32C kernel already uses), and a portable
+// scalar table walk. The widest kernel the *running* CPU supports is picked
+// once at startup (ActiveScanKernel); builds configured with
+// -DXPWQO_FORCE_SCALAR=ON compile only the scalar kernel so CI exercises
+// the fallback on any host.
+#ifndef XPWQO_XML_STRUCTURAL_SCAN_H_
+#define XPWQO_XML_STRUCTURAL_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xpwqo {
+
+/// The structural index of a scanned byte range: one sorted vector of
+/// absolute stream offsets per byte class. Offsets are stream positions
+/// (byte index from the start of the document), so buffer compaction in the
+/// rolling-window cursor never renumbers the tape.
+struct StructuralTape {
+  std::vector<uint64_t> lt;     // '<'
+  std::vector<uint64_t> gt;     // '>'
+  std::vector<uint64_t> amp;    // '&'
+  std::vector<uint64_t> quote;  // '"' and '\'' (one class; consumers check
+                                // the byte to match the opening quote)
+  std::vector<uint64_t> nl;     // '\n'
+
+  void Clear() {
+    lt.clear();
+    gt.clear();
+    amp.clear();
+    quote.clear();
+    nl.clear();
+  }
+  size_t TotalEntries() const {
+    return lt.size() + gt.size() + amp.size() + quote.size() + nl.size();
+  }
+};
+
+enum class ScanKernel {
+  kScalar,
+  kSse,   // 16-byte cmpeq+movemask; compiled under the XPWQO_CPU_SSE42 gate
+  kAvx2,  // 32-byte cmpeq+movemask; compiled under the XPWQO_CPU_AVX2 gate
+};
+
+const char* ScanKernelName(ScanKernel kernel);
+
+/// True when `kernel` is compiled into this binary AND the running CPU
+/// executes it (cpuid-checked; a forced-scalar build reports only kScalar).
+bool ScanKernelAvailable(ScanKernel kernel);
+
+/// The widest available kernel, resolved once per process.
+ScanKernel ActiveScanKernel();
+
+/// Scans data[0, n) and appends the offset `base + i` of every structural
+/// byte to the matching tape vector, using the active kernel. Appended
+/// offsets are strictly increasing per class (callers scan contiguous,
+/// forward-moving regions).
+void ScanStructural(const char* data, size_t n, uint64_t base,
+                    StructuralTape* tape);
+
+/// Same, forcing a specific kernel — the parity tests sweep every available
+/// kernel against the scalar reference. Requires ScanKernelAvailable().
+void ScanStructuralWith(ScanKernel kernel, const char* data, size_t n,
+                        uint64_t base, StructuralTape* tape);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_XML_STRUCTURAL_SCAN_H_

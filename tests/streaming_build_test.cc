@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -182,14 +183,19 @@ TEST(StreamingBuildTest, ErrorInputsAgree) {
 }
 
 TEST(StreamingBuildTest, ChunkedParityAtEveryTinyBoundary) {
-  // Split each corpus input into fixed-size chunks for several adversarial
-  // sizes; every multi-byte token ("</", "<![CDATA[", "&amp;", "]]>", names,
-  // attribute values) ends up straddling a boundary in some run.
+  // Split each corpus input into fixed-size chunks for every size in
+  // 1..64 (plus one page-ish size); every multi-byte token ("</",
+  // "<![CDATA[", "&amp;", "]]>", names, attribute values) ends up
+  // straddling a boundary in some run, and every structural-scanner
+  // refill path (window compaction, tape splicing, cross-chunk tape
+  // lookups) gets exercised at sub-SIMD-block chunk sizes.
+  std::vector<size_t> sizes;
+  for (size_t c = 1; c <= 64; ++c) sizes.push_back(c);
+  sizes.push_back(4096);
   for (size_t i = 0; i < std::size(kCorpus); ++i) {
     const std::string xml = kCorpus[i];
     Document whole = *ParseXmlString(xml);
-    for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
-                         size_t{16}, size_t{4096}}) {
+    for (size_t chunk : sizes) {
       size_t off = 0;
       XmlChunkSource next = [&xml, &off, chunk]() -> std::string_view {
         const size_t n = std::min(chunk, xml.size() - off);
@@ -225,6 +231,74 @@ TEST(StreamingBuildTest, ChunkedErrorsSurviveBoundaries) {
     Status st = ParseXmlChunkEvents(next, XmlParseOptions{},
                                     builder.alphabet().get(), &builder);
     EXPECT_EQ(st.code(), StatusCode::kParseError) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamingBuildTest, PipelinedFileParityWithStringParse) {
+  // The pipelined file path (producer thread prescanning chunks) must
+  // produce the identical Document — same label interning order, same
+  // nodes — as the in-memory parse, for every corpus input and both with
+  // chunks far smaller than a SIMD block and with one-chunk reads.
+  for (size_t i = 0; i < std::size(kCorpus); ++i) {
+    const std::string xml = kCorpus[i];
+    const std::string path = ::testing::TempDir() +
+                             "/streaming_pipe_corpus_" + std::to_string(i) +
+                             ".xml";
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << xml;
+    }
+    Document whole = *ParseXmlString(xml);
+    for (size_t chunk : {size_t{3}, size_t{64}, size_t{1} << 20}) {
+      for (bool pipelined : {true, false}) {
+        XmlParseOptions opt;
+        opt.chunk_bytes = chunk;
+        opt.pipelined_scan = pipelined;
+        TreeBuilder builder;
+        Status st = ParseXmlFileEvents(path, opt, builder.alphabet().get(),
+                                       &builder);
+        ASSERT_TRUE(st.ok()) << "corpus[" << i << "] chunk=" << chunk
+                             << " pipelined=" << pipelined << ": " << st;
+        auto doc = builder.Finish();
+        ASSERT_TRUE(doc.ok());
+        ExpectSameDocument(*doc, whole,
+                           "corpus[" + std::to_string(i) + "] chunk=" +
+                               std::to_string(chunk) + " pipelined=" +
+                               std::to_string(pipelined));
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StreamingBuildTest, PipelinedFileErrorsMatchStringParse) {
+  // Malformed shards must fail with the same code (and not hang the
+  // producer thread) regardless of input mode.
+  const char* const kBad[] = {
+      "<a><b></b>", "<a>&unknown;</a>", "<a t=\"unclosed/>",
+      "<a><![CDATA[x]]</a>", "",
+  };
+  for (size_t i = 0; i < std::size(kBad); ++i) {
+    const std::string path = ::testing::TempDir() +
+                             "/streaming_pipe_bad_" + std::to_string(i) +
+                             ".xml";
+    {
+      std::ofstream out(path, std::ios::binary);
+      out << kBad[i];
+    }
+    auto whole = ParseXmlString(kBad[i]);
+    ASSERT_FALSE(whole.ok()) << kBad[i];
+    for (bool pipelined : {true, false}) {
+      XmlParseOptions opt;
+      opt.chunk_bytes = 4;
+      opt.pipelined_scan = pipelined;
+      TreeBuilder builder;
+      Status st =
+          ParseXmlFileEvents(path, opt, builder.alphabet().get(), &builder);
+      EXPECT_EQ(st.code(), whole.status().code())
+          << "bad[" << i << "] pipelined=" << pipelined;
+    }
+    std::remove(path.c_str());
   }
 }
 

@@ -1,0 +1,141 @@
+// Stage-1 scanner parity: every compiled SIMD kernel must produce the
+// byte-identical structural tape the scalar reference produces, for every
+// input length around the 16/32/64-byte lane and block boundaries, for
+// every alignment, and for content where structural bytes sit exactly on
+// the boundaries. Also pins down the tape's semantics (absolute offsets,
+// sortedness, append behavior) that the stage-2 cursor relies on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "xml/structural_scan.h"
+
+namespace xpwqo {
+namespace {
+
+std::vector<ScanKernel> AvailableKernels() {
+  std::vector<ScanKernel> kernels;
+  for (ScanKernel k :
+       {ScanKernel::kScalar, ScanKernel::kSse, ScanKernel::kAvx2}) {
+    if (ScanKernelAvailable(k)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+void ExpectSameTape(const StructuralTape& a, const StructuralTape& b,
+                    const std::string& context) {
+  EXPECT_EQ(a.lt, b.lt) << context << " lt";
+  EXPECT_EQ(a.gt, b.gt) << context << " gt";
+  EXPECT_EQ(a.amp, b.amp) << context << " amp";
+  EXPECT_EQ(a.quote, b.quote) << context << " quote";
+  EXPECT_EQ(a.nl, b.nl) << context << " nl";
+}
+
+TEST(StructuralScanTest, ScalarClassifiesEveryByteValue) {
+  std::string all(256, '\0');
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<char>(i);
+  StructuralTape tape;
+  ScanStructuralWith(ScanKernel::kScalar, all.data(), all.size(), 0, &tape);
+  EXPECT_EQ(tape.lt, std::vector<uint64_t>{'<'});
+  EXPECT_EQ(tape.gt, std::vector<uint64_t>{'>'});
+  EXPECT_EQ(tape.amp, std::vector<uint64_t>{'&'});
+  EXPECT_EQ(tape.quote, (std::vector<uint64_t>{'"', '\''}));
+  EXPECT_EQ(tape.nl, std::vector<uint64_t>{'\n'});
+}
+
+TEST(StructuralScanTest, ActiveKernelIsAvailable) {
+  EXPECT_TRUE(ScanKernelAvailable(ActiveScanKernel()));
+  EXPECT_TRUE(ScanKernelAvailable(ScanKernel::kScalar));
+  EXPECT_STRNE(ScanKernelName(ActiveScanKernel()), "?");
+}
+
+TEST(StructuralScanTest, KernelsMatchScalarOnRandomInputAllLengths) {
+  // Random XML-ish bytes (structural chars boosted), lengths 0..200 to
+  // cross the 16/32/64-byte lanes and the batched-extraction block edges,
+  // plus every start alignment within one block.
+  std::mt19937 rng(20100324);
+  const std::string alphabet_chars = "<>&\"'\nabc ";
+  std::string data(4096, '\0');
+  for (char& c : data) {
+    c = alphabet_chars[rng() % alphabet_chars.size()];
+  }
+  for (ScanKernel kernel : AvailableKernels()) {
+    for (size_t len = 0; len <= 200; ++len) {
+      for (size_t align : {size_t{0}, size_t{1}, size_t{7}, size_t{31},
+                           size_t{63}}) {
+        StructuralTape expect, got;
+        ScanStructuralWith(ScanKernel::kScalar, data.data() + align, len,
+                           align, &expect);
+        ScanStructuralWith(kernel, data.data() + align, len, align, &got);
+        ExpectSameTape(expect, got,
+                       std::string(ScanKernelName(kernel)) + " len=" +
+                           std::to_string(len) + " align=" +
+                           std::to_string(align));
+      }
+    }
+  }
+}
+
+TEST(StructuralScanTest, KernelsMatchScalarOnBoundaryStraddlers) {
+  // Structural bytes placed exactly at lane/block boundaries, and dense
+  // runs (every byte structural) that fill whole extraction masks.
+  std::vector<std::string> inputs;
+  for (size_t pos : {size_t{15}, size_t{16}, size_t{31}, size_t{32},
+                     size_t{47}, size_t{63}, size_t{64}, size_t{127}}) {
+    for (char c : {'<', '>', '&', '"', '\'', '\n'}) {
+      std::string s(130, 'x');
+      s[pos] = c;
+      inputs.push_back(std::move(s));
+    }
+  }
+  inputs.push_back(std::string(256, '<'));
+  inputs.push_back(std::string(256, '"'));
+  std::string mixed;
+  for (int i = 0; i < 300; ++i) mixed += "<>&\"'\n";
+  inputs.push_back(std::move(mixed));
+  for (ScanKernel kernel : AvailableKernels()) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      StructuralTape expect, got;
+      ScanStructuralWith(ScanKernel::kScalar, inputs[i].data(),
+                         inputs[i].size(), 0, &expect);
+      ScanStructuralWith(kernel, inputs[i].data(), inputs[i].size(), 0, &got);
+      ExpectSameTape(expect, got, std::string(ScanKernelName(kernel)) +
+                                      " input[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+TEST(StructuralScanTest, SplitScansEqualWholeScan) {
+  // Scanning [0,k) then [k,n) with matching bases must append the same
+  // tape as one scan — the contract the chunked cursor and the pipeline
+  // rely on. Sweep the split across sub-block positions.
+  std::string xml = "<a href=\"x&amp;y\">line\none</a><b class='z'/>";
+  while (xml.size() < 300) xml += xml;  // cross several 64-byte blocks
+  StructuralTape whole;
+  ScanStructural(xml.data(), xml.size(), 0, &whole);
+  for (size_t k = 0; k <= xml.size(); k += 13) {
+    StructuralTape split;
+    ScanStructural(xml.data(), k, 0, &split);
+    ScanStructural(xml.data() + k, xml.size() - k, k, &split);
+    ExpectSameTape(whole, split, "split at " + std::to_string(k));
+  }
+}
+
+TEST(StructuralScanTest, BaseOffsetsAreAbsoluteAndSorted) {
+  const std::string xml = "<a>&x;</a>";
+  StructuralTape tape;
+  const uint64_t base = uint64_t{1} << 33;  // past any 32-bit truncation
+  ScanStructural(xml.data(), xml.size(), base, &tape);
+  EXPECT_EQ(tape.lt, (std::vector<uint64_t>{base + 0, base + 6}));
+  EXPECT_EQ(tape.gt, (std::vector<uint64_t>{base + 2, base + 9}));
+  EXPECT_EQ(tape.amp, std::vector<uint64_t>{base + 3});
+  EXPECT_EQ(tape.TotalEntries(), 5u);
+  tape.Clear();
+  EXPECT_EQ(tape.TotalEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace xpwqo

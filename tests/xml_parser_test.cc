@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "test_util.h"
+#include "tree/builder.h"
 
 namespace xpwqo {
 namespace {
@@ -184,6 +188,84 @@ TEST(XmlParserTest, ErrorMessageIncludesLine) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
       << r.status();
+}
+
+TEST(XmlParserTest, ErrorMessageIncludesByteOffset) {
+  // "<a>\n\n<b x=>" — the '>' where a quoted value should start is byte 10.
+  auto r = ParseXmlString("<a>\n\n<b x=></b></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("byte 10"), std::string::npos)
+      << r.status();
+}
+
+TEST(XmlParserTest, ErrorContextOnMalformedInputs) {
+  // Line numbers and byte offsets must be exact for a spread of malformed
+  // inputs whose error positions are known, including errors past newlines
+  // inside text, attribute values, and CDATA.
+  struct Case {
+    const char* xml;
+    int line;
+    uint64_t byte;
+  };
+  const Case kCases[] = {
+      // Bad name right at the start tag; offset of 'x' context: "<a><1".
+      {"<a><1/></a>", 1, 4},
+      // Entity error on line 2 ('&' at offset 8).
+      {"<a>\ntext&broken;</a>", 2, 8},
+      // Unquoted attribute after newlines inside the tag.
+      {"<a\n\n  x=1/>", 3, 8},
+      // Newlines inside an attribute value still count toward lines.
+      {"<a t=\"1\n2\n3\"><b u=></b></a>", 3, 18},
+      // Newlines inside CDATA count; error is the bad tag after it.
+      {"<a><![CDATA[1\n2\n3]]><4/></a>", 3, 21},
+      // Unexpected end of input points at the end of the document.
+      {"<a>\n<b>", 2, 7},
+  };
+  for (const Case& c : kCases) {
+    auto r = ParseXmlString(c.xml);
+    ASSERT_FALSE(r.ok()) << c.xml;
+    const std::string& msg = r.status().message();
+    EXPECT_NE(msg.find("line " + std::to_string(c.line) + ","),
+              std::string::npos)
+        << c.xml << " -> " << msg;
+    EXPECT_NE(msg.find("byte " + std::to_string(c.byte) + ":"),
+              std::string::npos)
+        << c.xml << " -> " << msg;
+  }
+}
+
+TEST(XmlParserTest, ErrorContextAgreesAcrossInputModes) {
+  // The same malformed document must report the same position whether
+  // parsed from a string, from tiny pull chunks, or from a file.
+  const std::string xml = "<root>\n  <ok/>\n  <bad attr=oops/>\n</root>";
+  auto from_string = ParseXmlString(xml);
+  ASSERT_FALSE(from_string.ok());
+
+  size_t off = 0;
+  XmlChunkSource next = [&xml, &off]() -> std::string_view {
+    const size_t n = std::min<size_t>(3, xml.size() - off);
+    std::string_view out(xml.data() + off, n);
+    off += n;
+    return out;
+  };
+  TreeBuilder chunked_builder;
+  Status chunked = ParseXmlChunkEvents(next, XmlParseOptions{},
+                                       chunked_builder.alphabet().get(),
+                                       &chunked_builder);
+  ASSERT_FALSE(chunked.ok());
+  EXPECT_EQ(from_string.status().message(), chunked.message());
+
+  const std::string path = ::testing::TempDir() + "/xml_parser_errctx.xml";
+  {
+    std::ofstream out_file(path, std::ios::binary);
+    out_file << xml;
+  }
+  auto from_file = ParseXmlFile(path);
+  ASSERT_FALSE(from_file.ok());
+  EXPECT_EQ(from_string.status().message(), from_file.status().message());
+  std::remove(path.c_str());
+
+  EXPECT_NE(from_string.status().message().find("line 3"), std::string::npos);
 }
 
 TEST(XmlParserTest, FileNotFound) {
