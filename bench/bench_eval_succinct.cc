@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "asta/eval.h"
+#include "baseline/nodeset_eval.h"
 #include "bench_util.h"
 #include "core/cursor.h"
 #include "core/prepared_query.h"
 #include "index/succinct_tree.h"
+#include "index/text_store.h"
 #include "index/tree_index.h"
 #include "util/strings.h"
 #include "xmark/generator.h"
@@ -51,6 +53,19 @@ struct LimitSeriesRow {
   size_t selected = 0;
   bool prefix_ok = true;  // truncated drains are prefixes of the full run
   LimitPoint points[3];
+};
+
+/// The content-layer series: value-predicate queries evaluated as a
+/// relaxed structural plan plus the TextStore-backed post-filter.
+struct PredicateSeriesRow {
+  const char* id;
+  const char* xpath;
+  double full_ms = 0;
+  double first_match_us = 0;
+  int64_t filter_checked = 0;
+  int64_t filter_rejected = 0;
+  size_t selected = 0;
+  bool match = true;  // agrees with the pointer baseline's native answer
 };
 
 struct QueryResultRow {
@@ -204,6 +219,72 @@ int Run(bool quick, const std::string& out_path) {
         row.prefix_ok ? "" : "  PREFIX MISMATCH");
   }
 
+  // --------------------------------------------------- value predicates
+  // The content layer at work: each query relaxes to its structural
+  // skeleton for the jumping plan, and the post-filter re-verifies every
+  // candidate against TextStore values. filter_checked/filter_rejected
+  // expose how much re-verification the relaxation bought.
+  TextStore text = TextStore::FromDocument(doc);
+  std::printf("\ntext store: %.2f MB (%s values)\n", text.MemoryUsage() / 1e6,
+              WithCommas(text.num_values()).c_str());
+  const struct {
+    const char* id;
+    const char* xpath;
+  } kPredicateQueries[] = {
+      {"V1", "//person[@id='person0']"},
+      {"V2", "//keyword[contains(text(),'gamboge')]"},
+      {"V3", "//item[contains(location/text(),'eagle')]"},
+      {"V4", "//open_auction[.//increase/text()='dagger']/seller"},
+      {"V5", "//item[not(contains(location/text(),'a'))]"},
+  };
+  std::vector<PredicateSeriesRow> pred_rows;
+  std::printf("value predicates via relaxed plan + TextStore filter:\n");
+  for (const auto& pq : kPredicateQueries) {
+    auto prepared = PreparedQuery::Prepare(pq.xpath, doc.alphabet_ptr());
+    if (!prepared.ok()) continue;
+    PredicateSeriesRow row;
+    row.id = pq.id;
+    row.xpath = pq.xpath;
+
+    internal::CursorContext ctx{nullptr, &tree, &succinct_index, &text};
+    const QueryOptions opts;  // optimized
+    std::vector<NodeId> got;
+    row.full_ms = bench::BestOfMs(
+        [&] {
+          auto impl = internal::MakeCursorImpl(ctx, *prepared, opts,
+                                               /*allow_streaming=*/true);
+          ResultCursor cursor(std::move(*impl));
+          got = cursor.Drain();
+          const CursorStats stats = cursor.TakeStats();
+          row.filter_checked = stats.filter_checked;
+          row.filter_rejected = stats.filter_rejected;
+        },
+        repeats);
+    row.selected = got.size();
+    row.first_match_us =
+        1000.0 * bench::BestOfMs(
+                     [&] {
+                       auto impl = internal::MakeCursorImpl(
+                           ctx, *prepared, opts, /*allow_streaming=*/true);
+                       ResultCursor cursor(std::move(*impl));
+                       cursor.Drain(1);
+                     },
+                     repeats);
+
+    auto expect = EvalNodeSetBaseline(prepared->path(), doc);
+    row.match = expect.ok() && got == *expect;
+    all_match = all_match && row.match;
+    pred_rows.push_back(row);
+
+    std::printf(
+        "%-4s full %8.3f ms  first match %8.1f us  "
+        "[%zu nodes; checked %lld, rejected %lld]%s\n",
+        row.id, row.full_ms, row.first_match_us, row.selected,
+        static_cast<long long>(row.filter_checked),
+        static_cast<long long>(row.filter_rejected),
+        row.match ? "" : "  MISMATCH");
+  }
+
   double log_jump = 0, log_sp = 0;
   for (const QueryResultRow& r : rows) {
     log_jump += std::log(r.jump_speedup());
@@ -235,6 +316,7 @@ int Run(bool quick, const std::string& out_path) {
                "  \"label_index_compression\": %.3f,\n"
                "  \"dense_labels\": %zu,\n  \"sparse_labels\": %zu,\n"
                "  \"succinct_tree_bytes\": %zu,\n"
+               "  \"text_store_bytes\": %zu,\n"
                "  \"results\": [\n",
                quick ? "true" : "false", opt.scale, doc.num_nodes(),
                all_match ? "true" : "false", geo_jump, geo_sp,
@@ -244,7 +326,7 @@ int Run(bool quick, const std::string& out_path) {
                          postings.bytes
                    : 0.0,
                postings.dense_labels, postings.sparse_labels,
-               tree.MemoryUsage());
+               tree.MemoryUsage(), text.MemoryUsage());
   for (size_t i = 0; i < rows.size(); ++i) {
     const QueryResultRow& r = rows[i];
     std::fprintf(out,
@@ -277,6 +359,20 @@ int Run(bool quick, const std::string& out_path) {
                    p.returned, j + 1 < 3 ? ", " : "");
     }
     std::fprintf(out, "]}%s\n", i + 1 < limit_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"predicate_series\": [\n");
+  for (size_t i = 0; i < pred_rows.size(); ++i) {
+    const PredicateSeriesRow& r = pred_rows[i];
+    std::fprintf(out,
+                 "    {\"query\": \"%s\", \"xpath\": \"%s\", "
+                 "\"full_ms\": %.4f, \"first_match_us\": %.3f, "
+                 "\"selected\": %zu, \"filter_checked\": %lld, "
+                 "\"filter_rejected\": %lld, \"match\": %s}%s\n",
+                 r.id, r.xpath, r.full_ms, r.first_match_us, r.selected,
+                 static_cast<long long>(r.filter_checked),
+                 static_cast<long long>(r.filter_rejected),
+                 r.match ? "true" : "false",
+                 i + 1 < pred_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

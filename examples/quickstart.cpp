@@ -123,6 +123,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Value predicates compare text and attribute content. Pointer engines
+  // read the Document; succinct and image-reopened engines read the
+  // TextStore that version-2 index images persist — so these queries give
+  // the same answers before --save-index and after --index.
+  auto dated = library.Prepare(
+      "//shelf[@topic='databases']/book[year/text()='2010']/title");
+  if (!dated.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 dated.status().ToString().c_str());
+    return 1;
+  }
+  auto matches = library.RunAll(*dated);
+  if (!matches.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 matches.status().ToString().c_str());
+    return 1;
+  }
+  for (const xpwqo::CollectionResult& row : *matches) {
+    for (const xpwqo::NodeId n : row.result.nodes) {
+      std::printf("dated 2010 in %-8s -> %s\n", row.name.c_str(),
+                  library.Find(row.name)->PathTo(n).c_str());
+    }
+  }
+
+  // exists() is the LIMIT-1 pushdown: the first candidate that passes the
+  // value check ends the evaluation.
+  const xpwqo::Engine* archive = library.Find("archive");
+  if (archive != nullptr) {
+    auto has_join = archive->Exists("//book[contains(title/text(),'Join')]");
+    if (has_join.ok()) {
+      std::printf("archive has a 'Join' title: %s\n",
+                  *has_join ? "true" : "false");
+    }
+  }
+
   // The classic single-document API is unchanged underneath — and every
   // evaluation strategy of the paper is one option away. The string
   // overload caches compilations, so re-running a query string skips

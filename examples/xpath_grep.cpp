@@ -18,8 +18,14 @@
 //
 // --save-index DIR writes the loaded document's index image into DIR;
 // --index DIR (in place of the XML file) reopens it with one mmap instead
-// of re-parsing the XML. Image engines are structural: --xml (which needs
-// the text content the image does not store) is rejected for them.
+// of re-parsing the XML. Version-2 images carry the text content, so
+// --xml and value-predicate queries ([text()='v'], [@attr='v'],
+// [contains(...)]) work on image engines too; both are rejected with a
+// precondition error on old version-1 (structural-only) images.
+//
+// --exists prints "true"/"false" instead of matches: the existence check
+// rides the LIMIT-1 pushdown and stops at the first (verified) match —
+// compare its --stats against a --count run to see the difference.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +43,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: xpath_grep '<query>' <file.xml> [--paths|--xml|--count]\n"
+      "usage: xpath_grep '<query>' <file.xml> "
+      "[--paths|--xml|--count|--exists]\n"
       "                  [--strategy "
       "naive|jumping|memoized|optimized|hybrid|baseline]\n"
       "                  [--limit N] [--deadline-ms N] [--explain]\n"
@@ -62,7 +69,7 @@ int main(int argc, char** argv) {
   } else {
     file = argv[2];
   }
-  enum { kPaths, kXml, kCount } mode = kPaths;
+  enum { kPaths, kXml, kCount, kExists } mode = kPaths;
   bool explain = false;
   bool stats = false;
   size_t limit = static_cast<size_t>(-1);
@@ -75,6 +82,9 @@ int main(int argc, char** argv) {
       mode = kXml;
     } else if (!std::strcmp(argv[i], "--count")) {
       mode = kCount;
+    } else if (!std::strcmp(argv[i], "--exists")) {
+      mode = kExists;
+      limit = 1;  // the cursor loop stops at the first verified match
     } else if (!std::strcmp(argv[i], "--explain")) {
       explain = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
@@ -113,12 +123,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!index_dir.empty() && mode == kXml) {
-    std::fprintf(stderr,
-                 "error: --xml needs the document text, which a saved "
-                 "index image does not store; use --paths or --count\n");
-    return 2;
-  }
   auto engine = index_dir.empty() ? xpwqo::Engine::FromXmlFile(file)
                                   : xpwqo::OpenIndexImage(index_dir);
   if (!engine.ok()) {
@@ -162,14 +166,23 @@ int main(int argc, char** argv) {
     ++count;
     switch (mode) {
       case kCount:
+      case kExists:
         break;
       case kPaths:
         std::printf("%s\n", engine->PathTo(n).c_str());
         break;
-      case kXml:
-        std::printf("%s\n",
-                    xpwqo::SerializeXml(engine->document(), {}, n).c_str());
+      case kXml: {
+        // Serialized from the Document on the pointer backend, or from the
+        // succinct tree + TextStore on (v2) image engines.
+        auto xml = engine->SerializeSubtree(n);
+        if (!xml.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       xml.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("%s\n", xml->c_str());
         break;
+      }
     }
   }
   const xpwqo::Status run_status = cursor->status();
@@ -178,6 +191,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (mode == kCount) std::printf("%zu\n", count);
+  if (mode == kExists) std::printf("%s\n", count > 0 ? "true" : "false");
   if (stats) {
     const xpwqo::CursorStats cs = cursor->TakeStats();
     std::fprintf(stderr, "%s\n",

@@ -26,12 +26,25 @@ test "$(./build/xpath_grep '//k' build/check_smoke.xml --count --deadline-ms 500
 
 # Persistence round-trip through the example binaries: save an index image
 # from XML, reopen it via mmap, and require identical answers; same for a
-# whole collection through quickstart.
+# whole collection through quickstart. The saved image is version 2, so
+# value-predicate queries and --xml serialization (both need the text
+# content) must give identical answers from the image.
 rm -rf build/check_smoke_idx build/check_smoke_lib
+printf '<r><a id="a1">red</a><a><k/></a><a id="a3">blue</a></r>' \
+  > build/check_smoke_text.xml
 ./build/xpath_grep '//k' build/check_smoke.xml --save-index build/check_smoke_idx \
   --count 2> /dev/null > /dev/null
 test "$(./build/xpath_grep '//k' --index build/check_smoke_idx --count)" = "3"
 test "$(./build/xpath_grep '//k' --index build/check_smoke_idx --count --limit 2)" = "2"
+rm -rf build/check_smoke_text_idx
+./build/xpath_grep '//a' build/check_smoke_text.xml \
+  --save-index build/check_smoke_text_idx --count 2> /dev/null > /dev/null
+test "$(./build/xpath_grep "//a[@id='a3']" --index build/check_smoke_text_idx --count)" = "1"
+test "$(./build/xpath_grep "//a[text()='red']" --index build/check_smoke_text_idx --count)" = "1"
+test "$(./build/xpath_grep "//a[contains(text(),'e')]" --index build/check_smoke_text_idx --exists)" = "true"
+test "$(./build/xpath_grep "//a[text()='green']" --index build/check_smoke_text_idx --exists)" = "false"
+diff <(./build/xpath_grep '//a' build/check_smoke_text.xml --xml) \
+     <(./build/xpath_grep '//a' --index build/check_smoke_text_idx --xml)
 ./build/quickstart --save-index build/check_smoke_lib > /dev/null
 diff <(./build/quickstart) <(./build/quickstart --index build/check_smoke_lib \
   | tail -n +2)
@@ -65,7 +78,7 @@ grep -qi "corruption" build/check_corrupt.err
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:StructuralScan*:BulkLoad*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:StructuralScan*:BulkLoad*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*:TextStore*:*PredicateParity*:PredicateQuery*'
 
 # The same ingestion suites again with every SIMD path compiled out
 # (-DXPWQO_FORCE_SCALAR=ON drops the SSE4.2/AVX2/BMI2 gates): the scalar
@@ -76,7 +89,7 @@ cmake -B build-scalar -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXPWQO_SANITIZE=ON -DXPWQO_FORCE_SCALAR=ON
 cmake --build build-scalar -j"$(nproc)" --target xpwqo_tests
 ./build-scalar/xpwqo_tests \
-  --gtest_filter='XmlParser*:StreamingBuild*:StructuralScan*:BulkLoad*:SuccinctTree*:BitVector*:BalancedParens*'
+  --gtest_filter='XmlParser*:StreamingBuild*:StructuralScan*:BulkLoad*:SuccinctTree*:BitVector*:BalancedParens*:TextStore*:*PredicateParity*'
 
 # ThreadSanitizer pass over the serving runtime and the bulk loader: the
 # thread pool, the shared query cache, the lazy-load/quarantine paths and
@@ -112,11 +125,28 @@ import json, sys
 ev = json.load(open("build/BENCH_eval_succinct.quick.json"))
 for key in ("label_index_bytes", "label_index_vector_bytes",
             "label_index_compression", "dense_labels", "sparse_labels",
-            "succinct_tree_bytes"):
+            "succinct_tree_bytes", "text_store_bytes"):
     assert key in ev, f"BENCH_eval_succinct missing {key}"
 assert ev["label_index_bytes"] > 0, "empty label index reported"
 assert ev["label_index_compression"] > 1.0, \
     f"postings larger than vectors: {ev['label_index_compression']}"
+assert ev["text_store_bytes"] > 0, "empty text store reported"
+
+# The value-predicate series: every query's relaxed-plan + post-filter
+# answer must match the pointer baseline's native evaluation, and the
+# filter accounting must balance — every candidate the relaxed plan
+# produced was either kept (and so selected) or rejected.
+assert ev.get("predicate_series"), "BENCH_eval_succinct missing predicate_series"
+for row in ev["predicate_series"]:
+    q = row["query"]
+    for key in ("xpath", "full_ms", "first_match_us", "selected",
+                "filter_checked", "filter_rejected", "match"):
+        assert key in row, f"predicate_series {q} missing {key}"
+    assert row["match"], f"{q}: filtered answer diverged from the baseline"
+    assert row["filter_checked"] > 0, f"{q}: the post-filter never ran"
+    assert row["filter_checked"] == row["selected"] + row["filter_rejected"], \
+        f"{q}: filter accounting broken ({row['filter_checked']} checked, " \
+        f"{row['selected']} selected, {row['filter_rejected']} rejected)"
 
 # The LIMIT-k serving series: cursors must emit exact prefixes of the full
 # run, and the visited-node counters must scale with k, not with |D| —

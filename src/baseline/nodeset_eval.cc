@@ -138,19 +138,35 @@ class BaselineEvaluator {
       }
       case PredExpr::Kind::kPath:
         return PathSatSet(pred.path);
+      case PredExpr::Kind::kValueCmp:
+        // The comparison path ends in a value-bearing step (parser
+        // invariant); seed the backward fold with only the nodes whose
+        // value passes the comparison.
+        return PathSatSet(pred.path, &pred);
     }
     return Status::Internal("unknown predicate kind");
   }
 
+  bool ValueMatches(const PredExpr& cmp, NodeId n) const {
+    const std::string& v = doc_.text(n);
+    return cmp.op == ValueCmpOp::kEquals
+               ? v == cmp.literal
+               : v.find(cmp.literal) != std::string::npos;
+  }
+
   /// Context nodes from which the (relative) path matches: evaluated
-  /// backwards, one bulk pass per step (Koch-style).
-  StatusOr<NodeSet> PathSatSet(const Path& path) {
+  /// backwards, one bulk pass per step (Koch-style). With `cmp` set, the
+  /// path's final node must additionally pass the value comparison.
+  StatusOr<NodeSet> PathSatSet(const Path& path,
+                               const PredExpr* cmp = nullptr) {
     // Matches of the last step's test (with its own predicates).
     NodeSet current(doc_.num_nodes(), false);
     const Step& last = path.steps.back();
     for (NodeId n = 0; n < doc_.num_nodes(); ++n) {
       Touch(1);
-      if (Matches(last.test, n)) current[n] = true;
+      if (Matches(last.test, n) && (cmp == nullptr || ValueMatches(*cmp, n))) {
+        current[n] = true;
+      }
     }
     FilterPrincipalType(last.axis, &current);
     XPWQO_RETURN_IF_ERROR(FilterPredicates(last, &current));

@@ -5,6 +5,7 @@
 
 #include "asta/eval.h"
 #include "baseline/nodeset_eval.h"
+#include "core/value_filter.h"
 #include "index/tree_index.h"
 #include "tree/document.h"
 #include "xpath/hybrid.h"
@@ -134,25 +135,12 @@ AstaEvalOptions EvalOptionsFor(const QueryOptions& options) {
   return eval;
 }
 
-}  // namespace
-
-StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
+/// Builds the relaxed-plan producer for the non-baseline strategies. When
+/// the query carries value predicates, MakeCursorImpl wraps the result in
+/// the verification stage (value_filter.cc).
+StatusOr<std::unique_ptr<CursorImpl>> MakeRelaxedImpl(
     const CursorContext& ctx, const PreparedQuery& query,
     const QueryOptions& options, bool allow_streaming) {
-  if (options.strategy == EvalStrategy::kBaseline) {
-    if (ctx.doc == nullptr) {
-      return Status::InvalidArgument(
-          "baseline strategy requires the pointer Document; this engine "
-          "was streamed straight into the succinct backend");
-    }
-    BaselineStats stats;
-    XPWQO_ASSIGN_OR_RETURN(
-        std::vector<bool> mask,
-        EvalNodeSetBaselineMask(query.path(), *ctx.doc, &stats));
-    return std::unique_ptr<CursorImpl>(
-        new BaselineMaskImpl(std::move(mask), stats));
-  }
-
   if (options.strategy == EvalStrategy::kHybrid && query.hybrid() != nullptr) {
     const HybridPlan& plan = *query.hybrid();
     if (allow_streaming) {
@@ -193,6 +181,44 @@ StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
   stats.eval = r.stats;
   return std::unique_ptr<CursorImpl>(
       new EagerImpl(std::move(r.nodes), std::move(stats)));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CursorImpl>> MakeCursorImpl(
+    const CursorContext& ctx, const PreparedQuery& query,
+    const QueryOptions& options, bool allow_streaming) {
+  if (options.strategy == EvalStrategy::kBaseline) {
+    if (ctx.doc == nullptr) {
+      return Status::InvalidArgument(
+          "baseline strategy requires the pointer Document; this engine "
+          "was streamed straight into the succinct backend");
+    }
+    BaselineStats stats;
+    XPWQO_ASSIGN_OR_RETURN(
+        std::vector<bool> mask,
+        EvalNodeSetBaselineMask(query.path(), *ctx.doc, &stats));
+    return std::unique_ptr<CursorImpl>(
+        new BaselineMaskImpl(std::move(mask), stats));
+  }
+
+  if (query.has_value_predicates() &&
+      ctx.doc == nullptr && ctx.text == nullptr) {
+    return Status::FailedPrecondition(
+        "query compares text()/attribute values but this engine has no "
+        "content layer (it was opened from a version-1, structural-only "
+        "index image; re-save it to get a version-2 image with text)");
+  }
+  XPWQO_ASSIGN_OR_RETURN(
+      std::unique_ptr<CursorImpl> impl,
+      MakeRelaxedImpl(ctx, query, options, allow_streaming));
+  if (query.has_value_predicates()) {
+    // The plans above ran the structural relaxation; keep only candidates
+    // the full path (value comparisons included) actually selects.
+    impl = WrapWithValueFilter(std::move(impl), query.path(), ctx,
+                               *query.alphabet_ptr(), options.control);
+  }
+  return impl;
 }
 
 }  // namespace internal

@@ -33,6 +33,7 @@ namespace xpwqo {
 
 class Document;
 class SuccinctTree;
+class TextStore;
 class TreeIndex;
 
 namespace internal {
@@ -62,6 +63,10 @@ struct CursorContext {
   const Document* doc = nullptr;        // null on streamed-succinct engines
   const SuccinctTree* tree = nullptr;   // null on the pointer backend
   const TreeIndex* index = nullptr;
+  /// Content layer for value predicates on document-less engines (streamed
+  /// or image-backed); null on v1 images, where such queries fail with
+  /// kFailedPrecondition.
+  const TextStore* text = nullptr;
 };
 
 /// Builds the producer for (query, options) over `ctx`. With

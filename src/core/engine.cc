@@ -57,17 +57,21 @@ StatusOr<Engine> Engine::LoadSuccinct(
   struct BuildSink final : TreeEventSink {
     SuccinctBuilder tree;
     LabelPostingsBuilder postings;
+    TextStoreBuilder text;
     void BeginElement(LabelId label) override {
       tree.BeginElement(label);
       postings.BeginElement(label);
+      text.AddNode();
     }
     void Attribute(LabelId label, std::string_view value) override {
       tree.Attribute(label, value);
       postings.Attribute(label, value);
+      text.AddValue(value);
     }
     void Text(LabelId label, std::string_view content) override {
       tree.Text(label, content);
       postings.Text(label, content);
+      text.AddValue(content);
     }
     void EndElement() override {
       tree.EndElement();
@@ -77,12 +81,14 @@ StatusOr<Engine> Engine::LoadSuccinct(
   if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
   BuildSink sink;
   sink.tree.ReserveNodes(EstimateNodesFromBytes(input_bytes));
+  sink.text.ReserveForInput(input_bytes);
   XPWQO_RETURN_IF_ERROR(parse(alphabet.get(), &sink));
   Engine engine;
   engine.alphabet_ = std::move(alphabet);
   XPWQO_ASSIGN_OR_RETURN(engine.succinct_, std::move(sink.tree).Finish());
   engine.index_ = std::make_unique<TreeIndex>(
       *engine.succinct_, LabelIndex(std::move(sink.postings)));
+  engine.text_ = std::make_unique<TextStore>(std::move(sink.text).Finish());
   return engine;
 }
 
@@ -135,6 +141,7 @@ Engine Engine::FromDocument(Document doc, TreeBackend backend) {
 Engine Engine::FromImageParts(std::shared_ptr<Alphabet> alphabet,
                               std::unique_ptr<SuccinctTree> tree,
                               LabelIndex labels,
+                              std::unique_ptr<TextStore> text,
                               std::shared_ptr<const void> backing) {
   Engine engine;
   engine.alphabet_ = std::move(alphabet);
@@ -142,6 +149,7 @@ Engine Engine::FromImageParts(std::shared_ptr<Alphabet> alphabet,
   engine.succinct_ = std::move(tree);
   engine.index_ = std::make_unique<TreeIndex>(*engine.succinct_,
                                               std::move(labels));
+  engine.text_ = std::move(text);
   return engine;
 }
 
@@ -159,6 +167,46 @@ std::string Engine::PathTo(NodeId n) const {
   return out.empty() ? "/" : out;
 }
 
+namespace {
+
+/// The succinct backend (tree topology + alphabet names + TextStore
+/// values) through the serializer's backend-neutral view.
+class SuccinctXmlSource final : public XmlNodeSource {
+ public:
+  SuccinctXmlSource(const SuccinctTree& tree, const Alphabet& alphabet,
+                    const TextStore& text)
+      : tree_(tree), alphabet_(alphabet), text_(text) {}
+  NodeId Root() const override { return tree_.root(); }
+  NodeId FirstChild(NodeId n) const override { return tree_.first_child(n); }
+  NodeId NextSibling(NodeId n) const override {
+    return tree_.next_sibling(n);
+  }
+  const std::string& Name(NodeId n) const override {
+    return alphabet_.Name(tree_.label(n));
+  }
+  std::string_view Value(NodeId n) const override { return text_.Value(n); }
+
+ private:
+  const SuccinctTree& tree_;
+  const Alphabet& alphabet_;
+  const TextStore& text_;
+};
+
+}  // namespace
+
+StatusOr<std::string> Engine::SerializeSubtree(
+    NodeId n, const XmlSerializeOptions& options) const {
+  if (doc_ != nullptr) return SerializeXml(*doc_, options, n);
+  if (text_ == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot serialize XML: this engine has no content layer (it was "
+        "opened from a version-1, structural-only index image; re-save it "
+        "to get a version-2 image with text)");
+  }
+  return SerializeXml(SuccinctXmlSource(*succinct_, *alphabet_, *text_),
+                      options, n);
+}
+
 IndexMemoryReport Engine::IndexMemory() const {
   IndexMemoryReport report;
   const LabelIndex::MemoryStats postings = index_->labels().Memory();
@@ -168,6 +216,7 @@ IndexMemoryReport Engine::IndexMemory() const {
   report.sparse_labels = postings.sparse_labels;
   report.tree_bytes = succinct_ != nullptr ? succinct_->MemoryUsage()
                                            : doc_->MemoryUsage();
+  report.text_store_bytes = text_ != nullptr ? text_->MemoryUsage() : 0;
   return report;
 }
 
@@ -180,6 +229,7 @@ internal::CursorContext Engine::Context() const {
   ctx.doc = doc_.get();
   ctx.tree = succinct_.get();
   ctx.index = index_.get();
+  ctx.text = text_.get();
   return ctx;
 }
 
@@ -266,6 +316,45 @@ StatusOr<QueryResult> Engine::Run(std::string_view xpath,
   StatusOr<QueryResult> result = Run(*query, options);
   if (result.ok()) result->stats.query_cache_hits = cache_->hits();
   return result;
+}
+
+StatusOr<bool> Engine::Exists(const PreparedQuery& query,
+                              const QueryOptions& options,
+                              CursorStats* stats) const {
+  // One streaming Next() is the LIMIT-1 pushdown: jumping cursors stop at
+  // the first selected node instead of sweeping the document.
+  XPWQO_ASSIGN_OR_RETURN(ResultCursor cursor, OpenCursor(query, options));
+  const NodeId first = cursor.Next();
+  XPWQO_RETURN_IF_ERROR(cursor.status());
+  if (stats != nullptr) *stats = cursor.TakeStats();
+  return first != kNullNode;
+}
+
+StatusOr<bool> Engine::Exists(std::string_view xpath,
+                              const QueryOptions& options,
+                              CursorStats* stats) const {
+  XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
+                         PrepareCached(xpath));
+  return Exists(*query, options, stats);
+}
+
+StatusOr<size_t> Engine::Count(const PreparedQuery& query,
+                               const QueryOptions& options,
+                               CursorStats* stats) const {
+  XPWQO_ASSIGN_OR_RETURN(ResultCursor cursor, OpenCursor(query, options));
+  size_t count = 0;
+  for (NodeId n = cursor.Next(); n != kNullNode; n = cursor.Next()) ++count;
+  XPWQO_RETURN_IF_ERROR(cursor.status());
+  if (stats != nullptr) *stats = cursor.TakeStats();
+  return count;
+}
+
+StatusOr<size_t> Engine::Count(std::string_view xpath,
+                               const QueryOptions& options,
+                               CursorStats* stats) const {
+  XPWQO_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> query,
+                         PrepareCached(xpath));
+  return Count(*query, options, stats);
 }
 
 }  // namespace xpwqo

@@ -45,10 +45,12 @@
 #include "core/prepared_query.h"
 #include "core/query.h"
 #include "core/query_cache.h"
+#include "index/text_store.h"
 #include "index/tree_index.h"
 #include "tree/document.h"
 #include "util/status.h"
 #include "xml/parser.h"
+#include "xml/serializer.h"
 #include "xpath/ast.h"
 
 namespace xpwqo {
@@ -86,6 +88,7 @@ struct IndexMemoryReport {
   size_t dense_labels = 0;              // bitmap-backed labels
   size_t sparse_labels = 0;             // delta-block-backed labels
   size_t tree_bytes = 0;  // backing tree (succinct BP or pointer arrays)
+  size_t text_store_bytes = 0;  // content layer (bitmap + offsets + heap)
 
   double compression_ratio() const {
     return label_index_bytes > 0
@@ -124,9 +127,13 @@ class Engine {
   /// (the mapped image), which the engine keeps alive for its lifetime.
   /// The persist loader (persist/index_image.h) validates everything
   /// before calling this.
+  /// `text` is the content layer from a v2 image's text section, or null
+  /// for v1 images (structural-only; text-dependent queries then fail with
+  /// kFailedPrecondition).
   static Engine FromImageParts(std::shared_ptr<Alphabet> alphabet,
                                std::unique_ptr<SuccinctTree> tree,
                                LabelIndex labels,
+                               std::unique_ptr<TextStore> text,
                                std::shared_ptr<const void> backing);
 
   Engine(Engine&&) noexcept;
@@ -166,6 +173,26 @@ class Engine {
   StatusOr<QueryResult> Run(std::string_view xpath,
                             const QueryOptions& options = {}) const;
 
+  /// exists() pushdown: true when the query selects at least one node.
+  /// Opens a streaming cursor and stops at the first match — the LIMIT-1
+  /// machinery, so an existence check never sweeps the document. `stats`
+  /// (optional) receives the cursor statistics (visited-node counts).
+  StatusOr<bool> Exists(const PreparedQuery& query,
+                        const QueryOptions& options = {},
+                        CursorStats* stats = nullptr) const;
+  StatusOr<bool> Exists(std::string_view xpath,
+                        const QueryOptions& options = {},
+                        CursorStats* stats = nullptr) const;
+
+  /// count() without materializing: drains a streaming cursor counting
+  /// matches instead of collecting them.
+  StatusOr<size_t> Count(const PreparedQuery& query,
+                         const QueryOptions& options = {},
+                         CursorStats* stats = nullptr) const;
+  StatusOr<size_t> Count(std::string_view xpath,
+                         const QueryOptions& options = {},
+                         CursorStats* stats = nullptr) const;
+
   /// The pointer Document. Requires has_document(): engines loaded straight
   /// into the succinct backend never materialize one.
   const Document& document() const {
@@ -188,9 +215,20 @@ class Engine {
   }
   /// The succinct tree, or null on the pointer backend.
   const SuccinctTree* succinct_tree() const { return succinct_.get(); }
+  /// The content layer, or null. Streamed succinct loads always build one;
+  /// engines opened from a v1 (structural-only) image have none. Pointer
+  /// engines serve values from the Document instead.
+  const TextStore* text_store() const { return text_.get(); }
   /// Root-to-node label path such as "/site/regions/item", on either
   /// backend (diagnostics; the examples print match locations with it).
   std::string PathTo(NodeId n) const;
+  /// Serializes the subtree rooted at `n` (kNullNode = whole document)
+  /// back to XML text, from the Document on the pointer backend or from
+  /// the succinct tree plus the TextStore on content-bearing succinct
+  /// engines. kFailedPrecondition on v1-image engines, which store no
+  /// text to serialize.
+  StatusOr<std::string> SerializeSubtree(
+      NodeId n = kNullNode, const XmlSerializeOptions& options = {}) const;
   /// Memory accounting of the loaded tree + label index.
   IndexMemoryReport IndexMemory() const;
 
@@ -237,6 +275,9 @@ class Engine {
   std::unique_ptr<Document> doc_;  // null on streaming-succinct loads
   std::unique_ptr<SuccinctTree> succinct_;  // null on the pointer backend
   std::unique_ptr<TreeIndex> index_;  // over succinct_ when configured
+  /// Content layer for document-less engines (streamed succinct loads and
+  /// v2 image opens); null when doc_ carries the values or on v1 images.
+  std::unique_ptr<TextStore> text_;
   /// LRU of string-compiled queries (internally locked; see the class
   /// comment for the new-query interning caveat). Shared with the owning
   /// Collection when there is one.

@@ -6,6 +6,53 @@
 #include "xpath/parser.h"
 
 namespace xpwqo {
+namespace {
+
+bool ContainsValueCmp(const Path& path);
+
+bool ContainsValueCmp(const PredExpr& pred) {
+  if (pred.kind == PredExpr::Kind::kValueCmp) return true;
+  if (pred.lhs != nullptr && ContainsValueCmp(*pred.lhs)) return true;
+  if (pred.rhs != nullptr && ContainsValueCmp(*pred.rhs)) return true;
+  if (pred.kind == PredExpr::Kind::kPath) return ContainsValueCmp(pred.path);
+  return false;
+}
+
+bool ContainsValueCmp(const Path& path) {
+  for (const Step& step : path.steps) {
+    for (const auto& pred : step.predicates) {
+      if (ContainsValueCmp(*pred)) return true;
+    }
+  }
+  return false;
+}
+
+/// The structural widening: drop every predicate tree that mentions a value
+/// comparison anywhere. Dropping the whole tree (not just the comparison
+/// inside it) is what keeps the relaxation sound — rewriting value parts of
+/// an and/or/not tree to "true" under negation could *narrow* the result,
+/// and the post-filter can only discard candidates, never add them.
+Path RelaxValuePredicates(const Path& path, bool* stripped) {
+  Path out;
+  out.absolute = path.absolute;
+  out.steps.reserve(path.steps.size());
+  for (const Step& s : path.steps) {
+    Step step;
+    step.axis = s.axis;
+    step.test = s.test;
+    for (const auto& pred : s.predicates) {
+      if (ContainsValueCmp(*pred)) {
+        *stripped = true;
+        continue;
+      }
+      step.predicates.push_back(ClonePred(*pred));
+    }
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+}  // namespace
 
 StatusOr<PreparedQuery> PreparedQuery::Prepare(
     std::string_view xpath, const std::shared_ptr<Alphabet>& alphabet) {
@@ -15,20 +62,28 @@ StatusOr<PreparedQuery> PreparedQuery::Prepare(
   PreparedQuery query;
   query.alphabet_ = alphabet;
   XPWQO_ASSIGN_OR_RETURN(query.path_, ParseXPath(xpath));
+  // Every automaton plan compiles from the structural relaxation; the
+  // cursor layer post-filters its candidates against the full path when
+  // value predicates were stripped. Without value predicates the relaxed
+  // path is an identical clone and nothing changes.
+  bool stripped = false;
+  query.relaxed_path_ = RelaxValuePredicates(query.path_, &stripped);
+  query.has_value_predicates_ = stripped;
+  const Path& plan_path = query.relaxed_path_;
   XPWQO_ASSIGN_OR_RETURN(query.asta_,
-                         CompileToAsta(query.path_, alphabet.get()));
-  if (IsHybridEvaluable(query.path_)) {
+                         CompileToAsta(plan_path, alphabet.get()));
+  if (IsHybridEvaluable(plan_path)) {
     XPWQO_ASSIGN_OR_RETURN(HybridPlan plan,
-                           HybridPlan::Make(query.path_, alphabet.get()));
+                           HybridPlan::Make(plan_path, alphabet.get()));
     query.hybrid_ = std::make_unique<HybridPlan>(std::move(plan));
   }
-  if (IsTdstaCompilable(query.path_)) {
+  if (IsTdstaCompilable(plan_path)) {
     XPWQO_ASSIGN_OR_RETURN(Sta sta,
-                           CompileToTdsta(query.path_, alphabet.get()));
+                           CompileToTdsta(plan_path, alphabet.get()));
     query.tdsta_ = std::make_unique<Sta>(MinimizeTopDown(sta));
   }
   query.streamable_ = true;
-  for (const Step& step : query.path_.steps) {
+  for (const Step& step : plan_path.steps) {
     if (!step.predicates.empty()) {
       query.streamable_ = false;
       break;

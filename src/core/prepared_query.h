@@ -38,6 +38,17 @@ class PreparedQuery {
   PreparedQuery& operator=(PreparedQuery&&) = default;
 
   const Path& path() const { return path_; }
+  /// The structural relaxation the automaton plans are compiled from:
+  /// `path_` with every predicate tree that contains a value comparison
+  /// removed. A pure widening — its matches are a superset of the true
+  /// answer — so the cursor layer re-verifies candidates against the full
+  /// original path (core/value_filter.h). Identical to path() when the
+  /// query has no value predicates.
+  const Path& relaxed_path() const { return relaxed_path_; }
+  /// True when the query contains a value comparison ([text()='v'],
+  /// [@attr='v'], [contains(...,'v')]) anywhere, so evaluation needs the
+  /// post-filter stage (and a content source: Document or TextStore).
+  bool has_value_predicates() const { return has_value_predicates_; }
   const Asta& asta() const { return asta_; }
   /// Start-anywhere plan, or null when the path is not a //-chain.
   const HybridPlan* hybrid() const { return hybrid_.get(); }
@@ -61,6 +72,8 @@ class PreparedQuery {
 
   std::shared_ptr<Alphabet> alphabet_;
   Path path_;
+  Path relaxed_path_;  // path_ minus value-comparison predicate trees
+  bool has_value_predicates_ = false;
   Asta asta_;
   std::unique_ptr<HybridPlan> hybrid_;  // null if not hybrid-evaluable
   std::unique_ptr<Sta> tdsta_;          // null if not TDSTA-compilable

@@ -63,6 +63,11 @@ struct CursorStats {
   bool streaming = false;
   /// Nodes handed out by Next()/SeekGe() so far.
   int64_t returned = 0;
+  /// Value-predicate post-filter counters (zero when the query has none or
+  /// ran on the baseline, which evaluates value predicates natively):
+  /// relaxed-plan candidates verified, and how many the full path rejected.
+  int64_t filter_checked = 0;
+  int64_t filter_rejected = 0;
 };
 
 }  // namespace xpwqo

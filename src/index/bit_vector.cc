@@ -110,6 +110,20 @@ void BitVector::Freeze() {
   BuildDirectories();
 }
 
+BitVector BitVector::FromWords(std::vector<uint64_t> words, size_t size_bits) {
+  BitVector v;
+  v.size_ = size_bits;
+  v.num_words_ = (size_bits + 63) / 64;
+  // Data words + the zero pad word Freeze() appends on the streaming path
+  // (Rank1(size()) may read one word past the data).
+  words.resize(v.num_words_ + 1, 0);
+  v.words_ = std::move(words);
+  v.data_ = v.words_.data();
+  v.frozen_ = true;
+  v.BuildDirectories();
+  return v;
+}
+
 BitVector BitVector::FromExternal(const uint64_t* words, size_t size_bits) {
   BitVector v;
   v.size_ = size_bits;

@@ -66,6 +66,13 @@ class BitVector {
   /// Builds the rank/select directory. Idempotent.
   void Freeze();
 
+  /// Adopts `words` as the owned bit array for `size_bits` bits — the
+  /// bulk-build path for callers that assemble words directly (one
+  /// shift-or per set bit) instead of streaming PushBack calls. `words`
+  /// needs ceil(size_bits / 64) data words; it is resized (zero-padded)
+  /// here if short. Returns a frozen vector with directories built.
+  static BitVector FromWords(std::vector<uint64_t> words, size_t size_bits);
+
   /// Wraps `words` — the raw bit words as written by SerializeWordsTo:
   /// ceil(size_bits/64) data words plus one zero pad word, 8-byte aligned —
   /// without copying, and builds the rank/select directories in-memory.

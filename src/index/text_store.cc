@@ -1,0 +1,104 @@
+#include "index/text_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "tree/document.h"
+
+namespace xpwqo {
+
+TextStore TextStoreBuilder::Finish() && {
+  heap_.resize(used_);  // drop the pre-grown slack past the live prefix
+  TextStore store;
+  store.num_values_ = offsets_.size() - 1;
+  store.heap_bytes_ = heap_.size();
+  store.has_ = BitVector::FromWords(std::move(words_), nodes_);
+  store.owned_offsets_ = std::move(offsets_);
+  store.owned_heap_ = std::move(heap_);
+  return store;
+}
+
+TextStore TextStore::FromDocument(const Document& doc) {
+  TextStoreBuilder builder;
+  builder.ReserveNodes(static_cast<size_t>(doc.num_nodes()));
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    const NodeKind kind = doc.kind(n);
+    if (kind == NodeKind::kAttribute || kind == NodeKind::kText) {
+      builder.AddValue(doc.text(n));
+    } else {
+      builder.AddNode();
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+StatusOr<TextStore> TextStore::FromExternal(const uint8_t* data, size_t length,
+                                            size_t num_nodes) {
+  if (length < kHeaderBytes) {
+    return Status::Corruption("text store: truncated header");
+  }
+  uint64_t header[4];
+  std::memcpy(header, data, sizeof(header));
+  const uint64_t num_values = header[0];
+  const uint64_t heap_bytes = header[1];
+  if (header[2] != 0 || header[3] != 0) {
+    return Status::Corruption("text store: reserved header fields not zero");
+  }
+  // Bound the u64 fields before arithmetic: both came off disk.
+  if (num_values > num_nodes) {
+    return Status::Corruption("text store: more values than nodes");
+  }
+  if (heap_bytes > length) {
+    return Status::Corruption("text store: heap longer than the section");
+  }
+  const size_t word_bytes = BitVector::SerializedWordBytes(num_nodes);
+  const size_t expected =
+      SerializedBytes(num_nodes, num_values, static_cast<size_t>(heap_bytes));
+  if (expected != length) {
+    return Status::Corruption("text store: section length mismatch");
+  }
+  BitVector has = BitVector::FromExternal(
+      reinterpret_cast<const uint64_t*>(data + kHeaderBytes), num_nodes);
+  if (has.CountOnes() != num_values) {
+    return Status::Corruption("text store: bitmap population != num_values");
+  }
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(data + kHeaderBytes + word_bytes);
+  if (offsets[0] != 0) {
+    return Status::Corruption("text store: offsets must start at zero");
+  }
+  for (uint64_t i = 0; i < num_values; ++i) {
+    if (offsets[i + 1] < offsets[i]) {
+      return Status::Corruption("text store: offsets not monotone");
+    }
+  }
+  if (offsets[num_values] != heap_bytes) {
+    return Status::Corruption("text store: final offset != heap length");
+  }
+  TextStore store;
+  store.has_ = std::move(has);
+  store.ext_offsets_ = offsets;
+  store.ext_heap_ = reinterpret_cast<const char*>(data + kHeaderBytes +
+                                                  word_bytes +
+                                                  (num_values + 1) * 8);
+  store.num_values_ = static_cast<size_t>(num_values);
+  store.heap_bytes_ = static_cast<size_t>(heap_bytes);
+  store.external_ = true;
+  return store;
+}
+
+void TextStore::SerializeTo(std::string* out) const {
+  const uint64_t header[4] = {num_values_, heap_bytes_, 0, 0};
+  out->append(reinterpret_cast<const char*>(header), sizeof(header));
+  has_.SerializeWordsTo(out);
+  out->append(reinterpret_cast<const char*>(offsets()),
+              (num_values_ + 1) * sizeof(uint64_t));
+  out->append(heap(), heap_bytes_);
+}
+
+size_t TextStore::MemoryUsage() const {
+  return has_.MemoryUsage() + (num_values_ + 1) * sizeof(uint64_t) +
+         heap_bytes_;
+}
+
+}  // namespace xpwqo

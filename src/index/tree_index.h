@@ -86,6 +86,9 @@ class TreeIndex {
   NodeId FirstChild(NodeId n) const {
     return doc_ != nullptr ? doc_->first_child(n) : tree_->first_child(n);
   }
+  NodeId NextSibling(NodeId n) const {
+    return doc_ != nullptr ? doc_->next_sibling(n) : tree_->next_sibling(n);
+  }
   LabelId Label(NodeId n) const {
     return doc_ != nullptr ? doc_->label(n) : tree_->label(n);
   }

@@ -1,4 +1,4 @@
-// On-disk layout of the persistent index image (version 1).
+// On-disk layout of the persistent index image (versions 1 and 2).
 //
 // One image file holds one document's succinct index — everything Open
 // needs to serve queries without touching the source XML:
@@ -8,8 +8,9 @@
 // The six sections appear in this fixed order, each 8-byte aligned with
 // zero padding between (entry lengths are exact, offsets are aligned):
 //
-//   size_hints  node count, alphabet size — validated first, every other
-//               section's size is cross-checked against these
+//   size_hints  node count, alphabet size, text heap bytes (v2; zero in
+//               v1), reserved — validated first, every other section's
+//               size is cross-checked against these
 //   alphabet    interned label names: {u32 count, u32 0}, count+1 u64
 //               offsets (relative to the section start; entry i+1 ends
 //               entry i), concatenated name bytes
@@ -17,8 +18,17 @@
 //               BitVector::SerializeWordsTo writes them (incl. pad word)
 //   labels      the preorder label array, raw LabelId (u32) values
 //   postings    the compressed label postings, LabelIndex::SerializeTo
-//   text        reserved, always empty in v1 (the succinct view stores no
-//               text content); present so the section order never changes
+//   text        v1: empty (structural-only image). v2: the content layer,
+//               TextStore::SerializeTo — {u64 num_values, u64 heap_bytes,
+//               u64 0, u64 0}, the has-value bitmap words over preorder
+//               NodeIds, num_values+1 monotone u64 heap offsets, the
+//               concatenated UTF-8 value heap
+//
+// Writers emit v2 whenever the engine has a content layer (any engine
+// built from XML) and v1 only when re-saving an engine that was opened
+// from a v1 image — so a save→open→save round trip is byte-identical in
+// both formats. Readers accept both versions; text-dependent queries
+// against a v1-opened engine fail with kFailedPrecondition.
 //
 // Integrity is layered so no decoder ever touches unverified bytes:
 // magic/version/flags, then the header CRC (covers header + section
@@ -50,7 +60,10 @@ namespace persist {
 
 inline constexpr uint64_t kImageMagic = 0x5844494F51575058ULL;  // "XPWQOIDX"
 inline constexpr uint32_t kFooterMagic = 0x444E4558;            // "XEND"
-inline constexpr uint32_t kImageVersion = 1;
+/// Current version: v2 adds the populated text section. Readers accept
+/// [kMinImageVersion, kImageVersion]; writers pick per engine (see above).
+inline constexpr uint32_t kImageVersion = 2;
+inline constexpr uint32_t kMinImageVersion = 1;
 
 inline constexpr size_t kHeaderBytes = 40;
 inline constexpr size_t kSectionEntryBytes = 32;

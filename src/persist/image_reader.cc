@@ -15,6 +15,7 @@
 #include "index/bit_vector.h"
 #include "index/label_index.h"
 #include "index/succinct_tree.h"
+#include "index/text_store.h"
 #include "persist/image_format.h"
 #include "persist/index_image.h"
 #include "util/check.h"
@@ -125,9 +126,11 @@ StatusOr<CheckedImage> ValidateIndexImage(const uint8_t* data, size_t size) {
     return Corrupt("bad image magic (not an xpwqo index image)");
   }
   const uint32_t version = GetU32(data + 8);
-  if (version != persist::kImageVersion) {
+  if (version < persist::kMinImageVersion ||
+      version > persist::kImageVersion) {
     return Corrupt("unsupported image version " + std::to_string(version) +
-                   " (this build reads version " +
+                   " (this build reads versions " +
+                   std::to_string(persist::kMinImageVersion) + "-" +
                    std::to_string(persist::kImageVersion) + ")");
   }
   if (GetU32(data + 12) != 0) {
@@ -169,6 +172,7 @@ StatusOr<CheckedImage> ValidateIndexImage(const uint8_t* data, size_t size) {
   // --- section table: fixed order, computed placement, per-section CRC ---
   CheckedImage image;
   image.data = data;
+  image.version = version;
   size_t cursor = header_bytes;
   for (uint32_t i = 0; i < persist::kSectionCount; ++i) {
     const uint8_t* entry =
@@ -222,7 +226,12 @@ StatusOr<CheckedImage> ValidateIndexImage(const uint8_t* data, size_t size) {
   const uint8_t* hints = data + image.section_offset[0];
   const uint64_t num_nodes = GetU64(hints);
   const uint64_t num_labels = GetU64(hints + 8);
-  if (GetU64(hints + 16) != 0 || GetU64(hints + 24) != 0) {
+  const uint64_t text_heap_bytes = GetU64(hints + 16);
+  if (version < 2 && text_heap_bytes != 0) {
+    return SectionCorrupt(persist::kSizeHints,
+                          "has nonzero text bytes in version 1");
+  }
+  if (GetU64(hints + 24) != 0) {
     return SectionCorrupt(persist::kSizeHints, "has nonzero reserved fields");
   }
   if (num_nodes == 0 || num_nodes > kMaxImageNodes) {
@@ -232,8 +241,13 @@ StatusOr<CheckedImage> ValidateIndexImage(const uint8_t* data, size_t size) {
     return SectionCorrupt(persist::kSizeHints,
                           "alphabet size is out of range");
   }
+  if (text_heap_bytes > size) {
+    return SectionCorrupt(persist::kSizeHints,
+                          "text heap is larger than the file");
+  }
   image.num_nodes = static_cast<size_t>(num_nodes);
   image.num_labels = static_cast<size_t>(num_labels);
+  image.text_heap_bytes = static_cast<size_t>(text_heap_bytes);
   if (image.section_length[2] !=
       BitVector::SerializedWordBytes(2 * image.num_nodes)) {
     return SectionCorrupt(persist::kBpBits,
@@ -243,8 +257,33 @@ StatusOr<CheckedImage> ValidateIndexImage(const uint8_t* data, size_t size) {
     return SectionCorrupt(persist::kLabels,
                           "size disagrees with the node count");
   }
-  if (image.section_length[5] != 0) {
-    return SectionCorrupt(persist::kText, "must be empty in version 1");
+  if (version < 2) {
+    if (image.section_length[5] != 0) {
+      return SectionCorrupt(persist::kText, "must be empty in version 1");
+    }
+    return image;
+  }
+  // v2: the text section's own header must agree with the size hints and
+  // the node count before the store is decoded (the deeper offset checks —
+  // monotonicity, heap span — run in TextStore::FromExternal on open).
+  if (image.section_length[5] < 32) {
+    return SectionCorrupt(persist::kText, "is too small for its header");
+  }
+  const uint8_t* text = data + image.section_offset[5];
+  const uint64_t num_values = GetU64(text);
+  if (num_values > num_nodes) {
+    return SectionCorrupt(persist::kText, "claims more values than nodes");
+  }
+  if (GetU64(text + 8) != text_heap_bytes) {
+    return SectionCorrupt(persist::kText,
+                          "heap size disagrees with the size hints");
+  }
+  if (image.section_length[5] !=
+      TextStore::SerializedBytes(image.num_nodes,
+                                 static_cast<size_t>(num_values),
+                                 image.text_heap_bytes)) {
+    return SectionCorrupt(persist::kText,
+                          "size disagrees with its own header");
   }
   return image;
 }
@@ -348,10 +387,24 @@ StatusOr<Engine> OpenMappedIndexImage(MmapFile file,
                           "counts do not sum to the node count");
   }
 
+  // Text section (v2 only): wrap the mapped store in place. FromExternal
+  // re-validates the layout — offset monotonicity, bitmap population, heap
+  // span — so even a writer bug cannot hand out views past the mapping.
+  std::unique_ptr<TextStore> text_store;
+  if (image.version >= 2) {
+    StatusOr<TextStore> text = TextStore::FromExternal(
+        data + image.section_offset[5], image.section_length[5],
+        image.num_nodes);
+    if (!text.ok()) {
+      return SectionCorrupt(persist::kText, text.status().message().c_str());
+    }
+    text_store = std::make_unique<TextStore>(std::move(*text));
+  }
+
   auto backing = std::make_shared<MmapFile>(std::move(file));
   Engine engine =
       Engine::FromImageParts(std::move(alphabet), std::move(tree),
-                             std::move(index), backing);
+                             std::move(index), std::move(text_store), backing);
   // Scrub hook for Collection::VerifyAll: re-run the full structural +
   // checksum validation over the live mapping. Captures the backing by
   // value, so the bytes outlive any engine move.

@@ -13,8 +13,10 @@
 // compressed postings + alphabet): saving a pointer-backend engine encodes
 // its topology through a temporary SuccinctTree, and Open always returns a
 // succinct-backend engine. Node ids are preorder ranks on both backends,
-// so query results are identical. Text content is not persisted in v1 —
-// structural queries (the paper's fragment) never read it.
+// so query results are identical. Version 2 images also carry the content
+// layer (attribute values and text content, TextStore) in the text
+// section; v1 images are structural-only and still open, but value
+// predicates ([text()='v']) against them fail with kFailedPrecondition.
 //
 // Failure taxonomy (see util/status.h): kIoError for OS-level failures
 // (open/stat/mmap/write — retrying may succeed), kCorruption for bytes
@@ -70,8 +72,12 @@ StatusOr<Engine> OpenMappedIndexImage(
 /// open path and by tests that want the layout without building an Engine.
 struct CheckedImage {
   const uint8_t* data = nullptr;
+  /// Format version of the image (1 = structural-only, 2 = with text).
+  uint32_t version = 0;
   size_t num_nodes = 0;
   size_t num_labels = 0;  // alphabet entries
+  /// Text heap bytes from the size hints (always 0 for v1).
+  size_t text_heap_bytes = 0;
   // Section payloads (offsets into data, exact lengths).
   size_t section_offset[6] = {};
   size_t section_length[6] = {};

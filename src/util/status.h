@@ -44,6 +44,11 @@ enum class StatusCode {
   /// The caller cancelled the query through its cancellation token. Not
   /// retryable: cancellation is a decision, not a failure.
   kCancelled,
+  /// The operation needs state the system does not have — e.g. a
+  /// text-dependent query ([text()='v']) against an engine opened from a
+  /// v1 (structural-only) index image. Not retryable: the caller must
+  /// change the setup (re-save the index as v2), not the call.
+  kFailedPrecondition,
 };
 
 /// Human-readable name of a status code (e.g. "ParseError").
@@ -97,6 +102,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -7,19 +7,27 @@
 namespace xpwqo {
 namespace {
 
-void SerializeRec(const Document& doc, NodeId n, int depth,
+/// Node kinds from the parser's label encoding, so the recursion below
+/// works for any XmlNodeSource, not just the Document.
+NodeKind KindOfName(const std::string& name) {
+  if (!name.empty() && name[0] == '@') return NodeKind::kAttribute;
+  if (name == "#text") return NodeKind::kText;
+  return NodeKind::kElement;
+}
+
+void SerializeRec(const XmlNodeSource& source, NodeId n, int depth,
                   const XmlSerializeOptions& options, std::string* out) {
-  const std::string& name = doc.LabelName(n);
+  const std::string& name = source.Name(n);
   auto indent = [&](int d) {
     if (options.pretty) {
       out->push_back('\n');
       out->append(static_cast<size_t>(2 * d), ' ');
     }
   };
-  switch (doc.kind(n)) {
+  switch (KindOfName(name)) {
     case NodeKind::kText:
       indent(depth);
-      out->append(XmlEscape(doc.text(n)));
+      out->append(XmlEscape(source.Value(n)));
       return;
     case NodeKind::kAttribute:
       // Handled by the parent element below.
@@ -31,14 +39,15 @@ void SerializeRec(const Document& doc, NodeId n, int depth,
   out->push_back('<');
   out->append(name);
   // Attributes are the leading "@" children.
-  NodeId child = doc.first_child(n);
-  while (child != kNullNode && doc.kind(child) == NodeKind::kAttribute) {
+  NodeId child = source.FirstChild(n);
+  while (child != kNullNode &&
+         KindOfName(source.Name(child)) == NodeKind::kAttribute) {
     out->push_back(' ');
-    out->append(doc.LabelName(child).substr(1));
+    out->append(source.Name(child).substr(1));
     out->append("=\"");
-    out->append(XmlEscape(doc.text(child)));
+    out->append(XmlEscape(source.Value(child)));
     out->push_back('"');
-    child = doc.next_sibling(child);
+    child = source.NextSibling(child);
   }
   if (child == kNullNode) {
     out->append("/>");
@@ -46,9 +55,11 @@ void SerializeRec(const Document& doc, NodeId n, int depth,
   }
   out->push_back('>');
   bool had_element_child = false;
-  for (; child != kNullNode; child = doc.next_sibling(child)) {
-    if (doc.kind(child) == NodeKind::kElement) had_element_child = true;
-    SerializeRec(doc, child, depth + 1, options, out);
+  for (; child != kNullNode; child = source.NextSibling(child)) {
+    if (KindOfName(source.Name(child)) == NodeKind::kElement) {
+      had_element_child = true;
+    }
+    SerializeRec(source, child, depth + 1, options, out);
   }
   if (options.pretty && had_element_child) indent(depth);
   out->append("</");
@@ -56,16 +67,37 @@ void SerializeRec(const Document& doc, NodeId n, int depth,
   out->push_back('>');
 }
 
+/// The pointer backend through the generic view.
+class DocumentSource final : public XmlNodeSource {
+ public:
+  explicit DocumentSource(const Document& doc) : doc_(doc) {}
+  NodeId Root() const override { return doc_.root(); }
+  NodeId FirstChild(NodeId n) const override { return doc_.first_child(n); }
+  NodeId NextSibling(NodeId n) const override { return doc_.next_sibling(n); }
+  const std::string& Name(NodeId n) const override {
+    return doc_.LabelName(n);
+  }
+  std::string_view Value(NodeId n) const override { return doc_.text(n); }
+
+ private:
+  const Document& doc_;
+};
+
 }  // namespace
+
+std::string SerializeXml(const XmlNodeSource& source,
+                         const XmlSerializeOptions& options, NodeId node) {
+  if (node == kNullNode) node = source.Root();
+  std::string out;
+  if (node == kNullNode) return out;
+  SerializeRec(source, node, 0, options, &out);
+  if (options.pretty && !out.empty() && out[0] == '\n') out.erase(0, 1);
+  return out;
+}
 
 std::string SerializeXml(const Document& doc,
                          const XmlSerializeOptions& options, NodeId node) {
-  if (node == kNullNode) node = doc.root();
-  std::string out;
-  if (node == kNullNode) return out;
-  SerializeRec(doc, node, 0, options, &out);
-  if (options.pretty && !out.empty() && out[0] == '\n') out.erase(0, 1);
-  return out;
+  return SerializeXml(DocumentSource(doc), options, node);
 }
 
 Status WriteXmlFile(const Document& doc, const std::string& path,

@@ -5,6 +5,7 @@
 #define XPWQO_XML_SERIALIZER_H_
 
 #include <string>
+#include <string_view>
 
 #include "tree/document.h"
 #include "util/status.h"
@@ -16,8 +17,29 @@ struct XmlSerializeOptions {
   bool pretty = false;
 };
 
+/// Backend-neutral tree view the serializer walks. Node kinds follow the
+/// parser's label encoding ("@name" → attribute, "#text" → character data),
+/// so any backend that exposes names and values serializes without a
+/// pointer Document — the engine adapts the succinct tree plus its
+/// TextStore to this interface for image-opened collections.
+class XmlNodeSource {
+ public:
+  virtual ~XmlNodeSource() = default;
+  virtual NodeId Root() const = 0;
+  virtual NodeId FirstChild(NodeId n) const = 0;
+  virtual NodeId NextSibling(NodeId n) const = 0;
+  virtual const std::string& Name(NodeId n) const = 0;
+  /// Value of an attribute or text node (empty for elements).
+  virtual std::string_view Value(NodeId n) const = 0;
+};
+
 /// Serializes the subtree rooted at `node` (defaults to the document root).
 std::string SerializeXml(const Document& doc,
+                         const XmlSerializeOptions& options = {},
+                         NodeId node = kNullNode);
+
+/// Serializes from any backend through the XmlNodeSource view.
+std::string SerializeXml(const XmlNodeSource& source,
                          const XmlSerializeOptions& options = {},
                          NodeId node = kNullNode);
 

@@ -58,8 +58,41 @@ std::string ToString(const PredExpr& pred) {
       return "not(" + ToString(*pred.lhs) + ")";
     case PredExpr::Kind::kPath:
       return ToString(pred.path);
+    case PredExpr::Kind::kValueCmp:
+      return pred.op == ValueCmpOp::kContains
+                 ? "contains(" + ToString(pred.path) + ",'" + pred.literal +
+                       "')"
+                 : ToString(pred.path) + "='" + pred.literal + "'";
   }
   return "?";
+}
+
+Path ClonePath(const Path& path) {
+  Path out;
+  out.absolute = path.absolute;
+  out.steps.reserve(path.steps.size());
+  for (const Step& s : path.steps) {
+    Step step;
+    step.axis = s.axis;
+    step.test = s.test;
+    step.predicates.reserve(s.predicates.size());
+    for (const auto& p : s.predicates) {
+      step.predicates.push_back(ClonePred(*p));
+    }
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+std::unique_ptr<PredExpr> ClonePred(const PredExpr& pred) {
+  auto out = std::make_unique<PredExpr>();
+  out->kind = pred.kind;
+  if (pred.lhs != nullptr) out->lhs = ClonePred(*pred.lhs);
+  if (pred.rhs != nullptr) out->rhs = ClonePred(*pred.rhs);
+  out->path = ClonePath(pred.path);
+  out->op = pred.op;
+  out->literal = pred.literal;
+  return out;
 }
 
 }  // namespace xpwqo

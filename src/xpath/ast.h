@@ -3,11 +3,15 @@
 //   LocationPath ::= LocationStep ('/' LocationStep)*
 //   LocationStep ::= Axis '::' NodeTest ('[' Pred ']')*
 //   Pred         ::= Pred 'and' Pred | Pred 'or' Pred | 'not' '(' Pred ')'
-//                  | Core | '(' Pred ')'
+//                  | Core | '(' Pred ')' | ValueCmp
+//   ValueCmp     ::= Core '=' Literal | 'contains' '(' Core ',' Literal ')'
 //   Axis         ::= descendant | child | following-sibling | attribute
 //   NodeTest     ::= tag | '*' | 'node()' | 'text()'
 // plus the usual abbreviations: '//' (descendant), '@' (attribute), leading
-// '.' in relative predicate paths.
+// '.' in relative predicate paths. Value comparisons (the content layer's
+// query surface: [text()='v'], [@attr='v'], [contains(text(),'v')]) require
+// the compared path to end in a text() test or an attribute step — the only
+// value-bearing nodes.
 #ifndef XPWQO_XPATH_AST_H_
 #define XPWQO_XPATH_AST_H_
 
@@ -54,13 +58,30 @@ struct Path {
   std::vector<Step> steps;
 };
 
+/// Comparison operator of a value predicate.
+enum class ValueCmpOp {
+  kEquals,    // [path = 'literal']
+  kContains,  // [contains(path, 'literal')]
+};
+
 struct PredExpr {
-  enum class Kind { kAnd, kOr, kNot, kPath };
+  enum class Kind { kAnd, kOr, kNot, kPath, kValueCmp };
   Kind kind = Kind::kPath;
   std::unique_ptr<PredExpr> lhs;  // kAnd/kOr/kNot
   std::unique_ptr<PredExpr> rhs;  // kAnd/kOr
-  Path path;                      // kPath (relative to the context node)
+  /// kPath: existence of a match (relative to the context node).
+  /// kValueCmp: the value path — its last step selects the @attr/#text
+  /// nodes whose content is compared against `literal`.
+  Path path;
+  ValueCmpOp op = ValueCmpOp::kEquals;  // kValueCmp
+  std::string literal;                  // kValueCmp
 };
+
+/// Deep copies (Step holds unique_ptr predicates, so the AST types are
+/// move-only; the query planner clones paths to build the relaxed
+/// structural variant it hands the automaton compilers).
+Path ClonePath(const Path& path);
+std::unique_ptr<PredExpr> ClonePred(const PredExpr& pred);
 
 /// Unparses back to XPath syntax (canonical form, for diagnostics).
 std::string ToString(const Path& path);

@@ -137,6 +137,12 @@ class Compiler {
         XPWQO_ASSIGN_OR_RETURN(StateId q, CompilePredPath(pred.path, 0));
         return f.Down(EntryChild(pred.path.steps[0].axis), q);
       }
+      case PredExpr::Kind::kValueCmp:
+        // Value comparisons never reach the automaton compilers: the query
+        // planner strips them into the relaxed structural path and verifies
+        // candidates in a post-filter (core/value_filter.h).
+        return Status::Internal(
+            "value comparison predicate reached the automaton compiler");
     }
     return Status::Internal("unknown predicate kind");
   }

@@ -71,6 +71,29 @@ StatusOr<std::vector<Token>> TokenizeXPath(std::string_view input) {
         out.push_back({TokenKind::kStar, "", start});
         ++i;
         continue;
+      case '=':
+        out.push_back({TokenKind::kEquals, "", start});
+        ++i;
+        continue;
+      case ',':
+        out.push_back({TokenKind::kComma, "", start});
+        ++i;
+        continue;
+      case '\'':
+      case '"': {
+        // A quoted literal runs to the matching quote; XPath 1.0 has no
+        // escape inside string literals (use the other quote character).
+        const size_t close = input.find(c, i + 1);
+        if (close == std::string_view::npos) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        out.push_back({TokenKind::kString,
+                       std::string(input.substr(i + 1, close - i - 1)),
+                       start});
+        i = close + 1;
+        continue;
+      }
       default:
         break;
     }

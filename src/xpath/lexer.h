@@ -21,13 +21,16 @@ enum class TokenKind {
   kAt,           // @
   kDot,          // .
   kStar,         // *
+  kEquals,       // =
+  kComma,        // ,
   kName,         // tag / axis name / and / or / not (contextual)
+  kString,       // quoted literal: 'value' or "value"
   kEnd,
 };
 
 struct Token {
   TokenKind kind;
-  std::string text;  // for kName
+  std::string text;  // for kName and kString (unquoted)
   size_t offset;     // position in the input, for error messages
 };
 

@@ -188,7 +188,48 @@ class Parser {
     return lhs;
   }
 
+  /// True when the path's last step selects value-bearing nodes — a text()
+  /// test or an attribute step. Value comparisons are only defined there.
+  static bool EndsInValueNode(const Path& path) {
+    if (path.steps.empty()) return false;
+    const Step& last = path.steps.back();
+    if (last.test.kind == NodeTestKind::kText) return true;
+    return last.axis == Axis::kAttribute ||
+           (last.test.kind == NodeTestKind::kName &&
+            !last.test.name.empty() && last.test.name[0] == '@');
+  }
+
   StatusOr<std::unique_ptr<PredExpr>> ParsePredUnary() {
+    if (Peek().kind == TokenKind::kName && Peek().text == "contains" &&
+        Peek(1).kind == TokenKind::kLParen) {
+      Take();
+      Take();
+      if (Peek().kind == TokenKind::kSlash ||
+          Peek().kind == TokenKind::kDoubleSlash) {
+        return Status(
+            Error("absolute paths inside predicates are not supported"));
+      }
+      XPWQO_ASSIGN_OR_RETURN(Path path, ParsePath(/*in_predicate=*/true));
+      if (!EndsInValueNode(path)) {
+        return Error(
+            "contains() requires a path ending in text() or an attribute");
+      }
+      if (!Consume(TokenKind::kComma)) {
+        return Error("expected ',' in contains(path, 'literal')");
+      }
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected a string literal in contains()");
+      }
+      auto node = std::make_unique<PredExpr>();
+      node->kind = PredExpr::Kind::kValueCmp;
+      node->op = ValueCmpOp::kContains;
+      node->path = std::move(path);
+      node->literal = Take().text;
+      if (!Consume(TokenKind::kRParen)) {
+        return Error("expected ')' after contains(...)");
+      }
+      return node;
+    }
     if (Peek().kind == TokenKind::kName && Peek().text == "not" &&
         Peek(1).kind == TokenKind::kLParen) {
       Take();
@@ -219,7 +260,21 @@ class Parser {
     }
     XPWQO_ASSIGN_OR_RETURN(Path path, ParsePath(/*in_predicate=*/true));
     auto node = std::make_unique<PredExpr>();
-    node->kind = PredExpr::Kind::kPath;
+    if (Consume(TokenKind::kEquals)) {
+      // Value comparison: [path = 'literal'].
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected a string literal after '='");
+      }
+      if (!EndsInValueNode(path)) {
+        return Error(
+            "'=' requires a path ending in text() or an attribute");
+      }
+      node->kind = PredExpr::Kind::kValueCmp;
+      node->op = ValueCmpOp::kEquals;
+      node->literal = Take().text;
+    } else {
+      node->kind = PredExpr::Kind::kPath;
+    }
     node->path = std::move(path);
     return node;
   }

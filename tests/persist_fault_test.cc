@@ -18,6 +18,7 @@
 
 #include "core/collection.h"
 #include "core/engine.h"
+#include "index/bit_vector.h"
 #include "persist/corruptor.h"
 #include "persist/fs_util.h"
 #include "persist/image_format.h"
@@ -44,11 +45,15 @@ std::string FreshDir(const char* tag) {
 class PersistFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    testing_util::RandomTreeOptions options;
-    options.num_nodes = 180;
-    options.num_labels = 5;
-    const std::string xml =
-        SerializeXml(testing_util::RandomTree(7, options));
+    // A text-bearing corpus, so the byte-flip and truncation sweeps run
+    // over a populated v2 text section (has-bitmap, offsets, value heap),
+    // not just the structural sections.
+    std::string xml = "<root>";
+    for (int i = 0; i < 60; ++i) {
+      xml += "<item id='k" + std::to_string(i) + "'><name>value " +
+             std::to_string(i % 7) + "</name></item>";
+    }
+    xml += "</root>";
     auto engine = Engine::FromXmlString(xml, TreeBackend::kSuccinct);
     ASSERT_TRUE(engine.ok()) << engine.status();
     image_ = SerializeIndexImage(*engine);
@@ -182,7 +187,7 @@ TEST_F(PersistFaultTest, SwappedSectionOffsetsAreRejected) {
 
 TEST_F(PersistFaultTest, UnknownVersionIsRejected) {
   std::string bytes = image_;
-  const uint32_t version = 2;
+  const uint32_t version = 3;
   std::memcpy(bytes.data() + 8, &version, sizeof(version));
   FixChecksums(&bytes);
   auto opened = OpenBytes(bytes);
@@ -240,6 +245,74 @@ TEST_F(PersistFaultTest, ZeroedPostingsBehindValidChecksumsAreRejected) {
   auto opened = OpenBytes(zeroed);
   ASSERT_FALSE(opened.ok());
   EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistFaultTest, NonMonotoneTextOffsetsBehindValidChecksumsAreRejected) {
+  // The text section is header (32) + has-bitmap words + offset directory +
+  // heap. Bump offsets[1] past offsets[2] and repair every checksum: the
+  // store's structural validation still refuses.
+  std::string bytes = image_;
+  const size_t dir_pos = layout_.section_offset[5] + 32 +
+                         BitVector::SerializedWordBytes(layout_.num_nodes);
+  const uint64_t huge = ~uint64_t{0} >> 1;
+  std::memcpy(bytes.data() + dir_pos + 8, &huge, sizeof(huge));
+  FixChecksums(&bytes);
+  auto opened = OpenBytes(bytes);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(opened.status().message().find("monotone"), std::string::npos)
+      << opened.status();
+}
+
+TEST_F(PersistFaultTest, TextBitmapPopulationMismatchIsRejected) {
+  // Mark the root (an element) as value-bearing: the bitmap population no
+  // longer equals the header's value count.
+  std::string bytes = image_;
+  bytes[layout_.section_offset[5] + 32] |= 0x01;
+  FixChecksums(&bytes);
+  auto opened = OpenBytes(bytes);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(opened.status().message().find("bitmap"), std::string::npos)
+      << opened.status();
+}
+
+TEST_F(PersistFaultTest, CraftedV1ImageOpensButRejectsValueQueries) {
+  // Rebuild the image as a version-1 (structural-only) file, the way the
+  // previous format release wrote it: no text section, zero text size hint.
+  // It must still open — and only text-dependent queries must fail, with
+  // kFailedPrecondition rather than corruption.
+  const size_t text_begin = layout_.section_offset[5];
+  std::string v1 = image_.substr(0, text_begin) +
+                   image_.substr(image_.size() - persist::kFooterBytes);
+  const uint32_t version = 1;
+  std::memcpy(v1.data() + 8, &version, sizeof(version));
+  const uint64_t file_bytes = v1.size();
+  std::memcpy(v1.data() + 24, &file_bytes, sizeof(file_bytes));
+  uint8_t* entry5 = reinterpret_cast<uint8_t*>(v1.data()) +
+                    persist::kHeaderBytes + 5 * persist::kSectionEntryBytes;
+  const uint64_t zero = 0;
+  std::memcpy(entry5 + 16, &zero, sizeof(zero));  // text length -> 0
+  std::memcpy(v1.data() + layout_.section_offset[0] + 16, &zero,
+              sizeof(zero));  // text heap size hint -> 0
+  FixChecksums(&v1);
+
+  auto opened = OpenBytes(v1);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened->text_store(), nullptr);
+  // Structural queries serve as before.
+  auto structural = opened->Run("//item/name");
+  ASSERT_TRUE(structural.ok()) << structural.status();
+  EXPECT_EQ(structural->nodes.size(), 60u);
+  // Value predicates need the content layer the image never had.
+  auto value = opened->Run("//item[@id='k3']");
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(value.status().message().find("version-1"), std::string::npos)
+      << value.status();
+  // Re-saving a v1-opened engine keeps the v1 fixpoint: no fabricated
+  // text section, byte-identical output.
+  EXPECT_EQ(SerializeIndexImage(*opened), v1);
 }
 
 TEST_F(PersistFaultTest, MissingFilesAreIoErrorsNotCorruption) {

@@ -129,15 +129,17 @@ TEST(PersistRoundtripTest, SerializationIsAFixpoint) {
 }
 
 TEST(PersistRoundtripTest, ValidateReportsLayout) {
-  auto built = Engine::FromXmlString("<a><b/><b><c/></b></a>",
+  auto built = Engine::FromXmlString("<a v='1'><b/><b><c>hi</c></b></a>",
                                      TreeBackend::kSuccinct);
   ASSERT_TRUE(built.ok());
   const std::string image = SerializeIndexImage(*built);
   auto checked = ValidateIndexImage(
       reinterpret_cast<const uint8_t*>(image.data()), image.size());
   ASSERT_TRUE(checked.ok()) << checked.status();
-  EXPECT_EQ(checked->num_nodes, 4u);  // a, b, b, c
-  EXPECT_EQ(checked->num_labels, 3u);
+  EXPECT_EQ(checked->version, 2u);
+  EXPECT_EQ(checked->num_nodes, 6u);  // a, @v, b, b, c, #text
+  EXPECT_EQ(checked->num_labels, 5u);
+  EXPECT_EQ(checked->text_heap_bytes, 3u);  // "1" + "hi"
   // Sections are packed in order behind the header + table.
   EXPECT_EQ(checked->section_offset[0],
             persist::kHeaderBytes +
@@ -147,7 +149,38 @@ TEST(PersistRoundtripTest, ValidateReportsLayout) {
               persist::Align8(checked->section_offset[i - 1] +
                               checked->section_length[i - 1]));
   }
-  EXPECT_EQ(checked->section_length[5], 0u);  // text is reserved in v1
+  // v2: the once-reserved text section carries the value store.
+  EXPECT_GT(checked->section_length[5], 0u);
+}
+
+TEST(PersistRoundtripTest, TextSurvivesRoundtripWithFixpoint) {
+  const std::string xml =
+      "<site><item id='a1'><name>apple pie</name><price>7</price></item>"
+      "<item id='b2'><name>banana</name><price>7</price></item>"
+      "<item id='c3'><name>cherry</name></item></site>";
+  auto built = Engine::FromXmlString(xml, TreeBackend::kSuccinct);
+  ASSERT_TRUE(built.ok()) << built.status();
+  ASSERT_NE(built->text_store(), nullptr);
+  const std::string image = SerializeIndexImage(*built);
+
+  const std::string dir = FreshDir("text");
+  ASSERT_TRUE(SaveIndexImage(*built, dir).ok());
+  auto opened = OpenIndexImage(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // The mapped TextStore re-serializes to exactly the bytes it wraps.
+  EXPECT_EQ(SerializeIndexImage(*opened), image);
+  ASSERT_NE(opened->text_store(), nullptr);
+  EXPECT_EQ(opened->text_store()->num_values(),
+            built->text_store()->num_values());
+
+  // Value-predicate answers survive reopening, across every strategy the
+  // image backend supports.
+  for (const char* q :
+       {"//item[@id='b2']/name", "//item[contains(name/text(),'an')]",
+        "//item[price/text()='7']/name",
+        "//item[not(price/text()='7')]"}) {
+    ExpectQueryParity(*built, *opened, q);
+  }
 }
 
 TEST(PersistRoundtripTest, SingleNodeDocumentRoundtrips) {

@@ -1,0 +1,186 @@
+// TextStore unit properties: streaming construction, O(1) rank-indexed
+// lookup at every bitmap boundary, empty/huge/multi-chunk values, the
+// Document collector, external-view wrapping and its byte-identical
+// re-serialization (the fixpoint the v2 image format relies on), and the
+// structural rejections FromExternal must produce for malformed sections.
+// scripts/check.sh runs this suite under ASan and the forced-scalar
+// BitVector preset (the rank kernels under Value() have both paths).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/bit_vector.h"
+#include "index/text_store.h"
+#include "xml/parser.h"
+
+namespace xpwqo {
+namespace {
+
+/// Serialized bytes in an 8-aligned buffer (FromExternal's contract; the
+/// real caller hands out mmap-backed, table-aligned section bytes).
+std::vector<uint64_t> AlignedCopy(const std::string& bytes) {
+  std::vector<uint64_t> buf((bytes.size() + 7) / 8, 0);
+  std::memcpy(buf.data(), bytes.data(), bytes.size());
+  return buf;
+}
+
+TEST(TextStoreTest, NoValues) {
+  TextStoreBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.AddNode();
+  const TextStore store = std::move(builder).Finish();
+  EXPECT_EQ(store.num_nodes(), 5u);
+  EXPECT_EQ(store.num_values(), 0u);
+  EXPECT_EQ(store.heap_bytes(), 0u);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_FALSE(store.has_value(n));
+    EXPECT_EQ(store.Value(n), "");
+  }
+}
+
+TEST(TextStoreTest, MixedValuesLookUpByRank) {
+  TextStoreBuilder builder;
+  builder.AddNode();          // 0: element
+  builder.AddValue("alpha");  // 1
+  builder.AddValue("");       // 2: empty value, still value-bearing
+  builder.AddNode();          // 3
+  builder.AddValue("beta");   // 4
+  const TextStore store = std::move(builder).Finish();
+  EXPECT_EQ(store.num_values(), 3u);
+  EXPECT_EQ(store.heap_bytes(), 9u);
+  EXPECT_FALSE(store.has_value(0));
+  EXPECT_EQ(store.Value(1), "alpha");
+  EXPECT_TRUE(store.has_value(2));
+  EXPECT_EQ(store.Value(2), "");
+  EXPECT_EQ(store.Value(3), "");
+  EXPECT_EQ(store.Value(4), "beta");
+}
+
+TEST(TextStoreTest, RankBoundariesAcrossBitmapWords) {
+  // Values placed around every 64-bit bitmap word boundary (and a dense
+  // run), checked against a straightforward reference.
+  TextStoreBuilder builder;
+  const int kNodes = 70 * 64 + 17;
+  std::vector<std::string> expect(kNodes);
+  std::vector<bool> has(kNodes, false);
+  for (int n = 0; n < kNodes; ++n) {
+    const int in_word = n % 64;
+    const bool value_bearing =
+        in_word == 0 || in_word == 63 || (n > 2000 && n < 2100);
+    if (value_bearing) {
+      has[n] = true;
+      expect[n] = "v" + std::to_string(n);
+      builder.AddValue(expect[n]);
+    } else {
+      builder.AddNode();
+    }
+  }
+  const TextStore store = std::move(builder).Finish();
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(store.has_value(n), has[n]) << n;
+    ASSERT_EQ(store.Value(n), expect[n]) << n;
+  }
+}
+
+TEST(TextStoreTest, HugeValuesSpanTheHeap) {
+  TextStoreBuilder builder;
+  const std::string big(3 << 20, 'x');    // 3 MiB in one value
+  const std::string medium(70000, 'y');   // larger than any chunk buffer
+  builder.AddValue(big);
+  builder.AddNode();
+  builder.AddValue(medium);
+  builder.AddValue("tail");
+  const TextStore store = std::move(builder).Finish();
+  EXPECT_EQ(store.heap_bytes(), big.size() + medium.size() + 4);
+  EXPECT_EQ(store.Value(0), big);
+  EXPECT_EQ(store.Value(2), medium);
+  EXPECT_EQ(store.Value(3), "tail");
+}
+
+TEST(TextStoreTest, FromDocumentCollectsAttributeAndTextValues) {
+  auto doc = ParseXmlString(
+      "<a id='one' lang='fr'><b>hello</b><b note='n'>world</b></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const TextStore store = TextStore::FromDocument(*doc);
+  ASSERT_EQ(store.num_nodes(), static_cast<size_t>(doc->num_nodes()));
+  size_t values = 0;
+  for (NodeId n = 0; n < doc->num_nodes(); ++n) {
+    const bool bearing = doc->kind(n) != NodeKind::kElement;
+    EXPECT_EQ(store.has_value(n), bearing) << n;
+    EXPECT_EQ(store.Value(n), doc->text(n)) << n;
+    values += bearing ? 1 : 0;
+  }
+  EXPECT_EQ(store.num_values(), values);
+}
+
+TEST(TextStoreTest, ExternalViewIsAFixpoint) {
+  TextStoreBuilder builder;
+  builder.AddValue("first");
+  for (int i = 0; i < 100; ++i) builder.AddNode();
+  builder.AddValue("");
+  builder.AddValue("last value");
+  const TextStore owned = std::move(builder).Finish();
+  std::string bytes;
+  owned.SerializeTo(&bytes);
+  ASSERT_EQ(bytes.size(),
+            TextStore::SerializedBytes(owned.num_nodes(), owned.num_values(),
+                                       owned.heap_bytes()));
+
+  const std::vector<uint64_t> buf = AlignedCopy(bytes);
+  auto external = TextStore::FromExternal(
+      reinterpret_cast<const uint8_t*>(buf.data()), bytes.size(),
+      owned.num_nodes());
+  ASSERT_TRUE(external.ok()) << external.status();
+  EXPECT_TRUE(external->external());
+  EXPECT_EQ(external->num_values(), owned.num_values());
+  for (NodeId n = 0; n < static_cast<NodeId>(owned.num_nodes()); ++n) {
+    ASSERT_EQ(external->Value(n), owned.Value(n)) << n;
+  }
+  // The wrapped view re-serializes to exactly the bytes it wraps.
+  std::string again;
+  external->SerializeTo(&again);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(TextStoreTest, FromExternalRejectsMalformedSections) {
+  TextStoreBuilder builder;
+  builder.AddValue("ab");
+  builder.AddNode();
+  builder.AddValue("cd");
+  const TextStore store = std::move(builder).Finish();
+  std::string bytes;
+  store.SerializeTo(&bytes);
+  const std::vector<uint64_t> good = AlignedCopy(bytes);
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(good.data());
+
+  // Pristine bytes pass.
+  ASSERT_TRUE(TextStore::FromExternal(data, bytes.size(), 3).ok());
+  // Truncated header.
+  EXPECT_FALSE(TextStore::FromExternal(data, 16, 3).ok());
+  // Length off by one.
+  EXPECT_FALSE(TextStore::FromExternal(data, bytes.size() - 1, 3).ok());
+  // More values than nodes.
+  EXPECT_FALSE(TextStore::FromExternal(data, bytes.size(), 1).ok());
+
+  // Non-monotone offsets behind a correct length.
+  std::vector<uint64_t> bad = good;
+  const size_t dir = (32 + BitVector::SerializedWordBytes(3)) / 8;
+  bad[dir + 1] = ~uint64_t{0} >> 1;
+  EXPECT_FALSE(TextStore::FromExternal(
+                   reinterpret_cast<const uint8_t*>(bad.data()), bytes.size(),
+                   3)
+                   .ok());
+
+  // Nonzero reserved header fields.
+  bad = good;
+  bad[2] = 1;
+  EXPECT_FALSE(TextStore::FromExternal(
+                   reinterpret_cast<const uint8_t*>(bad.data()), bytes.size(),
+                   3)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace xpwqo
