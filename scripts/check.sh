@@ -66,6 +66,65 @@ if ./build/xpath_grep '//k' --index build/check_smoke_idx --count \
 fi
 grep -qi "corruption" build/check_corrupt.err
 
+# The query server end to end: serve the (uncorrupted) saved v2 text image
+# over HTTP on an ephemeral port, hit /health, run two value-predicate
+# queries through the full socket → runtime → image path, validate the
+# /stats composite JSON shape, then SIGTERM and require a clean drain
+# (exit 0).
+rm -f build/xpathd.port
+./build/xpathd --index build/check_smoke_text_idx --port-file build/xpathd.port \
+  --scrub-ms 200 > build/xpathd.log 2>&1 &
+XPATHD_PID=$!
+for _ in $(seq 1 200); do
+  [ -s build/xpathd.port ] && break
+  sleep 0.05
+done
+[ -s build/xpathd.port ] || { echo "check.sh: xpathd never bound" >&2; exit 1; }
+XPATHD_PORT=$(cat build/xpathd.port)
+curl -sSf "http://127.0.0.1:${XPATHD_PORT}/health" | grep -q '"status":"ok"'
+curl -sSf -G "http://127.0.0.1:${XPATHD_PORT}/query" \
+  --data-urlencode "q=//a[@id='a3']" > build/xpathd_q1.json
+curl -sSf -G "http://127.0.0.1:${XPATHD_PORT}/query" \
+  --data-urlencode "q=//a[text()='red']" > build/xpathd_q2.json
+curl -sSf "http://127.0.0.1:${XPATHD_PORT}/stats" > build/xpathd_stats.json
+python3 - <<'PY'
+import json
+
+# Both value-predicate queries select exactly the one matching <a> element.
+for path in ("build/xpathd_q1.json", "build/xpathd_q2.json"):
+    q = json.load(open(path))
+    assert q["status"] == "OK", f"{path}: {q}"
+    assert q["total_nodes"] == 1, f"{path}: expected 1 node, got {q}"
+    rows = q["documents"]
+    assert len(rows) == 1 and rows[0]["status"] == "OK", f"{path}: {rows}"
+    assert len(rows[0]["nodes"]) == 1, f"{path}: {rows}"
+
+# /stats is the lock-free composite snapshot: server gauges, net counters,
+# the runtime's admission/outcome counters and its histogram buckets, and
+# the scrubber's sweep counts (interval is 200 ms and two queries have
+# landed, so at least one sweep must have checked the document).
+s = json.load(open("build/xpathd_stats.json"))
+assert s["server"]["documents"] == 1, s["server"]
+for key in ("connections_accepted", "requests", "responses_ok",
+            "disconnects_mid_query"):
+    assert key in s["net"], f"stats missing net.{key}"
+assert s["net"]["responses_ok"] >= 2, s["net"]
+rt = s["runtime"]
+for section, key in (("admission", "submitted"), ("admission", "doa_evicted"),
+                     ("outcomes", "ok"), ("scrub", "sweeps"),
+                     ("scrub", "quarantined")):
+    assert key in rt[section], f"stats missing runtime.{section}.{key}"
+assert rt["admission"]["submitted"] >= 2, rt["admission"]
+assert rt["scrub"]["quarantined"] == 0, rt["scrub"]
+for hist in ("latency_us", "visited_nodes"):
+    assert isinstance(rt[hist]["buckets"], list) and rt[hist]["buckets"], \
+        f"stats missing {hist} buckets"
+print("check.sh: xpathd query + stats shape OK")
+PY
+kill -TERM "$XPATHD_PID"
+wait "$XPATHD_PID"   # non-zero (hard drain) fails the script via set -e
+grep -q "drained clean" build/xpathd.log
+
 # Sanitizer pass over the ingestion pipeline, the compressed postings, and
 # the serving API: the streaming parser and the builders juggle a rolling
 # buffer plus string_views into it, the posting decoders walk raw byte
@@ -78,7 +137,7 @@ grep -qi "corruption" build/check_corrupt.err
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)" --target xpwqo_tests
 ./build-asan/xpwqo_tests \
-  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:StructuralScan*:BulkLoad*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*:TextStore*:*PredicateParity*:PredicateQuery*'
+  --gtest_filter='XmlParser*:XmlSerializer*:StreamingBuild*:StructuralScan*:BulkLoad*:TreeBuilder*:SuccinctTree*:Document*:LabelIndex*:PostingList*:ResultCursor*:PreparedQuery*:Collection*:Persist*:ExecMonitor*:ServingRuntime*:TextStore*:*PredicateParity*:PredicateQuery*:HttpCodec*:NetServer*'
 
 # The same ingestion suites again with every SIMD path compiled out
 # (-DXPWQO_FORCE_SCALAR=ON drops the SSE4.2/AVX2/BMI2 gates): the scalar
@@ -91,25 +150,31 @@ cmake --build build-scalar -j"$(nproc)" --target xpwqo_tests
 ./build-scalar/xpwqo_tests \
   --gtest_filter='XmlParser*:StreamingBuild*:StructuralScan*:BulkLoad*:SuccinctTree*:BitVector*:BalancedParens*:TextStore*:*PredicateParity*'
 
-# ThreadSanitizer pass over the serving runtime and the bulk loader: the
-# thread pool, the shared query cache, the lazy-load/quarantine paths and
-# the lock-free stats are exactly where a release-mode race would hide. The
-# ServingStress suites run N client threads with mixed deadlines,
-# cancellations and an unhealthy shard mix against one runtime, plus a
-# concurrent VerifyAll scrubber; BulkLoadStress races LoadAll's parser
-# fan-out (shared-alphabet interning) against concurrent PrepareCached
-# compilations — TSan must come back clean.
+# ThreadSanitizer pass over the serving runtime, the bulk loader, and the
+# network server: the thread pool, the shared query cache, the
+# lazy-load/quarantine paths and the lock-free stats are exactly where a
+# release-mode race would hide. The ServingStress suites run N client
+# threads with mixed deadlines, cancellations and an unhealthy shard mix
+# against one runtime, plus a concurrent VerifyAll scrubber; BulkLoadStress
+# races LoadAll's parser fan-out (shared-alphabet interning) against
+# concurrent PrepareCached compilations; NetServerStress drives 8
+# concurrent persistent HTTP connections (mixed healthy/deadline/shed/
+# corrupt plus mid-query disconnects) through the epoll loop's
+# worker-to-loop completion handoff — TSan must come back clean.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DXPWQO_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target xpwqo_tests
-./build-tsan/xpwqo_tests --gtest_filter='ServingStress*:BulkLoadStress*'
+./build-tsan/xpwqo_tests \
+  --gtest_filter='ServingStress*:BulkLoadStress*:NetServerStress*'
 
 ./build/bench_navigation --quick --out build/BENCH_navigation.quick.json
 ./build/bench_eval_succinct --quick --out build/BENCH_eval_succinct.quick.json
 ./build/bench_build --quick --out build/BENCH_build.quick.json
 ./build/bench_serving --quick --out build/BENCH_serving.quick.json
+./build/bench_net --quick --out build/BENCH_net.quick.json
 
 for f in build/BENCH_navigation.quick.json build/BENCH_eval_succinct.quick.json \
-         build/BENCH_build.quick.json build/BENCH_serving.quick.json; do
+         build/BENCH_build.quick.json build/BENCH_serving.quick.json \
+         build/BENCH_net.quick.json; do
   if ! python3 -m json.tool "$f" > /dev/null; then
     echo "check.sh: $f is not valid JSON" >&2
     exit 1
@@ -220,6 +285,21 @@ for mult, p in phases.items():
     assert p["shed"] + p["ok"] + p["deadline_exceeded"] + p["cancelled"] \
         <= p["submitted"], f"{mult}x: outcome counts exceed submissions"
 assert phases[4]["shed"] > 0, "4x overload did not shed"
+
+# The socket-path overload ladder: the same 1x/2x/4x shape measured through
+# xpathd's server stack with real HTTP clients. Every phase must complete
+# work (rps > 0), every response a client read must be accounted one of
+# 200/503/504/error, and at 4x the shedder — not unbounded queueing — must
+# absorb the oversubscription.
+nb = json.load(open("build/BENCH_net.quick.json"))
+net_phases = {p["multiplier"]: p for p in nb["phases"]}
+assert set(net_phases) == {1, 2, 4}, f"net phases wrong: {sorted(net_phases)}"
+for mult, p in net_phases.items():
+    assert p["ok"] > 0 and p["rps"] > 0, f"net {mult}x: no goodput: {p}"
+    assert 0 < p["p99_us"] < 5_000_000, f"net {mult}x: p99 unbounded: {p}"
+    assert p["ok"] + p["shed"] + p["deadline"] + p["errors"] >= p["requests"], \
+        f"net {mult}x: response accounting broken: {p}"
+assert net_phases[4]["shed"] > 0, "net 4x overload did not shed over HTTP"
 print("check.sh: index-memory and serving fields OK")
 PY
 echo "check.sh: OK"

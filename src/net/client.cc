@@ -1,0 +1,228 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace xpwqo {
+namespace net {
+
+namespace {
+
+/// Reads more bytes into *buf. kOk with growth, kDeadlineExceeded on a
+/// recv timeout, kIoError on EOF/reset.
+Status FillMore(int fd, std::string* buf) {
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buf->append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timeout waiting for response");
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+bool ParseHexSize(std::string_view line, size_t* size) {
+  // Chunk extensions (";...") are cut; an empty size is malformed.
+  const size_t semi = line.find(';');
+  if (semi != std::string_view::npos) line = line.substr(0, semi);
+  if (line.empty() || line.size() > 8) return false;
+  size_t v = 0;
+  for (const char c : line) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<size_t>(d);
+  }
+  *size = v;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpResponse::FindHeader(
+    std::string_view lowercase_name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == lowercase_name) return &v;
+  }
+  return nullptr;
+}
+
+BlockingHttpClient::~BlockingHttpClient() { Close(); }
+
+Status BlockingHttpClient::Connect(uint16_t port,
+                                   std::chrono::milliseconds timeout) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IoError("connect to 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  return Status::OK();
+}
+
+void BlockingHttpClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status BlockingHttpClient::SendRaw(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BlockingHttpClient::SendRequest(std::string_view target,
+                                       std::string_view extra_headers) {
+  std::string req;
+  req.reserve(64 + target.size() + extra_headers.size());
+  req.append("GET ");
+  req.append(target);
+  req.append(" HTTP/1.1\r\nHost: localhost\r\n");
+  req.append(extra_headers);
+  req.append("\r\n");
+  return SendRaw(req);
+}
+
+StatusOr<HttpResponse> BlockingHttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  // Head.
+  size_t head_end;
+  while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    Status s = FillMore(fd_, &buf_);
+    if (!s.ok()) return s;
+  }
+  HttpResponse resp;
+  {
+    std::string_view head(buf_.data(), head_end);
+    const size_t line_end = head.find("\r\n");
+    const std::string_view line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    // "HTTP/1.1 NNN Reason"
+    if (line.size() < 12 || line.compare(0, 5, "HTTP/") != 0) {
+      return Status::ParseError("malformed status line");
+    }
+    resp.status = std::atoi(std::string(line.substr(9, 3)).c_str());
+    std::string_view rest = line_end == std::string_view::npos
+                                ? std::string_view()
+                                : head.substr(line_end + 2);
+    while (!rest.empty()) {
+      const size_t eol = rest.find("\r\n");
+      const std::string_view hline =
+          eol == std::string_view::npos ? rest : rest.substr(0, eol);
+      rest = eol == std::string_view::npos ? std::string_view()
+                                           : rest.substr(eol + 2);
+      const size_t colon = hline.find(':');
+      if (colon == std::string_view::npos) continue;
+      std::string name(hline.substr(0, colon));
+      for (char& c : name) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      std::string_view value = hline.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+      resp.headers.emplace_back(std::move(name), std::string(value));
+    }
+  }
+  buf_.erase(0, head_end + 4);
+
+  if (const std::string* conn = resp.FindHeader("connection")) {
+    resp.keep_alive = (*conn != "close");
+  }
+
+  // Body: chunked or Content-Length.
+  const std::string* te = resp.FindHeader("transfer-encoding");
+  if (te != nullptr && *te == "chunked") {
+    for (;;) {
+      size_t eol;
+      while ((eol = buf_.find("\r\n")) == std::string::npos) {
+        Status s = FillMore(fd_, &buf_);
+        if (!s.ok()) return s;
+      }
+      size_t chunk_size;
+      if (!ParseHexSize(std::string_view(buf_.data(), eol), &chunk_size)) {
+        return Status::ParseError("malformed chunk size");
+      }
+      buf_.erase(0, eol + 2);
+      while (buf_.size() < chunk_size + 2) {
+        Status s = FillMore(fd_, &buf_);
+        if (!s.ok()) return s;
+      }
+      if (chunk_size == 0) {
+        buf_.erase(0, 2);  // trailing CRLF of the zero chunk
+        break;
+      }
+      resp.body.append(buf_, 0, chunk_size);
+      if (buf_.compare(chunk_size, 2, "\r\n") != 0) {
+        return Status::ParseError("chunk not terminated by CRLF");
+      }
+      buf_.erase(0, chunk_size + 2);
+    }
+    return resp;
+  }
+  const std::string* cl = resp.FindHeader("content-length");
+  if (cl == nullptr) {
+    return Status::ParseError("response without framing headers");
+  }
+  const size_t want = static_cast<size_t>(std::atoll(cl->c_str()));
+  while (buf_.size() < want) {
+    Status s = FillMore(fd_, &buf_);
+    if (!s.ok()) return s;
+  }
+  resp.body.assign(buf_, 0, want);
+  buf_.erase(0, want);
+  return resp;
+}
+
+StatusOr<HttpResponse> BlockingHttpClient::Get(
+    std::string_view target, std::string_view extra_headers) {
+  Status s = SendRequest(target, extra_headers);
+  if (!s.ok()) return s;
+  return ReadResponse();
+}
+
+}  // namespace net
+}  // namespace xpwqo

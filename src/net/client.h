@@ -1,0 +1,84 @@
+// BlockingHttpClient: a deliberately small synchronous HTTP/1.1 client for
+// the server's tests and the closed-loop bench driver — one persistent
+// connection, blocking sends, a recv timeout, and response parsing for
+// both Content-Length and chunked framing. Not a general client: no TLS,
+// no redirects, no request bodies, IPv4 loopback only.
+#ifndef XPWQO_NET_CLIENT_H_
+#define XPWQO_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xpwqo {
+namespace net {
+
+/// One parsed response.
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased
+  std::string body;  // de-chunked when the response was chunked
+  bool keep_alive = true;
+
+  const std::string* FindHeader(std::string_view lowercase_name) const;
+};
+
+class BlockingHttpClient {
+ public:
+  BlockingHttpClient() = default;
+  ~BlockingHttpClient();
+
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+  BlockingHttpClient(BlockingHttpClient&& other) noexcept
+      : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+  BlockingHttpClient& operator=(BlockingHttpClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buf_ = std::move(other.buf_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to 127.0.0.1:port; `timeout` bounds every later recv (a
+  /// stalled server surfaces as kDeadlineExceeded, not a hang).
+  Status Connect(uint16_t port,
+                 std::chrono::milliseconds timeout =
+                     std::chrono::milliseconds(10'000));
+
+  /// Sends `GET target HTTP/1.1` (plus `extra_headers`, each line CRLF-
+  /// terminated) on the persistent connection and reads one full response.
+  StatusOr<HttpResponse> Get(std::string_view target,
+                             std::string_view extra_headers = {});
+
+  /// Sends the request but does not read the response — the raw
+  /// ingredient for pipelining and disconnect-mid-query tests. Pair with
+  /// ReadResponse(), or Close() to vanish.
+  Status SendRequest(std::string_view target,
+                     std::string_view extra_headers = {});
+  StatusOr<HttpResponse> ReadResponse();
+
+  /// Sends `data` verbatim — for hostile-input tests.
+  Status SendRaw(std::string_view data);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the previous response
+};
+
+}  // namespace net
+}  // namespace xpwqo
+
+#endif  // XPWQO_NET_CLIENT_H_

@@ -1,0 +1,297 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace xpwqo {
+namespace net {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+ParseOutcome Fail(int status, std::string message, int* http_status,
+                  std::string* error) {
+  *http_status = status;
+  *error = std::move(message);
+  return ParseOutcome::kError;
+}
+
+/// Splits the decoded query string into params. Returns false on a
+/// malformed percent escape in any key or value.
+bool ParseQueryString(std::string_view qs, HttpRequest* request) {
+  while (!qs.empty()) {
+    const size_t amp = qs.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? qs : qs.substr(0, amp);
+    qs = amp == std::string_view::npos ? std::string_view()
+                                       : qs.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    std::string key;
+    std::string value;
+    if (eq == std::string_view::npos) {
+      if (!PercentDecode(pair, &key)) return false;
+    } else {
+      if (!PercentDecode(pair.substr(0, eq), &key)) return false;
+      if (!PercentDecode(pair.substr(eq + 1), &value)) return false;
+    }
+    request->params.emplace_back(std::move(key), std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindParam(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::FindHeader(
+    std::string_view lowercase_name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == lowercase_name) return &v;
+  }
+  return nullptr;
+}
+
+bool PercentDecode(std::string_view in, std::string* out,
+                   bool plus_as_space) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size()) return false;  // needs two hex digits
+      const int hi = HexValue(in[i + 1]);
+      const int lo = HexValue(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+' && plus_as_space) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+ParseOutcome ParseHttpRequest(std::string_view data, size_t max_head_bytes,
+                              HttpRequest* request, size_t* consumed,
+                              int* http_status, std::string* error) {
+  *request = HttpRequest();
+  *consumed = 0;
+  const size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (data.size() > max_head_bytes) {
+      return Fail(431, "request head exceeds the size limit", http_status,
+                  error);
+    }
+    // A stray CR/LF pair that can never become a valid head fails fast:
+    // a request line must exist before the first CRLF.
+    const size_t line_end = data.find("\r\n");
+    if (line_end != std::string_view::npos && line_end == 0) {
+      return Fail(400, "empty request line", http_status, error);
+    }
+    return ParseOutcome::kNeedMore;
+  }
+  if (head_end + 4 > max_head_bytes) {
+    return Fail(431, "request head exceeds the size limit", http_status,
+                error);
+  }
+  const std::string_view head = data.substr(0, head_end);
+  *consumed = head_end + 4;
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || line.find(' ', sp2 + 1) !=
+                                        std::string_view::npos) {
+    return Fail(400, "malformed request line", http_status, error);
+  }
+  request->method = std::string(line.substr(0, sp1));
+  request->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request->http11 = true;
+    request->keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request->http11 = false;
+    request->keep_alive = false;
+  } else {
+    return Fail(505, "unsupported HTTP version", http_status, error);
+  }
+
+  // Headers.
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view()
+                              : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    const std::string_view hline =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 2);
+    const size_t colon = hline.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header line", http_status, error);
+    }
+    std::string name(hline.substr(0, colon));
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (c == ' ' || c == '\t') {
+        return Fail(400, "whitespace in header name", http_status, error);
+      }
+    }
+    std::string_view value = hline.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    request->headers.emplace_back(std::move(name), std::string(value));
+  }
+
+  // Connection semantics and the no-body contract.
+  if (const std::string* conn = request->FindHeader("connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) {
+      request->keep_alive = false;
+    } else if (EqualsIgnoreCase(*conn, "keep-alive")) {
+      request->keep_alive = true;
+    }
+  }
+  if (request->FindHeader("transfer-encoding") != nullptr) {
+    return Fail(400, "request bodies are not supported", http_status, error);
+  }
+  if (const std::string* cl = request->FindHeader("content-length")) {
+    if (*cl != "0") {
+      return Fail(400, "request bodies are not supported", http_status,
+                  error);
+    }
+  }
+
+  // Target: path [?query] — the fragment never reaches a server, but a
+  // hostile client may send one anyway; cut it.
+  std::string_view target = request->target;
+  if (target.empty() || target.front() != '/') {
+    return Fail(400, "request target must be an absolute path", http_status,
+                error);
+  }
+  const size_t hash = target.find('#');
+  if (hash != std::string_view::npos) target = target.substr(0, hash);
+  const size_t qmark = target.find('?');
+  const std::string_view path_part =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  if (!PercentDecode(path_part, &request->path, /*plus_as_space=*/false)) {
+    return Fail(400, "invalid percent-encoding in request path", http_status,
+                error);
+  }
+  if (qmark != std::string_view::npos &&
+      !ParseQueryString(target.substr(qmark + 1), request)) {
+    return Fail(400, "invalid percent-encoding in query parameters",
+                http_status, error);
+  }
+  return ParseOutcome::kDone;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 412: return "Precondition Failed";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+void AppendResponseHead(std::string* out, int status, bool keep_alive,
+                        std::string_view content_type,
+                        std::string_view extra_headers) {
+  char line[64];
+  std::snprintf(line, sizeof line, "HTTP/1.1 %d ", status);
+  out->append(line);
+  out->append(HttpReasonPhrase(status));
+  out->append("\r\nContent-Type: ");
+  out->append(content_type);
+  out->append("\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n");
+  out->append(extra_headers);
+}
+
+}  // namespace
+
+std::string SimpleResponse(int status, std::string_view content_type,
+                           std::string_view body, bool keep_alive,
+                           std::string_view extra_headers) {
+  std::string out;
+  out.reserve(128 + extra_headers.size() + body.size());
+  AppendResponseHead(&out, status, keep_alive, content_type, extra_headers);
+  char cl[48];
+  std::snprintf(cl, sizeof cl, "Content-Length: %zu\r\n\r\n", body.size());
+  out.append(cl);
+  out.append(body);
+  return out;
+}
+
+std::string ChunkedResponseHead(int status, std::string_view content_type,
+                                bool keep_alive,
+                                std::string_view extra_headers) {
+  std::string out;
+  out.reserve(160 + extra_headers.size());
+  AppendResponseHead(&out, status, keep_alive, content_type, extra_headers);
+  out.append("Transfer-Encoding: chunked\r\n\r\n");
+  return out;
+}
+
+void AppendChunk(std::string* out, std::string_view data) {
+  if (data.empty()) return;
+  char size_line[24];
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  out->append(size_line);
+  out->append(data);
+  out->append("\r\n");
+}
+
+void AppendLastChunk(std::string* out) { out->append("0\r\n\r\n"); }
+
+}  // namespace net
+}  // namespace xpwqo

@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 codec for the query server: an incremental request-head
+// parser sized for a GET-only API surface, plus response serialization
+// helpers (fixed-length and chunked transfer encoding).
+//
+// The parser consumes exactly one request head per call from a rolling
+// input buffer, which is what the connection state machine needs for
+// pipelined requests: parse, erase the consumed prefix, serve, repeat. It
+// is deliberately strict — CRLF line endings, one space between request-
+// line tokens, HTTP/1.0 or 1.1 only, no request bodies — and every
+// rejection maps to a concrete 4xx/5xx so hostile input turns into a clean
+// error response instead of undefined parser state.
+#ifndef XPWQO_NET_HTTP_H_
+#define XPWQO_NET_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xpwqo {
+namespace net {
+
+/// One parsed request head. Header names are lowercased; query parameter
+/// keys and values are percent-decoded ('+' decodes to space).
+struct HttpRequest {
+  std::string method;  // as sent (routing rejects non-GET with a 405)
+  std::string target;  // raw request target, e.g. "/query?q=%2F%2Fk"
+  std::string path;    // decoded path component, e.g. "/query"
+  bool http11 = true;  // false = HTTP/1.0
+  bool keep_alive = true;  // 1.1 default, or an explicit Connection header
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value for `key`, or nullptr. Header lookup is by lowercase name.
+  const std::string* FindParam(std::string_view key) const;
+  const std::string* FindHeader(std::string_view lowercase_name) const;
+};
+
+enum class ParseOutcome {
+  kNeedMore,  // no complete head in the buffer yet — read more bytes
+  kDone,      // *request filled, *consumed bytes eaten
+  kError,     // malformed — *http_status / *error say how to answer
+};
+
+/// Parses one request head from the front of `data`. `max_head_bytes`
+/// bounds the request line + headers: a buffer that grows past it without
+/// completing a head fails with 431 instead of accumulating forever.
+ParseOutcome ParseHttpRequest(std::string_view data, size_t max_head_bytes,
+                              HttpRequest* request, size_t* consumed,
+                              int* http_status, std::string* error);
+
+/// Percent-decodes one URI component into *out ('+' becomes a space when
+/// `plus_as_space`). Returns false on a malformed escape (%, %X, %GZ).
+bool PercentDecode(std::string_view in, std::string* out,
+                   bool plus_as_space = true);
+
+/// The canonical reason phrase for a status code ("Not Found", ...).
+std::string_view HttpReasonPhrase(int status);
+
+/// A complete fixed-length response: status line, standard headers
+/// (Content-Type, Content-Length, Connection), `extra_headers` verbatim
+/// (each line must end in CRLF), then the body.
+std::string SimpleResponse(int status, std::string_view content_type,
+                           std::string_view body, bool keep_alive,
+                           std::string_view extra_headers = {});
+
+/// The head of a chunked response (Transfer-Encoding: chunked).
+std::string ChunkedResponseHead(int status, std::string_view content_type,
+                                bool keep_alive,
+                                std::string_view extra_headers = {});
+
+/// Appends one chunk frame (empty `data` appends nothing — a zero-length
+/// chunk would terminate the body).
+void AppendChunk(std::string* out, std::string_view data);
+
+/// Appends the terminal zero chunk.
+void AppendLastChunk(std::string* out);
+
+}  // namespace net
+}  // namespace xpwqo
+
+#endif  // XPWQO_NET_HTTP_H_

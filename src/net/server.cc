@@ -1,0 +1,775 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "serve/stats_json.h"
+
+namespace xpwqo {
+namespace net {
+
+namespace {
+
+// epoll data.u64 values for the three non-connection fds.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kStopId = 1;
+constexpr uint64_t kDoneId = 2;
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 412;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;  // kCorruption, kInternal, kUnimplemented, ...
+  }
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out->append(buf);
+}
+
+/// Parses a decimal int64 in [0, 10^15); returns false on anything else.
+bool ParseNonNegativeInt(const std::string& s, int64_t* value) {
+  if (s.empty() || s.size() > 15) return false;
+  int64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+void DrainEventFd(int fd) {
+  uint64_t count = 0;
+  // Nonblocking; one read clears the counter. EAGAIN just means another
+  // wakeup already drained it.
+  ssize_t n = read(fd, &count, sizeof count);
+  (void)n;
+}
+
+}  // namespace
+
+/// Per-connection state, owned by the loop thread. Closing is deferred:
+/// CloseConnection marks `closed` and the loop erases the entry after the
+/// current epoll batch, so events for an already-closed connection in the
+/// same batch are skipped instead of touching freed memory.
+struct HttpServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  uint32_t epoll_mask = EPOLLIN | EPOLLRDHUP;
+  bool closed = false;
+  bool close_after_flush = false;
+  bool in_flight = false;   // a /query job is running for this connection
+  bool keep_alive = true;   // of the request currently being answered
+  std::string in;           // unparsed request bytes
+  std::string out;          // unflushed response bytes
+  size_t out_pos = 0;       // sent prefix of `out`
+  HttpRequest request;      // the head currently being served
+  std::string query;        // q= of the in-flight request (for the body)
+  CancelToken cancel;       // of the in-flight request
+  std::optional<ServingRuntime::Ticket> ticket;
+};
+
+struct HttpServer::Counters {
+  std::atomic<int64_t> connections_accepted{0};
+  std::atomic<int64_t> connections_closed{0};
+  std::atomic<int64_t> requests{0};
+  std::atomic<int64_t> bad_requests{0};
+  std::atomic<int64_t> responses_ok{0};
+  std::atomic<int64_t> responses_client_error{0};
+  std::atomic<int64_t> responses_server_error{0};
+  std::atomic<int64_t> responses_shed{0};
+  std::atomic<int64_t> responses_deadline{0};
+  std::atomic<int64_t> disconnects_mid_query{0};
+};
+
+HttpServer::HttpServer(const Collection* collection, ServingRuntime* runtime,
+                       ServerOptions options)
+    : collection_(collection),
+      runtime_(runtime),
+      options_(std::move(options)),
+      counters_(std::make_unique<Counters>()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseFds();
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    CloseFds();
+    return Status::IoError("bind/listen on " + options_.bind_address + ": " +
+                           err);
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    CloseFds();
+    return Status::IoError("getsockname: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  stop_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  done_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || stop_fd_ < 0 || done_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    CloseFds();
+    return Status::IoError("epoll/eventfd: " + err);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kStopId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, stop_fd_, &ev);
+  ev.data.u64 = kDoneId;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, done_fd_, &ev);
+
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void HttpServer::RequestStop() {
+  // Only an eventfd write — async-signal-safe, callable from SIGTERM.
+  if (stop_requested_.exchange(true, std::memory_order_acq_rel)) return;
+  if (stop_fd_ >= 0) {
+    const uint64_t one = 1;
+    ssize_t n = write(stop_fd_, &one, sizeof one);
+    (void)n;
+  }
+}
+
+bool HttpServer::WaitUntilStopped() {
+  if (loop_.joinable()) loop_.join();
+  // The loop has exited; finish every orphaned ticket so no NotifyOnDone
+  // callback (which touches this object) can still be running, then
+  // release the fds. Wait() returns strictly after the callback finished.
+  for (auto& [id, ticket] : orphaned_) {
+    (void)id;
+    ticket.Cancel();
+    ticket.Wait();
+  }
+  orphaned_.clear();
+  CloseFds();
+  return drained_clean_;
+}
+
+bool HttpServer::Stop() {
+  RequestStop();
+  return WaitUntilStopped();
+}
+
+void HttpServer::CloseFds() {
+  for (int* fd : {&listen_fd_, &epoll_fd_, &stop_fd_, &done_fd_}) {
+    if (*fd >= 0) {
+      close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+NetStatsSnapshot HttpServer::NetStats() const {
+  NetStatsSnapshot s;
+  s.connections_accepted =
+      counters_->connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed =
+      counters_->connections_closed.load(std::memory_order_relaxed);
+  s.active_connections = s.connections_accepted - s.connections_closed;
+  s.requests = counters_->requests.load(std::memory_order_relaxed);
+  s.bad_requests = counters_->bad_requests.load(std::memory_order_relaxed);
+  s.responses_ok = counters_->responses_ok.load(std::memory_order_relaxed);
+  s.responses_client_error =
+      counters_->responses_client_error.load(std::memory_order_relaxed);
+  s.responses_server_error =
+      counters_->responses_server_error.load(std::memory_order_relaxed);
+  s.responses_shed = counters_->responses_shed.load(std::memory_order_relaxed);
+  s.responses_deadline =
+      counters_->responses_deadline.load(std::memory_order_relaxed);
+  s.disconnects_mid_query =
+      counters_->disconnects_mid_query.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void HttpServer::LoopThread() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    int timeout_ms = -1;
+    if (draining_) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          drain_until_ - now);
+      timeout_ms = left.count() < 0 ? 0 : static_cast<int>(left.count()) + 1;
+    }
+    const int n =
+        epoll_wait(epoll_fd_, events.data(),
+                   static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      drained_clean_ = false;  // the loop cannot continue — cut everything
+      ForceCloseAll();
+      PurgeClosed();
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      const uint32_t ev = events[i].events;
+      if (id == kListenerId) {
+        OnAccept();
+        continue;
+      }
+      if (id == kStopId) {
+        DrainEventFd(stop_fd_);
+        BeginDrain();
+        continue;
+      }
+      if (id == kDoneId) {
+        DrainEventFd(done_fd_);
+        ProcessCompletions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end() || it->second->closed) continue;
+      Connection& conn = *it->second;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        OnPeerClosed(conn);
+        continue;
+      }
+      if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) OnReadable(conn);
+      if (!conn.closed && (ev & EPOLLOUT) != 0) OnWritable(conn);
+    }
+    PurgeClosed();
+    if (draining_) {
+      if (conns_.empty()) return;  // drained_clean_ stays true
+      if (std::chrono::steady_clock::now() >= drain_until_) {
+        drained_clean_ = false;
+        ForceCloseAll();
+        PurgeClosed();
+        return;
+      }
+    }
+  }
+}
+
+void HttpServer::OnAccept() {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // EAGAIN: backlog drained. Transient per-connection errors
+      // (ECONNABORTED etc.) just skip this round.
+      return;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = conn->epoll_mask;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      continue;
+    }
+    counters_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void HttpServer::OnReadable(Connection& conn) {
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (conn.in.size() > options_.max_buffered_bytes) {
+        // Flooding past the buffer cap: disconnect rather than buffer
+        // without bound. (A single oversized head already got its 431
+        // from the parser; this is pipelined-flood protection.)
+        OnPeerClosed(conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // EOF. The API is GET-only, so a client that shut down its write
+      // side has nothing more to ask — treat it as gone (this is also
+      // the disconnect-cancellation signal for in-flight queries).
+      OnPeerClosed(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    OnPeerClosed(conn);
+    return;
+  }
+  ProcessBuffered(conn);
+}
+
+void HttpServer::OnWritable(Connection& conn) {
+  FlushOut(conn);
+  if (!conn.closed && conn.out.empty() && !conn.in_flight) {
+    ProcessBuffered(conn);  // pipelined requests behind the flushed one
+  }
+}
+
+void HttpServer::OnPeerClosed(Connection& conn) {
+  if (conn.in_flight) {
+    // The client vanished mid-query: cancel its work and orphan the
+    // ticket (the completion will find the connection gone).
+    counters_->disconnects_mid_query.fetch_add(1, std::memory_order_relaxed);
+    conn.cancel.Cancel();
+    orphaned_.emplace(conn.id, std::move(*conn.ticket));
+    conn.ticket.reset();
+    conn.in_flight = false;
+  }
+  CloseConnection(conn);
+}
+
+void HttpServer::ProcessBuffered(Connection& conn) {
+  // Serve buffered requests until one is in flight, the response has not
+  // fully flushed (strict in-order pipelining), or the buffer holds no
+  // complete head.
+  while (!conn.closed && !conn.in_flight && conn.out.empty()) {
+    if (draining_) {
+      CloseConnection(conn);  // between-requests connections close on drain
+      return;
+    }
+    if (conn.in.empty()) return;
+    HttpRequest req;
+    size_t consumed = 0;
+    int status = 0;
+    std::string error;
+    const ParseOutcome outcome = ParseHttpRequest(
+        conn.in, options_.max_head_bytes, &req, &consumed, &status, &error);
+    if (outcome == ParseOutcome::kNeedMore) return;
+    if (outcome == ParseOutcome::kError) {
+      counters_->bad_requests.fetch_add(1, std::memory_order_relaxed);
+      conn.keep_alive = false;
+      SendError(conn, status, error, /*close_connection=*/true);
+      return;
+    }
+    conn.in.erase(0, consumed);
+    conn.request = std::move(req);
+    conn.keep_alive = conn.request.keep_alive;
+    counters_->requests.fetch_add(1, std::memory_order_relaxed);
+    RouteRequest(conn);
+  }
+}
+
+void HttpServer::RouteRequest(Connection& conn) {
+  if (conn.request.method != "GET") {
+    SendError(conn, 405, "only GET is supported",
+              /*close_connection=*/false);
+    return;
+  }
+  const std::string& path = conn.request.path;
+  if (path == "/health") {
+    SendSimple(conn, 200, "{\"status\":\"ok\"}\n");
+  } else if (path == "/stats") {
+    SendSimple(conn, 200, StatsJson());
+  } else if (path == "/query") {
+    HandleQuery(conn);
+  } else {
+    SendError(conn, 404, "unknown path: " + path,
+              /*close_connection=*/false);
+  }
+}
+
+void HttpServer::HandleQuery(Connection& conn) {
+  const std::string* q = conn.request.FindParam("q");
+  if (q == nullptr || q->empty()) {
+    SendError(conn, 400, "missing required parameter q",
+              /*close_connection=*/false);
+    return;
+  }
+  ServeRequest sreq;
+  if (const std::string* doc = conn.request.FindParam("doc")) {
+    sreq.document = *doc;
+  }
+  if (const std::string* limit = conn.request.FindParam("limit")) {
+    int64_t n = 0;
+    if (!ParseNonNegativeInt(*limit, &n)) {
+      SendError(conn, 400, "limit must be a non-negative integer",
+                /*close_connection=*/false);
+      return;
+    }
+    sreq.limit = n;
+  }
+  std::chrono::milliseconds deadline = options_.default_deadline;
+  if (const std::string* ms = conn.request.FindHeader("x-deadline-ms")) {
+    int64_t n = 0;
+    if (!ParseNonNegativeInt(*ms, &n) || n == 0) {
+      SendError(conn, 400, "X-Deadline-Ms must be a positive integer",
+                /*close_connection=*/false);
+      return;
+    }
+    deadline = std::min(std::chrono::milliseconds(n), options_.max_deadline);
+  }
+  // The deadline starts here, so runtime queue wait counts against the
+  // client's budget (an expired job is evicted without evaluation).
+  sreq.context = QueryContext::WithTimeout(deadline);
+  conn.cancel = CancelToken();
+  sreq.context.cancel = conn.cancel;
+
+  StatusOr<ServingRuntime::Ticket> ticket = runtime_->Submit(*q, sreq);
+  if (!ticket.ok()) {
+    // Compile errors (bad XPath) — never admitted, answer straight away.
+    SendError(conn, HttpStatusFor(ticket.status().code()),
+              ticket.status().message(), /*close_connection=*/false);
+    return;
+  }
+  conn.query = *q;
+  conn.ticket = std::move(ticket).value();
+  conn.in_flight = true;
+  const uint64_t id = conn.id;
+  // The callback runs on the completing worker (or inline for shed jobs);
+  // it only enqueues the id and pokes the eventfd — connection state stays
+  // loop-thread-only.
+  conn.ticket->NotifyOnDone([this, id] {
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_ids_.push_back(id);
+    }
+    const uint64_t one = 1;
+    ssize_t n = write(done_fd_, &one, sizeof one);
+    (void)n;
+  });
+}
+
+void HttpServer::ProcessCompletions() {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    ids.swap(done_ids_);
+  }
+  for (const uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it != conns_.end() && !it->second->closed && it->second->in_flight) {
+      CompleteQuery(*it->second);
+      continue;
+    }
+    // The connection died before its job finished. Wait() (instant — the
+    // callback has already fired) and drop the orphan.
+    auto orphan = orphaned_.find(id);
+    if (orphan != orphaned_.end()) {
+      orphan->second.Wait();
+      orphaned_.erase(orphan);
+    }
+  }
+  PurgeClosed();
+}
+
+void HttpServer::CompleteQuery(Connection& conn) {
+  const ServeResult& result = conn.ticket->Wait();
+  const int status = HttpStatusFor(result.status.code());
+
+  if (status != 200) {
+    std::string message = result.status.message();
+    if (message.empty()) message = StatusCodeName(result.status.code());
+    SendError(conn, status, message, /*close_connection=*/false);
+  } else {
+    // Stream the result: one chunk per document row, then a summary
+    // chunk. Corrupt/failed shards surface as per-row status — a partial
+    // result, not a failed response.
+    std::string body;
+    body.reserve(256);
+    body.append("{\"query\":\"");
+    AppendJsonEscaped(&body, conn.query);
+    body.append("\",\"documents\":[");
+
+    std::string head;
+    if (conn.request.http11) {
+      head = ChunkedResponseHead(200, "application/json", conn.keep_alive);
+    } else {
+      // HTTP/1.0 clients do not understand chunked framing; buffer the
+      // whole body and answer with Content-Length below.
+      head.clear();
+    }
+    std::string payload;
+    AppendChunkOrPlain(conn, &head, &payload, body);
+
+    bool first = true;
+    for (const DocumentResult& row : result.documents) {
+      std::string chunk;
+      if (!first) chunk.push_back(',');
+      first = false;
+      chunk.append("{\"name\":\"");
+      AppendJsonEscaped(&chunk, row.name);
+      chunk.append("\",\"status\":\"");
+      chunk.append(StatusCodeName(row.status.code()));
+      chunk.push_back('"');
+      if (!row.status.ok()) {
+        chunk.append(",\"error\":\"");
+        AppendJsonEscaped(&chunk, row.status.message());
+        chunk.push_back('"');
+      }
+      chunk.append(",\"nodes\":[");
+      for (size_t i = 0; i < row.nodes.size(); ++i) {
+        if (i > 0) chunk.push_back(',');
+        AppendInt(&chunk, static_cast<int64_t>(row.nodes[i]));
+      }
+      chunk.append("],\"visited\":");
+      AppendInt(&chunk, row.visited);
+      chunk.push_back('}');
+      AppendChunkOrPlain(conn, &head, &payload, chunk);
+    }
+
+    std::string tail;
+    tail.append("],\"status\":\"OK\",\"total_nodes\":");
+    AppendInt(&tail, result.total_nodes());
+    tail.append(",\"total_visited\":");
+    AppendInt(&tail, result.total_visited);
+    tail.append(",\"latency_us\":");
+    AppendInt(&tail, result.latency.count());
+    tail.append("}\n");
+    AppendChunkOrPlain(conn, &head, &payload, tail);
+
+    if (conn.request.http11) {
+      AppendLastChunk(&head);
+      conn.out.append(head);
+    } else {
+      conn.out.append(SimpleResponse(200, "application/json", payload,
+                                     /*keep_alive=*/false));
+    }
+    CountResponse(200);
+    if (!conn.keep_alive) conn.close_after_flush = true;
+  }
+
+  conn.ticket.reset();
+  conn.in_flight = false;
+  conn.query.clear();
+  FlushOut(conn);
+  // A synchronous full flush produces no EPOLLOUT wakeup, so continue the
+  // connection's state machine here: pipelined requests behind this one,
+  // or the drain-time close of a now-idle connection.
+  if (!conn.closed && conn.out.empty() && !conn.in_flight) {
+    ProcessBuffered(conn);
+  }
+}
+
+void HttpServer::AppendChunkOrPlain(Connection& conn, std::string* chunked,
+                                    std::string* plain,
+                                    std::string_view data) {
+  if (conn.request.http11) {
+    AppendChunk(chunked, data);
+  } else {
+    plain->append(data);
+  }
+}
+
+void HttpServer::SendSimple(Connection& conn, int status,
+                            std::string_view body,
+                            std::string_view extra_headers) {
+  conn.out.append(SimpleResponse(status, "application/json", body,
+                                 conn.keep_alive, extra_headers));
+  CountResponse(status);
+  if (!conn.keep_alive) conn.close_after_flush = true;
+  FlushOut(conn);
+}
+
+void HttpServer::SendError(Connection& conn, int status,
+                           std::string_view message, bool close_connection) {
+  if (close_connection) conn.keep_alive = false;
+  std::string body;
+  body.reserve(64 + message.size());
+  body.append("{\"error\":\"");
+  AppendJsonEscaped(&body, message);
+  body.append("\",\"status\":");
+  AppendInt(&body, status);
+  body.append("}\n");
+  // 503 is the retryable overload answer — tell well-behaved clients when
+  // to come back.
+  const std::string_view extra =
+      status == 503 ? std::string_view("Retry-After: 1\r\n")
+                    : std::string_view();
+  SendSimple(conn, status, body, extra);
+}
+
+void HttpServer::CountResponse(int status) {
+  if (status == 200) {
+    counters_->responses_ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (status < 500) {
+    counters_->responses_client_error.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_->responses_server_error.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (status == 503) {
+    counters_->responses_shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == 504) {
+    counters_->responses_deadline.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::FlushOut(Connection& conn) {
+  if (conn.closed) return;
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n =
+        send(conn.fd, conn.out.data() + conn.out_pos,
+             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET: the client hung up mid-response.
+    OnPeerClosed(conn);
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+    if (conn.close_after_flush) {
+      CloseConnection(conn);
+      return;
+    }
+  }
+  UpdateEpoll(conn);
+}
+
+void HttpServer::UpdateEpoll(Connection& conn) {
+  uint32_t want = EPOLLIN | EPOLLRDHUP;
+  if (conn.out_pos < conn.out.size()) want |= EPOLLOUT;
+  if (want == conn.epoll_mask) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.epoll_mask = want;
+  }
+}
+
+void HttpServer::CloseConnection(Connection& conn) {
+  if (conn.closed) return;
+  conn.closed = true;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  close(conn.fd);
+  conn.fd = -1;
+  counters_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+  dead_ids_.push_back(conn.id);
+}
+
+void HttpServer::PurgeClosed() {
+  for (const uint64_t id : dead_ids_) conns_.erase(id);
+  dead_ids_.clear();
+}
+
+void HttpServer::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_until_ = std::chrono::steady_clock::now() + options_.drain_deadline;
+  // Step 1: stop accepting — close the listener so new connections are
+  // refused at the TCP level.
+  if (listen_fd_ >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Step 2: close idle connections (nothing in flight, nothing to flush).
+  // In-flight requests keep running; their connections close once the
+  // response flushes (ProcessBuffered sees draining_).
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn->closed && !conn->in_flight && conn->out.empty()) {
+      CloseConnection(*conn);
+    }
+  }
+  PurgeClosed();
+}
+
+void HttpServer::ForceCloseAll() {
+  // Step 3 (deadline hit): cancel what is left and cut the connections.
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn->closed) OnPeerClosed(*conn);
+  }
+}
+
+std::string HttpServer::StatsJson() const {
+  const NetStatsSnapshot net = NetStats();
+  std::string out;
+  out.reserve(2048);
+  out.append("{\"server\":{\"documents\":");
+  AppendInt(&out, static_cast<int64_t>(collection_->size()));
+  out.append(",\"draining\":");
+  out.append(draining_ ? "true" : "false");
+  out.append("},\"net\":{");
+  const std::pair<const char*, int64_t> fields[] = {
+      {"connections_accepted", net.connections_accepted},
+      {"connections_closed", net.connections_closed},
+      {"active_connections", net.active_connections},
+      {"requests", net.requests},
+      {"bad_requests", net.bad_requests},
+      {"responses_ok", net.responses_ok},
+      {"responses_client_error", net.responses_client_error},
+      {"responses_server_error", net.responses_server_error},
+      {"responses_shed", net.responses_shed},
+      {"responses_deadline", net.responses_deadline},
+      {"disconnects_mid_query", net.disconnects_mid_query},
+  };
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(name);
+    out.append("\":");
+    AppendInt(&out, value);
+  }
+  out.append("},\"runtime\":");
+  out.append(ServingStatsToJson(runtime_->Stats()));
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace net
+}  // namespace xpwqo

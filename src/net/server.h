@@ -1,0 +1,195 @@
+// HttpServer: a single-threaded, level-triggered epoll HTTP/1.1 front end
+// over the governed ServingRuntime — the long-lived query server behind
+// the xpathd binary.
+//
+// Request surface:
+//   GET /query?q=XPATH[&doc=NAME][&limit=N]   (+ optional X-Deadline-Ms)
+//   GET /health
+//   GET /stats
+//
+// Each /query becomes one ServingRuntime::Submit under a per-request
+// QueryContext: the deadline is the X-Deadline-Ms budget measured from
+// parse time (so runtime queue wait counts against it), and the request's
+// CancelToken is cancelled when the client disconnects — a vanished client
+// stops burning evaluator time within one check interval. Results stream
+// back in chunked transfer encoding, one chunk per document row, with
+// per-row status for partially-failed (corrupt-shard) collections.
+//
+// Status → HTTP mapping (the wire contract for the runtime's taxonomy):
+//   kOk → 200 · kInvalidArgument/kParseError → 400 · kNotFound → 404 ·
+//   kFailedPrecondition → 412 · kCancelled → 499 ·
+//   kResourceExhausted → 503 + Retry-After · kIoError → 503 + Retry-After ·
+//   kDeadlineExceeded → 504 · kCorruption and the rest → 500.
+//
+// Threading: one event-loop thread owns every connection and all socket
+// I/O. Worker completions cross back through Ticket::NotifyOnDone → an
+// eventfd the loop polls; the callback only enqueues the connection id, so
+// no runtime thread ever touches connection state. RequestStop() is one
+// eventfd write and therefore async-signal-safe — call it from a SIGTERM
+// handler. Stopping drains gracefully: the listener closes, idle
+// connections close, in-flight requests finish and flush, all bounded by
+// ServerOptions::drain_deadline (leftover tickets are cancelled and
+// awaited so no completion callback can outlive the server).
+#ifndef XPWQO_NET_SERVER_H_
+#define XPWQO_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "serve/serving_runtime.h"
+#include "util/status.h"
+
+namespace xpwqo {
+namespace net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is port() after Start().
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Request line + headers cap (431 beyond it).
+  size_t max_head_bytes = 16 * 1024;
+  /// Per-connection input buffer cap — a client flooding pipelined bytes
+  /// past this is disconnected instead of buffered without bound.
+  size_t max_buffered_bytes = 64 * 1024;
+  /// Deadline applied when the request carries no X-Deadline-Ms header.
+  std::chrono::milliseconds default_deadline{1000};
+  /// Upper bound on X-Deadline-Ms (a client cannot park a worker forever).
+  std::chrono::milliseconds max_deadline{60'000};
+  /// Graceful-stop bound: in-flight requests that have not finished and
+  /// flushed within this budget are cancelled and their connections closed.
+  std::chrono::milliseconds drain_deadline{5000};
+};
+
+/// Loop-thread counters, snapshotted atomically for /stats and tests.
+struct NetStatsSnapshot {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t active_connections = 0;  // gauge
+  int64_t requests = 0;            // well-formed requests routed
+  int64_t bad_requests = 0;        // parse failures answered 4xx/5xx
+  int64_t responses_ok = 0;        // 200
+  int64_t responses_client_error = 0;  // 4xx
+  int64_t responses_server_error = 0;  // 5xx
+  int64_t responses_shed = 0;          // 503 subset (overload / io)
+  int64_t responses_deadline = 0;      // 504 subset
+  int64_t disconnects_mid_query = 0;   // client vanished → token cancelled
+};
+
+class HttpServer {
+ public:
+  /// The collection is used for document counts in /stats; queries go
+  /// through `runtime` (whose collection must be the same one). Both must
+  /// outlive the server.
+  HttpServer(const Collection* collection, ServingRuntime* runtime,
+             ServerOptions options = {});
+  ~HttpServer();  // Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. kIoError on any
+  /// socket failure (port in use, bad address).
+  Status Start();
+
+  /// The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Asks the loop to drain and stop. One eventfd write — safe from a
+  /// signal handler. Idempotent.
+  void RequestStop();
+
+  /// Blocks until the event loop has exited (someone must RequestStop —
+  /// this call does not). Returns true when the drain finished before
+  /// drain_deadline, false when leftovers were cut off.
+  bool WaitUntilStopped();
+
+  /// RequestStop() + WaitUntilStopped(). Idempotent; safe without Start().
+  bool Stop();
+
+  NetStatsSnapshot NetStats() const;
+
+ private:
+  struct Connection;
+  struct Counters;
+
+  void LoopThread();
+  void OnAccept();
+  void OnReadable(Connection& conn);
+  void OnWritable(Connection& conn);
+  /// Disconnect: cancels an in-flight job (the ticket moves to orphaned_)
+  /// and closes the connection.
+  void OnPeerClosed(Connection& conn);
+  void ProcessBuffered(Connection& conn);
+  void RouteRequest(Connection& conn);
+  void HandleQuery(Connection& conn);
+  /// Drains done_ids_ and formats responses for finished jobs.
+  void ProcessCompletions();
+  void CompleteQuery(Connection& conn);
+  /// Chunk-frames `data` into *chunked for HTTP/1.1, or appends it plain
+  /// into *plain for HTTP/1.0 (answered with Content-Length instead).
+  void AppendChunkOrPlain(Connection& conn, std::string* chunked,
+                          std::string* plain, std::string_view data);
+  void SendSimple(Connection& conn, int status, std::string_view body,
+                  std::string_view extra_headers = {});
+  void SendError(Connection& conn, int status, std::string_view message,
+                 bool close_connection);
+  void CountResponse(int status);
+  void FlushOut(Connection& conn);
+  void UpdateEpoll(Connection& conn);
+  /// Marks closed + releases the socket; the map entry is erased by
+  /// PurgeClosed after the current epoll batch (deferred deletion keeps
+  /// same-batch events for the connection safe).
+  void CloseConnection(Connection& conn);
+  void PurgeClosed();
+  void BeginDrain();
+  void ForceCloseAll();
+  void CloseFds();
+  std::string StatsJson() const;
+
+  const Collection* collection_;
+  ServingRuntime* runtime_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int stop_fd_ = -1;  // eventfd: RequestStop → loop
+  int done_fd_ = -1;  // eventfd: job completion → loop
+  uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::atomic<bool> stop_requested_{false};
+  bool drained_clean_ = true;  // loop-thread write, read after join
+
+  // Completion queue: worker threads push finished connection ids here
+  // (NotifyOnDone), the loop drains it on done_fd_ wakeups.
+  std::mutex done_mu_;
+  std::vector<uint64_t> done_ids_;
+
+  // Loop-thread state.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  std::vector<uint64_t> dead_ids_;  // closed this batch, pending erase
+  uint64_t next_conn_id_ = 3;  // 0/1/2 are listener/stop/done in epoll data
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_until_{};
+  // Tickets whose connection died first, keyed by connection id. Their
+  // completion drops them (ProcessCompletions); whatever remains is
+  // awaited after the loop exits, so no NotifyOnDone callback can outlive
+  // this object.
+  std::unordered_map<uint64_t, ServingRuntime::Ticket> orphaned_;
+
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace net
+}  // namespace xpwqo
+
+#endif  // XPWQO_NET_SERVER_H_

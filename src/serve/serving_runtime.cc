@@ -16,7 +16,12 @@ struct ServingRuntime::Ticket::Job {
 
   std::mutex mu;
   std::condition_variable cv;
+  // finishing: the result is being published (the completion callback runs
+  // in this window, before done flips — so the callback always finishes
+  // strictly before any Wait() returns).
+  bool finishing = false;
   bool done = false;
+  std::function<void()> on_done;
   ServeResult result;
 };
 
@@ -25,6 +30,7 @@ struct ServingRuntime::Counters {
   std::atomic<int64_t> submitted{0};
   std::atomic<int64_t> admitted{0};
   std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> doa_evicted{0};
 
   std::atomic<int64_t> ok{0};
   std::atomic<int64_t> deadline_exceeded{0};
@@ -36,6 +42,10 @@ struct ServingRuntime::Counters {
 
   std::atomic<int64_t> retries{0};
   std::atomic<int64_t> docs_failed{0};
+
+  std::atomic<int64_t> scrub_sweeps{0};
+  std::atomic<int64_t> scrub_docs_checked{0};
+  std::atomic<int64_t> scrub_quarantined{0};
 
   ConcurrentHistogram latency_us;
   ConcurrentHistogram visited_nodes;
@@ -82,6 +92,19 @@ void ServingRuntime::Ticket::Cancel() {
   job_->request.context.cancel.Cancel();
 }
 
+void ServingRuntime::Ticket::NotifyOnDone(std::function<void()> fn) {
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(job_->mu);
+    if (job_->finishing || job_->done) {
+      run_now = true;  // already published (or publishing): invoke inline
+    } else {
+      job_->on_done = std::move(fn);
+    }
+  }
+  if (run_now) fn();
+}
+
 ServingRuntime::ServingRuntime(const Collection* collection,
                                ServingRuntimeOptions options)
     : collection_(collection),
@@ -92,20 +115,58 @@ ServingRuntime::ServingRuntime(const Collection* collection,
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.scrub_interval.count() > 0) {
+    scrubber_ = std::thread([this] { ScrubLoop(); });
+  }
 }
 
 ServingRuntime::~ServingRuntime() { Shutdown(); }
 
-void ServingRuntime::Shutdown() {
+void ServingRuntime::StopAccepting() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
   }
   work_cv_.notify_all();
+}
+
+bool ServingRuntime::AwaitIdle(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, timeout, [this] {
+    return queue_.empty() && active_ == 0;
+  });
+}
+
+void ServingRuntime::Shutdown() {
+  StopAccepting();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrubber_.joinable()) scrubber_.join();
+}
+
+void ServingRuntime::ScrubLoop() {
+  std::unique_lock<std::mutex> lock(scrub_mu_);
+  for (;;) {
+    if (scrub_cv_.wait_for(lock, options_.scrub_interval,
+                           [this] { return scrub_stop_; })) {
+      return;
+    }
+    lock.unlock();  // the CRC sweep runs without holding the stop lock
+    const VerifyReport report = collection_->VerifyAll();
+    counters_->scrub_sweeps.fetch_add(1, std::memory_order_relaxed);
+    counters_->scrub_docs_checked.fetch_add(
+        static_cast<int64_t>(report.checked), std::memory_order_relaxed);
+    counters_->scrub_quarantined.fetch_add(
+        static_cast<int64_t>(report.quarantined), std::memory_order_relaxed);
+    lock.lock();
+  }
 }
 
 void ServingRuntime::FinishJob(Ticket::Job& job, ServeResult result,
@@ -115,9 +176,20 @@ void ServingRuntime::FinishJob(Ticket::Job& job, ServeResult result,
   } else {
     counters_->CountOutcome(result.status);
   }
+  // Publish in two steps: the completion callback runs after the result is
+  // set but before done flips, so it always finishes before any Wait()
+  // returns — a callback that pings an event loop can never race the
+  // loop's owner tearing down after a successful Wait.
+  std::function<void()> on_done;
   {
     std::lock_guard<std::mutex> lock(job.mu);
     job.result = std::move(result);
+    job.finishing = true;
+    on_done = std::move(job.on_done);
+  }
+  if (on_done) on_done();
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
     job.done = true;
   }
   job.cv.notify_all();
@@ -190,14 +262,39 @@ StatusOr<ServeResult> ServingRuntime::Execute(std::string_view xpath,
 void ServingRuntime::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Ticket::Job> job;
+    std::vector<std::shared_ptr<Ticket::Job>> dead;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
-      if (queue_.empty()) return;  // !accepting_ and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Eager eviction: jobs whose deadline already expired during queue
+      // wait are dead on arrival — sweep every leading one off the queue
+      // in one pass and complete them kDeadlineExceeded below, without
+      // ever touching the evaluator (their visited count stays 0).
+      while (!queue_.empty() && queue_.front()->request.context.expired()) {
+        dead.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (!accepting_ && dead.empty()) {
+        return;  // fully drained
+      }
+      active_ += dead.size() + (job ? 1 : 0);
     }
-    RunJob(*job);
+    for (const std::shared_ptr<Ticket::Job>& d : dead) {
+      counters_->doa_evicted.fetch_add(1, std::memory_order_relaxed);
+      FinishJob(*d, ServeResult{Status::DeadlineExceeded(
+                                    "deadline expired while queued — "
+                                    "evicted without evaluation"),
+                                {}, 0, {}});
+    }
+    if (job) RunJob(*job);
+    if (!dead.empty() || job) {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_ -= dead.size() + (job ? 1 : 0);
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
   }
 }
 
@@ -216,7 +313,15 @@ void ServingRuntime::RunJob(Ticket::Job& job) {
     // waiting is not started at all.
     job_status = Status::DeadlineExceeded("deadline expired while queued");
   } else {
-    for (const std::string& name : collection_->names()) {
+    // A request may target one document; by default the job fans out
+    // across the whole collection.
+    std::vector<std::string> one;
+    const std::vector<std::string>* names = &collection_->names();
+    if (!job.request.document.empty()) {
+      one.push_back(job.request.document);
+      names = &one;
+    }
+    for (const std::string& name : *names) {
       if (limit_left == 0) break;
       DocumentResult row;
       row.name = name;
@@ -275,6 +380,16 @@ Status ServingRuntime::RunDocument(const std::string& name, Ticket::Job& job,
 
     Status failure;
     StatusOr<const Engine*> engine = collection_->Get(name);
+    // A first-touch lazy load is the slow path of a Get — re-check the
+    // envelope after it, so a request cancelled or expired mid-load
+    // (a vanished client, say) stops here instead of evaluating a
+    // document nobody is waiting for.
+    if (ctx.cancel.cancelled()) {
+      return Status::Cancelled("query cancelled by its cancellation token");
+    }
+    if (ctx.expired()) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
     if (engine.ok()) {
       // The control lives on this frame and the cursor dies before it.
       ExecControl control =
@@ -338,6 +453,7 @@ ServingStatsSnapshot ServingRuntime::Stats() const {
   snap.submitted = c.submitted.load(std::memory_order_relaxed);
   snap.admitted = c.admitted.load(std::memory_order_relaxed);
   snap.shed = c.shed.load(std::memory_order_relaxed);
+  snap.doa_evicted = c.doa_evicted.load(std::memory_order_relaxed);
   snap.ok = c.ok.load(std::memory_order_relaxed);
   snap.deadline_exceeded = c.deadline_exceeded.load(std::memory_order_relaxed);
   snap.cancelled = c.cancelled.load(std::memory_order_relaxed);
@@ -348,6 +464,11 @@ ServingStatsSnapshot ServingRuntime::Stats() const {
   snap.other_error = c.other_error.load(std::memory_order_relaxed);
   snap.retries = c.retries.load(std::memory_order_relaxed);
   snap.docs_failed = c.docs_failed.load(std::memory_order_relaxed);
+  snap.scrub_sweeps = c.scrub_sweeps.load(std::memory_order_relaxed);
+  snap.scrub_docs_checked =
+      c.scrub_docs_checked.load(std::memory_order_relaxed);
+  snap.scrub_quarantined =
+      c.scrub_quarantined.load(std::memory_order_relaxed);
   snap.query_cache_hits = collection_->query_cache()->hits();
   snap.query_cache_misses = collection_->query_cache()->misses();
   snap.latency_us = HistogramSnapshot(c.latency_us);

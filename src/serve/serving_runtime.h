@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,6 +62,12 @@ struct ServingRuntimeOptions {
   /// Backoff before the first retry; doubles per attempt, and is always
   /// bounded by the job's deadline.
   std::chrono::microseconds retry_backoff{200};
+  /// When > 0, the runtime owns a periodic scrubber thread that calls
+  /// Collection::VerifyAll every interval — the background half of the
+  /// quarantine machinery. Sweep counts surface in ServingStatsSnapshot
+  /// (scrub_sweeps / scrub_docs_checked / scrub_quarantined); the thread
+  /// joins cleanly with the pool on Shutdown.
+  std::chrono::milliseconds scrub_interval{0};
   /// Evaluation options for every job (strategy etc.); the per-job
   /// ExecControl is injected by the runtime, so `query.control` is ignored.
   QueryOptions query;
@@ -71,6 +78,9 @@ struct ServeRequest {
   QueryContext context;
   /// Cap on total returned nodes across all documents; < 0 = unlimited.
   int64_t limit = -1;
+  /// Restrict the job to this one document (empty = every document of the
+  /// collection). An unknown name fails the job with kNotFound.
+  std::string document;
 };
 
 /// One document's slice of a job.
@@ -125,6 +135,12 @@ class ServingRuntime {
     /// Cancels through the request's token: stops the job whether it is
     /// still queued or already evaluating.
     void Cancel();
+    /// Registers `fn` to run when the job finishes — from the completing
+    /// thread, or inline right here when the job is already done. One
+    /// callback per ticket; it fires exactly once, strictly before any
+    /// Wait() returns, so a callback that merely signals an event loop
+    /// (the net layer's eventfd wakeup) cannot outlive the waiter.
+    void NotifyOnDone(std::function<void()> fn);
 
    private:
     friend class ServingRuntime;
@@ -151,6 +167,16 @@ class ServingRuntime {
   StatusOr<ServeResult> Execute(std::string_view xpath,
                                 ServeRequest request = {});
 
+  /// Stops admission only (later Submits are shed; workers exit once the
+  /// queue drains) — the first step of a graceful drain. Idempotent.
+  void StopAccepting();
+
+  /// Blocks until every admitted job has finished or `timeout` elapses.
+  /// Returns true when the runtime is idle (empty queue, no job running).
+  /// Does not stop admission or join workers — pair with StopAccepting()
+  /// and a bounded wait for a deadline-limited drain, then Shutdown().
+  bool AwaitIdle(std::chrono::milliseconds timeout);
+
   /// Stops admission, finishes every admitted job, joins the workers.
   /// Idempotent; the destructor calls it.
   void Shutdown();
@@ -163,6 +189,7 @@ class ServingRuntime {
  private:
   struct Counters;
   void WorkerLoop();
+  void ScrubLoop();
   void RunJob(Ticket::Job& job);
   /// Publishes the result and wakes waiters. Counts the job's outcome
   /// unless it was shed (shed is its own counter, so once drained
@@ -180,9 +207,17 @@ class ServingRuntime {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;  // queue empty and no job in flight
   std::deque<std::shared_ptr<Ticket::Job>> queue_;
+  size_t active_ = 0;  // jobs dequeued (running or being evicted)
   bool accepting_ = true;
   std::vector<std::thread> workers_;
+
+  // Periodic VerifyAll scrubber (scrub_interval > 0).
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+  std::thread scrubber_;
 
   std::unique_ptr<Counters> counters_;
 };

@@ -84,6 +84,11 @@ struct ServingStatsSnapshot {
   int64_t submitted = 0;  // Submit() calls
   int64_t admitted = 0;   // entered the queue
   int64_t shed = 0;       // refused at admission (queue full / shutdown)
+  // Admitted jobs whose deadline expired during queue wait: completed
+  // kDeadlineExceeded at dequeue without ever touching the evaluator
+  // (counted in deadline_exceeded too — this is the eager-eviction
+  // sub-counter, not a separate outcome bucket).
+  int64_t doa_evicted = 0;
 
   // Outcomes of admitted jobs (submitted == shed + sum of outcomes once
   // drained; in-flight jobs account for the difference meanwhile).
@@ -100,6 +105,12 @@ struct ServingStatsSnapshot {
   int64_t docs_failed = 0;       // per-document failures inside ok jobs
   int64_t query_cache_hits = 0;  // collection compile cache (cumulative)
   int64_t query_cache_misses = 0;
+
+  // Periodic scrubber (ServingRuntimeOptions::scrub_interval > 0): sweeps
+  // completed, documents re-checksummed, and documents newly quarantined.
+  int64_t scrub_sweeps = 0;
+  int64_t scrub_docs_checked = 0;
+  int64_t scrub_quarantined = 0;
 
   HistogramSnapshot latency_us;      // per-job wall latency, microseconds
   HistogramSnapshot visited_nodes;   // per-job visited-node totals

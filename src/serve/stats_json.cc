@@ -1,0 +1,131 @@
+#include "serve/stats_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xpwqo {
+
+namespace {
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendKey(std::string* out, std::string_view key) {
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+}
+
+void AppendIntField(std::string* out, std::string_view key, int64_t v,
+                    bool trailing_comma = true) {
+  AppendKey(out, key);
+  AppendInt(out, v);
+  if (trailing_comma) out->push_back(',');
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+        break;
+    }
+  }
+}
+
+void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
+  out->push_back('{');
+  AppendIntField(out, "count", h.count);
+  AppendIntField(out, "sum", h.sum);
+  AppendKey(out, "mean");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", h.mean());
+  out->append(buf);
+  out->push_back(',');
+  AppendIntField(out, "p50", h.Percentile(0.5));
+  AppendIntField(out, "p90", h.Percentile(0.9));
+  AppendIntField(out, "p99", h.Percentile(0.99));
+  AppendKey(out, "buckets");
+  int last = 0;
+  for (int i = 0; i < ConcurrentHistogram::kBuckets; ++i) {
+    if (h.buckets[static_cast<size_t>(i)] != 0) last = i;
+  }
+  out->push_back('[');
+  for (int i = 0; i <= last; ++i) {
+    if (i > 0) out->push_back(',');
+    AppendInt(out, h.buckets[static_cast<size_t>(i)]);
+  }
+  out->append("]}");
+}
+
+std::string ServingStatsToJson(const ServingStatsSnapshot& snap) {
+  std::string out;
+  out.reserve(1024);
+  out.push_back('{');
+  AppendKey(&out, "admission");
+  out.push_back('{');
+  AppendIntField(&out, "submitted", snap.submitted);
+  AppendIntField(&out, "admitted", snap.admitted);
+  AppendIntField(&out, "shed", snap.shed);
+  AppendIntField(&out, "doa_evicted", snap.doa_evicted, false);
+  out.append("},");
+  AppendKey(&out, "outcomes");
+  out.push_back('{');
+  AppendIntField(&out, "ok", snap.ok);
+  AppendIntField(&out, "deadline_exceeded", snap.deadline_exceeded);
+  AppendIntField(&out, "cancelled", snap.cancelled);
+  AppendIntField(&out, "resource_exhausted", snap.resource_exhausted);
+  AppendIntField(&out, "corruption", snap.corruption);
+  AppendIntField(&out, "io_error", snap.io_error);
+  AppendIntField(&out, "other_error", snap.other_error, false);
+  out.append("},");
+  AppendKey(&out, "work");
+  out.push_back('{');
+  AppendIntField(&out, "retries", snap.retries);
+  AppendIntField(&out, "docs_failed", snap.docs_failed);
+  AppendIntField(&out, "query_cache_hits", snap.query_cache_hits);
+  AppendIntField(&out, "query_cache_misses", snap.query_cache_misses, false);
+  out.append("},");
+  AppendKey(&out, "scrub");
+  out.push_back('{');
+  AppendIntField(&out, "sweeps", snap.scrub_sweeps);
+  AppendIntField(&out, "docs_checked", snap.scrub_docs_checked);
+  AppendIntField(&out, "quarantined", snap.scrub_quarantined, false);
+  out.append("},");
+  AppendKey(&out, "latency_us");
+  AppendHistogramJson(&out, snap.latency_us);
+  out.push_back(',');
+  AppendKey(&out, "visited_nodes");
+  AppendHistogramJson(&out, snap.visited_nodes);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace xpwqo

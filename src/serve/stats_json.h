@@ -1,0 +1,34 @@
+// JSON serialization of the serving stats snapshot — the wire shape the
+// xpathd /stats endpoint returns (and anything else that wants machine-
+// readable runtime counters: scripts/check.sh shape-validates it).
+//
+// The output is a single self-contained JSON object: admission and outcome
+// counters, work details (retries, cache hits, scrubber sweeps), and both
+// log2-bucket histograms with their raw buckets plus derived mean/p50/p99.
+// Serialization reads a materialized ServingStatsSnapshot, so it never
+// touches the runtime's hot path.
+#ifndef XPWQO_SERVE_STATS_JSON_H_
+#define XPWQO_SERVE_STATS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/stats.h"
+
+namespace xpwqo {
+
+/// Appends `s` as the inside of a JSON string literal (no surrounding
+/// quotes): escapes `"`, `\`, and control characters. Shared by the stats
+/// serializer and the net layer's response bodies.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Appends one histogram as {"count":..,"sum":..,"mean":..,"p50":..,
+/// "p90":..,"p99":..,"buckets":[..]} (buckets trimmed of trailing zeros).
+void AppendHistogramJson(std::string* out, const HistogramSnapshot& h);
+
+/// The whole snapshot as one JSON object.
+std::string ServingStatsToJson(const ServingStatsSnapshot& snap);
+
+}  // namespace xpwqo
+
+#endif  // XPWQO_SERVE_STATS_JSON_H_

@@ -1,0 +1,220 @@
+// HTTP codec tests, with a bias toward hostile input: truncated request
+// lines, oversized heads, invalid percent escapes, stray bodies, pipelined
+// buffers. Every rejection must be a concrete 4xx/5xx — never undefined
+// parser state — because the connection machine turns these outcomes
+// directly into wire responses.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xpwqo {
+namespace net {
+namespace {
+
+struct ParseResult {
+  ParseOutcome outcome;
+  HttpRequest request;
+  size_t consumed = 0;
+  int status = 0;
+  std::string error;
+};
+
+ParseResult Parse(std::string_view data, size_t max_head = 16 * 1024) {
+  ParseResult r;
+  r.outcome = ParseHttpRequest(data, max_head, &r.request, &r.consumed,
+                               &r.status, &r.error);
+  return r;
+}
+
+TEST(HttpCodecTest, ParsesMinimalGet) {
+  auto r = Parse("GET /health HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(r.outcome, ParseOutcome::kDone);
+  EXPECT_EQ(r.request.method, "GET");
+  EXPECT_EQ(r.request.path, "/health");
+  EXPECT_TRUE(r.request.http11);
+  EXPECT_TRUE(r.request.keep_alive);
+  EXPECT_EQ(r.consumed, 24u);
+}
+
+TEST(HttpCodecTest, ParsesQueryParamsWithPercentEncoding) {
+  auto r = Parse(
+      "GET /query?q=%2F%2Fbook%5B%40id%3D%221%22%5D&doc=a+b&limit=10 "
+      "HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(r.outcome, ParseOutcome::kDone);
+  EXPECT_EQ(r.request.path, "/query");
+  ASSERT_NE(r.request.FindParam("q"), nullptr);
+  EXPECT_EQ(*r.request.FindParam("q"), "//book[@id=\"1\"]");
+  EXPECT_EQ(*r.request.FindParam("doc"), "a b");  // '+' is space in a query
+  EXPECT_EQ(*r.request.FindParam("limit"), "10");
+  EXPECT_EQ(r.request.FindParam("missing"), nullptr);
+}
+
+TEST(HttpCodecTest, HeadersAreLowercasedAndTrimmed) {
+  auto r = Parse(
+      "GET / HTTP/1.1\r\nX-Deadline-Ms:  250 \r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(r.outcome, ParseOutcome::kDone);
+  ASSERT_NE(r.request.FindHeader("x-deadline-ms"), nullptr);
+  EXPECT_EQ(*r.request.FindHeader("x-deadline-ms"), "250");
+  EXPECT_FALSE(r.request.keep_alive);  // explicit Connection: close
+}
+
+TEST(HttpCodecTest, Http10DefaultsToClose) {
+  auto r = Parse("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(r.outcome, ParseOutcome::kDone);
+  EXPECT_FALSE(r.request.http11);
+  EXPECT_FALSE(r.request.keep_alive);
+  auto ka = Parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_EQ(ka.outcome, ParseOutcome::kDone);
+  EXPECT_TRUE(ka.request.keep_alive);
+}
+
+TEST(HttpCodecTest, TruncatedRequestsNeedMore) {
+  // Every prefix of a valid request that lacks the blank line must ask
+  // for more bytes, not error and not consume.
+  const std::string full = "GET /query?q=%2F%2Fa HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (size_t cut = 1; cut + 1 < full.size(); ++cut) {
+    auto r = Parse(full.substr(0, cut));
+    EXPECT_EQ(r.outcome, ParseOutcome::kNeedMore) << "cut=" << cut;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+  EXPECT_EQ(Parse(full).outcome, ParseOutcome::kDone);
+}
+
+TEST(HttpCodecTest, MalformedRequestLinesAre400) {
+  for (const char* bad : {
+           "\r\n\r\n",                          // empty request line
+           "GET\r\n\r\n",                       // one token
+           "GET /x\r\n\r\n",                    // no version
+           "GET  /x HTTP/1.1\r\n\r\n",          // double space
+           "GET /x HTTP/1.1 extra\r\n\r\n",     // trailing token
+           "GET x HTTP/1.1\r\n\r\n",            // target not absolute
+           " GET /x HTTP/1.1\r\n\r\n",          // leading space
+       }) {
+    auto r = Parse(bad);
+    EXPECT_EQ(r.outcome, ParseOutcome::kError) << bad;
+    EXPECT_EQ(r.status, 400) << bad;
+  }
+}
+
+TEST(HttpCodecTest, EmptyRequestLineFailsFastWithoutFullHead) {
+  // A buffer that begins with CRLF can never become a valid request —
+  // fail immediately instead of waiting for the blank line.
+  auto r = Parse("\r\nGET");
+  EXPECT_EQ(r.outcome, ParseOutcome::kError);
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST(HttpCodecTest, UnsupportedVersionIs505) {
+  auto r = Parse("GET / HTTP/2.0\r\n\r\n");
+  EXPECT_EQ(r.outcome, ParseOutcome::kError);
+  EXPECT_EQ(r.status, 505);
+}
+
+TEST(HttpCodecTest, OversizedHeadIs431) {
+  // Complete but too large.
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big.append(300, 'a');
+  big.append("\r\n\r\n");
+  auto r = Parse(big, /*max_head=*/128);
+  EXPECT_EQ(r.outcome, ParseOutcome::kError);
+  EXPECT_EQ(r.status, 431);
+  // Incomplete and already past the cap: also 431, not kNeedMore — the
+  // head can only grow.
+  std::string endless = "GET / HTTP/1.1\r\nX-Pad: ";
+  endless.append(300, 'a');
+  auto r2 = Parse(endless, /*max_head=*/128);
+  EXPECT_EQ(r2.outcome, ParseOutcome::kError);
+  EXPECT_EQ(r2.status, 431);
+}
+
+TEST(HttpCodecTest, InvalidPercentEncodingInQueryIs400) {
+  for (const char* target : {"/query?q=%", "/query?q=%2", "/query?q=%zz",
+                             "/query?q=abc%G1", "/q%GGuery?q=x"}) {
+    std::string req = std::string("GET ") + target + " HTTP/1.1\r\n\r\n";
+    auto r = Parse(req);
+    EXPECT_EQ(r.outcome, ParseOutcome::kError) << target;
+    EXPECT_EQ(r.status, 400) << target;
+  }
+}
+
+TEST(HttpCodecTest, MalformedHeadersAre400) {
+  for (const char* head :
+       {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n"}) {
+    auto r = Parse(head);
+    EXPECT_EQ(r.outcome, ParseOutcome::kError) << head;
+    EXPECT_EQ(r.status, 400) << head;
+  }
+}
+
+TEST(HttpCodecTest, RequestBodiesAreRejected) {
+  auto te = Parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(te.outcome, ParseOutcome::kError);
+  EXPECT_EQ(te.status, 400);
+  auto cl = Parse("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(cl.outcome, ParseOutcome::kError);
+  EXPECT_EQ(cl.status, 400);
+  // An explicit zero-length body is harmless.
+  auto zero = Parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(zero.outcome, ParseOutcome::kDone);
+}
+
+TEST(HttpCodecTest, PipelinedRequestsConsumeOneHeadAtATime) {
+  const std::string two =
+      "GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+  auto first = Parse(two);
+  ASSERT_EQ(first.outcome, ParseOutcome::kDone);
+  EXPECT_EQ(first.request.path, "/health");
+  auto second = Parse(std::string_view(two).substr(first.consumed));
+  ASSERT_EQ(second.outcome, ParseOutcome::kDone);
+  EXPECT_EQ(second.request.path, "/stats");
+  EXPECT_EQ(first.consumed + second.consumed, two.size());
+}
+
+TEST(HttpCodecTest, FragmentIsStrippedFromTarget) {
+  auto r = Parse("GET /query?q=a#frag HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(r.outcome, ParseOutcome::kDone);
+  EXPECT_EQ(*r.request.FindParam("q"), "a");
+}
+
+TEST(HttpCodecTest, PercentDecodeRoundTrips) {
+  std::string out;
+  EXPECT_TRUE(PercentDecode("a%20b%2fc", &out));
+  EXPECT_EQ(out, "a b/c");
+  EXPECT_TRUE(PercentDecode("a+b", &out, /*plus_as_space=*/true));
+  EXPECT_EQ(out, "a b");
+  EXPECT_TRUE(PercentDecode("a+b", &out, /*plus_as_space=*/false));
+  EXPECT_EQ(out, "a+b");
+  EXPECT_FALSE(PercentDecode("%", &out));
+  EXPECT_FALSE(PercentDecode("%4", &out));
+  EXPECT_FALSE(PercentDecode("%4g", &out));
+}
+
+TEST(HttpCodecTest, SimpleResponseFramesContentLength) {
+  const std::string resp =
+      SimpleResponse(200, "application/json", "{\"a\":1}", true);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 7), "{\"a\":1}");
+}
+
+TEST(HttpCodecTest, ChunkedFraming) {
+  std::string out = ChunkedResponseHead(200, "application/json", false);
+  EXPECT_NE(out.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close\r\n"), std::string::npos);
+  out.clear();
+  AppendChunk(&out, "hello");
+  EXPECT_EQ(out, "5\r\nhello\r\n");
+  AppendChunk(&out, "");  // empty chunk would terminate the body — elided
+  EXPECT_EQ(out, "5\r\nhello\r\n");
+  AppendLastChunk(&out);
+  EXPECT_EQ(out, "5\r\nhello\r\n0\r\n\r\n");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xpwqo

@@ -419,6 +419,121 @@ TEST_F(ServingDeadlineTest, CancellationStopsARunningSweep) {
   EXPECT_EQ(ticket.Wait().status.code(), StatusCode::kCancelled);
 }
 
+TEST(ServingRuntimeTest, ExpiredQueuedJobIsEvictedWithoutEvaluation) {
+  // A job whose deadline lapses while it waits in the queue must complete
+  // kDeadlineExceeded at dequeue without ever touching the evaluator —
+  // no rows, zero visited nodes — and be visible as doa_evicted.
+  auto gate = std::make_shared<Gate>();
+  Collection library;
+  ASSERT_TRUE(library.AddLazy("slow", GatedLoader(gate, kShelfA)).ok());
+  ServingRuntimeOptions options;
+  options.num_threads = 1;
+  ServingRuntime runtime(&library, options);
+  auto query = library.PrepareCached("//book");
+  ASSERT_TRUE(query.ok());
+
+  ServingRuntime::Ticket parked = runtime.Submit(*query);
+  gate->WaitReached();  // the only worker is pinned inside the loader
+
+  ServeRequest doomed;
+  doomed.context = QueryContext::WithTimeout(milliseconds(10));
+  ServingRuntime::Ticket evicted = runtime.Submit(*query, doomed);
+  ASSERT_EQ(runtime.Stats().admitted, 2);  // queued, not rejected at submit
+  std::this_thread::sleep_for(milliseconds(30));  // let the budget lapse
+  gate->Open();
+
+  const ServeResult& result = evicted.Wait();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.documents.empty());  // the evaluator never ran
+  EXPECT_EQ(result.total_visited, 0);
+  EXPECT_EQ(parked.Wait().status.code(), StatusCode::kOk);
+
+  const ServingStatsSnapshot stats = runtime.Stats();
+  EXPECT_EQ(stats.doa_evicted, 1);
+  // Evicted jobs count in the deadline_exceeded outcome, so the admission
+  // invariant still balances.
+  EXPECT_GE(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.submitted, stats.shed + stats.ok + stats.deadline_exceeded +
+                                 stats.cancelled + stats.resource_exhausted +
+                                 stats.corruption + stats.io_error +
+                                 stats.other_error);
+}
+
+TEST(ServingRuntimeTest, ScrubberSweepsPeriodicallyAndJoinsCleanly) {
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("a", kShelfA).ok());
+  ASSERT_TRUE(library.AddXmlString("b", kShelfB).ok());
+  ServingRuntimeOptions options;
+  options.scrub_interval = milliseconds(5);
+  int64_t sweeps = 0;
+  {
+    ServingRuntime runtime(&library, options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      const ServingStatsSnapshot stats = runtime.Stats();
+      if (stats.scrub_sweeps >= 3) {
+        sweeps = stats.scrub_sweeps;
+        // Both loaded documents are CRC-checked on every sweep.
+        EXPECT_GE(stats.scrub_docs_checked, 2 * stats.scrub_sweeps);
+        EXPECT_EQ(stats.scrub_quarantined, 0);
+        break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "scrubber never swept";
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+    // The pool still serves while the scrubber runs.
+    auto query = library.PrepareCached("//keyword");
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(runtime.Execute(*query).status.code(), StatusCode::kOk);
+  }  // ~ServingRuntime: Shutdown() joins workers AND the scrubber
+  EXPECT_GE(sweeps, 3);
+}
+
+TEST(ServingRuntimeTest, ScrubberQuarantinesFailingDocuments) {
+  // A document whose engine fails verification is quarantined by the
+  // scrubber sweep and counted in scrub_quarantined. The rotting engine
+  // comes from a lazy loader that installs a failing verifier — the same
+  // hook the persist layer uses for CRC sweeps over mapped images.
+  Collection library;
+  ASSERT_TRUE(library.AddXmlString("good", kShelfA).ok());
+  ASSERT_TRUE(library
+                  .AddLazy("bad",
+                           [](std::shared_ptr<Alphabet> alphabet)
+                               -> StatusOr<Engine> {
+                             LoadOptions options;
+                             options.alphabet = std::move(alphabet);
+                             auto engine =
+                                 Engine::FromXmlString(kShelfB, options);
+                             if (!engine.ok()) return engine;
+                             Engine rotting = std::move(*engine);
+                             rotting.set_verifier([] {
+                               return Status::Corruption(
+                                   "backing bytes changed");
+                             });
+                             return rotting;
+                           })
+                  .ok());
+  ServingRuntimeOptions options;
+  options.scrub_interval = milliseconds(5);
+  ServingRuntime runtime(&library, options);
+  // First touch loads the rotting engine (untouched lazy slots have no
+  // bytes to scrub); the next sweep then quarantines it.
+  auto query = library.PrepareCached("//keyword");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(runtime.Execute(*query).status.code(), StatusCode::kOk);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (runtime.Stats().scrub_quarantined < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "scrubber never quarantined the corrupt document";
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_FALSE(library.Health("bad").ok());
+  EXPECT_TRUE(library.Health("good").ok());
+}
+
 TEST_F(ServingDeadlineTest, BudgetBoundsVisitedNodes) {
   ServingRuntime runtime(library_);
   auto query = library_->PrepareCached("//listitem//keyword");
